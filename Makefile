@@ -1,0 +1,37 @@
+# Convenience targets for the sccsim reproduction.
+
+GO ?= go
+
+.PHONY: all build test vet quick bench bench-quick experiments cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Skip the paper-scale headline run (a few minutes).
+quick:
+	$(GO) test -short ./...
+
+# Regenerate every paper table/figure at paper scale.
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+bench-quick:
+	SCCSIM_BENCH_SCALE=quick $(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# All experiments via the CLI.
+experiments:
+	$(GO) run ./cmd/sccexplore -exp all
+
+cover:
+	$(GO) test -short -cover ./...
+
+clean:
+	$(GO) clean ./...

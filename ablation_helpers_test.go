@@ -1,0 +1,79 @@
+package sccsim_test
+
+import (
+	"testing"
+
+	"sccsim"
+	"sccsim/internal/explorer"
+	"sccsim/internal/icache"
+	"sccsim/internal/sim"
+	"sccsim/internal/sparse"
+	"sccsim/internal/stats"
+	"sccsim/internal/workload/mp3d"
+)
+
+func sumU64(xs []uint64) uint64 {
+	var t uint64
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+func runWithOptions(w sccsim.Workload, ppc, scc int, s sccsim.Scale, opts sccsim.Options) (*sccsim.Point, error) {
+	return sccsim.RunWithOptions(w, ppc, scc, s, opts)
+}
+
+func runAssoc(w sccsim.Workload, ppc, scc, assoc int, s sccsim.Scale) (*sccsim.Point, error) {
+	cfg := sccsim.DefaultConfig(ppc, scc)
+	cfg.Assoc = assoc
+	return sccsim.RunConfig(w, cfg, s, sccsim.Options{})
+}
+
+// scheduleStats builds the Cholesky fan-out schedule with a supernode
+// width cap and returns (achieved concurrency on 32 processors, op count).
+func scheduleStats(b *testing.B, maxWidth int) (float64, int) {
+	b.Helper()
+	a := sparse.GenerateBCSSTK14Like(sparse.BCSSTK14Params{Seed: 1})
+	l := sparse.SymbolicFactor(a, sparse.EliminationTree(a))
+	sns, colSn := sparse.FindSupernodes(l, maxWidth)
+	ops, succ, indeg := sparse.BuildOps(l, sns, colSn)
+	s1, err := sparse.ListSchedule(ops, succ, indeg, len(sns), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s32, err := sparse.ListSchedule(ops, succ, indeg, len(sns), 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return float64(s1.Makespan) / float64(s32.Makespan), len(ops)
+}
+
+// icachePenalty derives the context-switch instruction-refill cost from
+// the icache model.
+func icachePenalty() (uint64, error) {
+	return icache.RecommendedSwitchPenalty(0, 1)
+}
+
+// runMP3DLocks runs MP3D at the 4x4P/64KB point with or without per-cell
+// locks.
+func runMP3DLocks(s sccsim.Scale, locks bool) (*sccsim.Point, error) {
+	particles, steps := s.MP3DParticles, s.MP3DSteps
+	prog, err := mp3d.Generate(mp3d.Params{
+		Particles: particles, Steps: steps, Procs: 16, Seed: s.Seed, CellLocks: locks,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg := sccsim.DefaultConfig(4, 64*1024)
+	res, err := sim.Run(cfg, sim.Options{}, prog)
+	if err != nil {
+		return nil, err
+	}
+	return &sccsim.Point{Config: cfg, Result: res}, nil
+}
+
+// seedSensitivity summarizes cycle variation over five seeds.
+func seedSensitivity(w sccsim.Workload, s sccsim.Scale) (stats.Summary, error) {
+	return explorer.SeedSensitivity(w, 2, 32*1024, s, sim.Options{}, []int64{1, 2, 3, 4, 5})
+}

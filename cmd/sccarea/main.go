@@ -1,0 +1,40 @@
+// Command sccarea prints the implementation-cost model of Section 4 of
+// the paper: the four cluster chip designs with their component
+// breakdowns (Figures 8-11), and the FO4 cache-access-time model that
+// determines the load latencies.
+//
+// Usage:
+//
+//	sccarea            # the four designs
+//	sccarea -access    # cache access time vs size in FO4 delays
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"sccsim"
+	"sccsim/internal/area"
+)
+
+func main() {
+	access := flag.Bool("access", false, "print the cache access-time model")
+	flag.Parse()
+
+	if *access {
+		fmt.Printf("direct-mapped cache access time (cycle budget %.0f FO4):\n", area.CycleFO4)
+		for size := 4 * 1024; size <= 512*1024; size *= 2 {
+			fo4 := area.CacheAccessFO4(size)
+			note := ""
+			if fo4 > area.CycleFO4 {
+				note = "  (exceeds one cycle)"
+			}
+			fmt.Printf("  %4d KB  %5.1f FO4%s\n", size/1024, fo4, note)
+		}
+		fmt.Printf("largest single-cycle cache: %d KB\n", area.MaxSingleCycleCache()/1024)
+		fmt.Printf("SCC bank arbitration: %.0f FO4 -> extra pipeline stage (3-cycle loads)\n",
+			area.ArbitrationFO4)
+		return
+	}
+	fmt.Print(sccsim.RenderAreaReport())
+}

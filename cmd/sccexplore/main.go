@@ -1,0 +1,194 @@
+// Command sccexplore regenerates the tables and figures of "Exploring
+// the Design Space for a Shared-Cache Multiprocessor" (Nayfeh &
+// Olukotun, ISCA 1994).
+//
+// Usage:
+//
+//	sccexplore -exp all                 # everything (paper scale; slow)
+//	sccexplore -exp table3 -scale quick # one experiment, reduced scale
+//	sccexplore -list                    # list experiment ids
+//
+// Experiments: fig2 table3 table4 fig3 fig4 fig5 fig6 table5 table6
+// table7 area invariance all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sccsim"
+)
+
+var experiments = []struct {
+	id, desc string
+}{
+	{"fig2", "Barnes-Hut normalized execution time vs SCC size"},
+	{"table3", "Barnes-Hut speedups relative to one processor per cluster"},
+	{"table4", "Barnes-Hut read miss rates (prefetching vs interference)"},
+	{"fig3", "MP3D normalized execution time vs SCC size"},
+	{"fig4", "Cholesky normalized execution time vs SCC size"},
+	{"fig5", "Multiprogramming normalized execution time vs SCC size"},
+	{"fig6", "Multiprogramming self-relative speedups"},
+	{"table5", "Relative uniprocessor execution time vs load latency"},
+	{"table6", "Single-chip comparison: 1P/64KB vs 2P/32KB"},
+	{"table7", "MCM comparison: 4P/64KB (16P) vs 8P/128KB (32P)"},
+	{"area", "Chip implementations and areas (Figures 8-11)"},
+	{"invariance", "Invalidations vs processors per cluster (Sec 3.1.2 claim)"},
+	{"frontier", "Cost/performance frontier over the whole design space (extension)"},
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (see -list)")
+	scaleName := flag.String("scale", "paper", `problem scale: "paper" or "quick"`)
+	seed := flag.Int64("seed", 1, "workload generator seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	csvWorkload := flag.String("csv", "", "dump a workload's full design-space sweep as CSV and exit (barnes-hut|mp3d|cholesky|multiprog)")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-11s %s\n", e.id, e.desc)
+		}
+		return
+	}
+
+	var scale sccsim.Scale
+	switch *scaleName {
+	case "paper":
+		scale = sccsim.PaperScale()
+	case "quick":
+		scale = sccsim.QuickScale()
+	default:
+		fmt.Fprintf(os.Stderr, "sccexplore: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	scale.Seed = *seed
+
+	if *csvWorkload != "" {
+		g, err := sccsim.Sweep(sccsim.Workload(*csvWorkload), scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sccexplore: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(sccsim.GridCSV(g))
+		return
+	}
+
+	if err := run(*exp, scale); err != nil {
+		fmt.Fprintf(os.Stderr, "sccexplore: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, scale sccsim.Scale) error {
+	start := time.Now()
+	defer func() { fmt.Printf("\n[%s in %v]\n", exp, time.Since(start).Round(time.Millisecond)) }()
+
+	// Cached sweeps so "all" reuses grids across experiments.
+	grids := map[sccsim.Workload]*sccsim.Grid{}
+	grid := func(w sccsim.Workload) (*sccsim.Grid, error) {
+		if g, ok := grids[w]; ok {
+			return g, nil
+		}
+		g, err := sccsim.Sweep(w, scale)
+		if err == nil {
+			grids[w] = g
+		}
+		return g, err
+	}
+
+	costEntries := func() ([]*sccsim.CostPerfEntry, error) {
+		var entries []*sccsim.CostPerfEntry
+		for _, w := range sccsim.AllWorkloads {
+			e, err := sccsim.BuildCostPerfEntry(w, scale)
+			if err != nil {
+				return nil, err
+			}
+			entries = append(entries, e)
+		}
+		return entries, nil
+	}
+
+	show := func(id string) error {
+		switch id {
+		case "fig2", "fig3", "fig4", "fig5":
+			w := map[string]sccsim.Workload{
+				"fig2": sccsim.BarnesHut, "fig3": sccsim.MP3D,
+				"fig4": sccsim.Cholesky, "fig5": sccsim.Multiprog,
+			}[id]
+			g, err := grid(w)
+			if err != nil {
+				return err
+			}
+			fmt.Println(sccsim.Figure(g, "Figure "+id[3:]+" — "+string(w)))
+		case "table3":
+			g, err := grid(sccsim.BarnesHut)
+			if err != nil {
+				return err
+			}
+			fmt.Println(sccsim.SpeedupTable(g))
+		case "table4":
+			g, err := grid(sccsim.BarnesHut)
+			if err != nil {
+				return err
+			}
+			fmt.Println(sccsim.MissRateTable(g))
+		case "fig6":
+			g, err := grid(sccsim.Multiprog)
+			if err != nil {
+				return err
+			}
+			fmt.Println(sccsim.SpeedupFigure(g))
+		case "table5":
+			fmt.Println(sccsim.RenderTable5())
+		case "table6":
+			entries, err := costEntries()
+			if err != nil {
+				return err
+			}
+			fmt.Println(sccsim.RenderTable6(sccsim.CompareSingleChip(entries)))
+		case "table7":
+			entries, err := costEntries()
+			if err != nil {
+				return err
+			}
+			fmt.Println(sccsim.RenderTable7(sccsim.CompareMCM(entries)))
+		case "area":
+			fmt.Println(sccsim.RenderAreaReport())
+		case "frontier":
+			for _, w := range sccsim.AllWorkloads {
+				g, err := grid(w)
+				if err != nil {
+					return err
+				}
+				fmt.Println(sccsim.RenderFrontier(w, sccsim.Frontier(g)))
+			}
+		case "invariance":
+			for _, w := range []sccsim.Workload{sccsim.BarnesHut, sccsim.MP3D, sccsim.Cholesky} {
+				g, err := grid(w)
+				if err != nil {
+					return err
+				}
+				fmt.Println(sccsim.InvalidationTable(g))
+			}
+		default:
+			return fmt.Errorf("unknown experiment %q (try -list)", id)
+		}
+		return nil
+	}
+
+	if exp != "all" {
+		return show(exp)
+	}
+	for _, e := range experiments {
+		fmt.Printf("=== %s — %s ===\n", e.id, e.desc)
+		if err := show(e.id); err != nil {
+			return err
+		}
+	}
+	// table6/table7 share entries but show() rebuilds them; acceptable
+	// for the all-experiments run.
+	return nil
+}

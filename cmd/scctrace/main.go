@@ -1,0 +1,117 @@
+// Command scctrace inspects the workload reference traces: footprint,
+// read/write mix, sharing, and per-processor balance. It answers "what
+// does this application look like to the memory system?" without running
+// the multiprocessor simulator.
+//
+// Usage:
+//
+//	scctrace -workload barnes-hut -procs 8
+//	scctrace -workload all -procs 8 -scale quick
+//	scctrace -workload mp3d -procs 4 -dump mp3d.scct   # serialize a trace
+//	scctrace -read mp3d.scct                           # profile a saved trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sccsim"
+	"sccsim/internal/trace"
+)
+
+func main() {
+	workload := flag.String("workload", "all", "barnes-hut | mp3d | cholesky | all")
+	procs := flag.Int("procs", 8, "logical processors to partition across")
+	scaleName := flag.String("scale", "paper", `problem scale: "paper" or "quick"`)
+	seed := flag.Int64("seed", 1, "workload generator seed")
+	dump := flag.String("dump", "", "write the generated trace to this file (single workload only)")
+	readFile := flag.String("read", "", "profile a previously dumped trace file and exit")
+	flag.Parse()
+
+	if *readFile != "" {
+		f, err := os.Open(*readFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scctrace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		prog, err := trace.ReadProgram(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scctrace: %v\n", err)
+			os.Exit(1)
+		}
+		describeProgram(prog)
+		return
+	}
+
+	var scale sccsim.Scale
+	switch *scaleName {
+	case "paper":
+		scale = sccsim.PaperScale()
+	case "quick":
+		scale = sccsim.QuickScale()
+	default:
+		fmt.Fprintf(os.Stderr, "scctrace: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	scale.Seed = *seed
+
+	names := []sccsim.Workload{sccsim.BarnesHut, sccsim.MP3D, sccsim.Cholesky}
+	if *workload != "all" {
+		names = []sccsim.Workload{sccsim.Workload(*workload)}
+	}
+	if *dump != "" && len(names) != 1 {
+		fmt.Fprintln(os.Stderr, "scctrace: -dump needs a single -workload")
+		os.Exit(2)
+	}
+	for _, w := range names {
+		if err := describe(w, *procs, scale, *dump); err != nil {
+			fmt.Fprintf(os.Stderr, "scctrace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func describe(w sccsim.Workload, procs int, scale sccsim.Scale, dump string) error {
+	prog, err := sccsim.GenerateTrace(w, procs, scale)
+	if err != nil {
+		return err
+	}
+	if dump != "" {
+		f, err := os.Create(dump)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := prog.EncodeTo(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s trace to %s\n", w, dump)
+	}
+	describeProgram(prog)
+	return nil
+}
+
+func describeProgram(prog *trace.Program) {
+	p := sccsim.AnalyzeTrace(prog)
+	fmt.Printf("%s (%d processors)\n", prog.Name, prog.Procs)
+	fmt.Printf("  references      %d (%.1f%% writes)\n", p.RefTotal(), 100*p.WriteFrac())
+	fmt.Printf("  compute cycles  %d (%.2f refs/instr)\n", p.ComputeCycles,
+		float64(p.RefTotal())/float64(p.ComputeCycles+p.RefTotal()))
+	fmt.Printf("  footprint       %d KB (%d lines)\n", p.FootprintBytes()/1024, p.FootprintLines)
+	fmt.Printf("  shared lines    %.1f%% of footprint (%.1f%% write-shared)\n",
+		100*p.SharedFrac(), 100*float64(p.WriteSharedLines)/float64(max(1, p.FootprintLines)))
+	var minR, maxR uint64
+	minR = ^uint64(0)
+	for _, pp := range p.PerProc {
+		r := pp.Reads + pp.Writes
+		if r < minR {
+			minR = r
+		}
+		if r > maxR {
+			maxR = r
+		}
+	}
+	fmt.Printf("  balance         min/max refs per processor = %d/%d\n\n", minR, maxR)
+}

@@ -1,0 +1,63 @@
+// Solver: the sparse Cholesky substrate used end-to-end as a real
+// numeric solver — build the BCSSTK14-like stiffness matrix, analyse it
+// (elimination tree, fill-in, supernodes, schedule concurrency), factor
+// it numerically, and solve a system, checking the residual.
+//
+// This is the same code path the Cholesky workload traces; running it
+// numerically demonstrates that the workload's reference streams come
+// from a working factorization, not a synthetic approximation of one.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"sccsim/internal/sparse"
+	"sccsim/internal/synth"
+)
+
+func main() {
+	a := sparse.GenerateBCSSTK14Like(sparse.BCSSTK14Params{Seed: 1})
+	parent := sparse.EliminationTree(a)
+	l := sparse.SymbolicFactor(a, parent)
+	sns, colSn := sparse.FindSupernodes(l, 0)
+
+	fmt.Printf("matrix: n=%d, nnz(A)=%d (lower), nnz(L)=%d, fill %.1fx\n",
+		a.N, a.Nnz(), l.Nnz(), float64(l.Nnz())/float64(a.Nnz()))
+	fmt.Printf("factorization: %d flops, etree parallelism %.1fx, %d supernodes (mean width %.1f)\n",
+		sparse.FactorFlops(l), sparse.Parallelism(l, parent),
+		len(sns), float64(l.N)/float64(len(sns)))
+
+	ops, succ, indeg := sparse.BuildOps(l, sns, colSn)
+	for _, procs := range []int{1, 4, 8, 32} {
+		sched, err := sparse.ListSchedule(ops, succ, indeg, len(sns), procs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("fan-out schedule on %2d processors: concurrency %.2fx (%d ops)\n",
+			procs, sched.Speedup(), sched.Ops)
+	}
+
+	// Numeric factorization and solve.
+	m := sparse.NewSPD(a, 1)
+	f, err := sparse.Factorize(m, l)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := synth.NewRNG(7)
+	want := make([]float64, a.N)
+	for i := range want {
+		want[i] = rng.NormFloat64()
+	}
+	b := m.MulVec(want)
+	got := f.Solve(b)
+
+	worst := 0.0
+	for i := range got {
+		if d := math.Abs(got[i] - want[i]); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("numeric check: A x = b solved, max |x - x*| = %.2e\n", worst)
+}

@@ -1,0 +1,3 @@
+module sccsim
+
+go 1.22

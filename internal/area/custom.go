@@ -1,0 +1,89 @@
+package area
+
+import "fmt"
+
+// Custom generalizes the Section 4 implementation rules to an arbitrary
+// design point (processors per cluster, cluster SCC capacity), so the
+// whole Section 3 performance grid can be priced in silicon — the
+// cost/performance frontier the paper's conclusions gesture at.
+//
+// The rules follow the paper's four designs:
+//
+//   - one processor per cluster: a single chip with a single-ported
+//     cache in 8 KB / 6.6 mm² blocks; load latency 2 while the cache
+//     fits the 30 FO4 cycle, 3 beyond it;
+//   - two or more: two-processor chips with multiported SCC slices in
+//     4 KB / 8 mm² blocks and a crossbar ICN sized by total port count;
+//     one chip per two processors, MCM-packaged beyond one chip
+//     (load latency 4); pad frames grow with remote processor count.
+func Custom(procsPerCluster, clusterSCCBytes int) (ChipDesign, error) {
+	if procsPerCluster < 1 {
+		return ChipDesign{}, fmt.Errorf("area: %d processors per cluster", procsPerCluster)
+	}
+	if clusterSCCBytes < 4*1024 {
+		return ChipDesign{}, fmt.Errorf("area: %d bytes of SCC, want >= 4 KB", clusterSCCBytes)
+	}
+
+	if procsPerCluster == 1 {
+		lat := 2
+		if CacheAccessFO4(clusterSCCBytes) > CycleFO4 {
+			lat = 3 // an extra access stage, like the SCC designs
+		}
+		return ChipDesign{
+			Name:            fmt.Sprintf("1 processor / %d KB cache", clusterSCCBytes/1024),
+			ProcsOnChip:     1,
+			ClusterProcs:    1,
+			SCCBytesOnChip:  clusterSCCBytes,
+			SCCPorts:        1,
+			SignalPads:      300,
+			LoadLatency:     lat,
+			ChipsPerCluster: 1,
+		}, nil
+	}
+
+	if procsPerCluster%2 != 0 {
+		return ChipDesign{}, fmt.Errorf("area: %d processors per cluster; the building block holds 2", procsPerCluster)
+	}
+	chips := procsPerCluster / 2
+	if clusterSCCBytes%(chips*4*1024) != 0 {
+		return ChipDesign{}, fmt.Errorf("area: %d bytes of SCC not divisible into 4 KB banks over %d chips",
+			clusterSCCBytes, chips)
+	}
+	perChip := clusterSCCBytes / chips
+	ports := procsPerCluster + 1 // every processor plus the refill port
+	icns := 1
+	if ports > 5 {
+		icns = 2
+	}
+	pads := 300 + 150*(procsPerCluster-2) + 100
+	lat := 3
+	if chips > 1 {
+		lat = 4 // MCM chip crossing adds the extra cache-access stage
+	}
+	d := ChipDesign{
+		Name:            fmt.Sprintf("%d processors / %d KB SCC", procsPerCluster, clusterSCCBytes/1024),
+		ProcsOnChip:     2,
+		ClusterProcs:    procsPerCluster,
+		SCCBytesOnChip:  perChip,
+		SCCPorts:        ports,
+		ICNs:            icns,
+		SignalPads:      pads,
+		C4:              pads >= 1000,
+		LoadLatency:     lat,
+		ChipsPerCluster: chips,
+	}
+	if chips > 1 {
+		d.Name += " (MCM)"
+	}
+	return d, nil
+}
+
+// Feasible reports whether the design point is buildable: the chip fits
+// the economical die and the pad count is within C4 reach.
+func Feasible(procsPerCluster, clusterSCCBytes int) bool {
+	d, err := Custom(procsPerCluster, clusterSCCBytes)
+	if err != nil {
+		return false
+	}
+	return d.Fits() && d.SignalPads <= 1500
+}

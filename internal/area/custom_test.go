@@ -1,0 +1,81 @@
+package area
+
+import (
+	"math"
+	"testing"
+)
+
+// Custom must reproduce the four canonical designs exactly.
+func TestCustomMatchesCanonicalDesigns(t *testing.T) {
+	for ppc, want := range Designs() {
+		got, err := Custom(ppc, want.ClusterSCCBytes())
+		if err != nil {
+			t.Fatalf("%dP: %v", ppc, err)
+		}
+		if math.Abs(got.ChipArea()-want.ChipArea()) > 0.5 {
+			t.Errorf("%dP: Custom area %.1f, canonical %.1f", ppc, got.ChipArea(), want.ChipArea())
+		}
+		if got.LoadLatency != want.LoadLatency {
+			t.Errorf("%dP: Custom latency %d, canonical %d", ppc, got.LoadLatency, want.LoadLatency)
+		}
+		if got.ChipsPerCluster != want.ChipsPerCluster {
+			t.Errorf("%dP: Custom chips %d, canonical %d", ppc, got.ChipsPerCluster, want.ChipsPerCluster)
+		}
+	}
+}
+
+func TestCustomRejects(t *testing.T) {
+	if _, err := Custom(0, 64*1024); err == nil {
+		t.Error("accepted 0 processors")
+	}
+	if _, err := Custom(3, 64*1024); err == nil {
+		t.Error("accepted an odd multi-processor cluster")
+	}
+	if _, err := Custom(2, 1024); err == nil {
+		t.Error("accepted a sub-4KB SCC")
+	}
+	if _, err := Custom(8, 4*1024); err == nil {
+		t.Error("accepted an SCC that cannot spread over 4 chips")
+	}
+}
+
+func TestCustomBigCacheSlowLoads(t *testing.T) {
+	// A 128 KB single-processor cache exceeds the 30 FO4 cycle: the
+	// design pays a 3-cycle load latency.
+	d, err := Custom(1, 128*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.LoadLatency != 3 {
+		t.Errorf("128KB 1P latency = %d, want 3", d.LoadLatency)
+	}
+}
+
+func TestCustomInfeasiblePoints(t *testing.T) {
+	// Two processors with a 512 KB on-chip SCC: 128 multiported blocks
+	// at 8 mm² is over a thousand mm² — not buildable.
+	if Feasible(2, 512*1024) {
+		d, _ := Custom(2, 512*1024)
+		t.Errorf("2P/512KB reported feasible at %.0f mm²", d.ChipArea())
+	}
+	// The paper's four designs are feasible.
+	for ppc, d := range Designs() {
+		if !Feasible(ppc, d.ClusterSCCBytes()) {
+			t.Errorf("canonical %dP design reported infeasible", ppc)
+		}
+	}
+}
+
+func TestCustomAreaMonotoneInCache(t *testing.T) {
+	prev := 0.0
+	for _, kb := range []int{8, 16, 32, 64} {
+		d, err := Custom(2, kb*1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.ChipArea() <= prev {
+			t.Errorf("2P/%dKB area %.1f not larger than smaller cache", kb, d.ChipArea())
+		}
+		prev = d.ChipArea()
+	}
+}

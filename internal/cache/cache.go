@@ -1,0 +1,267 @@
+// Package cache implements the tag-store cache model used for both the
+// per-processor instruction caches and the banked Shared Cluster Cache.
+//
+// The model is a set-associative (including direct-mapped) cache of
+// 16-byte lines with true-LRU replacement, write-allocate and write-back
+// semantics. It tracks per-access-kind hit/miss statistics, supports
+// external invalidation (for the inter-cluster coherence protocol), and
+// reports evicted lines so callers can maintain presence information.
+package cache
+
+import (
+	"fmt"
+
+	"sccsim/internal/mem"
+	"sccsim/internal/sysmodel"
+)
+
+// line is one cache line's tag state.
+type line struct {
+	tag   uint32 // line address (addr / LineSize); tagInvalid when empty
+	lru   uint32 // higher = more recently used
+	dirty bool
+}
+
+// tagInvalid marks an empty way. Valid tags are line indices of 32-bit
+// addresses, so they are < 2^28 and can never collide with this value.
+const tagInvalid = ^uint32(0)
+
+// Stats accumulates access counts per reference kind.
+type Stats struct {
+	// Accesses[k] and Misses[k] count accesses and misses of kind k.
+	Accesses [mem.NumKinds]uint64
+	Misses   [mem.NumKinds]uint64
+	// Evictions counts lines displaced by fills.
+	Evictions uint64
+	// Invalidations counts lines removed by external invalidation.
+	Invalidations uint64
+	// WriteBacks counts dirty lines written back on eviction or
+	// invalidation.
+	WriteBacks uint64
+}
+
+// TotalAccesses returns the access count summed over kinds.
+func (s *Stats) TotalAccesses() uint64 {
+	var t uint64
+	for _, v := range s.Accesses {
+		t += v
+	}
+	return t
+}
+
+// TotalMisses returns the miss count summed over kinds.
+func (s *Stats) TotalMisses() uint64 {
+	var t uint64
+	for _, v := range s.Misses {
+		t += v
+	}
+	return t
+}
+
+// MissRate returns misses/accesses over all kinds, or 0 if no accesses.
+func (s *Stats) MissRate() float64 {
+	a := s.TotalAccesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.TotalMisses()) / float64(a)
+}
+
+// ReadMissRate returns the read miss rate, the statistic Table 4 of the
+// paper reports, or 0 if there were no reads.
+func (s *Stats) ReadMissRate() float64 {
+	if s.Accesses[mem.Read] == 0 {
+		return 0
+	}
+	return float64(s.Misses[mem.Read]) / float64(s.Accesses[mem.Read])
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o *Stats) {
+	for k := 0; k < mem.NumKinds; k++ {
+		s.Accesses[k] += o.Accesses[k]
+		s.Misses[k] += o.Misses[k]
+	}
+	s.Evictions += o.Evictions
+	s.Invalidations += o.Invalidations
+	s.WriteBacks += o.WriteBacks
+}
+
+// Cache is a set-associative cache tag store.
+type Cache struct {
+	sets    []line // len = nsets*assoc, laid out set-major
+	nsets   uint32
+	assoc   uint32
+	setMask uint32
+	clock   uint32 // LRU timestamp source
+	stats   Stats
+}
+
+// New builds a cache of size bytes with the given associativity. Size must
+// be a multiple of assoc*LineSize and the resulting set count must be a
+// power of two (true for every configuration in the paper's sweep).
+func New(size, assoc int) (*Cache, error) {
+	if assoc < 1 {
+		return nil, fmt.Errorf("cache: associativity %d, want >= 1", assoc)
+	}
+	lines := size / sysmodel.LineSize
+	if lines*sysmodel.LineSize != size || lines < assoc {
+		return nil, fmt.Errorf("cache: size %d not a multiple of %d lines of %d bytes",
+			size, assoc, sysmodel.LineSize)
+	}
+	nsets := lines / assoc
+	if nsets&(nsets-1) != 0 {
+		return nil, fmt.Errorf("cache: set count %d is not a power of two", nsets)
+	}
+	c := &Cache{
+		sets:    make([]line, lines),
+		nsets:   uint32(nsets),
+		assoc:   uint32(assoc),
+		setMask: uint32(nsets - 1),
+	}
+	for i := range c.sets {
+		c.sets[i].tag = tagInvalid
+	}
+	return c, nil
+}
+
+// MustNew is New but panics on error; for configurations known valid.
+func MustNew(size, assoc int) *Cache {
+	c, err := New(size, assoc)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return int(c.nsets) }
+
+// Assoc returns the associativity.
+func (c *Cache) Assoc() int { return int(c.assoc) }
+
+// SizeBytes returns the cache capacity in bytes.
+func (c *Cache) SizeBytes() int { return len(c.sets) * sysmodel.LineSize }
+
+// Stats returns the accumulated statistics.
+func (c *Cache) Stats() *Stats { return &c.stats }
+
+// Result describes the outcome of one access.
+type Result struct {
+	// Hit is true when the line was present.
+	Hit bool
+	// Evicted is the line address (not byte address) of a valid line
+	// displaced by the fill, or EvictedNone.
+	Evicted uint32
+	// EvictedDirty reports whether the displaced line was dirty.
+	EvictedDirty bool
+}
+
+// EvictedNone is the Evicted value when no line was displaced.
+const EvictedNone = ^uint32(0)
+
+// Access performs a read or write of addr, filling on miss
+// (write-allocate) and returning the outcome. Writes mark the line dirty.
+func (c *Cache) Access(addr uint32, kind mem.Kind) Result {
+	tag := addr / sysmodel.LineSize
+	set := tag & c.setMask
+	base := set * c.assoc
+	c.clock++
+	c.stats.Accesses[kind]++
+
+	ways := c.sets[base : base+c.assoc]
+	victim := 0
+	victimLRU := ^uint32(0)
+	for i := range ways {
+		w := &ways[i]
+		if w.tag == tag {
+			w.lru = c.clock
+			if kind == mem.Write {
+				w.dirty = true
+			}
+			return Result{Hit: true, Evicted: EvictedNone}
+		}
+		if w.tag == tagInvalid {
+			// Prefer an empty way; LRU 0 guarantees selection unless an
+			// earlier empty way was already chosen.
+			if victimLRU != 0 {
+				victim, victimLRU = i, 0
+			}
+			continue
+		}
+		if w.lru < victimLRU {
+			victim, victimLRU = i, w.lru
+		}
+	}
+
+	c.stats.Misses[kind]++
+	w := &ways[victim]
+	res := Result{Evicted: EvictedNone}
+	if w.tag != tagInvalid {
+		c.stats.Evictions++
+		res.Evicted = w.tag
+		res.EvictedDirty = w.dirty
+		if w.dirty {
+			c.stats.WriteBacks++
+		}
+	}
+	w.tag = tag
+	w.lru = c.clock
+	w.dirty = kind == mem.Write
+	return res
+}
+
+// Probe reports whether addr is present without updating LRU or stats.
+func (c *Cache) Probe(addr uint32) bool {
+	tag := addr / sysmodel.LineSize
+	base := (tag & c.setMask) * c.assoc
+	for _, w := range c.sets[base : base+c.assoc] {
+		if w.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes the line containing addr if present, returning
+// whether it was present and whether it was dirty. Used by the
+// inter-cluster invalidation protocol.
+func (c *Cache) Invalidate(addr uint32) (present, dirty bool) {
+	tag := addr / sysmodel.LineSize
+	base := (tag & c.setMask) * c.assoc
+	ways := c.sets[base : base+c.assoc]
+	for i := range ways {
+		w := &ways[i]
+		if w.tag == tag {
+			c.stats.Invalidations++
+			if w.dirty {
+				c.stats.WriteBacks++
+			}
+			present, dirty = true, w.dirty
+			w.tag = tagInvalid
+			w.dirty = false
+			w.lru = 0
+			return present, dirty
+		}
+	}
+	return false, false
+}
+
+// Flush empties the cache without touching statistics. It is used between
+// multiprogramming scheduler epochs in ablation experiments.
+func (c *Cache) Flush() {
+	for i := range c.sets {
+		c.sets[i] = line{tag: tagInvalid}
+	}
+}
+
+// ValidLines returns the number of valid lines currently resident.
+func (c *Cache) ValidLines() int {
+	n := 0
+	for i := range c.sets {
+		if c.sets[i].tag != tagInvalid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,306 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sccsim/internal/mem"
+	"sccsim/internal/sysmodel"
+)
+
+func TestNewRejectsBadGeometry(t *testing.T) {
+	cases := []struct{ size, assoc int }{
+		{0, 1},        // empty
+		{100, 1},      // not a line multiple
+		{48, 1},       // 3 sets: not a power of two
+		{16, 2},       // fewer lines than ways
+		{4096, 0},     // zero associativity
+		{4096, 3},     // 4096/16/3 not integral
+		{48 * 16, 16}, // 3 sets again
+	}
+	for _, c := range cases {
+		if _, err := New(c.size, c.assoc); err == nil {
+			t.Errorf("New(%d, %d) succeeded, want error", c.size, c.assoc)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew with bad geometry did not panic")
+		}
+	}()
+	MustNew(100, 1)
+}
+
+func TestGeometry(t *testing.T) {
+	c := MustNew(4096, 2)
+	if c.Sets() != 128 {
+		t.Errorf("Sets() = %d, want 128", c.Sets())
+	}
+	if c.Assoc() != 2 {
+		t.Errorf("Assoc() = %d, want 2", c.Assoc())
+	}
+	if c.SizeBytes() != 4096 {
+		t.Errorf("SizeBytes() = %d, want 4096", c.SizeBytes())
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := MustNew(4096, 1)
+	r := c.Access(0x1000, mem.Read)
+	if r.Hit {
+		t.Error("first access hit a cold cache")
+	}
+	if r.Evicted != EvictedNone {
+		t.Errorf("cold fill evicted %#x, want none", r.Evicted)
+	}
+	r = c.Access(0x1004, mem.Read)
+	if !r.Hit {
+		t.Error("second access to the same line missed")
+	}
+	if got := c.Stats().TotalMisses(); got != 1 {
+		t.Errorf("misses = %d, want 1", got)
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	c := MustNew(4096, 1) // 256 sets
+	a := uint32(0x0000)
+	b := a + 4096 // same set, different tag
+	c.Access(a, mem.Read)
+	r := c.Access(b, mem.Read)
+	if r.Hit {
+		t.Error("conflicting line hit")
+	}
+	if r.Evicted != a/sysmodel.LineSize {
+		t.Errorf("evicted line %#x, want %#x", r.Evicted, a/sysmodel.LineSize)
+	}
+	if r.EvictedDirty {
+		t.Error("clean victim reported dirty")
+	}
+	if c.Access(a, mem.Read).Hit {
+		t.Error("original line survived a conflict eviction")
+	}
+}
+
+func TestWriteMakesDirty(t *testing.T) {
+	c := MustNew(4096, 1)
+	c.Access(0x0, mem.Write)
+	r := c.Access(4096, mem.Read) // conflict-evict the dirty line
+	if !r.EvictedDirty {
+		t.Error("dirty victim reported clean")
+	}
+	if c.Stats().WriteBacks != 1 {
+		t.Errorf("write-backs = %d, want 1", c.Stats().WriteBacks)
+	}
+}
+
+func TestReadThenWriteMakesDirty(t *testing.T) {
+	c := MustNew(4096, 1)
+	c.Access(0x0, mem.Read)
+	c.Access(0x0, mem.Write) // hit, should set dirty
+	if _, dirty := c.Invalidate(0x0); !dirty {
+		t.Error("line written after fill not dirty")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c := MustNew(2*sysmodel.LineSize, 2) // one set, two ways
+	c.Access(0x000, mem.Read)
+	c.Access(0x100, mem.Read)
+	c.Access(0x000, mem.Read) // touch A; B is now LRU
+	r := c.Access(0x200, mem.Read)
+	if r.Evicted != 0x100/sysmodel.LineSize {
+		t.Errorf("evicted %#x, want LRU line %#x", r.Evicted, uint32(0x100/sysmodel.LineSize))
+	}
+	if !c.Probe(0x000) {
+		t.Error("MRU line was evicted")
+	}
+}
+
+func TestEmptyWayPreferredOverEviction(t *testing.T) {
+	c := MustNew(4*sysmodel.LineSize, 4) // one set, four ways
+	c.Access(0x000, mem.Read)
+	c.Access(0x100, mem.Read)
+	r := c.Access(0x200, mem.Read)
+	if r.Evicted != EvictedNone {
+		t.Errorf("fill evicted %#x while empty ways remained", r.Evicted)
+	}
+	if c.Stats().Evictions != 0 {
+		t.Errorf("evictions = %d, want 0", c.Stats().Evictions)
+	}
+}
+
+func TestProbeDoesNotDisturbState(t *testing.T) {
+	c := MustNew(4096, 1)
+	c.Access(0x40, mem.Read)
+	before := *c.Stats()
+	if !c.Probe(0x40) {
+		t.Error("Probe missed a resident line")
+	}
+	if c.Probe(0x4000 + 0x40) {
+		t.Error("Probe hit an absent line")
+	}
+	if *c.Stats() != before {
+		t.Error("Probe changed statistics")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := MustNew(4096, 1)
+	c.Access(0x80, mem.Write)
+	present, dirty := c.Invalidate(0x80)
+	if !present || !dirty {
+		t.Errorf("Invalidate = (%v, %v), want (true, true)", present, dirty)
+	}
+	if c.Probe(0x80) {
+		t.Error("line still present after invalidation")
+	}
+	if present, _ := c.Invalidate(0x80); present {
+		t.Error("second invalidation reported the line present")
+	}
+	if c.Stats().Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", c.Stats().Invalidations)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := MustNew(4096, 2)
+	for a := uint32(0); a < 4096; a += sysmodel.LineSize {
+		c.Access(a, mem.Write)
+	}
+	if c.ValidLines() != 256 {
+		t.Fatalf("valid lines = %d, want 256", c.ValidLines())
+	}
+	before := *c.Stats()
+	c.Flush()
+	if c.ValidLines() != 0 {
+		t.Errorf("valid lines after Flush = %d, want 0", c.ValidLines())
+	}
+	if *c.Stats() != before {
+		t.Error("Flush changed statistics")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	c := MustNew(4096, 1)
+	c.Access(0x0, mem.Read)
+	c.Access(0x0, mem.Read)
+	c.Access(0x10, mem.Write)
+	s := c.Stats()
+	if s.Accesses[mem.Read] != 2 || s.Accesses[mem.Write] != 1 {
+		t.Errorf("accesses = %v", s.Accesses)
+	}
+	if s.Misses[mem.Read] != 1 || s.Misses[mem.Write] != 1 {
+		t.Errorf("misses = %v", s.Misses)
+	}
+	if got := s.MissRate(); got != 2.0/3.0 {
+		t.Errorf("MissRate() = %v, want 2/3", got)
+	}
+	if got := s.ReadMissRate(); got != 0.5 {
+		t.Errorf("ReadMissRate() = %v, want 0.5", got)
+	}
+}
+
+func TestStatsZeroDivision(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 || s.ReadMissRate() != 0 {
+		t.Error("empty Stats rates should be 0")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Evictions: 1, WriteBacks: 2}
+	a.Accesses[mem.Read] = 10
+	a.Misses[mem.Read] = 3
+	b := Stats{Invalidations: 5}
+	b.Accesses[mem.Read] = 2
+	a.Add(&b)
+	if a.Accesses[mem.Read] != 12 || a.Invalidations != 5 || a.Evictions != 1 {
+		t.Errorf("Add produced %+v", a)
+	}
+}
+
+// Property: a cache never holds more valid lines than its capacity, and a
+// line just accessed is always present.
+func TestCapacityProperty(t *testing.T) {
+	f := func(addrs []uint32, assocSel uint8) bool {
+		assoc := []int{1, 2, 4}[int(assocSel)%3]
+		c := MustNew(1024, assoc)
+		for _, a := range addrs {
+			c.Access(a, mem.Read)
+			if !c.Probe(a) {
+				return false
+			}
+			if c.ValidLines() > 1024/sysmodel.LineSize {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: misses + hits == accesses, and eviction count never exceeds
+// miss count (every eviction is caused by a fill).
+func TestAccountingProperty(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := MustNew(2048, 2)
+		hits := uint64(0)
+		steps := int(n%2000) + 1
+		for i := 0; i < steps; i++ {
+			kind := mem.Read
+			if rng.Intn(4) == 0 {
+				kind = mem.Write
+			}
+			if c.Access(uint32(rng.Intn(1<<14)), kind).Hit {
+				hits++
+			}
+		}
+		s := c.Stats()
+		return s.TotalAccesses() == uint64(steps) &&
+			s.TotalMisses()+hits == uint64(steps) &&
+			s.Evictions <= s.TotalMisses()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a fully-associative cache of N lines accessed with a cyclic
+// working set of at most N lines has only cold misses.
+func TestWorkingSetFitsProperty(t *testing.T) {
+	const lines = 16
+	c := MustNew(lines*sysmodel.LineSize, lines)
+	for pass := 0; pass < 5; pass++ {
+		for i := 0; i < lines; i++ {
+			c.Access(uint32(i*sysmodel.LineSize), mem.Read)
+		}
+	}
+	if got := c.Stats().TotalMisses(); got != lines {
+		t.Errorf("misses = %d, want %d cold misses only", got, lines)
+	}
+}
+
+func BenchmarkAccessHit(b *testing.B) {
+	c := MustNew(64*1024, 1)
+	c.Access(0x40, mem.Read)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0x40, mem.Read)
+	}
+}
+
+func BenchmarkAccessStream(b *testing.B) {
+	c := MustNew(64*1024, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint32(i)*sysmodel.LineSize, mem.Read)
+	}
+}

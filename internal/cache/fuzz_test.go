@@ -1,0 +1,50 @@
+package cache
+
+import (
+	"testing"
+
+	"sccsim/internal/mem"
+	"sccsim/internal/sysmodel"
+)
+
+// FuzzAccess drives a cache with arbitrary access sequences and checks
+// the structural invariants that every workload depends on: accounting
+// consistency, capacity bounds, and probe/access agreement.
+func FuzzAccess(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 255, 128}, uint8(1))
+	f.Add([]byte{10, 10, 10, 20, 30, 10}, uint8(2))
+	f.Add([]byte{}, uint8(4))
+	f.Fuzz(func(t *testing.T, data []byte, assocSel uint8) {
+		assoc := []int{1, 2, 4, 8}[int(assocSel)%4]
+		c := MustNew(1024, assoc)
+		hits := uint64(0)
+		for i := 0; i+1 < len(data); i += 2 {
+			addr := uint32(data[i])<<8 | uint32(data[i+1])<<3
+			kind := mem.Read
+			if data[i]&1 == 1 {
+				kind = mem.Write
+			}
+			res := c.Access(addr, kind)
+			if res.Hit {
+				hits++
+				if res.Evicted != EvictedNone {
+					t.Fatal("hit with eviction")
+				}
+			}
+			if !c.Probe(addr) {
+				t.Fatalf("line %#x absent immediately after access", addr)
+			}
+		}
+		s := c.Stats()
+		if s.TotalMisses()+hits != s.TotalAccesses() {
+			t.Fatalf("accounting: %d misses + %d hits != %d accesses",
+				s.TotalMisses(), hits, s.TotalAccesses())
+		}
+		if c.ValidLines() > 1024/sysmodel.LineSize {
+			t.Fatalf("capacity exceeded: %d lines", c.ValidLines())
+		}
+		if s.Evictions > s.TotalMisses() {
+			t.Fatal("more evictions than misses")
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package costperf
+
+import (
+	"sort"
+
+	"sccsim/internal/area"
+	"sccsim/internal/explorer"
+	"sccsim/internal/pipeline"
+	"sccsim/internal/sysmodel"
+)
+
+// The cost/performance frontier: price every point of a Section 3
+// performance grid in silicon using the generalized Section 4 area
+// rules, apply the load-latency factor each implementation implies, and
+// rank the design space — the quantitative version of the paper's
+// closing question ("what should the ratio of processors to cache
+// memory size be to achieve the best cost/performance?").
+
+// FrontierPoint is one priced design point.
+type FrontierPoint struct {
+	// ProcsPerCluster and SCCBytes locate the point in the design space.
+	ProcsPerCluster int
+	SCCBytes        int
+	// AdjCycles is the simulated execution time scaled by the
+	// implementation's load-latency factor.
+	AdjCycles float64
+	// ClusterMM2 is the silicon area of one cluster (all chips);
+	// SystemMM2 prices the whole four-cluster system.
+	ClusterMM2 float64
+	SystemMM2  float64
+	// Feasible reports whether the chips are buildable (die and pad
+	// limits).
+	Feasible bool
+	// Perf is 1e9/AdjCycles; CostPerf is Perf per 1000 mm² of system
+	// silicon.
+	Perf     float64
+	CostPerf float64
+}
+
+// Frontier prices every point of a swept grid. Points whose
+// implementation is not expressible under the Section 4 rules (odd
+// processor counts, indivisible SCCs) or not buildable are returned with
+// Feasible=false and zero cost figures.
+func Frontier(g *explorer.Grid) []FrontierPoint {
+	var out []FrontierPoint
+	for _, size := range sysmodel.SCCSizes {
+		for _, ppc := range sysmodel.ProcsPerClusterSweep {
+			pt := g.At(size, ppc)
+			if pt == nil {
+				continue
+			}
+			fp := FrontierPoint{ProcsPerCluster: ppc, SCCBytes: size}
+			d, err := area.Custom(ppc, size)
+			if err == nil && d.Fits() && d.SignalPads <= 1500 {
+				fp.Feasible = true
+				fp.AdjCycles = float64(pt.Result.Cycles) *
+					pipeline.RelTimeFor(string(g.Workload), d.LoadLatency)
+				fp.ClusterMM2 = d.ClusterArea()
+				fp.SystemMM2 = fp.ClusterMM2 * float64(pt.Config.Clusters)
+				fp.Perf = 1e9 / fp.AdjCycles
+				fp.CostPerf = fp.Perf / (fp.SystemMM2 / 1000)
+			}
+			out = append(out, fp)
+		}
+	}
+	return out
+}
+
+// Best returns the feasible frontier point with the highest
+// cost/performance, or nil if none is feasible.
+func Best(points []FrontierPoint) *FrontierPoint {
+	var best *FrontierPoint
+	for i := range points {
+		p := &points[i]
+		if !p.Feasible {
+			continue
+		}
+		if best == nil || p.CostPerf > best.CostPerf {
+			best = p
+		}
+	}
+	return best
+}
+
+// ParetoFront returns the feasible points not dominated in (performance,
+// silicon): a point is on the front if no other feasible point is both
+// faster and no larger. Sorted by area.
+func ParetoFront(points []FrontierPoint) []FrontierPoint {
+	var feas []FrontierPoint
+	for _, p := range points {
+		if p.Feasible {
+			feas = append(feas, p)
+		}
+	}
+	var front []FrontierPoint
+	for _, p := range feas {
+		dominated := false
+		for _, q := range feas {
+			if q.Perf > p.Perf && q.SystemMM2 <= p.SystemMM2 {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	sort.Slice(front, func(a, b int) bool { return front[a].SystemMM2 < front[b].SystemMM2 })
+	return front
+}

@@ -1,0 +1,198 @@
+// Package icache models the per-processor 16 KB instruction caches that
+// appear in every Section 4 floorplan. The parallel applications spend
+// their time in small kernels (the paper treats their instruction
+// fetching as free), but the multiprogramming workload context-switches
+// between eight different binaries every scheduling quantum — each
+// switch refills the instruction cache, which is one component of the
+// context-switch penalty the simulator's Options.SwitchPenalty models.
+//
+// The model runs a real cache.Cache over a synthetic instruction-fetch
+// stream: each application alternates between a hot loop nest (a small
+// set of basic blocks re-executed constantly) and colder excursions over
+// the rest of its code (error paths, helpers, phase changes). The
+// package both measures steady-state instruction miss rates and derives
+// a recommended context-switch penalty for the multiprogramming
+// scheduler.
+package icache
+
+import (
+	"fmt"
+
+	"sccsim/internal/cache"
+	"sccsim/internal/mem"
+	"sccsim/internal/synth"
+	"sccsim/internal/sysmodel"
+)
+
+// CodeProfile describes one application's instruction footprint.
+type CodeProfile struct {
+	// Name identifies the application.
+	Name string
+	// HotBytes is the size of the hot loop nest (re-executed kernels).
+	HotBytes uint32
+	// TotalBytes is the full code footprint (text segment actually
+	// executed).
+	TotalBytes uint32
+	// HotFrac is the fraction of instruction fetches that hit the hot
+	// nest in steady state.
+	HotFrac float64
+	// RunLen is the mean number of sequential fetches before a taken
+	// branch redirects the stream.
+	RunLen int
+}
+
+// Validate reports whether the profile is usable.
+func (c CodeProfile) Validate() error {
+	switch {
+	case c.HotBytes == 0 || c.TotalBytes < c.HotBytes:
+		return fmt.Errorf("icache: code sizes hot=%d total=%d", c.HotBytes, c.TotalBytes)
+	case c.HotFrac < 0 || c.HotFrac > 1:
+		return fmt.Errorf("icache: HotFrac = %v", c.HotFrac)
+	case c.RunLen < 1:
+		return fmt.Errorf("icache: RunLen = %d", c.RunLen)
+	}
+	return nil
+}
+
+// Profiles are the code footprints of the eight multiprogramming
+// applications, consistent with their data-side characters (espresso's
+// tiny kernels; gcc's huge text).
+var Profiles = map[string]CodeProfile{
+	"sc":       {Name: "sc", HotBytes: 12 << 10, TotalBytes: 160 << 10, HotFrac: 0.90, RunLen: 8},
+	"espresso": {Name: "espresso", HotBytes: 8 << 10, TotalBytes: 96 << 10, HotFrac: 0.95, RunLen: 9},
+	"eqntott":  {Name: "eqntott", HotBytes: 4 << 10, TotalBytes: 64 << 10, HotFrac: 0.97, RunLen: 10},
+	"xlisp":    {Name: "xlisp", HotBytes: 10 << 10, TotalBytes: 120 << 10, HotFrac: 0.88, RunLen: 6},
+	"compress": {Name: "compress", HotBytes: 3 << 10, TotalBytes: 48 << 10, HotFrac: 0.98, RunLen: 12},
+	"gcc":      {Name: "gcc", HotBytes: 48 << 10, TotalBytes: 1024 << 10, HotFrac: 0.70, RunLen: 7},
+	"spice":    {Name: "spice", HotBytes: 20 << 10, TotalBytes: 384 << 10, HotFrac: 0.85, RunLen: 9},
+	"wave5":    {Name: "wave5", HotBytes: 14 << 10, TotalBytes: 256 << 10, HotFrac: 0.93, RunLen: 14},
+}
+
+// Stream generates the application's instruction-fetch address sequence.
+type Stream struct {
+	prof     CodeProfile
+	rng      *synth.RNG
+	base     uint32
+	pc       uint32
+	runLeft  int
+	inHot    bool
+	coldNext uint32
+}
+
+// NewStream builds a fetch stream for the profile, with code placed at
+// base (code address spaces of different processes are disjoint).
+func NewStream(prof CodeProfile, base uint32, rng *synth.RNG) (*Stream, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	return &Stream{prof: prof, rng: rng, base: base, inHot: true}, nil
+}
+
+// Next returns the next fetch address.
+func (s *Stream) Next() uint32 {
+	if s.runLeft <= 0 {
+		// Taken branch: choose the next target region.
+		s.inHot = s.rng.Float64() < s.prof.HotFrac
+		if s.inHot {
+			s.pc = s.base + uint32(s.rng.Intn(int(s.prof.HotBytes/4)))*4
+		} else {
+			// Cold code is visited with modest sequential locality:
+			// walk forward through the text segment.
+			s.coldNext += uint32(s.rng.Intn(2048)) * 4
+			s.coldNext %= s.prof.TotalBytes - s.prof.HotBytes
+			s.pc = s.base + s.prof.HotBytes + s.coldNext
+		}
+		s.runLeft = 1 + s.rng.Intn(2*s.prof.RunLen)
+	}
+	addr := s.pc
+	s.pc += 4
+	s.runLeft--
+	return addr
+}
+
+// MissRate measures the steady-state instruction miss rate of the
+// profile in a cache of cacheBytes, over n fetches after a warmup of
+// n/4.
+func MissRate(prof CodeProfile, cacheBytes, n int, seed int64) (float64, error) {
+	c, err := cache.New(cacheBytes, 1)
+	if err != nil {
+		return 0, err
+	}
+	st, err := NewStream(prof, 0x1000_0000, synth.NewRNG(seed))
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < n/4; i++ {
+		c.Access(st.Next(), mem.Read)
+	}
+	misses0 := c.Stats().TotalMisses()
+	acc0 := c.Stats().TotalAccesses()
+	for i := 0; i < n; i++ {
+		c.Access(st.Next(), mem.Read)
+	}
+	dm := c.Stats().TotalMisses() - misses0
+	da := c.Stats().TotalAccesses() - acc0
+	return float64(dm) / float64(da), nil
+}
+
+// SwitchRefillCycles measures the instruction-cache cost of one context
+// switch: it fills the cache with the outgoing application's stream,
+// switches to the incoming one, and counts the extra misses (vs steady
+// state) over the first window fetches, each costing MemLatency.
+func SwitchRefillCycles(out, in CodeProfile, cacheBytes, window int, seed int64) (uint64, error) {
+	c, err := cache.New(cacheBytes, 1)
+	if err != nil {
+		return 0, err
+	}
+	rng := synth.NewRNG(seed)
+	so, err := NewStream(out, 0x1000_0000, rng)
+	if err != nil {
+		return 0, err
+	}
+	si, err := NewStream(in, 0x2000_0000, rng)
+	if err != nil {
+		return 0, err
+	}
+	// Let the outgoing application own the cache.
+	for i := 0; i < window*4; i++ {
+		c.Access(so.Next(), mem.Read)
+	}
+	// Steady-state baseline for the incoming application.
+	steady, err := MissRate(in, cacheBytes, window*4, seed+1)
+	if err != nil {
+		return 0, err
+	}
+	m0 := c.Stats().TotalMisses()
+	for i := 0; i < window; i++ {
+		c.Access(si.Next(), mem.Read)
+	}
+	extra := float64(c.Stats().TotalMisses()-m0) - steady*float64(window)
+	if extra < 0 {
+		extra = 0
+	}
+	return uint64(extra * sysmodel.MemLatency), nil
+}
+
+// RecommendedSwitchPenalty returns the mean instruction-refill cost of a
+// context switch among the multiprogramming applications in a 16 KB
+// instruction cache — a derived value for sim.Options.SwitchPenalty.
+// window is the fetch horizon over which refill misses are charged
+// (fetches beyond it overlap with useful work); 0 means 4096.
+func RecommendedSwitchPenalty(window int, seed int64) (uint64, error) {
+	if window == 0 {
+		window = 4096
+	}
+	names := []string{"sc", "espresso", "eqntott", "xlisp", "compress", "gcc", "spice", "wave5"}
+	var total uint64
+	var n uint64
+	for i, out := range names {
+		in := names[(i+1)%len(names)]
+		cyc, err := SwitchRefillCycles(Profiles[out], Profiles[in], sysmodel.ICacheSize, window, seed+int64(i))
+		if err != nil {
+			return 0, err
+		}
+		total += cyc
+		n++
+	}
+	return total / n, nil
+}

@@ -1,0 +1,138 @@
+package icache
+
+import (
+	"testing"
+
+	"sccsim/internal/synth"
+	"sccsim/internal/sysmodel"
+)
+
+func TestProfilesValid(t *testing.T) {
+	if len(Profiles) != 8 {
+		t.Fatalf("got %d profiles, want 8", len(Profiles))
+	}
+	for name, p := range Profiles {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []CodeProfile{
+		{HotBytes: 0, TotalBytes: 100, HotFrac: 0.5, RunLen: 4},
+		{HotBytes: 200, TotalBytes: 100, HotFrac: 0.5, RunLen: 4},
+		{HotBytes: 10, TotalBytes: 100, HotFrac: 1.5, RunLen: 4},
+		{HotBytes: 10, TotalBytes: 100, HotFrac: 0.5, RunLen: 0},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("bad profile %d accepted", i)
+		}
+	}
+}
+
+func TestStreamStaysInCode(t *testing.T) {
+	p := Profiles["gcc"]
+	st, err := NewStream(p, 0x4000_0000, synth.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50_000; i++ {
+		a := st.Next()
+		if a < 0x4000_0000 || a >= 0x4000_0000+p.TotalBytes {
+			t.Fatalf("fetch %#x outside the text segment", a)
+		}
+		if a%4 != 0 {
+			t.Fatalf("misaligned fetch %#x", a)
+		}
+	}
+}
+
+func TestMissRateOrdering(t *testing.T) {
+	// A hot nest that fits in the cache hits; gcc (48KB hot, 16KB cache)
+	// misses much more than compress (3KB hot).
+	mGcc, err := MissRate(Profiles["gcc"], sysmodel.ICacheSize, 200_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mCompress, err := MissRate(Profiles["compress"], sysmodel.ICacheSize, 200_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mCompress > 0.02 {
+		t.Errorf("compress icache miss rate = %.3f, want ~0", mCompress)
+	}
+	if mGcc < 3*mCompress {
+		t.Errorf("gcc miss rate %.4f not well above compress %.4f", mGcc, mCompress)
+	}
+}
+
+func TestMissRateFallsWithCacheSize(t *testing.T) {
+	p := Profiles["gcc"]
+	m16, err := MissRate(p, 16*1024, 200_000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m64, err := MissRate(p, 64*1024, 200_000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m64 >= m16 {
+		t.Errorf("miss rate did not fall with size: %.4f -> %.4f", m16, m64)
+	}
+}
+
+func TestSwitchRefillPositive(t *testing.T) {
+	cyc, err := SwitchRefillCycles(Profiles["gcc"], Profiles["sc"], sysmodel.ICacheSize, 4096, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cyc == 0 {
+		t.Error("context switch cost zero instruction refill")
+	}
+	// Bounded by refilling the whole cache plus cold excursions within
+	// the window.
+	if cyc > uint64(4096*sysmodel.MemLatency) {
+		t.Errorf("refill cost %d exceeds the window bound", cyc)
+	}
+}
+
+func TestRecommendedSwitchPenalty(t *testing.T) {
+	p, err := RecommendedSwitchPenalty(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 16KB cache refilling a hot nest of a few KB at 100 cycles/line:
+	// tens of thousands of cycles.
+	if p < 5_000 || p > 400_000 {
+		t.Errorf("recommended switch penalty = %d cycles, outside plausible range", p)
+	}
+	// Deterministic for a seed.
+	p2, err := RecommendedSwitchPenalty(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != p2 {
+		t.Error("penalty not deterministic")
+	}
+}
+
+func TestStreamHotColdMix(t *testing.T) {
+	p := Profiles["spice"]
+	st, err := NewStream(p, 0, synth.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := 0
+	n := 100_000
+	for i := 0; i < n; i++ {
+		if st.Next() < p.HotBytes {
+			hot++
+		}
+	}
+	frac := float64(hot) / float64(n)
+	if frac < p.HotFrac-0.1 || frac > p.HotFrac+0.1 {
+		t.Errorf("hot fetch fraction = %.2f, profile says %.2f", frac, p.HotFrac)
+	}
+}

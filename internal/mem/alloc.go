@@ -1,0 +1,93 @@
+package mem
+
+import "fmt"
+
+// Allocator carves a flat 32-bit virtual address space into regions, one
+// per application data structure. Workloads use it so that their emitted
+// addresses have the same structural layout the real applications would
+// have: arrays are contiguous, records are padded to their natural size,
+// and distinct structures never overlap.
+//
+// The zero Allocator starts allocating at Base. Allocation is bump-pointer
+// only; workload data is never freed within a run.
+type Allocator struct {
+	next uint32
+}
+
+// Base is the first address handed out by a fresh Allocator. Address 0 is
+// reserved so that a zero Addr can be recognized as "unset" in tests.
+const Base uint32 = 0x0001_0000
+
+// NewAllocator returns an allocator whose first region starts at Base.
+func NewAllocator() *Allocator {
+	return &Allocator{next: Base}
+}
+
+// Region is a contiguous range of virtual addresses.
+type Region struct {
+	// Start is the first byte address of the region.
+	Start uint32
+	// Size is the region length in bytes.
+	Size uint32
+}
+
+// End returns the address one past the last byte of the region.
+func (r Region) End() uint32 { return r.Start + r.Size }
+
+// Contains reports whether addr lies inside the region.
+func (r Region) Contains(addr uint32) bool {
+	return addr >= r.Start && addr < r.End()
+}
+
+// Elem returns the address of the i'th element of size elemSize within the
+// region, panicking if the element would fall outside the region. It is the
+// workhorse used by workloads to address array entries.
+func (r Region) Elem(i int, elemSize uint32) uint32 {
+	addr := r.Start + uint32(i)*elemSize
+	if addr+elemSize > r.End() {
+		panic(fmt.Sprintf("mem: element %d (size %d) outside region [%#x,%#x)",
+			i, elemSize, r.Start, r.End()))
+	}
+	return addr
+}
+
+// Alloc reserves size bytes aligned to align (which must be a power of
+// two, or 0/1 for byte alignment) and returns the region.
+func (a *Allocator) Alloc(size, align uint32) Region {
+	if a.next == 0 {
+		a.next = Base
+	}
+	if align > 1 {
+		if align&(align-1) != 0 {
+			panic(fmt.Sprintf("mem: alignment %d is not a power of two", align))
+		}
+		a.next = (a.next + align - 1) &^ (align - 1)
+	}
+	if size == 0 {
+		size = 1 // keep regions non-empty so Contains is meaningful
+	}
+	r := Region{Start: a.next, Size: size}
+	if r.End() < r.Start {
+		panic("mem: address space exhausted")
+	}
+	a.next = r.End()
+	return r
+}
+
+// AllocArray reserves n elements of elemSize bytes each, aligned to the
+// element size rounded up to a power of two (capped at 64).
+func (a *Allocator) AllocArray(n int, elemSize uint32) Region {
+	align := uint32(1)
+	for align < elemSize && align < 64 {
+		align <<= 1
+	}
+	return a.Alloc(uint32(n)*elemSize, align)
+}
+
+// Used returns the total number of bytes of address space consumed so far.
+func (a *Allocator) Used() uint32 {
+	if a.next == 0 {
+		return 0
+	}
+	return a.next - Base
+}

@@ -1,0 +1,95 @@
+package mem
+
+import "fmt"
+
+// Page coloring. The workload generators place per-processor stacks so
+// that, in a direct-mapped cache of 32 KB or larger, stack lines never
+// alias application data — the job an OS page-coloring policy does on
+// real machines. Without it, whichever data happens to share cache sets
+// with a processor's (extremely hot) stack frame ping-pongs pathologically
+// at one arbitrary cache size.
+//
+// The scheme: the data address space is divided into 32 KB color blocks;
+// the first 24 KB of each block holds data, the last 8 KB is a hole.
+// Stacks are placed inside the holes at staggered 1 KB offsets, so
+//
+//   - for cache sizes >= 32 KB, stacks fall in hole-image sets that data
+//     never occupies (no stack/data conflicts), and different processors'
+//     stacks fall at distinct offsets (no stack/stack conflicts up to 8
+//     processors per cluster);
+//   - for cache sizes <= 16 KB, holes and data alias freely, so multiple
+//     processors' private stacks interfere in a small shared cache — the
+//     destructive-interference regime the paper observes.
+const (
+	// ColorBlock is the coloring granule.
+	ColorBlock = 32 * 1024
+	// ColorData is the data-usable prefix of each color block.
+	ColorData = 24 * 1024
+	// StackBytes is the per-processor stack allocation, sized to one
+	// staggering step so stacks never overlap.
+	StackBytes = 1024
+)
+
+// StackBase returns the colored base address of processor i's stack.
+func StackBase(i int) uint32 {
+	if i < 0 {
+		panic("mem: negative processor index")
+	}
+	block := uint32(i)
+	off := uint32(i) * StackBytes % (ColorBlock - ColorData)
+	return Base + block*ColorBlock + ColorData + off
+}
+
+// ColoredAllocator is a bump allocator that skips the stack holes: every
+// region it returns lies entirely within the data portion of the color
+// blocks. Single allocations are limited to ColorData bytes; workloads
+// that need large arrays allocate per element or per chunk.
+type ColoredAllocator struct {
+	next uint32
+}
+
+// NewColoredAllocator returns an allocator starting at Base.
+func NewColoredAllocator() *ColoredAllocator {
+	return &ColoredAllocator{next: Base}
+}
+
+// Alloc reserves size bytes (<= ColorData) aligned to align, skipping
+// stack holes.
+func (a *ColoredAllocator) Alloc(size, align uint32) Region {
+	if size > ColorData {
+		panic(fmt.Sprintf("mem: colored allocation of %d bytes exceeds %d; allocate in chunks", size, ColorData))
+	}
+	if size == 0 {
+		size = 1
+	}
+	if a.next == 0 {
+		a.next = Base
+	}
+	for {
+		p := a.next
+		if align > 1 {
+			if align&(align-1) != 0 {
+				panic(fmt.Sprintf("mem: alignment %d is not a power of two", align))
+			}
+			p = (p + align - 1) &^ (align - 1)
+		}
+		// Offset within the current color block, relative to Base.
+		blockOff := (p - Base) % ColorBlock
+		if blockOff+size > ColorData {
+			// Would spill into the hole: advance to the next block.
+			a.next = p + (ColorBlock - blockOff)
+			continue
+		}
+		a.next = p + size
+		return Region{Start: p, Size: size}
+	}
+}
+
+// InHole reports whether addr lies inside a stack hole — used by tests to
+// verify that colored data and stacks never mix.
+func InHole(addr uint32) bool {
+	if addr < Base {
+		return false
+	}
+	return (addr-Base)%ColorBlock >= ColorData
+}

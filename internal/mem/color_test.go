@@ -1,0 +1,129 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStackBaseInHole(t *testing.T) {
+	for i := 0; i < 64; i++ {
+		base := StackBase(i)
+		for off := uint32(0); off < StackBytes; off += 16 {
+			if !InHole(base + off) {
+				t.Fatalf("stack %d byte %#x outside the coloring hole", i, base+off)
+			}
+		}
+	}
+}
+
+func TestStackBasesDisjoint(t *testing.T) {
+	seen := map[uint32]int{}
+	for i := 0; i < 64; i++ {
+		b := StackBase(i)
+		for off := uint32(0); off < StackBytes; off++ {
+			if prev, ok := seen[b+off]; ok {
+				t.Fatalf("stacks %d and %d overlap at %#x", prev, i, b+off)
+			}
+		}
+		seen[b] = i
+	}
+}
+
+func TestStackBasesDistinctSetsWithinCluster(t *testing.T) {
+	// For every SCC size >= 32 KB, the hot first lines of the 8 stacks of
+	// one cluster must map to distinct cache sets from each other (and
+	// the whole stack must avoid data by the hole construction).
+	for _, size := range []uint32{32 * 1024, 64 * 1024, 128 * 1024, 256 * 1024, 512 * 1024} {
+		for cluster := 0; cluster < 4; cluster++ {
+			sets := map[uint32]int{}
+			for p := 0; p < 8; p++ {
+				i := cluster*8 + p
+				set := StackBase(i) % size
+				if prev, ok := sets[set]; ok {
+					t.Errorf("size %dKB: stacks %d and %d share set image %#x",
+						size/1024, prev, i, set)
+				}
+				sets[set] = i
+			}
+		}
+	}
+}
+
+func TestStackBasePanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("StackBase(-1) did not panic")
+		}
+	}()
+	StackBase(-1)
+}
+
+func TestColoredAllocatorAvoidsHoles(t *testing.T) {
+	a := NewColoredAllocator()
+	for i := 0; i < 10000; i++ {
+		r := a.Alloc(96, 16)
+		if InHole(r.Start) || InHole(r.End()-1) {
+			t.Fatalf("allocation %d [%#x,%#x) touches a hole", i, r.Start, r.End())
+		}
+	}
+}
+
+func TestColoredAllocatorRejectsHuge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized colored allocation did not panic")
+		}
+	}()
+	NewColoredAllocator().Alloc(ColorData+1, 16)
+}
+
+func TestColoredAllocatorMaxSize(t *testing.T) {
+	a := NewColoredAllocator()
+	a.Alloc(100, 16) // misalign within the block
+	r := a.Alloc(ColorData, 16)
+	if InHole(r.Start) || InHole(r.End()-1) {
+		t.Errorf("ColorData-sized allocation [%#x,%#x) touches a hole", r.Start, r.End())
+	}
+}
+
+func TestInHole(t *testing.T) {
+	if InHole(Base) {
+		t.Error("Base is in a hole")
+	}
+	if !InHole(Base + ColorData) {
+		t.Error("first hole byte not detected")
+	}
+	if InHole(Base + ColorBlock) {
+		t.Error("second block start is in a hole")
+	}
+	if InHole(0) {
+		t.Error("address below Base reported as hole")
+	}
+}
+
+// Property: colored allocations never overlap each other, never touch
+// holes, and stay aligned.
+func TestColoredAllocatorProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		a := NewColoredAllocator()
+		var prevEnd uint32
+		for i, s16 := range sizes {
+			if i > 200 {
+				break
+			}
+			size := uint32(s16)%2048 + 1
+			r := a.Alloc(size, 16)
+			if r.Start%16 != 0 || r.Start < prevEnd {
+				return false
+			}
+			if InHole(r.Start) || InHole(r.End()-1) {
+				return false
+			}
+			prevEnd = r.End()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

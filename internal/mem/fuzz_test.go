@@ -1,0 +1,34 @@
+package mem
+
+import "testing"
+
+// FuzzColoredAllocator checks that arbitrary allocation sequences never
+// produce overlapping regions or touch the stack holes.
+func FuzzColoredAllocator(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 200, 255})
+	f.Add([]byte{0, 0, 0})
+	f.Fuzz(func(t *testing.T, sizes []byte) {
+		a := NewColoredAllocator()
+		var prevEnd uint32
+		for i, b := range sizes {
+			if i > 500 {
+				break
+			}
+			size := uint32(b)*96 + 1 // 1..24481 bytes, within ColorData
+			r := a.Alloc(size, 16)
+			if r.Start < prevEnd {
+				t.Fatalf("allocation %d overlaps previous (start %#x < %#x)", i, r.Start, prevEnd)
+			}
+			if InHole(r.Start) || InHole(r.End()-1) {
+				t.Fatalf("allocation %d [%#x,%#x) touches a stack hole", i, r.Start, r.End())
+			}
+			// The region must not straddle a hole either.
+			for off := uint32(0); off < r.Size; off += 4096 {
+				if InHole(r.Start + off) {
+					t.Fatalf("allocation %d interior %#x in a hole", i, r.Start+off)
+				}
+			}
+			prevEnd = r.End()
+		}
+	})
+}

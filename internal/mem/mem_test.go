@@ -1,0 +1,169 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+	"unsafe"
+)
+
+func TestKindString(t *testing.T) {
+	if Read.String() != "read" {
+		t.Errorf("Read.String() = %q, want %q", Read.String(), "read")
+	}
+	if Write.String() != "write" {
+		t.Errorf("Write.String() = %q, want %q", Write.String(), "write")
+	}
+	if got := Kind(9).String(); got != "Kind(9)" {
+		t.Errorf("Kind(9).String() = %q, want %q", got, "Kind(9)")
+	}
+}
+
+func TestRefIsCompact(t *testing.T) {
+	if sz := unsafe.Sizeof(Ref{}); sz != 8 {
+		t.Fatalf("Ref size = %d bytes, want 8", sz)
+	}
+}
+
+func TestRefString(t *testing.T) {
+	r := Ref{Addr: 0x1234, Kind: Write, Gap: 3}
+	want := "write 0x00001234 +3"
+	if got := r.String(); got != want {
+		t.Errorf("Ref.String() = %q, want %q", got, want)
+	}
+}
+
+func TestAllocatorBasic(t *testing.T) {
+	a := NewAllocator()
+	r1 := a.Alloc(100, 16)
+	if r1.Start != Base {
+		t.Errorf("first region starts at %#x, want %#x", r1.Start, Base)
+	}
+	if r1.Size != 100 {
+		t.Errorf("region size = %d, want 100", r1.Size)
+	}
+	r2 := a.Alloc(50, 16)
+	if r2.Start < r1.End() {
+		t.Errorf("regions overlap: r1 ends %#x, r2 starts %#x", r1.End(), r2.Start)
+	}
+	if r2.Start%16 != 0 {
+		t.Errorf("region not aligned: start %#x", r2.Start)
+	}
+}
+
+func TestAllocatorZeroValue(t *testing.T) {
+	var a Allocator
+	r := a.Alloc(8, 8)
+	if r.Start != Base {
+		t.Errorf("zero-value allocator starts at %#x, want %#x", r.Start, Base)
+	}
+}
+
+func TestAllocatorZeroSize(t *testing.T) {
+	a := NewAllocator()
+	r := a.Alloc(0, 1)
+	if r.Size == 0 {
+		t.Error("zero-size allocation should be rounded up to a non-empty region")
+	}
+}
+
+func TestAllocatorBadAlignPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Alloc with non-power-of-two alignment did not panic")
+		}
+	}()
+	NewAllocator().Alloc(8, 3)
+}
+
+func TestRegionContains(t *testing.T) {
+	r := Region{Start: 0x100, Size: 0x10}
+	cases := []struct {
+		addr uint32
+		want bool
+	}{
+		{0x0ff, false},
+		{0x100, true},
+		{0x10f, true},
+		{0x110, false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.addr); got != c.want {
+			t.Errorf("Contains(%#x) = %v, want %v", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestRegionElem(t *testing.T) {
+	a := NewAllocator()
+	r := a.AllocArray(10, 8)
+	if got := r.Elem(0, 8); got != r.Start {
+		t.Errorf("Elem(0) = %#x, want %#x", got, r.Start)
+	}
+	if got := r.Elem(9, 8); got != r.Start+72 {
+		t.Errorf("Elem(9) = %#x, want %#x", got, r.Start+72)
+	}
+}
+
+func TestRegionElemOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Elem past the end of the region did not panic")
+		}
+	}()
+	a := NewAllocator()
+	r := a.AllocArray(10, 8)
+	r.Elem(10, 8)
+}
+
+func TestAllocArrayAlignment(t *testing.T) {
+	a := NewAllocator()
+	a.Alloc(3, 1) // misalign the bump pointer
+	r := a.AllocArray(4, 8)
+	if r.Start%8 != 0 {
+		t.Errorf("AllocArray region start %#x not 8-aligned", r.Start)
+	}
+	if r.Size != 32 {
+		t.Errorf("AllocArray size = %d, want 32", r.Size)
+	}
+}
+
+func TestUsed(t *testing.T) {
+	a := NewAllocator()
+	if a.Used() != 0 {
+		t.Errorf("fresh allocator Used() = %d, want 0", a.Used())
+	}
+	a.Alloc(128, 1)
+	if a.Used() != 128 {
+		t.Errorf("Used() = %d, want 128", a.Used())
+	}
+	var z Allocator
+	if z.Used() != 0 {
+		t.Errorf("zero allocator Used() = %d, want 0", z.Used())
+	}
+}
+
+// Property: allocations never overlap and are always properly aligned.
+func TestAllocatorNoOverlapProperty(t *testing.T) {
+	f := func(sizes []uint16, alignExp uint8) bool {
+		a := NewAllocator()
+		align := uint32(1) << (alignExp % 7) // 1..64
+		var prev Region
+		for i, s := range sizes {
+			if i > 256 {
+				break
+			}
+			r := a.Alloc(uint32(s), align)
+			if align > 1 && r.Start%align != 0 {
+				return false
+			}
+			if i > 0 && r.Start < prev.End() {
+				return false
+			}
+			prev = r
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

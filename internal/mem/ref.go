@@ -1,0 +1,83 @@
+// Package mem provides the memory-reference primitives shared by the
+// workload generators and the multiprocessor simulator: access kinds,
+// the Ref record that a workload emits for every memory operation, and a
+// simple virtual-address allocator used to lay out each application's data
+// structures in a flat address space.
+//
+// Addresses are 32-bit virtual byte addresses. The simulator is a cache
+// simulator, not a functional emulator, so a Ref carries no data payload:
+// only the address, the kind of access, and the number of non-memory
+// instructions the processor executed since its previous memory reference
+// (the "compute gap", used to advance the processor clock).
+package mem
+
+import "fmt"
+
+// Kind classifies a memory reference.
+type Kind uint8
+
+const (
+	// Read is a data load.
+	Read Kind = iota
+	// Write is a data store.
+	Write
+	// nKinds is the number of memory reference kinds (for stat arrays).
+	nKinds
+
+	// Idle is not a memory access: it advances the issuing processor's
+	// clock by the Ref's Gap without touching the memory system. Workload
+	// builders emit Idle refs to encode compute stretches longer than a
+	// single Gap field can hold. Idle deliberately sits above nKinds so
+	// that per-kind statistics arrays cover memory accesses only; it must
+	// never be passed to a cache.
+	Idle Kind = Kind(nKinds)
+
+	// Lock is a test-and-set acquisition of the lock word at Addr (the
+	// ANL-macro LOCK primitive the SPLASH applications use). The
+	// simulator spins — re-reading the cached lock word — until the
+	// holder releases it, then performs the atomic write.
+	Lock Kind = Kind(nKinds) + 1
+	// Unlock releases the lock word at Addr with a store.
+	Unlock Kind = Kind(nKinds) + 2
+)
+
+// NumKinds is the number of distinct reference kinds.
+const NumKinds = int(nKinds)
+
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Idle:
+		return "idle"
+	case Lock:
+		return "lock"
+	case Unlock:
+		return "unlock"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Ref is one memory reference emitted by a workload on behalf of one
+// logical processor. Refs are compact (8 bytes) because the parallel
+// workloads generate millions of them per run.
+type Ref struct {
+	// Addr is the 32-bit virtual byte address accessed.
+	Addr uint32
+	// Gap is the number of non-memory instructions executed since the
+	// processor's previous memory reference. The simulator advances the
+	// processor clock by Gap cycles (CPI 1 on non-memory work) before
+	// issuing the access.
+	Gap uint16
+	// Kind says whether this is a load or a store.
+	Kind Kind
+	_    uint8 // padding; keeps Ref at 8 bytes
+}
+
+// String implements fmt.Stringer for debugging output.
+func (r Ref) String() string {
+	return fmt.Sprintf("%s 0x%08x +%d", r.Kind, r.Addr, r.Gap)
+}

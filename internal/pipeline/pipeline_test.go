@@ -1,0 +1,125 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestProfilesValid(t *testing.T) {
+	for name, p := range Profiles {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Profile{
+		{LoadFrac: -0.1},
+		{LoadFrac: 1.2},
+		{LoadFrac: 0.2, UseDist: [2]float64{0.7, 0.6}},
+		{LoadFrac: 0.2, UseDist: [2]float64{-0.1, 0.2}},
+		{LoadFrac: 0.2, BaseStall: -1},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("bad profile %d accepted", i)
+		}
+	}
+}
+
+func TestBaselineIsOne(t *testing.T) {
+	for name, p := range Profiles {
+		if got := p.RelTime(2); got != 1.0 {
+			t.Errorf("%s: RelTime(2) = %v, want 1.0", name, got)
+		}
+	}
+}
+
+func TestTable5Reproduction(t *testing.T) {
+	// Paper Table 5, tolerance ±0.015.
+	want := map[string][2]float64{
+		"barnes-hut": {1.06, 1.13},
+		"mp3d":       {1.07, 1.14},
+		"cholesky":   {1.07, 1.16},
+		"multiprog":  {1.08, 1.17},
+	}
+	for name, w := range want {
+		p := Profiles[name]
+		f3, f4 := p.RelTime(3), p.RelTime(4)
+		if math.Abs(f3-w[0]) > 0.015 {
+			t.Errorf("%s: RelTime(3) = %.3f, paper %.2f", name, f3, w[0])
+		}
+		if math.Abs(f4-w[1]) > 0.015 {
+			t.Errorf("%s: RelTime(4) = %.3f, paper %.2f", name, f4, w[1])
+		}
+	}
+}
+
+func TestMonotoneInLatency(t *testing.T) {
+	for name, p := range Profiles {
+		if !(p.CPI(2) < p.CPI(3) && p.CPI(3) < p.CPI(4)) {
+			t.Errorf("%s: CPI not increasing in latency: %v %v %v",
+				name, p.CPI(2), p.CPI(3), p.CPI(4))
+		}
+	}
+}
+
+func TestLatencyBelowTwoClamps(t *testing.T) {
+	p := Profiles["mp3d"]
+	if p.CPI(1) != p.CPI(2) {
+		t.Error("latency < 2 should clamp to the base pipeline")
+	}
+}
+
+func TestRelTimeForFallback(t *testing.T) {
+	if RelTimeFor("unknown", 3) != Profiles["multiprog"].RelTime(3) {
+		t.Error("unknown workload did not fall back to multiprog")
+	}
+	if RelTimeFor("barnes-hut", 4) != Profiles["barnes-hut"].RelTime(4) {
+		t.Error("known workload not resolved")
+	}
+}
+
+func TestSimulateMatchesModel(t *testing.T) {
+	// The closed-form CPI sums each load's stall independently, so it is
+	// an upper bound: in the executed pipeline, one load's stall cycles
+	// let other pending loads complete. The Monte Carlo result must sit
+	// at or slightly below the model, within a few percent.
+	for name, p := range Profiles {
+		for _, lat := range []int{2, 3, 4} {
+			model := p.CPI(lat)
+			sim := Simulate(p, lat, 300_000, 42)
+			if sim > model*1.01 {
+				t.Errorf("%s lat %d: simulated CPI %.4f exceeds model bound %.4f", name, lat, sim, model)
+			}
+			if math.Abs(model-sim)/model > 0.06 {
+				t.Errorf("%s lat %d: model CPI %.4f vs simulated %.4f (> 6%% apart)", name, lat, model, sim)
+			}
+		}
+	}
+}
+
+// Property: RelTime is >= 1, increasing in latency, and bounded by the
+// worst case (every load stalls latency-2 extra cycles).
+func TestRelTimeBoundsProperty(t *testing.T) {
+	f := func(lf, u1, u2, bs uint8) bool {
+		p := Profile{
+			LoadFrac:  float64(lf%100) / 100,
+			BaseStall: float64(bs%30) / 100,
+		}
+		a := float64(u1%100) / 100
+		b := float64(u2%100) / 100 * (1 - a)
+		p.UseDist = [2]float64{a, b}
+		if p.Validate() != nil {
+			return true // skip invalid corners
+		}
+		f3, f4 := p.RelTime(3), p.RelTime(4)
+		worst4 := (p.CPI(2) + 2*p.LoadFrac) / p.CPI(2)
+		return f3 >= 1 && f4 >= f3 && f4 <= worst4+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

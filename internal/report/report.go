@@ -1,0 +1,330 @@
+// Package report renders the reproduction's tables and figures as text:
+// aligned tables for the paper's Tables 3-7 and the area breakdowns of
+// Figures 8-11, and ASCII curves for the performance figures (2-6).
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sccsim/internal/area"
+	"sccsim/internal/costperf"
+	"sccsim/internal/explorer"
+	"sccsim/internal/pipeline"
+	"sccsim/internal/sysmodel"
+)
+
+// Table renders rows with right-aligned columns under the given headers.
+func Table(headers []string, rows [][]string) string {
+	width := make([]int, len(headers))
+	for i, h := range headers {
+		width[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	var rule []string
+	for _, w := range width {
+		rule = append(rule, strings.Repeat("-", w))
+	}
+	writeRow(rule)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// kb formats an SCC size.
+func kb(bytes int) string { return fmt.Sprintf("%d KB", bytes/1024) }
+
+// SpeedupTable renders the paper's Table 3 format for any workload grid:
+// speedups relative to one processor per cluster, per SCC size.
+func SpeedupTable(g *explorer.Grid) string {
+	headers := []string{"SCC Size"}
+	for _, p := range sysmodel.ProcsPerClusterSweep {
+		headers = append(headers, fmt.Sprintf("%d Proc/cl", p))
+	}
+	var rows [][]string
+	for _, size := range sysmodel.SCCSizes {
+		row := []string{kb(size)}
+		for _, p := range sysmodel.ProcsPerClusterSweep {
+			row = append(row, fmt.Sprintf("%.1f", g.Speedup(size, p)))
+		}
+		rows = append(rows, row)
+	}
+	return fmt.Sprintf("%s speedups relative to one processor per cluster\n%s",
+		g.Workload, Table(headers, rows))
+}
+
+// MissRateTable renders the paper's Table 4 format: read miss rates for
+// 8, 64 and 256 KB SCCs across processors per cluster.
+func MissRateTable(g *explorer.Grid) string {
+	sizes := []int{8 * 1024, 64 * 1024, 256 * 1024}
+	headers := []string{"Procs/cluster"}
+	for _, s := range sizes {
+		headers = append(headers, kb(s))
+	}
+	var rows [][]string
+	for _, p := range sysmodel.ProcsPerClusterSweep {
+		row := []string{fmt.Sprintf("%d", p)}
+		for _, s := range sizes {
+			pt := g.At(s, p)
+			row = append(row, fmt.Sprintf("%.2f%%", 100*pt.Result.ReadMissRate()))
+		}
+		rows = append(rows, row)
+	}
+	return fmt.Sprintf("%s read miss rates (prefetching vs destructive interference)\n%s",
+		g.Workload, Table(headers, rows))
+}
+
+// Figure renders a grid as the paper's Figures 2-5: normalized execution
+// time (to the slowest point) as a function of SCC size, one column per
+// processors-per-cluster value, plus an ASCII curve per configuration.
+func Figure(g *explorer.Grid, title string) string {
+	headers := []string{"SCC Size"}
+	for _, p := range sysmodel.ProcsPerClusterSweep {
+		headers = append(headers, fmt.Sprintf("%dP/cl", p))
+	}
+	var rows [][]string
+	for _, size := range sysmodel.SCCSizes {
+		row := []string{kb(size)}
+		for _, p := range sysmodel.ProcsPerClusterSweep {
+			row = append(row, fmt.Sprintf("%.3f", g.NormalizedTime(size, p)))
+		}
+		rows = append(rows, row)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: normalized execution time vs SCC size\n", title)
+	b.WriteString(Table(headers, rows))
+	b.WriteString(curves(g))
+	return b.String()
+}
+
+// curves draws a crude ASCII chart: one row per SCC size, bars scaled to
+// the 1-processor-per-cluster column.
+func curves(g *explorer.Grid) string {
+	var b strings.Builder
+	b.WriteString("\n(execution time, one bar row per SCC size; marks: 1=1P 2=2P 4=4P 8=8P)\n")
+	const cols = 60
+	for _, size := range sysmodel.SCCSizes {
+		line := make([]byte, cols+1)
+		for i := range line {
+			line[i] = ' '
+		}
+		marks := map[int]byte{1: '1', 2: '2', 4: '4', 8: '8'}
+		for _, p := range sysmodel.ProcsPerClusterSweep {
+			v := g.NormalizedTime(size, p)
+			pos := int(v * cols)
+			if pos > cols {
+				pos = cols
+			}
+			line[pos] = marks[p]
+		}
+		fmt.Fprintf(&b, "%7s |%s\n", kb(size), string(line))
+	}
+	return b.String()
+}
+
+// SpeedupFigure renders the paper's Figure 6: self-relative speedup as a
+// function of processors per cluster, one series per SCC size.
+func SpeedupFigure(g *explorer.Grid) string {
+	headers := []string{"SCC Size"}
+	for _, p := range sysmodel.ProcsPerClusterSweep {
+		headers = append(headers, fmt.Sprintf("%dP", p))
+	}
+	var rows [][]string
+	for _, size := range sysmodel.SCCSizes {
+		row := []string{kb(size)}
+		for _, p := range sysmodel.ProcsPerClusterSweep {
+			row = append(row, fmt.Sprintf("%.2f", g.Speedup(size, p)))
+		}
+		rows = append(rows, row)
+	}
+	return fmt.Sprintf("%s self-relative speedup vs processors per cluster\n%s",
+		g.Workload, Table(headers, rows))
+}
+
+// InvalidationTable shows total invalidations across the design space —
+// the paper's claim that clustering does not increase invalidations.
+func InvalidationTable(g *explorer.Grid) string {
+	headers := []string{"SCC Size"}
+	for _, p := range sysmodel.ProcsPerClusterSweep {
+		headers = append(headers, fmt.Sprintf("%dP/cl", p))
+	}
+	var rows [][]string
+	for _, size := range sysmodel.SCCSizes {
+		row := []string{kb(size)}
+		for _, p := range sysmodel.ProcsPerClusterSweep {
+			pt := g.At(size, p)
+			row = append(row, fmt.Sprintf("%d", pt.Result.Snoop.Invalidations))
+		}
+		rows = append(rows, row)
+	}
+	return fmt.Sprintf("%s invalidations performed (flat in procs/cluster = the paper's claim)\n%s",
+		g.Workload, Table(headers, rows))
+}
+
+// Table5 renders the pipeline load-latency factors.
+func Table5() string {
+	headers := []string{"Benchmark", "2 cycles", "3 cycles", "4 cycles"}
+	names := []string{"barnes-hut", "mp3d", "cholesky", "multiprog"}
+	var rows [][]string
+	for _, n := range names {
+		p := pipeline.Profiles[n]
+		rows = append(rows, []string{
+			n,
+			fmt.Sprintf("%.2f", p.RelTime(2)),
+			fmt.Sprintf("%.2f", p.RelTime(3)),
+			fmt.Sprintf("%.2f", p.RelTime(4)),
+		})
+	}
+	return "Relative uniprocessor execution times for various load latencies (Table 5)\n" +
+		Table(headers, rows)
+}
+
+// Table6 renders the single-chip comparison.
+func Table6(sc *costperf.SingleChip) string {
+	headers := []string{"Benchmark", "1 Proc/64KB", "2 Procs/32KB", "speedup"}
+	var rows [][]string
+	for _, e := range sc.Entries {
+		t1, t2 := e.Normalized(1), e.Normalized(2)
+		rows = append(rows, []string{
+			string(e.Workload),
+			fmt.Sprintf("%.2f", t1),
+			fmt.Sprintf("%.2f", t2),
+			fmt.Sprintf("%.2fx", t1/t2),
+		})
+	}
+	var b strings.Builder
+	b.WriteString("Single-chip cluster comparison, latency-adjusted, normalized to the 8P/128KB system (Table 6)\n")
+	b.WriteString(Table(headers, rows))
+	fmt.Fprintf(&b, "mean 2P speedup %.2fx, chip area ratio %.2fx -> cost/performance %+.0f%%\n",
+		sc.MeanSpeedup, sc.AreaRatio, 100*sc.CostPerfGain)
+	return b.String()
+}
+
+// Table7 renders the MCM comparison.
+func Table7(m *costperf.MCM) string {
+	headers := []string{"Benchmark", "4 Procs/64KB (16P)", "8 Procs/128KB (32P)", "scaling"}
+	var rows [][]string
+	for _, e := range m.Entries {
+		t4, t8 := e.Normalized(4), e.Normalized(8)
+		rows = append(rows, []string{
+			string(e.Workload),
+			fmt.Sprintf("%.2f", t4),
+			fmt.Sprintf("%.2f", t8),
+			fmt.Sprintf("%.2fx", t4/t8),
+		})
+	}
+	var b strings.Builder
+	b.WriteString("MCM cluster comparison, latency-adjusted, normalized to the 8P/128KB system (Table 7)\n")
+	b.WriteString(Table(headers, rows))
+	fmt.Fprintf(&b, "mean 16->32 processor scaling %.2fx (%.2fx excluding cholesky)\n",
+		m.MeanScaling, m.MeanScalingNoCholesky)
+	return b.String()
+}
+
+// AreaReport renders the Section 4 chip designs (Figures 8-11).
+func AreaReport() string {
+	var b strings.Builder
+	designs := area.Designs()
+	var keys []int
+	for k := range designs {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		d := designs[k]
+		fmt.Fprintf(&b, "%s — %.0f mm² (%.0f%% of the 1P chip), load latency %d cycles, %d signal pads",
+			d.Name, d.ChipArea(), 100*area.RelativeArea(k), d.LoadLatency, d.SignalPads)
+		if d.C4 {
+			b.WriteString(" (C4 area bonding)")
+		}
+		if d.ChipsPerCluster > 1 {
+			fmt.Fprintf(&b, ", %d chips per cluster on an MCM", d.ChipsPerCluster)
+		}
+		b.WriteByte('\n')
+		for _, c := range d.Breakdown() {
+			fmt.Fprintf(&b, "    %6.1f mm²  %s\n", c.MM2, c.Name)
+		}
+	}
+	fmt.Fprintf(&b, "cycle time %.0f FO4; largest single-cycle direct-mapped cache %d KB; SCC arbitration %.0f FO4\n",
+		area.CycleFO4, area.MaxSingleCycleCache()/1024, area.ArbitrationFO4)
+	return b.String()
+}
+
+// FrontierTable renders the priced design space: every (processors per
+// cluster, SCC size) point with its silicon cost and cost/performance,
+// marking infeasible implementations and the Pareto-optimal points.
+func FrontierTable(w explorer.Workload, points []costperf.FrontierPoint) string {
+	onFront := map[[2]int]bool{}
+	for _, p := range costperf.ParetoFront(points) {
+		onFront[[2]int{p.ProcsPerCluster, p.SCCBytes}] = true
+	}
+	headers := []string{"Procs/cl", "SCC", "adj cycles", "system mm2", "cost/perf", ""}
+	var rows [][]string
+	for _, p := range points {
+		row := []string{
+			fmt.Sprintf("%d", p.ProcsPerCluster),
+			kb(p.SCCBytes),
+		}
+		if !p.Feasible {
+			row = append(row, "-", "-", "-", "infeasible")
+		} else {
+			mark := ""
+			if onFront[[2]int{p.ProcsPerCluster, p.SCCBytes}] {
+				mark = "pareto"
+			}
+			row = append(row,
+				fmt.Sprintf("%.0f", p.AdjCycles),
+				fmt.Sprintf("%.0f", p.SystemMM2),
+				fmt.Sprintf("%.2f", p.CostPerf),
+				mark)
+		}
+		rows = append(rows, row)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s cost/performance frontier (Section 4 implementation rules over the Section 3 grid)\n", w)
+	b.WriteString(Table(headers, rows))
+	if best := costperf.Best(points); best != nil {
+		fmt.Fprintf(&b, "best cost/performance: %d procs/cluster with a %d KB SCC\n",
+			best.ProcsPerCluster, best.SCCBytes/1024)
+	}
+	return b.String()
+}
+
+// GridCSV renders a grid as CSV (one row per design point) for external
+// analysis tooling.
+func GridCSV(g *explorer.Grid) string {
+	var b strings.Builder
+	b.WriteString("workload,scc_bytes,procs_per_cluster,clusters,cycles,refs,read_miss_rate,invalidations,bank_stall,read_stall\n")
+	for _, size := range sysmodel.SCCSizes {
+		for _, p := range sysmodel.ProcsPerClusterSweep {
+			pt := g.At(size, p)
+			if pt == nil {
+				continue
+			}
+			r := pt.Result
+			fmt.Fprintf(&b, "%s,%d,%d,%d,%d,%d,%.6f,%d,%d,%d\n",
+				g.Workload, size, p, pt.Config.Clusters, r.Cycles, r.Refs,
+				r.ReadMissRate(), r.Snoop.Invalidations, r.TotalBankStall(), r.TotalReadStall())
+		}
+	}
+	return b.String()
+}

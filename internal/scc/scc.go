@@ -1,0 +1,268 @@
+// Package scc implements the Shared Cluster Cache: the multi-ported,
+// multi-banked, non-blocking data cache that the processors of one cluster
+// share (Section 2.1 of the paper).
+//
+// Banks are interleaved on cache lines — consecutive lines live in
+// consecutive banks — and each processor has a dedicated port through the
+// processor-cache interconnection network. Contention is modeled per bank:
+// an access that finds its bank busy waits until the bank frees
+// ("we address the issue of contention at the shared cache by considering
+// contention on each individual bank within the SCC").
+//
+// Because both the bank count and the per-bank set count are powers of two
+// in every configuration the paper sweeps, line placement in the banked
+// structure is identical to placement in a single cache whose index bits
+// are the concatenation of the bank-select and set-select bits. The tag
+// store is therefore kept as one cache.Cache, and banking affects timing
+// only.
+package scc
+
+import (
+	"fmt"
+
+	"sccsim/internal/cache"
+	"sccsim/internal/mem"
+	"sccsim/internal/sysmodel"
+)
+
+// SCC is one cluster's shared cache.
+type SCC struct {
+	tags     *cache.Cache
+	banks    int
+	bankMask uint32
+	// bankFree[b] is the cycle at which bank b next becomes available.
+	bankFree []uint64
+	stats    Stats
+
+	// victim is an optional small fully-associative victim buffer that
+	// catches recently conflict-evicted lines (Jouppi-style) — an
+	// extension the paper's direct-mapped SCC would benefit from. Nil
+	// when disabled.
+	victim *victimBuffer
+}
+
+// victimBuffer is a tiny FIFO of recently evicted lines.
+type victimBuffer struct {
+	tags  []uint32 // line indices; victimInvalid when empty
+	dirty []bool
+	next  int
+}
+
+const victimInvalid = ^uint32(0)
+
+func newVictimBuffer(entries int) *victimBuffer {
+	v := &victimBuffer{tags: make([]uint32, entries), dirty: make([]bool, entries)}
+	for i := range v.tags {
+		v.tags[i] = victimInvalid
+	}
+	return v
+}
+
+// take removes and returns whether the line was buffered.
+func (v *victimBuffer) take(line uint32) (bool, bool) {
+	for i, t := range v.tags {
+		if t == line {
+			d := v.dirty[i]
+			v.tags[i] = victimInvalid
+			return true, d
+		}
+	}
+	return false, false
+}
+
+// put inserts an evicted line, displacing the oldest entry.
+func (v *victimBuffer) put(line uint32, dirty bool) {
+	v.tags[v.next] = line
+	v.dirty[v.next] = dirty
+	v.next = (v.next + 1) % len(v.tags)
+}
+
+// Stats accumulates SCC-specific contention statistics on top of the tag
+// store's hit/miss statistics.
+type Stats struct {
+	// BankConflicts counts accesses that found their bank busy.
+	BankConflicts uint64
+	// BankWaitCycles is the total cycles accesses spent waiting for a
+	// busy bank.
+	BankWaitCycles uint64
+	// BankAccesses[b] counts accesses routed to bank b.
+	BankAccesses []uint64
+	// VictimHits counts misses satisfied by the victim buffer.
+	VictimHits uint64
+}
+
+// New builds an SCC of size bytes with the given associativity and bank
+// count. banks must be a power of two (the paper uses 4 banks per
+// processor: 4, 8, 16 or 32).
+func New(size, assoc, banks int) (*SCC, error) {
+	if banks < 1 || banks&(banks-1) != 0 {
+		return nil, fmt.Errorf("scc: bank count %d is not a positive power of two", banks)
+	}
+	if size/sysmodel.LineSize < banks {
+		return nil, fmt.Errorf("scc: size %d has fewer lines than banks %d", size, banks)
+	}
+	tags, err := cache.New(size, assoc)
+	if err != nil {
+		return nil, fmt.Errorf("scc: %w", err)
+	}
+	return &SCC{
+		tags:     tags,
+		banks:    banks,
+		bankMask: uint32(banks - 1),
+		bankFree: make([]uint64, banks),
+		stats:    Stats{BankAccesses: make([]uint64, banks)},
+	}, nil
+}
+
+// EnableVictimBuffer attaches a fully-associative victim buffer of the
+// given entry count (Jouppi-style). Call before simulation starts.
+func (s *SCC) EnableVictimBuffer(entries int) {
+	if entries > 0 {
+		s.victim = newVictimBuffer(entries)
+	}
+}
+
+// MustNew is New but panics on error.
+func MustNew(size, assoc, banks int) *SCC {
+	s, err := New(size, assoc, banks)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Banks returns the number of banks.
+func (s *SCC) Banks() int { return s.banks }
+
+// SizeBytes returns the capacity in bytes.
+func (s *SCC) SizeBytes() int { return s.tags.SizeBytes() }
+
+// CacheStats returns the tag-store hit/miss statistics.
+func (s *SCC) CacheStats() *cache.Stats { return s.tags.Stats() }
+
+// Stats returns the contention statistics.
+func (s *SCC) Stats() *Stats { return &s.stats }
+
+// BankOf returns the bank servicing addr (line-interleaved).
+func (s *SCC) BankOf(addr uint32) int {
+	return int(sysmodel.LineIndex(addr) & s.bankMask)
+}
+
+// Result describes the outcome and timing of one SCC access.
+type Result struct {
+	// Hit reports whether the line was resident.
+	Hit bool
+	// Bank is the bank that serviced the access.
+	Bank int
+	// Start is the cycle at which the bank began servicing the access;
+	// Start - now is the bank-arbitration wait.
+	Start uint64
+	// Evicted is the line index displaced by a fill, or cache.EvictedNone.
+	Evicted uint32
+	// EvictedDirty reports whether the displaced line was dirty.
+	EvictedDirty bool
+}
+
+// Wait returns the bank-arbitration wait given the issue time.
+func (r Result) Wait(now uint64) uint64 { return r.Start - now }
+
+// Access performs an access issued at cycle now, modelling bank
+// arbitration: if the bank is busy the access waits. The bank is then
+// occupied for sysmodel.BankAccessCycles. On a miss the caller is
+// responsible for bus/memory timing and for occupying the bank again
+// during the refill (see OccupyBank).
+func (s *SCC) Access(now uint64, addr uint32, kind mem.Kind) Result {
+	bank := s.BankOf(addr)
+	start := now
+	if f := s.bankFree[bank]; f > start {
+		start = f
+		s.stats.BankConflicts++
+		s.stats.BankWaitCycles += f - now
+	}
+	s.bankFree[bank] = start + sysmodel.BankAccessCycles
+	s.stats.BankAccesses[bank]++
+
+	cr := s.tags.Access(addr, kind)
+	res := Result{
+		Hit:          cr.Hit,
+		Bank:         bank,
+		Start:        start,
+		Evicted:      cr.Evicted,
+		EvictedDirty: cr.EvictedDirty,
+	}
+	if s.victim == nil {
+		return res
+	}
+	line := sysmodel.LineIndex(addr)
+	if !cr.Hit {
+		// A victim-buffer hit turns the miss into a hit: the line swaps
+		// back without a bus transaction. (The tag store still counted a
+		// miss; VictimHits lets callers reconcile the two views.)
+		if found, dirty := s.victim.take(line); found {
+			s.stats.VictimHits++
+			res.Hit = true
+			if dirty && kind == mem.Read {
+				// Preserve dirtiness: mark the refilled line dirty with a
+				// silent write touch.
+				s.tags.Access(addr, mem.Write)
+				s.stats.BankAccesses[bank]--
+			}
+		}
+	}
+	if res.Evicted != cache.EvictedNone {
+		// The displaced line moves to the victim buffer instead of
+		// leaving the SCC: suppress the bus eviction notice so the
+		// coherence presence bit stays set (the line is still here and
+		// must still receive invalidations — Invalidate checks the
+		// buffer). An entry silently displaced *out* of the buffer
+		// leaves a stale presence bit behind, which is safe: a later
+		// invalidation attempt simply finds nothing.
+		s.victim.put(res.Evicted, res.EvictedDirty)
+		res.Evicted = cache.EvictedNone
+		res.EvictedDirty = false
+	}
+	return res
+}
+
+// OccupyBank marks addr's bank busy until cycle until, if that is later
+// than its current free time. The refill port uses this when a line
+// returns from the bus so processor accesses to that bank wait.
+func (s *SCC) OccupyBank(addr uint32, until uint64) {
+	bank := s.BankOf(addr)
+	if until > s.bankFree[bank] {
+		s.bankFree[bank] = until
+	}
+}
+
+// Probe reports whether addr is resident without side effects.
+func (s *SCC) Probe(addr uint32) bool { return s.tags.Probe(addr) }
+
+// Invalidate removes addr's line if present (inter-cluster coherence),
+// including a copy parked in the victim buffer.
+func (s *SCC) Invalidate(addr uint32) (present, dirty bool) {
+	present, dirty = s.tags.Invalidate(addr)
+	if s.victim != nil {
+		if found, d := s.victim.take(sysmodel.LineIndex(addr)); found {
+			present = true
+			dirty = dirty || d
+		}
+	}
+	return present, dirty
+}
+
+// BankImbalance returns max/mean of per-bank access counts, a measure of
+// how evenly line interleaving spread the traffic (1.0 = perfectly even).
+func (s *Stats) BankImbalance() float64 {
+	var sum, max uint64
+	for _, n := range s.BankAccesses {
+		sum += n
+		if n > max {
+			max = n
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(s.BankAccesses))
+	return float64(max) / mean
+}

@@ -1,0 +1,511 @@
+// Package sim is the detailed multiprocessor cache simulator at the heart
+// of the reproduction (Section 2.2.2 of the paper). It replays a
+// trace.Program on a configured system — clusters of processors sharing
+// banked SCCs, kept coherent over a snoopy invalidation bus — and accounts
+// execution time per processor.
+//
+// Timing model (matching the paper's stated assumptions):
+//
+//   - Processors execute one instruction per cycle between memory
+//     references (the load-latency penalty of deeper pipelines is applied
+//     afterwards via the pipeline model, exactly as Section 5 does).
+//   - An SCC access waits for its bank if the bank is busy; the bank then
+//     services it in one cycle. SCC hits cost no additional stall.
+//   - A miss fetches the line from memory or another SCC in a fixed 100
+//     cycles. Read misses stall the processor; writes retire into a
+//     finite write buffer and only stall when the buffer is full.
+//   - Writes to lines shared by other clusters broadcast an invalidation.
+//   - Processors synchronize at phase barriers; barrier wait is idle time.
+//
+// Processor streams are interleaved in global virtual-time order, the
+// same conservative interleaving Tango-Lite provides.
+package sim
+
+import (
+	"fmt"
+
+	"sccsim/internal/cache"
+	"sccsim/internal/mem"
+	"sccsim/internal/scc"
+	"sccsim/internal/snoop"
+	"sccsim/internal/sysmodel"
+	"sccsim/internal/trace"
+)
+
+// Options tunes simulator behaviour beyond the architectural Config.
+// The zero value is the paper's model.
+type Options struct {
+	// WriteBufferDepth is the number of outstanding writes a cluster can
+	// have before further writes stall. 0 means the default of 8.
+	// Negative means an infinite write buffer.
+	WriteBufferDepth int
+	// BusOccupancy, when positive, makes each bus transaction hold the
+	// bus for that many cycles (ablation; the paper uses pure latency).
+	BusOccupancy int
+	// SwitchPenalty is the cycle cost charged when the multiprogramming
+	// scheduler switches a processor to a different process (models
+	// kernel overhead plus icache refill; see internal/icache for a
+	// derived value). Ignored by Run.
+	SwitchPenalty uint64
+	// MemBanks/MemBankOccupancy, when positive, enable the banked
+	// main-memory ablation: fetches to a busy memory bank queue instead
+	// of completing in a flat 100 cycles.
+	MemBanks         int
+	MemBankOccupancy int
+	// VictimEntries, when positive, attaches a fully-associative victim
+	// buffer of that many lines to each SCC — an extension that recovers
+	// most of the direct-mapped conflict misses.
+	VictimEntries int
+	// WarmupRefs, when positive, zeroes all statistics after that many
+	// references have executed, excluding cold-start effects from the
+	// reported numbers (a methodology option; the paper measures whole
+	// runs, which is the default here too). Timing is unaffected — only
+	// the counters reset.
+	WarmupRefs uint64
+}
+
+// DefaultWriteBufferDepth is the per-cluster write-buffer depth used when
+// Options.WriteBufferDepth is zero.
+const DefaultWriteBufferDepth = 8
+
+func (o Options) wbDepth() int {
+	switch {
+	case o.WriteBufferDepth == 0:
+		return DefaultWriteBufferDepth
+	case o.WriteBufferDepth < 0:
+		return 1 << 30
+	default:
+		return o.WriteBufferDepth
+	}
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	// Config is the design point that was simulated.
+	Config sysmodel.Config
+	// Cycles is the program execution time: the finish time of the
+	// slowest processor.
+	Cycles uint64
+	// Refs is the number of memory references simulated.
+	Refs uint64
+	// ProcFinish[p] is processor p's finish time.
+	ProcFinish []uint64
+	// ReadStall[p] is cycles processor p spent stalled on read misses.
+	ReadStall []uint64
+	// WriteStall[p] is cycles processor p stalled on a full write buffer.
+	WriteStall []uint64
+	// BankStall[p] is cycles processor p waited for busy SCC banks.
+	BankStall []uint64
+	// BarrierWait[p] is cycles processor p idled at phase barriers (or,
+	// for multiprogramming, idled with no runnable process).
+	BarrierWait []uint64
+	// PhaseCycles[i] is the duration of phase i.
+	PhaseCycles []uint64
+	// SCC[i] is cluster i's cache statistics; SCCBank[i] its contention
+	// statistics.
+	SCC     []*cache.Stats
+	SCCBank []*scc.Stats
+	// Snoop is the coherence-bus statistics.
+	Snoop *snoop.Stats
+	// Switches is the number of context switches (multiprogramming only).
+	Switches uint64
+	// LockStall[p] is cycles processor p spent spinning on held locks.
+	LockStall []uint64
+	// LockSpins counts spin iterations across all processors.
+	LockSpins uint64
+	// WarmupExcluded is the number of warmup references whose statistics
+	// were discarded (0 unless Options.WarmupRefs was set).
+	WarmupExcluded uint64
+}
+
+// AggregateSCC returns the sum of all clusters' cache statistics.
+func (r *Result) AggregateSCC() cache.Stats {
+	var s cache.Stats
+	for _, cs := range r.SCC {
+		s.Add(cs)
+	}
+	return s
+}
+
+// ReadMissRate returns the system-wide SCC read miss rate — the statistic
+// the paper's Table 4 reports.
+func (r *Result) ReadMissRate() float64 {
+	s := r.AggregateSCC()
+	return s.ReadMissRate()
+}
+
+// TotalReadStall returns read-miss stall cycles summed over processors.
+func (r *Result) TotalReadStall() uint64 {
+	var t uint64
+	for _, v := range r.ReadStall {
+		t += v
+	}
+	return t
+}
+
+// TotalBankStall returns bank-conflict stall cycles summed over processors.
+func (r *Result) TotalBankStall() uint64 {
+	var t uint64
+	for _, v := range r.BankStall {
+		t += v
+	}
+	return t
+}
+
+// SpinInterval is the re-test period of the test-and-test-and-set spin
+// loop, in cycles.
+const SpinInterval = 12
+
+// lockTable tracks test-and-set lock ownership by lock-word address.
+type lockTable struct {
+	held map[uint32]int
+}
+
+func newLockTable() *lockTable { return &lockTable{held: make(map[uint32]int)} }
+
+// holder returns the owning processor and whether the lock is held.
+func (lt *lockTable) holder(addr uint32) (int, bool) {
+	p, ok := lt.held[addr]
+	return p, ok
+}
+
+func (lt *lockTable) acquire(addr uint32, p int) { lt.held[addr] = p }
+func (lt *lockTable) release(addr uint32)        { delete(lt.held, addr) }
+
+// system is the assembled machine for one run.
+type system struct {
+	cfg  sysmodel.Config
+	opts Options
+	sccs []*scc.SCC
+	bus  *snoop.Bus
+	// wbPending[c] holds completion times of cluster c's in-flight
+	// buffered writes, a FIFO ring (issue times are non-decreasing).
+	wbPending [][]uint64
+	wbHead    []int
+	locks     *lockTable
+	res       *Result
+}
+
+func newSystem(cfg sysmodel.Config, opts Options, procs int) (*system, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &system{cfg: cfg, opts: opts}
+	invs := make([]snoop.Invalidator, cfg.Clusters)
+	s.sccs = make([]*scc.SCC, cfg.Clusters)
+	for i := range s.sccs {
+		sc, err := scc.New(cfg.SCCBytes, cfg.Assoc, cfg.Banks())
+		if err != nil {
+			return nil, err
+		}
+		if opts.VictimEntries > 0 {
+			sc.EnableVictimBuffer(opts.VictimEntries)
+		}
+		s.sccs[i] = sc
+		invs[i] = sc
+	}
+	s.bus = snoop.New(invs)
+	s.bus.Occupancy = opts.BusOccupancy
+	s.bus.MemBanks = opts.MemBanks
+	s.bus.MemBankOccupancy = opts.MemBankOccupancy
+	s.wbPending = make([][]uint64, cfg.Clusters)
+	s.wbHead = make([]int, cfg.Clusters)
+	s.locks = newLockTable()
+
+	s.res = &Result{
+		Config:      cfg,
+		ProcFinish:  make([]uint64, procs),
+		ReadStall:   make([]uint64, procs),
+		WriteStall:  make([]uint64, procs),
+		BankStall:   make([]uint64, procs),
+		BarrierWait: make([]uint64, procs),
+		LockStall:   make([]uint64, procs),
+		SCC:         make([]*cache.Stats, cfg.Clusters),
+		SCCBank:     make([]*scc.Stats, cfg.Clusters),
+	}
+	return s, nil
+}
+
+// clusterOf maps a processor index to its cluster.
+func (s *system) clusterOf(p int) int { return p / s.cfg.ProcsPerCluster }
+
+// maybeWarmupReset clears the statistics once the warmup budget is
+// reached. Called after every executed reference.
+func (s *system) maybeWarmupReset() {
+	if s.opts.WarmupRefs == 0 || s.res.Refs != s.opts.WarmupRefs {
+		return
+	}
+	for _, sc := range s.sccs {
+		*sc.CacheStats() = cache.Stats{}
+		st := sc.Stats()
+		for i := range st.BankAccesses {
+			st.BankAccesses[i] = 0
+		}
+		st.BankConflicts, st.BankWaitCycles, st.VictimHits = 0, 0, 0
+	}
+	*s.bus.Stats() = snoop.Stats{}
+	for p := range s.res.ReadStall {
+		s.res.ReadStall[p] = 0
+		s.res.WriteStall[p] = 0
+		s.res.BankStall[p] = 0
+		s.res.LockStall[p] = 0
+	}
+	s.res.LockSpins = 0
+	s.res.WarmupExcluded = s.res.Refs
+}
+
+// access performs processor p's memory reference at time now, returning
+// the time at which the processor may proceed and whether the reference
+// must be retried (a spin iteration on a held lock).
+func (s *system) access(p int, now uint64, r mem.Ref) (uint64, bool) {
+	switch r.Kind {
+	case mem.Lock:
+		// Test-and-test-and-set: spin reading the cached lock word until
+		// it is free, then claim it with an atomic write.
+		t := s.memAccess(p, now, r.Addr, mem.Read)
+		if holder, held := s.locks.holder(r.Addr); held && holder != p {
+			s.res.LockSpins++
+			s.res.LockStall[p] += SpinInterval
+			return t + SpinInterval, true
+		}
+		t = s.memAccess(p, t, r.Addr, mem.Write)
+		s.locks.acquire(r.Addr, p)
+		return t, false
+	case mem.Unlock:
+		t := s.memAccess(p, now, r.Addr, mem.Write)
+		s.locks.release(r.Addr)
+		return t, false
+	default:
+		return s.memAccess(p, now, r.Addr, r.Kind), false
+	}
+}
+
+// memAccess performs a plain load or store through the cluster's SCC.
+func (s *system) memAccess(p int, now uint64, addr uint32, kind mem.Kind) uint64 {
+	c := s.clusterOf(p)
+	sc := s.sccs[c]
+	r := mem.Ref{Addr: addr, Kind: kind}
+	ar := sc.Access(now, r.Addr, r.Kind)
+	s.res.BankStall[p] += ar.Wait(now)
+	t := ar.Start
+
+	if ar.Evicted != cache.EvictedNone {
+		s.bus.Evicted(t, c, ar.Evicted, ar.EvictedDirty)
+	}
+
+	if ar.Hit {
+		if r.Kind == mem.Write {
+			// Write hit: invalidate other clusters' copies if shared.
+			s.bus.WriteShared(t, c, r.Addr)
+		}
+		return t
+	}
+
+	// Miss: fetch over the bus. The refill's own bank cycle is not
+	// modeled as future bank occupancy: the bank-free time is a scalar
+	// "busy until", and reserving it through the whole 100-cycle fetch
+	// would wrongly block the bank during the fetch (the SCC is
+	// non-blocking). The one refill cycle is negligible against the
+	// 100-cycle transfer.
+	ready := s.bus.Fetch(t, c, r.Addr, r.Kind)
+	if r.Kind == mem.Read {
+		s.res.ReadStall[p] += ready - t
+		return ready
+	}
+	// Write miss: retire into the write buffer; stall only if full.
+	return s.bufferWrite(p, c, t, ready)
+}
+
+// bufferWrite records a buffered write completing at ready and returns the
+// processor-visible completion time (now, unless the buffer is full).
+func (s *system) bufferWrite(p, c int, now, ready uint64) uint64 {
+	depth := s.opts.wbDepth()
+	pend := s.wbPending[c]
+	head := s.wbHead[c]
+	// Drop entries that completed by now.
+	for head < len(pend) && pend[head] <= now {
+		head++
+	}
+	if head == len(pend) {
+		pend = pend[:0]
+		head = 0
+	}
+	if len(pend)-head >= depth {
+		// Buffer full: stall until the oldest entry drains.
+		wait := pend[head] - now
+		s.res.WriteStall[p] += wait
+		now = pend[head]
+		head++
+	}
+	pend = append(pend, ready)
+	s.wbPending[c] = pend
+	s.wbHead[c] = head
+	return now
+}
+
+// procHeap is a binary min-heap of processor ids keyed by their clocks,
+// tie-broken by id for determinism.
+type procHeap struct {
+	ids  []int
+	time []uint64 // indexed by proc id
+}
+
+func (h *procHeap) less(a, b int) bool {
+	ta, tb := h.time[h.ids[a]], h.time[h.ids[b]]
+	if ta != tb {
+		return ta < tb
+	}
+	return h.ids[a] < h.ids[b]
+}
+
+func (h *procHeap) push(id int) {
+	h.ids = append(h.ids, id)
+	i := len(h.ids) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.ids[i], h.ids[parent] = h.ids[parent], h.ids[i]
+		i = parent
+	}
+}
+
+func (h *procHeap) pop() int {
+	top := h.ids[0]
+	last := len(h.ids) - 1
+	h.ids[0] = h.ids[last]
+	h.ids = h.ids[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.ids) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.ids) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.ids[i], h.ids[smallest] = h.ids[smallest], h.ids[i]
+		i = smallest
+	}
+	return top
+}
+
+func (h *procHeap) empty() bool { return len(h.ids) == 0 }
+
+// replay drives a phase-structured program through an access function in
+// global issue order, handling barriers and accounting into res. The
+// access function performs one memory reference for a processor at a
+// time and returns when the processor may proceed.
+func replay(prog *trace.Program, procs int, res *Result,
+	access func(p int, now uint64, r mem.Ref) (uint64, bool)) []uint64 {
+
+	clock := make([]uint64, procs)
+	pos := make([]int, procs)
+	// nextAt[p] is when processor p's next reference issues; the heap is
+	// keyed on it so references execute in global issue order even when
+	// compute gaps differ wildly across processors.
+	nextAt := make([]uint64, procs)
+	var phaseStart uint64
+
+	for _, ph := range prog.Phases {
+		h := &procHeap{time: nextAt}
+		for p := 0; p < procs; p++ {
+			pos[p] = 0
+			if len(ph.Streams[p]) > 0 {
+				nextAt[p] = clock[p] + uint64(ph.Streams[p][0].Gap)
+				h.push(p)
+			}
+		}
+		// Replay streams in global issue order: repeatedly advance the
+		// processor whose next reference is earliest.
+		for !h.empty() {
+			p := h.pop()
+			st := ph.Streams[p]
+			r := st[pos[p]]
+			t := nextAt[p]
+			if r.Kind != mem.Idle {
+				var retry bool
+				t, retry = access(p, t, r)
+				if retry {
+					// Spin iteration: re-issue the same reference later.
+					nextAt[p] = t
+					clock[p] = t
+					h.push(p)
+					continue
+				}
+				res.Refs++
+			}
+			pos[p]++
+			clock[p] = t
+			if pos[p] < len(st) {
+				nextAt[p] = t + uint64(st[pos[p]].Gap)
+				h.push(p)
+			}
+		}
+		// Barrier: everyone waits for the slowest processor.
+		var maxT uint64
+		for _, t := range clock {
+			if t > maxT {
+				maxT = t
+			}
+		}
+		for p := range clock {
+			res.BarrierWait[p] += maxT - clock[p]
+			clock[p] = maxT
+		}
+		res.PhaseCycles = append(res.PhaseCycles, maxT-phaseStart)
+		phaseStart = maxT
+	}
+	return clock
+}
+
+// Run simulates a parallel program on the configured system. The program
+// must have exactly cfg.Procs() streams per phase.
+func Run(cfg sysmodel.Config, opts Options, prog *trace.Program) (*Result, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	procs := cfg.Procs()
+	if prog.Procs != procs {
+		return nil, fmt.Errorf("sim: program %q generated for %d processors, config has %d",
+			prog.Name, prog.Procs, procs)
+	}
+	s, err := newSystem(cfg, opts, procs)
+	if err != nil {
+		return nil, err
+	}
+	clock := replay(prog, procs, s.res, func(p int, now uint64, r mem.Ref) (uint64, bool) {
+		t, retry := s.access(p, now, r)
+		if !retry {
+			// replay increments Refs after we return; reset on the
+			// boundary using the upcoming count.
+			s.res.Refs++
+			s.maybeWarmupReset()
+			s.res.Refs--
+		}
+		return t, retry
+	})
+	s.finish(clock)
+	return s.res, nil
+}
+
+// finish copies final per-processor state and system statistics into the
+// result.
+func (s *system) finish(clock []uint64) {
+	copy(s.res.ProcFinish, clock)
+	for _, t := range clock {
+		if t > s.res.Cycles {
+			s.res.Cycles = t
+		}
+	}
+	for i, sc := range s.sccs {
+		s.res.SCC[i] = sc.CacheStats()
+		s.res.SCCBank[i] = sc.Stats()
+	}
+	s.res.Snoop = s.bus.Stats()
+}

@@ -1,0 +1,174 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+
+	"sccsim/internal/synth"
+)
+
+// Numeric factorization. The trace generator needs only the factor's
+// structure and schedule, but the library implements the numeric
+// algorithm too so the Cholesky substrate is a real solver: build an SPD
+// matrix on a pattern, factor it, and solve systems with it. The tests
+// verify L·Lᵀ = A and A·x = b round trips.
+
+// Matrix is a symmetric positive-definite matrix stored on a lower-
+// triangle Pattern (column-major values aligned with Pattern.RowIdx).
+type Matrix struct {
+	Pat *Pattern
+	// Val[k] is the value for the entry at Pattern.RowIdx[k].
+	Val []float64
+}
+
+// NewSPD builds a symmetric positive-definite matrix on the pattern:
+// small negative off-diagonal couplings with a diagonally-dominant
+// diagonal (a standard finite-element-like stiffness surrogate).
+func NewSPD(p *Pattern, seed int64) *Matrix {
+	rng := synth.NewRNG(seed)
+	m := &Matrix{Pat: p, Val: make([]float64, p.Nnz())}
+	rowAbs := make([]float64, p.N) // sum of |off-diag| per row/column
+	for j := 0; j < p.N; j++ {
+		start := p.ColPtr[j]
+		for k := start + 1; k < p.ColPtr[j+1]; k++ {
+			v := -(0.2 + 0.8*rng.Float64())
+			m.Val[k] = v
+			rowAbs[j] += math.Abs(v)
+			rowAbs[p.RowIdx[k]] += math.Abs(v)
+		}
+	}
+	for j := 0; j < p.N; j++ {
+		m.Val[p.ColPtr[j]] = rowAbs[j] + 1 + rng.Float64()
+	}
+	return m
+}
+
+// At returns A[i][j] for i >= j (0 when not stored).
+func (m *Matrix) At(i, j int) float64 {
+	if i < j {
+		i, j = j, i
+	}
+	for k := m.Pat.ColPtr[j]; k < m.Pat.ColPtr[j+1]; k++ {
+		if int(m.Pat.RowIdx[k]) == i {
+			return m.Val[k]
+		}
+	}
+	return 0
+}
+
+// Factor is a computed sparse Cholesky factor L (A = L·Lᵀ), stored on
+// the filled pattern from SymbolicFactor.
+type Factor struct {
+	Pat *Pattern
+	Val []float64
+}
+
+// Factorize computes the numeric Cholesky factorization of a on the
+// filled pattern lpat (which must come from SymbolicFactor of a's
+// pattern). It is a left-looking column algorithm using the factor's row
+// structure. It fails if the matrix is not positive definite.
+func Factorize(a *Matrix, lpat *Pattern) (*Factor, error) {
+	n := lpat.N
+	f := &Factor{Pat: lpat, Val: make([]float64, lpat.Nnz())}
+
+	// Row lists of L: for each row i, the (column, entryIndex) pairs
+	// with i in struct(L_col), col < i. Built once up front.
+	type rref struct{ col, idx int32 }
+	rows := make([][]rref, n)
+	for j := 0; j < n; j++ {
+		for k := lpat.ColPtr[j] + 1; k < lpat.ColPtr[j+1]; k++ {
+			i := lpat.RowIdx[k]
+			rows[i] = append(rows[i], rref{col: int32(j), idx: k})
+		}
+	}
+
+	// Dense scatter workspace for the current column.
+	w := make([]float64, n)
+	pos := make([]int32, n) // row -> entry index within current column
+	for i := range pos {
+		pos[i] = -1
+	}
+
+	for j := 0; j < n; j++ {
+		cs, ce := lpat.ColPtr[j], lpat.ColPtr[j+1]
+		// Scatter A(:,j) into w.
+		for k := cs; k < ce; k++ {
+			i := lpat.RowIdx[k]
+			w[i] = a.At(int(i), j)
+			pos[i] = k
+		}
+		// cmod: subtract the contributions of every column k < j with
+		// L[j,k] != 0 — exactly the row-list entries of row j.
+		for _, r := range rows[j] {
+			ljk := f.Val[r.idx]
+			if ljk == 0 {
+				continue
+			}
+			// Walk column r.col from the entry at row j downwards.
+			for k := r.idx; k < lpat.ColPtr[r.col+1]; k++ {
+				i := lpat.RowIdx[k]
+				if pos[i] >= 0 {
+					w[i] -= ljk * f.Val[k]
+				}
+			}
+		}
+		// cdiv: take the square root and scale the column.
+		d := w[j]
+		if d <= 0 {
+			return nil, fmt.Errorf("sparse: matrix not positive definite at column %d (pivot %g)", j, d)
+		}
+		d = math.Sqrt(d)
+		f.Val[cs] = d
+		for k := cs + 1; k < ce; k++ {
+			f.Val[k] = w[lpat.RowIdx[k]] / d
+		}
+		// Clear the workspace.
+		for k := cs; k < ce; k++ {
+			i := lpat.RowIdx[k]
+			w[i] = 0
+			pos[i] = -1
+		}
+	}
+	return f, nil
+}
+
+// MulVec computes y = A·x using the symmetric lower-triangle storage.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	n := m.Pat.N
+	y := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for k := m.Pat.ColPtr[j]; k < m.Pat.ColPtr[j+1]; k++ {
+			i := int(m.Pat.RowIdx[k])
+			y[i] += m.Val[k] * x[j]
+			if i != j {
+				y[j] += m.Val[k] * x[i]
+			}
+		}
+	}
+	return y
+}
+
+// Solve solves A·x = b given the factor: forward substitution with L,
+// then backward substitution with Lᵀ.
+func (f *Factor) Solve(b []float64) []float64 {
+	n := f.Pat.N
+	x := make([]float64, n)
+	copy(x, b)
+	// L·y = b (forward).
+	for j := 0; j < n; j++ {
+		cs, ce := f.Pat.ColPtr[j], f.Pat.ColPtr[j+1]
+		x[j] /= f.Val[cs]
+		for k := cs + 1; k < ce; k++ {
+			x[f.Pat.RowIdx[k]] -= f.Val[k] * x[j]
+		}
+	}
+	// Lᵀ·x = y (backward).
+	for j := n - 1; j >= 0; j-- {
+		cs, ce := f.Pat.ColPtr[j], f.Pat.ColPtr[j+1]
+		for k := cs + 1; k < ce; k++ {
+			x[j] -= f.Val[k] * x[f.Pat.RowIdx[k]]
+		}
+		x[j] /= f.Val[cs]
+	}
+	return x
+}

@@ -1,0 +1,148 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+
+	"sccsim/internal/synth"
+)
+
+func setupNumeric(t testing.TB, w, h int, seed int64) (*Matrix, *Factor) {
+	t.Helper()
+	a := GenerateBCSSTK14Like(BCSSTK14Params{GridW: w, GridH: h, Seed: seed})
+	m := NewSPD(a, seed)
+	l := SymbolicFactor(a, EliminationTree(a))
+	f, err := Factorize(m, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, f
+}
+
+func TestFactorizeReconstructsA(t *testing.T) {
+	m, f := setupNumeric(t, 6, 6, 11)
+	n := m.Pat.N
+	// Check (L·Lᵀ)[i][j] == A[i][j] on every stored entry of A.
+	lv := make(map[[2]int32]float64, f.Pat.Nnz())
+	for j := 0; j < n; j++ {
+		for k := f.Pat.ColPtr[j]; k < f.Pat.ColPtr[j+1]; k++ {
+			lv[[2]int32{f.Pat.RowIdx[k], int32(j)}] = f.Val[k]
+		}
+	}
+	dot := func(i, j int) float64 {
+		// (L Lᵀ)[i][j] = sum_k L[i][k] L[j][k].
+		var s float64
+		for k := 0; k <= j; k++ {
+			s += lv[[2]int32{int32(i), int32(k)}] * lv[[2]int32{int32(j), int32(k)}]
+		}
+		return s
+	}
+	for j := 0; j < n; j++ {
+		for k := m.Pat.ColPtr[j]; k < m.Pat.ColPtr[j+1]; k++ {
+			i := int(m.Pat.RowIdx[k])
+			want := m.Val[k]
+			got := dot(i, j)
+			if math.Abs(got-want) > 1e-8*(1+math.Abs(want)) {
+				t.Fatalf("(LL^T)[%d][%d] = %g, want %g", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestSolveRoundTrip(t *testing.T) {
+	m, f := setupNumeric(t, 10, 8, 13)
+	n := m.Pat.N
+	rng := synth.NewRNG(99)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b := m.MulVec(x)
+	got := f.Solve(b)
+	for i := range x {
+		if math.Abs(got[i]-x[i]) > 1e-6*(1+math.Abs(x[i])) {
+			t.Fatalf("solve[%d] = %g, want %g", i, got[i], x[i])
+		}
+	}
+}
+
+func TestSolveDefaultScaleMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale numeric factorization in -short mode")
+	}
+	// The full BCSSTK14-scale system (N=1806) factors and solves.
+	m, f := setupNumeric(t, 0, 0, 1)
+	n := m.Pat.N
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	x := f.Solve(b)
+	// Residual ||Ax - b||_inf must be tiny relative to ||b||.
+	r := m.MulVec(x)
+	worst := 0.0
+	for i := range r {
+		if d := math.Abs(r[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-6 {
+		t.Errorf("residual = %g", worst)
+	}
+}
+
+func TestFactorizeRejectsIndefinite(t *testing.T) {
+	a := GenerateBCSSTK14Like(BCSSTK14Params{GridW: 5, GridH: 5, Seed: 3})
+	m := NewSPD(a, 3)
+	// Break positive definiteness.
+	m.Val[m.Pat.ColPtr[2]] = -5
+	l := SymbolicFactor(a, EliminationTree(a))
+	if _, err := Factorize(m, l); err == nil {
+		t.Error("factorized an indefinite matrix")
+	}
+}
+
+func TestMatrixAt(t *testing.T) {
+	a := tiny()
+	m := NewSPD(a, 1)
+	if m.At(0, 0) <= 0 {
+		t.Error("diagonal not positive")
+	}
+	if m.At(1, 0) != m.At(0, 1) {
+		t.Error("At not symmetric")
+	}
+	if m.At(4, 0) != 0 {
+		t.Error("missing entry not zero")
+	}
+}
+
+func TestNewSPDIsDiagonallyDominant(t *testing.T) {
+	a := GenerateBCSSTK14Like(BCSSTK14Params{GridW: 8, GridH: 6, Seed: 5})
+	m := NewSPD(a, 5)
+	n := a.N
+	off := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for k := a.ColPtr[j] + 1; k < a.ColPtr[j+1]; k++ {
+			v := math.Abs(m.Val[k])
+			off[j] += v
+			off[a.RowIdx[k]] += v
+		}
+	}
+	for j := 0; j < n; j++ {
+		if m.At(j, j) <= off[j] {
+			t.Fatalf("row %d not diagonally dominant: %g <= %g", j, m.At(j, j), off[j])
+		}
+	}
+}
+
+func BenchmarkFactorizeBCSSTK14(b *testing.B) {
+	a := GenerateBCSSTK14Like(BCSSTK14Params{Seed: 1})
+	m := NewSPD(a, 1)
+	l := SymbolicFactor(a, EliminationTree(a))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Factorize(m, l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package sparse
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Parallel supernodal fan-out schedule. The factorization is decomposed
+// into operations at the granularity the SPLASH Cholesky uses:
+//
+//   - SFactor(J): dense internal factorization of supernode J;
+//   - SMod(J, K): update of supernode J by completed supernode K.
+//
+// SMod(J,K) requires SFactor(K); SFactor(J) requires every SMod(J,·);
+// SMods with the same target serialize (a per-supernode lock protects the
+// target columns). An earliest-task-first list scheduler maps the DAG
+// onto P processors; the resulting per-processor operation sequences —
+// including the waits — become the workload trace. This pipelined
+// schedule is what lets sparse Cholesky exceed its elimination-tree
+// parallelism, and its limits (long separator chains, lock serialization)
+// are what cap BCSSTK14's speedup near 3-3.5 in the paper.
+
+// OpKind distinguishes schedule operations.
+type OpKind uint8
+
+const (
+	// SMod updates target supernode J using source supernode K.
+	SMod OpKind = iota
+	// SFactor factors supernode J internally.
+	SFactor
+)
+
+// Op is one schedulable operation.
+type Op struct {
+	Kind OpKind
+	// J is the target supernode; K the source (SMod only).
+	J, K int32
+	// Cost is the estimated cycle cost (flop-proportional).
+	Cost int64
+}
+
+// ScheduledOp is an Op placed on a processor timeline.
+type ScheduledOp struct {
+	Op
+	Start, End int64
+}
+
+// Schedule is the result of list-scheduling the factorization.
+type Schedule struct {
+	// PerProc[p] is processor p's operation sequence in start order.
+	PerProc [][]ScheduledOp
+	// Makespan is the completion time of the last operation.
+	Makespan int64
+	// TotalWork is the summed cost of all operations.
+	TotalWork int64
+	// Ops is the total operation count.
+	Ops int
+}
+
+// Speedup returns TotalWork/Makespan — the concurrency the schedule
+// actually achieved.
+func (s *Schedule) Speedup() float64 {
+	if s.Makespan == 0 {
+		return 0
+	}
+	return float64(s.TotalWork) / float64(s.Makespan)
+}
+
+// BuildOps constructs the fan-out operation DAG for factor pattern l and
+// its supernode partition. It returns the ops plus, for each op, the list
+// of dependent op indices, and the in-degree of each op.
+func BuildOps(l *Pattern, sns []Supernode, colSn []int32) (ops []Op, succ [][]int32, indeg []int32) {
+	// Index helpers: op id for SFactor(J) is sfId[J]; SMod ids appended.
+	sfID := make([]int32, len(sns))
+	for j := range sns {
+		sfID[j] = int32(len(ops))
+		ops = append(ops, Op{Kind: SFactor, J: int32(j), K: -1, Cost: SnFlops(l, sns[j])})
+	}
+	succ = make([][]int32, len(ops), len(ops)*4)
+	indeg = make([]int32, len(ops), len(ops)*4)
+
+	for k := range sns {
+		K := sns[k]
+		// Below-diagonal rows of K: from its first column, rows >= Last.
+		col := l.Col(int(K.First))
+		var below []int32
+		for _, r := range col {
+			if r >= K.Last {
+				below = append(below, r)
+			}
+		}
+		wK := int64(K.Width())
+		// Group rows by target supernode (rows are sorted).
+		i := 0
+		for i < len(below) {
+			tj := colSn[below[i]]
+			cnt := int64(0)
+			for i < len(below) && colSn[below[i]] == tj {
+				cnt++
+				i++
+			}
+			tail := int64(len(below)) - (int64(i) - cnt) // rows from this target downwards
+			op := Op{Kind: SMod, J: tj, K: int32(k), Cost: wK * cnt * (tail + 2)}
+			id := int32(len(ops))
+			ops = append(ops, op)
+			succ = append(succ, nil)
+			indeg = append(indeg, 0)
+			// SFactor(K) -> SMod(J,K)
+			succ[sfID[k]] = append(succ[sfID[k]], id)
+			indeg[id]++
+			// SMod(J,K) -> SFactor(J)
+			succ[id] = append(succ[id], sfID[tj])
+			indeg[sfID[tj]]++
+		}
+	}
+	return ops, succ, indeg
+}
+
+// opEvent is a heap entry for the scheduler's ready queue.
+type opEvent struct {
+	ready    int64
+	priority int64 // bottom level: longer = more urgent
+	id       int32
+}
+
+type opHeap []opEvent
+
+func (h opHeap) Len() int { return len(h) }
+func (h opHeap) Less(a, b int) bool {
+	if h[a].ready != h[b].ready {
+		return h[a].ready < h[b].ready
+	}
+	if h[a].priority != h[b].priority {
+		return h[a].priority > h[b].priority
+	}
+	return h[a].id < h[b].id
+}
+func (h opHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
+func (h *opHeap) Push(x interface{}) { *h = append(*h, x.(opEvent)) }
+func (h *opHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// ListSchedule maps the operation DAG onto procs processors with an
+// earliest-ready, critical-path-priority list scheduler, honoring the
+// per-target-supernode lock.
+func ListSchedule(ops []Op, succ [][]int32, indeg []int32, nSupernodes, procs int) (*Schedule, error) {
+	if procs < 1 {
+		return nil, fmt.Errorf("sparse: %d processors", procs)
+	}
+	n := len(ops)
+
+	// Bottom levels (critical path to the sinks) for priorities, computed
+	// in reverse topological order via Kahn on the reversed DAG... the
+	// DAG is small, so a simple DP over a topological order suffices.
+	topo := make([]int32, 0, n)
+	deg := make([]int32, n)
+	copy(deg, indeg)
+	var stack []int32
+	for i := 0; i < n; i++ {
+		if deg[i] == 0 {
+			stack = append(stack, int32(i))
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		topo = append(topo, id)
+		for _, s := range succ[id] {
+			deg[s]--
+			if deg[s] == 0 {
+				stack = append(stack, s)
+			}
+		}
+	}
+	if len(topo) != n {
+		return nil, fmt.Errorf("sparse: operation DAG has a cycle (%d of %d ordered)", len(topo), n)
+	}
+	bottom := make([]int64, n)
+	for i := n - 1; i >= 0; i-- {
+		id := topo[i]
+		var best int64
+		for _, s := range succ[id] {
+			if bottom[s] > best {
+				best = bottom[s]
+			}
+		}
+		bottom[id] = best + ops[id].Cost
+	}
+
+	// Event-driven list scheduling.
+	readyAt := make([]int64, n)
+	deg = make([]int32, n)
+	copy(deg, indeg)
+	h := &opHeap{}
+	for i := 0; i < n; i++ {
+		if deg[i] == 0 {
+			heap.Push(h, opEvent{ready: 0, priority: bottom[i], id: int32(i)})
+		}
+	}
+	procFree := make([]int64, procs)
+	lockFree := make([]int64, nSupernodes)
+	sched := &Schedule{PerProc: make([][]ScheduledOp, procs)}
+
+	for h.Len() > 0 {
+		ev := heap.Pop(h).(opEvent)
+		op := ops[ev.id]
+		// Earliest-available processor; ties to the lowest index.
+		p := 0
+		for q := 1; q < procs; q++ {
+			if procFree[q] < procFree[p] {
+				p = q
+			}
+		}
+		start := ev.ready
+		if procFree[p] > start {
+			start = procFree[p]
+		}
+		if lf := lockFree[op.J]; lf > start {
+			start = lf
+		}
+		end := start + op.Cost
+		procFree[p] = end
+		lockFree[op.J] = end
+		sched.PerProc[p] = append(sched.PerProc[p], ScheduledOp{Op: op, Start: start, End: end})
+		sched.TotalWork += op.Cost
+		sched.Ops++
+		if end > sched.Makespan {
+			sched.Makespan = end
+		}
+		for _, s := range succ[ev.id] {
+			if readyAt[s] < end {
+				readyAt[s] = end
+			}
+			deg[s]--
+			if deg[s] == 0 {
+				heap.Push(h, opEvent{ready: readyAt[s], priority: bottom[s], id: s})
+			}
+		}
+	}
+	return sched, nil
+}

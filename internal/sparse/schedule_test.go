@@ -1,0 +1,178 @@
+package sparse
+
+import (
+	"testing"
+)
+
+func factorDefault(t testing.TB) (*Pattern, []Supernode, []int32) {
+	a := GenerateBCSSTK14Like(BCSSTK14Params{Seed: 1})
+	parent := EliminationTree(a)
+	l := SymbolicFactor(a, parent)
+	sns, colSn := FindSupernodes(l, 0)
+	t.Logf("supernodes: %d (avg width %.1f)", len(sns), float64(l.N)/float64(len(sns)))
+	return l, sns, colSn
+}
+
+func TestFindSupernodesCoverAllColumns(t *testing.T) {
+	l, sns, colSn := factorDefault(t)
+	covered := 0
+	for i, s := range sns {
+		if s.First >= s.Last {
+			t.Fatalf("supernode %d empty", i)
+		}
+		if i > 0 && s.First != sns[i-1].Last {
+			t.Fatalf("supernode %d not contiguous", i)
+		}
+		covered += s.Width()
+		for c := s.First; c < s.Last; c++ {
+			if colSn[c] != int32(i) {
+				t.Fatalf("column %d mapped to supernode %d, want %d", c, colSn[c], i)
+			}
+		}
+	}
+	if covered != l.N {
+		t.Errorf("supernodes cover %d columns, want %d", covered, l.N)
+	}
+}
+
+func TestSupernodesAreNested(t *testing.T) {
+	l, sns, _ := factorDefault(t)
+	for _, s := range sns {
+		for j := int(s.First) + 1; j < int(s.Last); j++ {
+			if !nested(l, j-1, j) {
+				t.Fatalf("columns %d,%d inside one supernode are not nested", j-1, j)
+			}
+		}
+	}
+}
+
+func TestFindSupernodesWidthCap(t *testing.T) {
+	l, _, _ := factorDefault(t)
+	sns, _ := FindSupernodes(l, 4)
+	for _, s := range sns {
+		if s.Width() > 4 {
+			t.Fatalf("supernode width %d exceeds the cap", s.Width())
+		}
+	}
+}
+
+func TestBuildOpsDAG(t *testing.T) {
+	l, sns, colSn := factorDefault(t)
+	ops, succ, indeg := BuildOps(l, sns, colSn)
+	if len(ops) != len(succ) || len(ops) != len(indeg) {
+		t.Fatal("ops/succ/indeg length mismatch")
+	}
+	nSF := 0
+	for _, op := range ops {
+		if op.Cost <= 0 {
+			t.Fatalf("op %+v has non-positive cost", op)
+		}
+		if op.Kind == SFactor {
+			nSF++
+			if op.K != -1 {
+				t.Fatal("SFactor with a source")
+			}
+		} else if int(op.J) >= len(sns) || int(op.K) >= len(sns) {
+			t.Fatalf("SMod references bad supernodes: %+v", op)
+		}
+	}
+	if nSF != len(sns) {
+		t.Errorf("%d SFactor ops, want %d", nSF, len(sns))
+	}
+}
+
+func TestListScheduleValid(t *testing.T) {
+	l, sns, colSn := factorDefault(t)
+	ops, succ, indeg := BuildOps(l, sns, colSn)
+	for _, procs := range []int{1, 4, 32} {
+		s, err := ListSchedule(ops, succ, indeg, len(sns), procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Ops != len(ops) {
+			t.Fatalf("procs=%d: scheduled %d of %d ops", procs, s.Ops, len(ops))
+		}
+		// Per-processor sequences must be non-overlapping and ordered.
+		for p, seq := range s.PerProc {
+			var prev int64
+			for _, so := range seq {
+				if so.Start < prev {
+					t.Fatalf("procs=%d proc %d: op starts at %d before previous end %d",
+						procs, p, so.Start, prev)
+				}
+				if so.End != so.Start+so.Cost {
+					t.Fatalf("bad op duration: %+v", so)
+				}
+				prev = so.End
+			}
+		}
+		if s.Makespan <= 0 || s.TotalWork <= 0 {
+			t.Fatalf("degenerate schedule: %+v", s)
+		}
+	}
+}
+
+func TestScheduleSerializesTargets(t *testing.T) {
+	l, sns, colSn := factorDefault(t)
+	ops, succ, indeg := BuildOps(l, sns, colSn)
+	s, err := ListSchedule(ops, succ, indeg, len(sns), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No two ops with the same target J may overlap in time.
+	type span struct{ s, e int64 }
+	byTarget := map[int32][]span{}
+	for _, seq := range s.PerProc {
+		for _, so := range seq {
+			byTarget[so.J] = append(byTarget[so.J], span{so.Start, so.End})
+		}
+	}
+	for j, spans := range byTarget {
+		for a := 0; a < len(spans); a++ {
+			for b := a + 1; b < len(spans); b++ {
+				if spans[a].s < spans[b].e && spans[b].s < spans[a].e {
+					t.Fatalf("target %d: overlapping ops %v and %v", j, spans[a], spans[b])
+				}
+			}
+		}
+	}
+}
+
+func TestScheduleSpeedupSaturates(t *testing.T) {
+	// The paper's Cholesky observation: BCSSTK14 has limited concurrency;
+	// 32 processors achieve only ~3-3.5x. Our schedule must show the same
+	// saturation: near 1 on one processor, capped well below 32 on 32.
+	l, sns, colSn := factorDefault(t)
+	ops, succ, indeg := BuildOps(l, sns, colSn)
+
+	s1, err := ListSchedule(ops, succ, indeg, len(sns), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp := s1.Speedup(); sp < 0.99 || sp > 1.01 {
+		t.Errorf("1-processor schedule speedup = %.2f, want 1.0", sp)
+	}
+	s32, err := ListSchedule(ops, succ, indeg, len(sns), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := float64(s1.Makespan) / float64(s32.Makespan)
+	t.Logf("32-processor schedule speedup = %.2f", sp)
+	if sp < 2.0 || sp > 8.0 {
+		t.Errorf("32-processor speedup = %.2f, want limited concurrency (2-8)", sp)
+	}
+	s4, err := ListSchedule(ops, succ, indeg, len(sns), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp4 := float64(s1.Makespan) / float64(s4.Makespan)
+	if sp4 <= 1.2 {
+		t.Errorf("4-processor speedup = %.2f, want > 1.2", sp4)
+	}
+}
+
+func TestListScheduleRejectsBadProcs(t *testing.T) {
+	if _, err := ListSchedule(nil, nil, nil, 0, 0); err == nil {
+		t.Error("accepted 0 processors")
+	}
+}

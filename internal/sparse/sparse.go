@@ -1,0 +1,392 @@
+// Package sparse is the sparse-matrix substrate for the Cholesky
+// workload: compressed-sparse-column symmetric patterns, a generator for
+// a BCSSTK14-like structural-engineering matrix, elimination trees,
+// symbolic factorization (fill-in computation), and elimination-tree
+// level scheduling. It implements the standard algorithms from sparse
+// direct-methods practice; the Cholesky workload builds its reference
+// trace on top of them.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"sccsim/internal/synth"
+)
+
+// Pattern is the nonzero structure of the lower triangle (including the
+// diagonal) of a symmetric matrix, in compressed sparse column form.
+// Row indices within a column are strictly increasing and start at the
+// diagonal.
+type Pattern struct {
+	N      int
+	ColPtr []int32 // len N+1
+	RowIdx []int32 // len Nnz
+}
+
+// Nnz returns the stored-entry count (lower triangle incl. diagonal).
+func (p *Pattern) Nnz() int { return len(p.RowIdx) }
+
+// Col returns the row indices of column j.
+func (p *Pattern) Col(j int) []int32 {
+	return p.RowIdx[p.ColPtr[j]:p.ColPtr[j+1]]
+}
+
+// Validate checks structural invariants.
+func (p *Pattern) Validate() error {
+	if p.N < 1 {
+		return fmt.Errorf("sparse: N = %d", p.N)
+	}
+	if len(p.ColPtr) != p.N+1 {
+		return fmt.Errorf("sparse: ColPtr length %d, want %d", len(p.ColPtr), p.N+1)
+	}
+	if p.ColPtr[0] != 0 || int(p.ColPtr[p.N]) != len(p.RowIdx) {
+		return fmt.Errorf("sparse: ColPtr endpoints %d..%d, want 0..%d", p.ColPtr[0], p.ColPtr[p.N], len(p.RowIdx))
+	}
+	for j := 0; j < p.N; j++ {
+		col := p.Col(j)
+		if len(col) == 0 || col[0] != int32(j) {
+			return fmt.Errorf("sparse: column %d does not start at the diagonal", j)
+		}
+		for i := 1; i < len(col); i++ {
+			if col[i] <= col[i-1] {
+				return fmt.Errorf("sparse: column %d row indices not increasing", j)
+			}
+			if col[i] >= int32(p.N) {
+				return fmt.Errorf("sparse: column %d row index %d out of range", j, col[i])
+			}
+		}
+	}
+	return nil
+}
+
+// BCSSTK14Params configures the synthetic structural-engineering matrix.
+// The defaults approximate the Harwell-Boeing BCSSTK14 matrix (roof of
+// the Omni Coliseum): a finite-element shell of ~301 nodes with 6 degrees
+// of freedom each (N = 1806) and ~30k stored lower-triangle entries.
+type BCSSTK14Params struct {
+	// GridW x GridH is the node mesh (default 43 x 7 = 301 nodes).
+	GridW, GridH int
+	// DOF is the degrees of freedom per node (default 6).
+	DOF int
+	// Seed drives the random bracing structure.
+	Seed int64
+}
+
+func (p BCSSTK14Params) withDefaults() BCSSTK14Params {
+	if p.GridW == 0 {
+		p.GridW = 17
+	}
+	if p.GridH == 0 {
+		p.GridH = 17
+	}
+	if p.DOF == 0 {
+		p.DOF = 6
+	}
+	return p
+}
+
+// ridgeNodes is the number of extra "ridge" nodes appended to the default
+// 17x17 mesh so the default matrix has exactly 301 nodes = 1806 DOFs,
+// matching BCSSTK14's order.
+const ridgeNodes = 12
+
+// GenerateBCSSTK14Like builds a symmetric pattern with the size and
+// profile of BCSSTK14: a W x H node shell mesh with dense DOF x DOF
+// coupling blocks between neighbouring nodes (shell elements couple a
+// node to its grid neighbours, including diagonals) plus occasional
+// bracing members, with the nodes numbered by nested dissection — the
+// fill-reducing ordering a sparse solver would apply, which also gives
+// the elimination tree its (limited) branching.
+func GenerateBCSSTK14Like(p BCSSTK14Params) *Pattern {
+	p = p.withDefaults()
+	rng := synth.NewRNG(p.Seed)
+	w, h := p.GridW, p.GridH
+	gridNodes := w * h
+	ridge := 0
+	if p.GridW == 17 && p.GridH == 17 {
+		ridge = ridgeNodes // default configuration: 289 + 12 = 301 nodes
+	}
+	nodes := gridNodes + ridge
+	n := nodes * p.DOF
+
+	// Nested-dissection numbering of the grid: recursively split the
+	// longer dimension, numbering both halves before the separator. The
+	// ridge appendage is numbered first (it is a leaf fringe).
+	order := make([]int32, 0, nodes)
+	for r := 0; r < ridge; r++ {
+		order = append(order, int32(gridNodes+r))
+	}
+	var dissect func(x0, x1, y0, y1 int)
+	dissect = func(x0, x1, y0, y1 int) {
+		dx, dy := x1-x0, y1-y0
+		if dx <= 0 || dy <= 0 {
+			return
+		}
+		if dx <= 2 && dy <= 2 {
+			for y := y0; y < y1; y++ {
+				for x := x0; x < x1; x++ {
+					order = append(order, int32(y*w+x))
+				}
+			}
+			return
+		}
+		if dx >= dy {
+			mid := (x0 + x1) / 2
+			dissect(x0, mid, y0, y1)
+			dissect(mid+1, x1, y0, y1)
+			for y := y0; y < y1; y++ {
+				order = append(order, int32(y*w+mid))
+			}
+		} else {
+			mid := (y0 + y1) / 2
+			dissect(x0, x1, y0, mid)
+			dissect(x0, x1, mid+1, y1)
+			for x := x0; x < x1; x++ {
+				order = append(order, int32(mid*w+x))
+			}
+		}
+	}
+	dissect(0, w, 0, h)
+	perm := make([]int32, nodes) // grid node -> new number
+	for newIdx, node := range order {
+		perm[node] = int32(newIdx)
+	}
+
+	// Node adjacency: shell-element neighbours plus sparse bracing.
+	type edge struct{ a, b int32 }
+	var edges []edge
+	addEdge := func(n1, n2 int) {
+		if n1 < 0 || n2 < 0 || n1 >= nodes || n2 >= nodes {
+			return
+		}
+		edges = append(edges, edge{perm[n1], perm[n2]})
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			node := y*w + x
+			if x+1 < w {
+				addEdge(node, node+1)
+			}
+			if y+1 < h {
+				addEdge(node, node+w)
+				if x+1 < w {
+					addEdge(node, node+w+1)
+				}
+				if x > 0 {
+					addEdge(node, node+w-1)
+				}
+			}
+			_ = rng
+		}
+	}
+	// Ridge appendage: a short strip of extra nodes along the top edge.
+	for r := 0; r < ridge; r++ {
+		node := gridNodes + r
+		addEdge(node, (h-1)*w+r)   // down to the top row
+		addEdge(node, (h-1)*w+r+1) // diagonal
+		if r+1 < ridge {
+			addEdge(node, node+1) // along the ridge
+		}
+	}
+
+	// Expand node adjacency into dense DOF x DOF blocks.
+	cols := make([][]int32, n)
+	addBlock := func(nr, nc int32) {
+		for dc := 0; dc < p.DOF; dc++ {
+			c := int(nc)*p.DOF + dc
+			for dr := 0; dr < p.DOF; dr++ {
+				r := int(nr)*p.DOF + dr
+				if r > c {
+					cols[c] = append(cols[c], int32(r))
+				} else if c > r {
+					cols[r] = append(cols[r], int32(c))
+				}
+			}
+		}
+	}
+	for node := 0; node < nodes; node++ {
+		// Diagonal block: the node's own DOFs couple densely.
+		addBlock(perm[node], perm[node])
+	}
+	for _, e := range edges {
+		addBlock(e.a, e.b)
+	}
+
+	// Deduplicate, sort, prepend diagonals.
+	colptr := make([]int32, n+1)
+	var rows []int32
+	for j := 0; j < n; j++ {
+		c := cols[j]
+		sort.Slice(c, func(a, b int) bool { return c[a] < c[b] })
+		out := []int32{int32(j)}
+		for i, r := range c {
+			if i > 0 && c[i-1] == r {
+				continue
+			}
+			out = append(out, r)
+		}
+		colptr[j] = int32(len(rows))
+		rows = append(rows, out...)
+	}
+	colptr[n] = int32(len(rows))
+	return &Pattern{N: n, ColPtr: colptr, RowIdx: rows}
+}
+
+// EliminationTree returns parent[j] = the etree parent of column j, or -1
+// for roots (Liu's algorithm with path compression): for each entry a_ij
+// (i > j), processed row by row, climb from j to the root of its current
+// subtree and attach it to i.
+func EliminationTree(a *Pattern) []int32 {
+	n := a.N
+	parent := make([]int32, n)
+	ancestor := make([]int32, n)
+	for j := 0; j < n; j++ {
+		parent[j] = -1
+		ancestor[j] = -1
+	}
+	// Row-wise adjacency of below-diagonal entries: for row i, the
+	// columns j < i with a_ij != 0.
+	rowAdj := make([][]int32, n)
+	for j := 0; j < n; j++ {
+		for _, r := range a.Col(j)[1:] {
+			rowAdj[r] = append(rowAdj[r], int32(j))
+		}
+	}
+	for i := 0; i < n; i++ {
+		for _, j := range rowAdj[i] {
+			k := j
+			for ancestor[k] != -1 && ancestor[k] != int32(i) {
+				next := ancestor[k]
+				ancestor[k] = int32(i) // path compression
+				k = next
+			}
+			if ancestor[k] == -1 {
+				ancestor[k] = int32(i)
+				parent[k] = int32(i)
+			}
+		}
+	}
+	return parent
+}
+
+// SymbolicFactor computes the pattern of the Cholesky factor L given the
+// matrix pattern and its elimination tree, by merging child structures
+// up the tree (column-counts style, materialized).
+func SymbolicFactor(a *Pattern, parent []int32) *Pattern {
+	n := a.N
+	// struct(L_j) = struct(A_j) ∪ (∪_{c: parent[c]=j} struct(L_c) \ {c}),
+	// restricted to rows >= j.
+	children := make([][]int32, n)
+	for c := 0; c < n; c++ {
+		if parent[c] >= 0 {
+			children[parent[c]] = append(children[parent[c]], int32(c))
+		}
+	}
+	lcols := make([][]int32, n)
+	mark := make([]int32, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+	for j := 0; j < n; j++ {
+		var rows []int32
+		mark[j] = int32(j)
+		rows = append(rows, int32(j))
+		for _, r := range a.Col(j)[1:] {
+			if mark[r] != int32(j) {
+				mark[r] = int32(j)
+				rows = append(rows, r)
+			}
+		}
+		for _, c := range children[j] {
+			for _, r := range lcols[c] {
+				if r > int32(j) && mark[r] != int32(j) {
+					mark[r] = int32(j)
+					rows = append(rows, r)
+				}
+			}
+		}
+		sort.Slice(rows, func(a, b int) bool { return rows[a] < rows[b] })
+		lcols[j] = rows
+	}
+	colptr := make([]int32, n+1)
+	var all []int32
+	for j := 0; j < n; j++ {
+		colptr[j] = int32(len(all))
+		all = append(all, lcols[j]...)
+	}
+	colptr[n] = int32(len(all))
+	return &Pattern{N: n, ColPtr: colptr, RowIdx: all}
+}
+
+// Levels assigns each column its elimination-tree level: leaves are level
+// 0 and each parent is one more than its highest child. Columns of one
+// level are mutually independent and can be factored concurrently.
+// It returns the per-column level and the number of levels.
+func Levels(parent []int32) (level []int32, nLevels int) {
+	n := len(parent)
+	level = make([]int32, n)
+	// Columns are numbered so parents are always higher than children
+	// (etree property), so a single left-to-right pass suffices.
+	for j := 0; j < n; j++ {
+		level[j] = 0
+	}
+	for j := 0; j < n; j++ {
+		if parent[j] >= 0 {
+			if l := level[j] + 1; l > level[parent[j]] {
+				level[parent[j]] = l
+			}
+		}
+	}
+	max := int32(0)
+	for _, l := range level {
+		if l > max {
+			max = l
+		}
+	}
+	return level, int(max) + 1
+}
+
+// FactorFlops returns the floating-point operation count of the numeric
+// factorization: sum over columns of |L(:,j)|^2 (cmod) plus |L(:,j)|
+// (cdiv).
+func FactorFlops(l *Pattern) int64 {
+	var f int64
+	for j := 0; j < l.N; j++ {
+		c := int64(len(l.Col(j)))
+		f += c*c + c
+	}
+	return f
+}
+
+// Parallelism returns total work divided by critical-path work, using
+// per-column cost |L(:,j)|^2 and etree dependencies — the upper bound on
+// the speedup any schedule can achieve.
+func Parallelism(l *Pattern, parent []int32) float64 {
+	n := l.N
+	cost := make([]float64, n)
+	cp := make([]float64, n) // critical path ending at column j
+	var total, maxCP float64
+	for j := 0; j < n; j++ {
+		c := float64(len(l.Col(j)))
+		cost[j] = c * c
+		total += cost[j]
+	}
+	for j := 0; j < n; j++ {
+		if cp[j] < cost[j] {
+			cp[j] = cost[j]
+		}
+		if parent[j] >= 0 {
+			if v := cp[j] + cost[parent[j]]; v > cp[parent[j]] {
+				cp[parent[j]] = v
+			}
+		}
+		if cp[j] > maxCP {
+			maxCP = cp[j]
+		}
+	}
+	if maxCP == 0 {
+		return 0
+	}
+	return total / maxCP
+}

@@ -1,0 +1,246 @@
+package sparse
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// tiny returns a hand-built 5x5 pattern:
+//
+//	x . . . .
+//	x x . . .
+//	. x x . .
+//	x . . x .
+//	. . x x x
+//
+// (lower triangle; columns hold diagonal + below-diagonal entries).
+func tiny() *Pattern {
+	return &Pattern{
+		N:      5,
+		ColPtr: []int32{0, 3, 5, 7, 9, 10},
+		RowIdx: []int32{0, 1, 3, 1, 2, 2, 4, 3, 4, 4},
+	}
+}
+
+func TestTinyValid(t *testing.T) {
+	if err := tiny().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	p := tiny()
+	p.RowIdx[0] = 1 // column 0 no longer starts at diagonal
+	if p.Validate() == nil {
+		t.Error("accepted missing diagonal")
+	}
+	p = tiny()
+	p.RowIdx[2] = 1 // duplicate row index in column 0
+	if p.Validate() == nil {
+		t.Error("accepted non-increasing rows")
+	}
+	p = tiny()
+	p.ColPtr[5] = 9
+	if p.Validate() == nil {
+		t.Error("accepted bad colptr endpoint")
+	}
+	p = &Pattern{N: 0}
+	if p.Validate() == nil {
+		t.Error("accepted empty matrix")
+	}
+}
+
+func TestEliminationTreeTiny(t *testing.T) {
+	// For the tiny matrix: column 0 connects to rows 1,3 -> parent 1.
+	// Column 1 connects to 2 -> parent 2. Column 2 to 4 -> parent... but
+	// column 3's entry row 4 and fill: parent[2]=4? Work through Liu:
+	// edges (1,0),(3,0),(2,1),(4,2),(4,3).
+	// i=1: j=0: parent[0]=1.
+	// i=2: j=1: parent[1]=2.
+	// i=3: j=0: climb 0->1->2: parent[2]=3.
+	// i=4: j=2: climb 2->3: parent[3]=4. j=3: already ancestor 4.
+	parent := EliminationTree(tiny())
+	want := []int32{1, 2, 3, 4, -1}
+	for j, w := range want {
+		if parent[j] != w {
+			t.Errorf("parent[%d] = %d, want %d", j, parent[j], w)
+		}
+	}
+}
+
+func TestEtreeParentAlwaysHigher(t *testing.T) {
+	a := GenerateBCSSTK14Like(BCSSTK14Params{Seed: 3})
+	parent := EliminationTree(a)
+	for j, p := range parent {
+		if p != -1 && p <= int32(j) {
+			t.Fatalf("parent[%d] = %d, not greater than the column", j, p)
+		}
+	}
+}
+
+func TestSymbolicFactorContainsA(t *testing.T) {
+	a := GenerateBCSSTK14Like(BCSSTK14Params{GridW: 10, GridH: 5, Seed: 4})
+	parent := EliminationTree(a)
+	l := SymbolicFactor(a, parent)
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Nnz() < a.Nnz() {
+		t.Errorf("factor has %d entries, matrix has %d; fill cannot shrink", l.Nnz(), a.Nnz())
+	}
+	// Every A entry appears in L.
+	for j := 0; j < a.N; j++ {
+		lset := map[int32]bool{}
+		for _, r := range l.Col(j) {
+			lset[r] = true
+		}
+		for _, r := range a.Col(j) {
+			if !lset[r] {
+				t.Fatalf("A entry (%d,%d) missing from L", r, j)
+			}
+		}
+	}
+}
+
+func TestSymbolicFactorFillPath(t *testing.T) {
+	// The tiny matrix's edge (3,0) plus parent chain forces fill (3,2)
+	// per the elimination process. Column 2 of L must contain row 3.
+	a := tiny()
+	l := SymbolicFactor(a, EliminationTree(a))
+	found := false
+	for _, r := range l.Col(2) {
+		if r == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected fill entry (3,2) in L")
+	}
+}
+
+// Structural property from sparse-matrix theory: struct(L_child) \ {child}
+// is contained in struct(L_parent).
+func TestFactorNestingProperty(t *testing.T) {
+	a := GenerateBCSSTK14Like(BCSSTK14Params{GridW: 12, GridH: 6, Seed: 9})
+	parent := EliminationTree(a)
+	l := SymbolicFactor(a, parent)
+	for c := 0; c < a.N; c++ {
+		p := parent[c]
+		if p < 0 {
+			continue
+		}
+		pset := map[int32]bool{}
+		for _, r := range l.Col(int(p)) {
+			pset[r] = true
+		}
+		for _, r := range l.Col(c)[1:] { // skip the diagonal
+			if r == p {
+				continue
+			}
+			if r > p && !pset[r] {
+				t.Fatalf("L(:,%d) entry %d beyond parent %d missing from parent column", c, r, p)
+			}
+		}
+	}
+}
+
+func TestBCSSTK14LikeScale(t *testing.T) {
+	a := GenerateBCSSTK14Like(BCSSTK14Params{Seed: 1})
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.N != 1806 {
+		t.Errorf("N = %d, want 1806", a.N)
+	}
+	// BCSSTK14 has ~32.6k stored entries; accept a generous band.
+	if a.Nnz() < 15000 || a.Nnz() > 60000 {
+		t.Errorf("Nnz = %d, want 15k-60k (BCSSTK14-like)", a.Nnz())
+	}
+}
+
+func TestBCSSTK14LikeDeterministic(t *testing.T) {
+	a := GenerateBCSSTK14Like(BCSSTK14Params{Seed: 7})
+	b := GenerateBCSSTK14Like(BCSSTK14Params{Seed: 7})
+	if a.Nnz() != b.Nnz() {
+		t.Fatal("same seed produced different matrices")
+	}
+	for i := range a.RowIdx {
+		if a.RowIdx[i] != b.RowIdx[i] {
+			t.Fatal("same seed produced different structure")
+		}
+	}
+}
+
+func TestLevels(t *testing.T) {
+	parent := []int32{1, 2, 3, 4, -1} // a chain
+	level, n := Levels(parent)
+	if n != 5 {
+		t.Errorf("chain levels = %d, want 5", n)
+	}
+	for j, l := range level {
+		if l != int32(j) {
+			t.Errorf("level[%d] = %d, want %d", j, l, j)
+		}
+	}
+	// A star: all children of the last node.
+	parent = []int32{4, 4, 4, 4, -1}
+	level, n = Levels(parent)
+	if n != 2 {
+		t.Errorf("star levels = %d, want 2", n)
+	}
+	if level[4] != 1 {
+		t.Errorf("root level = %d, want 1", level[4])
+	}
+}
+
+func TestLevelsRespectDependencies(t *testing.T) {
+	a := GenerateBCSSTK14Like(BCSSTK14Params{GridW: 14, GridH: 6, Seed: 11})
+	parent := EliminationTree(a)
+	level, _ := Levels(parent)
+	for j, p := range parent {
+		if p >= 0 && level[p] <= level[j] {
+			t.Fatalf("parent %d of %d at level %d <= child level %d", p, j, level[p], level[j])
+		}
+	}
+}
+
+func TestFactorFlopsAndParallelism(t *testing.T) {
+	a := GenerateBCSSTK14Like(BCSSTK14Params{Seed: 1})
+	parent := EliminationTree(a)
+	l := SymbolicFactor(a, parent)
+	flops := FactorFlops(l)
+	if flops <= 0 {
+		t.Fatal("non-positive flop count")
+	}
+	par := Parallelism(l, parent)
+	// The paper's whole point for Cholesky: BCSSTK14 has limited
+	// concurrency — speedup saturates around 3-3.5 on 32 processors.
+	if par < 1.2 || par > 14 {
+		t.Errorf("average parallelism = %.1f, want limited (1.2-14)", par)
+	}
+	t.Logf("N=%d nnz(A)=%d nnz(L)=%d flops=%d parallelism=%.1f",
+		a.N, a.Nnz(), l.Nnz(), flops, par)
+}
+
+// Property: symbolic factorization is monotone — adding the etree parent
+// chain, every column's structure is a subset of rows >= the column.
+func TestSymbolicFactorRowRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		a := GenerateBCSSTK14Like(BCSSTK14Params{GridW: 8, GridH: 4, Seed: seed})
+		l := SymbolicFactor(a, EliminationTree(a))
+		if l.Validate() != nil {
+			return false
+		}
+		for j := 0; j < l.N; j++ {
+			for _, r := range l.Col(j) {
+				if r < int32(j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

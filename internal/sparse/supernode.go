@@ -1,0 +1,70 @@
+package sparse
+
+// Supernode detection: maximal ranges of consecutive columns of L with
+// nested structure (struct(L_{j+1}) = struct(L_j) \ {j}), the unit of
+// work in supernodal factorization (the SPLASH Cholesky granularity).
+
+// Supernode is a half-open column range [First, Last) of the factor.
+type Supernode struct {
+	First, Last int32
+}
+
+// Width returns the number of columns in the supernode.
+func (s Supernode) Width() int { return int(s.Last - s.First) }
+
+// FindSupernodes partitions the columns of L into supernodes, capping
+// width at maxWidth (0 = 32). It returns the supernodes in column order
+// plus a map from column to its supernode index.
+func FindSupernodes(l *Pattern, maxWidth int) ([]Supernode, []int32) {
+	if maxWidth <= 0 {
+		maxWidth = 32
+	}
+	n := l.N
+	var sns []Supernode
+	colSn := make([]int32, n)
+	j := 0
+	for j < n {
+		first := j
+		j++
+		for j < n && j-first < maxWidth && nested(l, j-1, j) {
+			j++
+		}
+		idx := int32(len(sns))
+		sns = append(sns, Supernode{First: int32(first), Last: int32(j)})
+		for c := first; c < j; c++ {
+			colSn[c] = idx
+		}
+	}
+	return sns, colSn
+}
+
+// nested reports whether struct(L_{j1}) = struct(L_j0) \ {j0}, the
+// supernode-merge condition for consecutive columns.
+func nested(l *Pattern, j0, j1 int) bool {
+	a := l.Col(j0)
+	b := l.Col(j1)
+	if len(a) != len(b)+1 {
+		return false
+	}
+	// a = [j0, j1?, rest...]; b = [j1, rest...]
+	if len(a) < 2 || a[1] != int32(j1) {
+		return false
+	}
+	for i := 1; i < len(b); i++ {
+		if a[i+1] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SnFlops returns the dense internal factorization cost of a supernode:
+// its columns' squared lengths (cdiv + internal cmods).
+func SnFlops(l *Pattern, s Supernode) int64 {
+	var f int64
+	for j := s.First; j < s.Last; j++ {
+		c := int64(len(l.Col(int(j))))
+		f += c * c / 2
+	}
+	return f
+}

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if !approx(Mean([]float64{1, 2, 3}), 2) {
+		t.Error("Mean([1,2,3]) != 2")
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	// Sample sd of {2,4,4,4,5,5,7,9} is ~2.138.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := StdDev(xs); math.Abs(got-2.13809) > 1e-4 {
+		t.Errorf("StdDev = %v", got)
+	}
+	if StdDev([]float64{1}) != 0 {
+		t.Error("single-sample sd != 0")
+	}
+}
+
+func TestCV(t *testing.T) {
+	if CV([]float64{10, 10, 10}) != 0 {
+		t.Error("constant sample CV != 0")
+	}
+	if CV([]float64{0, 0}) != 0 {
+		t.Error("zero-mean CV != 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if !approx(GeoMean([]float64{1, 4}), 2) {
+		t.Error("GeoMean(1,4) != 2")
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Error("negative input should return 0")
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) != 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, 1, 2})
+	if min != 1 || max != 3 {
+		t.Errorf("MinMax = %v, %v", min, max)
+	}
+	min, max = MinMax(nil)
+	if min != 0 || max != 0 {
+		t.Error("MinMax(nil) != 0,0")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || !approx(s.Mean, 2) || !approx(s.Min, 1) || !approx(s.Max, 3) {
+		t.Errorf("Summary = %+v", s)
+	}
+	if !strings.Contains(s.String(), "n=3") {
+		t.Errorf("Summary.String() = %q", s.String())
+	}
+}
+
+// Properties: min <= mean <= max, sd >= 0, GeoMean <= Mean (AM-GM).
+func TestStatsProperties(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r) + 1 // positive
+		}
+		s := Summarize(xs)
+		if s.Min > s.Mean+1e-9 || s.Mean > s.Max+1e-9 || s.StdDev < 0 {
+			return false
+		}
+		return GeoMean(xs) <= s.Mean+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,198 @@
+package synth
+
+import (
+	"fmt"
+
+	"sccsim/internal/mem"
+	"sccsim/internal/sysmodel"
+)
+
+// AddrSource produces a stream of byte addresses with some locality
+// structure. The multiprogramming benchmark kernels compose these to get
+// the reference behaviour of their real counterparts.
+type AddrSource interface {
+	// Next returns the next address in the stream.
+	Next() uint32
+}
+
+// Scan sweeps a region with a fixed stride, wrapping at the end — the
+// behaviour of array and matrix kernels (wave5's field sweeps, sc's
+// column recalculation).
+type Scan struct {
+	Region mem.Region
+	// Stride is the step in bytes; 0 means one line.
+	Stride uint32
+	pos    uint32
+}
+
+// NewScan returns a scanning source over r with the given stride.
+func NewScan(r mem.Region, stride uint32) *Scan {
+	if stride == 0 {
+		stride = sysmodel.LineSize
+	}
+	return &Scan{Region: r, Stride: stride}
+}
+
+// Next implements AddrSource.
+func (s *Scan) Next() uint32 {
+	addr := s.Region.Start + s.pos
+	s.pos += s.Stride
+	if s.pos >= s.Region.Size {
+		s.pos = 0
+	}
+	return addr
+}
+
+// StackDist generates addresses with an LRU stack-distance profile: most
+// references reuse recently-touched lines (geometric depth distribution),
+// a tunable fraction touches new lines. This is the classic working-set
+// model; the effective hot-set size is controlled by the reuse-depth
+// parameter, and the total footprint by the region size.
+type StackDist struct {
+	rng *RNG
+	// stack holds line addresses, most recently used first.
+	stack []uint32
+	// region is the footprint new lines are drawn from.
+	region mem.Region
+	// pNew is the probability a reference touches a never-before-used
+	// (or long-evicted) line.
+	pNew float64
+	// pDepth parameterizes the geometric reuse-depth distribution;
+	// larger pDepth means tighter locality (shallower reuse).
+	pDepth float64
+	// maxStack bounds remembered history; reuse beyond it falls back to
+	// a uniformly random old line.
+	maxStack int
+	seqNext  uint32
+}
+
+// NewStackDist creates a working-set source over region r.
+// pNew in (0,1) sets the compulsory-traffic rate; pDepth in (0,1) sets
+// locality tightness (mean reuse depth ~= 1/pDepth - 1); maxStack bounds
+// the modelled history (0 means 4096 lines).
+func NewStackDist(r mem.Region, pNew, pDepth float64, maxStack int, rng *RNG) (*StackDist, error) {
+	if pNew <= 0 || pNew >= 1 || pDepth <= 0 || pDepth >= 1 {
+		return nil, fmt.Errorf("synth: StackDist probabilities out of range: pNew=%v pDepth=%v", pNew, pDepth)
+	}
+	if maxStack <= 0 {
+		maxStack = 4096
+	}
+	return &StackDist{rng: rng, region: r, pNew: pNew, pDepth: pDepth, maxStack: maxStack}, nil
+}
+
+// Next implements AddrSource.
+func (s *StackDist) Next() uint32 {
+	if len(s.stack) == 0 || s.rng.Float64() < s.pNew {
+		// Touch a fresh line, walking the region sequentially (real
+		// programs' compulsory traffic is mostly sequential: new stack
+		// frames, fresh heap, streaming input).
+		addr := s.region.Start + s.seqNext
+		s.seqNext += sysmodel.LineSize
+		if s.seqNext >= s.region.Size {
+			s.seqNext = 0
+		}
+		s.touch(addr)
+		return addr
+	}
+	depth := s.rng.Geometric(s.pDepth)
+	if depth >= len(s.stack) {
+		depth = s.rng.Intn(len(s.stack))
+	}
+	addr := s.stack[depth]
+	// Move to front.
+	copy(s.stack[1:depth+1], s.stack[:depth])
+	s.stack[0] = addr
+	// Spread references within the line.
+	return addr + uint32(s.rng.Intn(sysmodel.LineSize/4))*4
+}
+
+func (s *StackDist) touch(addr uint32) {
+	line := sysmodel.LineAddr(addr)
+	if len(s.stack) < s.maxStack {
+		s.stack = append(s.stack, 0)
+	}
+	copy(s.stack[1:], s.stack)
+	s.stack[0] = line
+}
+
+// PointerChase walks a random permutation cycle over the lines of a
+// region — the worst-case locality of heap-intensive programs (xlisp cons
+// cells, gcc's RTL chains).
+type PointerChase struct {
+	region mem.Region
+	next   []uint32 // next[i] is the line index following line i
+	cur    uint32
+}
+
+// NewPointerChase builds a chase over every line of r using rng to build
+// the permutation (one full cycle, so every line is visited).
+func NewPointerChase(r mem.Region, rng *RNG) *PointerChase {
+	n := int(r.Size) / sysmodel.LineSize
+	if n < 2 {
+		n = 2
+	}
+	// Sattolo's algorithm: a uniform single-cycle permutation.
+	perm := make([]uint32, n)
+	for i := range perm {
+		perm[i] = uint32(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := rng.Intn(i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	next := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		next[perm[i]] = perm[(i+1)%n]
+	}
+	return &PointerChase{region: r, next: next}
+}
+
+// Next implements AddrSource.
+func (p *PointerChase) Next() uint32 {
+	addr := p.region.Start + p.cur*sysmodel.LineSize
+	p.cur = p.next[p.cur]
+	return addr
+}
+
+// Mix interleaves several sources with given weights: each reference is
+// drawn from source i with probability Weights[i]/sum.
+type Mix struct {
+	rng     *RNG
+	sources []AddrSource
+	cum     []float64
+}
+
+// NewMix composes sources with weights. It panics on length mismatch or
+// non-positive total weight (a construction bug, not an input error).
+func NewMix(rng *RNG, sources []AddrSource, weights []float64) *Mix {
+	if len(sources) == 0 || len(sources) != len(weights) {
+		panic("synth: Mix needs equal, non-zero numbers of sources and weights")
+	}
+	total := 0.0
+	cum := make([]float64, len(weights))
+	for i, w := range weights {
+		if w < 0 {
+			panic("synth: negative Mix weight")
+		}
+		total += w
+		cum[i] = total
+	}
+	if total <= 0 {
+		panic("synth: Mix weights sum to zero")
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &Mix{rng: rng, sources: sources, cum: cum}
+}
+
+// Next implements AddrSource.
+func (m *Mix) Next() uint32 {
+	u := m.rng.Float64()
+	for i, c := range m.cum {
+		if u < c {
+			return m.sources[i].Next()
+		}
+	}
+	return m.sources[len(m.sources)-1].Next()
+}

@@ -1,0 +1,91 @@
+// Package synth provides the deterministic random-number generator and
+// the reusable synthetic memory-access-pattern primitives used by the
+// workload generators. Everything here is seeded and reproducible: the
+// same seed always yields the same stream, independent of Go version
+// (unlike math/rand's unspecified algorithms).
+package synth
+
+import "math"
+
+// RNG is a small, fast, deterministic generator (splitmix64). The zero
+// value is a valid generator seeded with 0.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator with the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{state: uint64(seed)}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("synth: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a standard normal variate (Box-Muller).
+func (r *RNG) NormFloat64() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// UnitVector3 returns a uniformly distributed point on the unit sphere.
+func (r *RNG) UnitVector3() [3]float64 {
+	for {
+		x := 2*r.Float64() - 1
+		y := 2*r.Float64() - 1
+		z := 2*r.Float64() - 1
+		s := x*x + y*y + z*z
+		if s > 1e-12 && s <= 1 {
+			inv := 1 / math.Sqrt(s)
+			return [3]float64{x * inv, y * inv, z * inv}
+		}
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Geometric returns a sample from a geometric distribution with success
+// probability p (mean 1/p - 1 failures); it returns values >= 0.
+func (r *RNG) Geometric(p float64) int {
+	if p <= 0 || p >= 1 {
+		panic("synth: Geometric needs 0 < p < 1")
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return int(math.Log(u) / math.Log(1-p))
+}

@@ -1,0 +1,294 @@
+package synth
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sccsim/internal/mem"
+	"sccsim/internal/sysmodel"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestIntnRangeAndPanic(t *testing.T) {
+	r := NewRNG(2)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(3)
+	n := 20000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / float64(n)
+	varr := sum2/float64(n) - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(varr-1) > 0.1 {
+		t.Errorf("normal variance = %v, want ~1", varr)
+	}
+}
+
+func TestUnitVector3(t *testing.T) {
+	r := NewRNG(4)
+	for i := 0; i < 1000; i++ {
+		v := r.UnitVector3()
+		n := v[0]*v[0] + v[1]*v[1] + v[2]*v[2]
+		if math.Abs(n-1) > 1e-9 {
+			t.Fatalf("|v|^2 = %v, want 1", n)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(5)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := NewRNG(6)
+	p := 0.25
+	n := 50000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += r.Geometric(p)
+	}
+	mean := float64(sum) / float64(n)
+	want := (1 - p) / p // mean of geometric counting failures
+	if math.Abs(mean-want) > 0.15 {
+		t.Errorf("geometric mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestGeometricPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Geometric(1.5) did not panic")
+		}
+	}()
+	NewRNG(0).Geometric(1.5)
+}
+
+func region(size uint32) mem.Region {
+	a := mem.NewAllocator()
+	return a.Alloc(size, sysmodel.LineSize)
+}
+
+func TestScanWraps(t *testing.T) {
+	r := region(4 * sysmodel.LineSize)
+	s := NewScan(r, 0)
+	var got []uint32
+	for i := 0; i < 6; i++ {
+		got = append(got, s.Next())
+	}
+	for i, a := range got {
+		want := r.Start + uint32(i%4)*sysmodel.LineSize
+		if a != want {
+			t.Errorf("scan[%d] = %#x, want %#x", i, a, want)
+		}
+	}
+}
+
+func TestScanStride(t *testing.T) {
+	r := region(1024)
+	s := NewScan(r, 128)
+	a0, a1 := s.Next(), s.Next()
+	if a1-a0 != 128 {
+		t.Errorf("stride = %d, want 128", a1-a0)
+	}
+}
+
+func TestStackDistValidation(t *testing.T) {
+	r := region(1024)
+	rng := NewRNG(7)
+	for _, bad := range [][2]float64{{0, 0.5}, {1, 0.5}, {0.5, 0}, {0.5, 1}} {
+		if _, err := NewStackDist(r, bad[0], bad[1], 0, rng); err == nil {
+			t.Errorf("NewStackDist(%v) accepted", bad)
+		}
+	}
+}
+
+func TestStackDistStaysInRegion(t *testing.T) {
+	r := region(64 * sysmodel.LineSize)
+	rng := NewRNG(8)
+	sd, err := NewStackDist(r, 0.1, 0.3, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		a := sd.Next()
+		if !r.Contains(a) {
+			t.Fatalf("address %#x outside region [%#x,%#x)", a, r.Start, r.End())
+		}
+	}
+}
+
+func TestStackDistLocalityKnob(t *testing.T) {
+	// Tighter pDepth (higher) must produce fewer distinct lines per 10k
+	// refs than looser pDepth.
+	count := func(pNew, pDepth float64) int {
+		r := region(4096 * sysmodel.LineSize)
+		sd, err := NewStackDist(r, pNew, pDepth, 0, NewRNG(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := map[uint32]struct{}{}
+		for i := 0; i < 10000; i++ {
+			lines[sysmodel.LineAddr(sd.Next())] = struct{}{}
+		}
+		return len(lines)
+	}
+	tight := count(0.01, 0.5)
+	loose := count(0.10, 0.02)
+	if tight >= loose {
+		t.Errorf("tight locality touched %d lines, loose %d; knob inverted", tight, loose)
+	}
+}
+
+func TestPointerChaseCoversAllLines(t *testing.T) {
+	r := region(64 * sysmodel.LineSize)
+	pc := NewPointerChase(r, NewRNG(10))
+	seen := map[uint32]struct{}{}
+	for i := 0; i < 64; i++ {
+		seen[pc.Next()] = struct{}{}
+	}
+	if len(seen) != 64 {
+		t.Errorf("chase visited %d distinct lines in one cycle, want 64", len(seen))
+	}
+}
+
+func TestPointerChaseIsCycle(t *testing.T) {
+	r := region(32 * sysmodel.LineSize)
+	pc := NewPointerChase(r, NewRNG(11))
+	first := pc.Next()
+	for i := 0; i < 31; i++ {
+		pc.Next()
+	}
+	if pc.Next() != first {
+		t.Error("chase did not return to start after one full cycle")
+	}
+}
+
+func TestMixWeights(t *testing.T) {
+	rng := NewRNG(12)
+	alloc := mem.NewAllocator()
+	rA := alloc.Alloc(16*sysmodel.LineSize, sysmodel.LineSize)
+	rB := alloc.Alloc(16*sysmodel.LineSize, sysmodel.LineSize)
+	m := NewMix(rng, []AddrSource{NewScan(rA, 0), NewScan(rB, 0)}, []float64{9, 1})
+	inA := 0
+	for i := 0; i < 10000; i++ {
+		if rA.Contains(m.Next()) {
+			inA++
+		}
+	}
+	if inA < 8500 || inA > 9500 {
+		t.Errorf("weighted mix drew %d/10000 from the 0.9 source", inA)
+	}
+}
+
+func TestMixPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty":    func() { NewMix(NewRNG(0), nil, nil) },
+		"mismatch": func() { NewMix(NewRNG(0), []AddrSource{NewScan(region(64), 0)}, []float64{1, 2}) },
+		"zero":     func() { NewMix(NewRNG(0), []AddrSource{NewScan(region(64), 0)}, []float64{0}) },
+		"negative": func() { NewMix(NewRNG(0), []AddrSource{NewScan(region(64), 0)}, []float64{-1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewMix %s case did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: RNG streams are reproducible from any seed.
+func TestRNGReproducibleProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		a, b := NewRNG(seed), NewRNG(seed)
+		for i := 0; i < int(n); i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: StackDist never leaves its region, for any valid parameters.
+func TestStackDistRegionProperty(t *testing.T) {
+	f := func(seed int64, pn, pd uint8) bool {
+		pNew := 0.01 + float64(pn%90)/100
+		pDepth := 0.01 + float64(pd%90)/100
+		r := region(128 * sysmodel.LineSize)
+		sd, err := NewStackDist(r, pNew, pDepth, 64, NewRNG(seed))
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 500; i++ {
+			if !r.Contains(sd.Next()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

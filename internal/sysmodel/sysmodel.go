@@ -1,0 +1,136 @@
+// Package sysmodel holds the architectural constants and the system
+// configuration type for the shared-cluster-cache multiprocessor studied in
+// Nayfeh & Olukotun (ISCA 1994). Every other package takes its line size,
+// latencies and cluster geometry from here so that the paper's assumptions
+// live in exactly one place.
+package sysmodel
+
+import "fmt"
+
+// Architectural constants fixed by the paper (Section 2).
+const (
+	// LineSize is the cache line size in bytes. The paper chooses 16 B to
+	// reduce false sharing between clusters.
+	LineSize = 16
+
+	// MemLatency is the fixed latency, in processor cycles, to fetch a
+	// cache line from main memory or from another SCC over the snoopy bus.
+	MemLatency = 100
+
+	// BanksPerProcessor is the number of SCC banks provided per processor
+	// in the cluster ("each SCC has four banks for each processor").
+	BanksPerProcessor = 4
+
+	// DefaultClusters is the number of clusters in the paper's parallel-
+	// application experiments.
+	DefaultClusters = 4
+
+	// ICacheSize is the per-processor instruction cache size in bytes
+	// (16 KB in every floorplan in Section 4).
+	ICacheSize = 16 * 1024
+
+	// BankAccessCycles is how long an SCC bank is occupied by one access.
+	BankAccessCycles = 1
+
+	// TimeQuantum is the multiprogramming scheduler's round-robin time
+	// quantum in processor cycles (Section 2.3.2).
+	TimeQuantum = 5_000_000
+)
+
+// SCCSizes is the set of shared-cluster-cache sizes (bytes) swept in the
+// paper's design space, 4 KB through 512 KB in powers of two.
+var SCCSizes = []int{
+	4 * 1024, 8 * 1024, 16 * 1024, 32 * 1024,
+	64 * 1024, 128 * 1024, 256 * 1024, 512 * 1024,
+}
+
+// ProcsPerClusterSweep is the set of processors-per-cluster values swept in
+// the paper's design space.
+var ProcsPerClusterSweep = []int{1, 2, 4, 8}
+
+// Config describes one point in the processor-cache design space.
+type Config struct {
+	// Clusters is the number of clusters on the snoopy bus.
+	Clusters int
+	// ProcsPerCluster is the number of processors sharing each SCC.
+	ProcsPerCluster int
+	// SCCBytes is the size of each shared cluster cache in bytes.
+	SCCBytes int
+	// LoadLatency is the processor load-to-use latency in cycles: 2 for a
+	// single-processor cluster, 3 for an on-chip SCC (extra arbitration
+	// stage), 4 for an MCM cluster (extra cache access stage). It does not
+	// affect the memory-system simulation (Section 3 methodology); it is
+	// applied afterwards via the pipeline model (Section 5).
+	LoadLatency int
+	// Assoc is the SCC associativity. The paper uses direct-mapped
+	// caches (Assoc = 1); higher values support ablation studies.
+	Assoc int
+}
+
+// Default returns the paper's base configuration: four clusters, p
+// processors per cluster, an SCC of sccBytes, direct mapped, with the load
+// latency implied by the cluster implementation in Section 4.
+func Default(p, sccBytes int) Config {
+	return Config{
+		Clusters:        DefaultClusters,
+		ProcsPerCluster: p,
+		SCCBytes:        sccBytes,
+		LoadLatency:     ImpliedLoadLatency(p),
+		Assoc:           1,
+	}
+}
+
+// ImpliedLoadLatency returns the load latency of the cheapest Section 4
+// implementation of a cluster with p processors: 2 cycles for one
+// processor with a private cache, 3 cycles for a 2-processor single-chip
+// SCC, and 4 cycles for the 4- and 8-processor MCM clusters.
+func ImpliedLoadLatency(p int) int {
+	switch {
+	case p <= 1:
+		return 2
+	case p == 2:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// Procs returns the total number of processors in the system.
+func (c Config) Procs() int { return c.Clusters * c.ProcsPerCluster }
+
+// Banks returns the number of banks in each SCC.
+func (c Config) Banks() int { return c.ProcsPerCluster * BanksPerProcessor }
+
+// Validate reports a descriptive error if the configuration is not
+// simulatable.
+func (c Config) Validate() error {
+	switch {
+	case c.Clusters < 1:
+		return fmt.Errorf("sysmodel: Clusters = %d, want >= 1", c.Clusters)
+	case c.ProcsPerCluster < 1:
+		return fmt.Errorf("sysmodel: ProcsPerCluster = %d, want >= 1", c.ProcsPerCluster)
+	case c.SCCBytes < LineSize:
+		return fmt.Errorf("sysmodel: SCCBytes = %d, want >= line size %d", c.SCCBytes, LineSize)
+	case c.SCCBytes%LineSize != 0:
+		return fmt.Errorf("sysmodel: SCCBytes = %d not a multiple of the line size %d", c.SCCBytes, LineSize)
+	case c.Assoc < 1:
+		return fmt.Errorf("sysmodel: Assoc = %d, want >= 1", c.Assoc)
+	case c.SCCBytes/LineSize < c.Assoc:
+		return fmt.Errorf("sysmodel: SCCBytes = %d too small for associativity %d", c.SCCBytes, c.Assoc)
+	case c.LoadLatency < 2 || c.LoadLatency > 4:
+		return fmt.Errorf("sysmodel: LoadLatency = %d, want 2..4", c.LoadLatency)
+	}
+	return nil
+}
+
+// String renders the configuration the way the paper labels design points,
+// e.g. "4x2P/32KB(L3)".
+func (c Config) String() string {
+	return fmt.Sprintf("%dx%dP/%dKB(L%d)", c.Clusters, c.ProcsPerCluster, c.SCCBytes/1024, c.LoadLatency)
+}
+
+// LineAddr returns the line-aligned address containing addr.
+func LineAddr(addr uint32) uint32 { return addr &^ (LineSize - 1) }
+
+// LineIndex returns the global line number containing addr.
+func LineIndex(addr uint32) uint32 { return addr / LineSize }

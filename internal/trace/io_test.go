@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sccsim/internal/mem"
+)
+
+func roundTrip(t *testing.T, p *Program) *Program {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := p.EncodeTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProgram(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestIORoundTrip(t *testing.T) {
+	p := &Program{
+		Name:  "roundtrip",
+		Procs: 2,
+		Phases: []Phase{
+			{Name: "a", Streams: [][]mem.Ref{
+				{{Addr: 0x100, Kind: mem.Read, Gap: 5}, {Kind: mem.Idle, Gap: 100}},
+				{{Addr: 0x200, Kind: mem.Write}},
+			}},
+			{Name: "b", Streams: [][]mem.Ref{
+				{{Addr: 0x300, Kind: mem.Lock}, {Addr: 0x300, Kind: mem.Unlock}},
+				nil,
+			}},
+		},
+	}
+	got := roundTrip(t, p)
+	if got.Name != p.Name || got.Procs != p.Procs || len(got.Phases) != len(p.Phases) {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range p.Phases {
+		if got.Phases[i].Name != p.Phases[i].Name {
+			t.Errorf("phase %d name %q", i, got.Phases[i].Name)
+		}
+		for pr := range p.Phases[i].Streams {
+			a, b := p.Phases[i].Streams[pr], got.Phases[i].Streams[pr]
+			if len(a) != len(b) {
+				t.Fatalf("phase %d proc %d: lengths %d vs %d", i, pr, len(a), len(b))
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("phase %d proc %d ref %d: %v vs %v", i, pr, j, a[j], b[j])
+				}
+			}
+		}
+	}
+}
+
+func TestIORejectsGarbage(t *testing.T) {
+	if _, err := ReadProgram(strings.NewReader("not a trace")); err == nil {
+		t.Error("accepted garbage")
+	}
+	if _, err := ReadProgram(strings.NewReader("SCCT")); err == nil {
+		t.Error("accepted truncated header")
+	}
+	// Wrong version.
+	var buf bytes.Buffer
+	buf.WriteString("SCCT")
+	buf.Write([]byte{99, 0, 0, 0})
+	if _, err := ReadProgram(&buf); err == nil {
+		t.Error("accepted wrong version")
+	}
+}
+
+func TestIORejectsTruncatedBody(t *testing.T) {
+	p := &Program{Name: "t", Procs: 1, Phases: []Phase{
+		{Name: "x", Streams: [][]mem.Ref{{{Addr: 0x100, Kind: mem.Read}}}},
+	}}
+	var buf bytes.Buffer
+	if err := p.EncodeTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadProgram(bytes.NewReader(cut)); err == nil {
+		t.Error("accepted truncated body")
+	}
+}
+
+func TestIOInvalidProgramRejectedOnRead(t *testing.T) {
+	// A program with a zero address fails Validate on read.
+	p := &Program{Name: "bad", Procs: 1, Phases: []Phase{
+		{Name: "x", Streams: [][]mem.Ref{{{Addr: 0, Kind: mem.Read}}}},
+	}}
+	var buf bytes.Buffer
+	if err := p.EncodeTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadProgram(&buf); err == nil {
+		t.Error("deserialized an invalid program without error")
+	}
+}

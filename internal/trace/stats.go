@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"sccsim/internal/mem"
+	"sccsim/internal/sysmodel"
+)
+
+// Profile summarizes a Program's reference behaviour. The scctrace tool
+// prints it, and the workload tests use it to check that each application
+// has the footprint and sharing character the paper attributes to it.
+type Profile struct {
+	// Procs is the processor count the program was generated for.
+	Procs int
+	// Reads and Writes count memory references by kind.
+	Reads, Writes uint64
+	// LockOps counts Lock and Unlock references.
+	LockOps uint64
+	// ComputeCycles is the total non-memory work encoded in the program.
+	ComputeCycles uint64
+	// FootprintLines is the number of distinct cache lines touched.
+	FootprintLines int
+	// SharedLines is the number of distinct lines touched by more than
+	// one processor.
+	SharedLines int
+	// WriteSharedLines is the number of distinct lines written by at
+	// least one processor and touched by at least one other — the lines
+	// that generate coherence traffic.
+	WriteSharedLines int
+	// PerProc[p] summarizes processor p's own stream.
+	PerProc []ProcProfile
+}
+
+// ProcProfile is one processor's share of the program.
+type ProcProfile struct {
+	Reads, Writes  uint64
+	ComputeCycles  uint64
+	FootprintLines int
+}
+
+// FootprintBytes returns the footprint in bytes.
+func (p *Profile) FootprintBytes() int { return p.FootprintLines * sysmodel.LineSize }
+
+// RefTotal returns reads+writes.
+func (p *Profile) RefTotal() uint64 { return p.Reads + p.Writes }
+
+// WriteFrac returns the fraction of memory references that are writes.
+func (p *Profile) WriteFrac() float64 {
+	t := p.RefTotal()
+	if t == 0 {
+		return 0
+	}
+	return float64(p.Writes) / float64(t)
+}
+
+// SharedFrac returns the fraction of footprint lines touched by more than
+// one processor.
+func (p *Profile) SharedFrac() float64 {
+	if p.FootprintLines == 0 {
+		return 0
+	}
+	return float64(p.SharedLines) / float64(p.FootprintLines)
+}
+
+// Analyze computes the Profile of a program. It is O(total refs) and
+// allocates one map entry per distinct line.
+func Analyze(p *Program) *Profile {
+	type lineInfo struct {
+		touchMask uint64 // bit per processor (procs > 64 collapse onto bit 63)
+		written   bool
+	}
+	lines := make(map[uint32]*lineInfo, 1<<16)
+	prof := &Profile{Procs: p.Procs, PerProc: make([]ProcProfile, p.Procs)}
+	perProcLines := make([]map[uint32]struct{}, p.Procs)
+	for i := range perProcLines {
+		perProcLines[i] = make(map[uint32]struct{}, 1<<12)
+	}
+
+	for _, ph := range p.Phases {
+		for pr, st := range ph.Streams {
+			pp := &prof.PerProc[pr]
+			bit := uint64(1) << uint(min(pr, 63))
+			for _, r := range st {
+				pp.ComputeCycles += uint64(r.Gap)
+				prof.ComputeCycles += uint64(r.Gap)
+				if r.Kind == mem.Idle {
+					continue
+				}
+				li := sysmodel.LineIndex(r.Addr)
+				info := lines[li]
+				if info == nil {
+					info = &lineInfo{}
+					lines[li] = info
+				}
+				info.touchMask |= bit
+				perProcLines[pr][li] = struct{}{}
+				switch r.Kind {
+				case mem.Read:
+					pp.Reads++
+					prof.Reads++
+				case mem.Write:
+					pp.Writes++
+					prof.Writes++
+					info.written = true
+				case mem.Lock, mem.Unlock:
+					prof.LockOps++
+					info.written = true
+				}
+			}
+		}
+	}
+
+	prof.FootprintLines = len(lines)
+	for _, info := range lines {
+		if info.touchMask&(info.touchMask-1) != 0 { // more than one bit set
+			prof.SharedLines++
+			if info.written {
+				prof.WriteSharedLines++
+			}
+		}
+	}
+	for pr := range perProcLines {
+		prof.PerProc[pr].FootprintLines = len(perProcLines[pr])
+	}
+	return prof
+}

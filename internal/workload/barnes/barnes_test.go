@@ -1,0 +1,311 @@
+package barnes
+
+import (
+	"math"
+	"testing"
+
+	"sccsim/internal/synth"
+	"sccsim/internal/sysmodel"
+	"sccsim/internal/trace"
+)
+
+func TestGenerateValidates(t *testing.T) {
+	if _, err := Generate(Params{NBodies: 1}); err == nil {
+		t.Error("accepted NBodies=1")
+	}
+	if _, err := Generate(Params{NBodies: 8, Procs: 16}); err == nil {
+		t.Error("accepted Procs > NBodies")
+	}
+	if _, err := Generate(Params{Theta: -1}); err == nil {
+		t.Error("accepted negative Theta")
+	}
+}
+
+func smallParams(procs int) Params {
+	return Params{NBodies: 128, Steps: 2, Procs: procs, Seed: 7}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	p, err := Generate(smallParams(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Procs != 4 {
+		t.Errorf("Procs = %d", p.Procs)
+	}
+	// 2 steps x 4 phases.
+	if len(p.Phases) != 8 {
+		t.Errorf("phases = %d, want 8", len(p.Phases))
+	}
+	wantNames := []string{"build", "com", "force", "update"}
+	for i, ph := range p.Phases {
+		if ph.Name != wantNames[i%4] {
+			t.Errorf("phase %d = %q, want %q", i, ph.Name, wantNames[i%4])
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallParams(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallParams(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Refs() != b.Refs() {
+		t.Fatalf("ref counts differ: %d vs %d", a.Refs(), b.Refs())
+	}
+	for i := range a.Phases {
+		for pr := range a.Phases[i].Streams {
+			sa, sb := a.Phases[i].Streams[pr], b.Phases[i].Streams[pr]
+			if len(sa) != len(sb) {
+				t.Fatalf("phase %d proc %d: stream lengths differ", i, pr)
+			}
+			for j := range sa {
+				if sa[j] != sb[j] {
+					t.Fatalf("phase %d proc %d ref %d differs", i, pr, j)
+				}
+			}
+		}
+	}
+}
+
+func TestTotalWorkIndependentOfProcs(t *testing.T) {
+	// The same computation partitioned across more processors must
+	// reference (nearly) the same total work; partitioning changes only
+	// who does it. (Exact counts shift slightly because the costzones
+	// repartition after step 1 depends on proc count.)
+	r1, err := Generate(smallParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Generate(smallParams(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := float64(r1.Refs()), float64(r4.Refs())
+	if math.Abs(a-b)/a > 0.02 {
+		t.Errorf("total refs: 1 proc %v vs 4 procs %v (>2%% apart)", a, b)
+	}
+}
+
+func TestForcePhaseDominates(t *testing.T) {
+	p, err := Generate(smallParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var force, total uint64
+	for _, ph := range p.Phases {
+		n := uint64(len(ph.Streams[0]))
+		total += n
+		if ph.Name == "force" {
+			force += n
+		}
+	}
+	if float64(force)/float64(total) < 0.6 {
+		t.Errorf("force phase is %d/%d refs; expected to dominate", force, total)
+	}
+}
+
+func TestFootprintScale(t *testing.T) {
+	// 1024 bodies: bodies are 80 KB; tree adds roughly 0.5-1.5x that.
+	// The paper's phenomena depend on the footprint straddling the
+	// 4KB-512KB SCC sweep (per cluster).
+	p, err := Generate(Params{NBodies: 1024, Steps: 1, Procs: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := trace.Analyze(p)
+	fp := prof.FootprintBytes()
+	if fp < 100*1024 || fp > 400*1024 {
+		t.Errorf("footprint = %d KB, want 100-400 KB for 1024 bodies", fp/1024)
+	}
+}
+
+func TestSharingCharacter(t *testing.T) {
+	p, err := Generate(smallParams(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := trace.Analyze(p)
+	// The tree is read-shared by everybody: a substantial fraction of
+	// lines must be touched by more than one processor.
+	if prof.SharedFrac() < 0.3 {
+		t.Errorf("shared fraction = %.2f, want >= 0.3 (tree is read-shared)", prof.SharedFrac())
+	}
+	// Barnes-Hut is read-dominated (force phase reads the tree); writes
+	// are stack frames and per-body updates.
+	if wf := prof.WriteFrac(); wf > 0.35 {
+		t.Errorf("write fraction = %.2f, want < 0.35", wf)
+	}
+}
+
+func TestPartitionBalance(t *testing.T) {
+	p, err := Generate(Params{NBodies: 512, Steps: 3, Procs: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In the final force phase, the busiest processor should not have
+	// more than ~2x the refs of the average (costzones keeps it rough
+	// but bounded).
+	var last trace.Phase
+	for _, ph := range p.Phases {
+		if ph.Name == "force" {
+			last = ph
+		}
+	}
+	var total, max int
+	for _, st := range last.Streams {
+		total += len(st)
+		if len(st) > max {
+			max = len(st)
+		}
+	}
+	mean := float64(total) / 8
+	if float64(max) > 2*mean {
+		t.Errorf("force-phase imbalance: max %d vs mean %.0f", max, mean)
+	}
+}
+
+func TestTreeInvariants(t *testing.T) {
+	rng := synth.NewRNG(11)
+	bodies := plummer(64, rng)
+	next := uint32(0x100000)
+	pool := &cellPool{alloc: func() uint32 {
+		a := next
+		next += cellBytes
+		return a
+	}}
+	tr := build(bodies, pool)
+	order := tr.computeCOM()
+
+	// Total mass at the root equals the sum of body masses.
+	var wantMass float64
+	for _, b := range bodies {
+		wantMass += b.mass
+	}
+	if math.Abs(tr.root.mass-wantMass) > 1e-9 {
+		t.Errorf("root mass = %v, want %v", tr.root.mass, wantMass)
+	}
+	// Postorder: root last.
+	if order[len(order)-1] != tr.root {
+		t.Error("computeCOM order does not end at the root")
+	}
+	// Leaf order covers every body exactly once.
+	leaves := tr.leafOrder()
+	if len(leaves) != len(bodies) {
+		t.Fatalf("leafOrder returned %d bodies, want %d", len(leaves), len(bodies))
+	}
+	seen := map[*body]bool{}
+	for _, b := range leaves {
+		if seen[b] {
+			t.Fatal("body appears twice in leaf order")
+		}
+		seen[b] = true
+	}
+}
+
+func TestForceMatchesDirectSum(t *testing.T) {
+	// With theta tiny, Barnes-Hut must agree with the O(n^2) direct sum.
+	rng := synth.NewRNG(13)
+	bodies := plummer(32, rng)
+	next := uint32(0x100000)
+	pool := &cellPool{alloc: func() uint32 { a := next; next += cellBytes; return a }}
+	tr := build(bodies, pool)
+	tr.computeCOM()
+
+	b := bodies[0]
+	force(tr, b, 0.0001, nopVisitor{})
+	bh := b.acc
+
+	b.acc = [3]float64{}
+	for _, o := range bodies[1:] {
+		accumulate(b, &o.pos, o.mass)
+	}
+	direct := b.acc
+
+	for d := 0; d < 3; d++ {
+		if math.Abs(bh[d]-direct[d]) > 1e-6*(1+math.Abs(direct[d])) {
+			t.Errorf("axis %d: BH %v vs direct %v", d, bh[d], direct[d])
+		}
+	}
+}
+
+func TestThetaControlsWork(t *testing.T) {
+	rng := synth.NewRNG(17)
+	bodies := plummer(256, rng)
+	next := uint32(0x100000)
+	pool := &cellPool{alloc: func() uint32 { a := next; next += cellBytes; return a }}
+	tr := build(bodies, pool)
+	tr.computeCOM()
+	wTight := force(tr, bodies[0], 0.3, nopVisitor{})
+	wLoose := force(tr, bodies[0], 1.5, nopVisitor{})
+	if wLoose >= wTight {
+		t.Errorf("theta=1.5 work %d >= theta=0.3 work %d; opening criterion inverted", wLoose, wTight)
+	}
+}
+
+func TestCellPoolReusesAddresses(t *testing.T) {
+	next := uint32(0x100000)
+	pool := &cellPool{alloc: func() uint32 { a := next; next += cellBytes; return a }}
+	c1 := pool.get()
+	a1 := c1.addr
+	pool.reset()
+	c2 := pool.get()
+	if c2.addr != a1 {
+		t.Errorf("pool did not reuse address: %#x vs %#x", c2.addr, a1)
+	}
+	if c2 != c1 {
+		t.Error("pool did not reuse the cell record")
+	}
+}
+
+func TestBodyLayoutConstants(t *testing.T) {
+	if bodyBytes%sysmodel.LineSize != 0 {
+		t.Errorf("bodyBytes = %d is not line-aligned; bodies would false-share", bodyBytes)
+	}
+	if cellBytes%sysmodel.LineSize != 0 {
+		t.Errorf("cellBytes = %d is not line-aligned; cells would false-share", cellBytes)
+	}
+}
+
+func BenchmarkGenerate1024(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(Params{NBodies: 1024, Steps: 1, Procs: 8, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestEnergyDriftBounded(t *testing.T) {
+	// Integrate a small system with the production pipeline (tree build,
+	// COM, theta-approximated forces, leapfrog) and check that total
+	// energy drifts by less than a few percent over several steps. This
+	// guards the physics the reference streams are derived from.
+	rng := synth.NewRNG(21)
+	bodies := plummer(96, rng)
+	next := uint32(0x100000)
+	pool := &cellPool{alloc: func() uint32 { a := next; next += cellBytes; return a }}
+
+	e0 := systemEnergy(bodies)
+	for step := 0; step < 8; step++ {
+		tr := build(bodies, pool)
+		tr.computeCOM()
+		for _, b := range bodies {
+			force(tr, b, 0.7, nopVisitor{})
+		}
+		for _, b := range bodies {
+			advance(b, 0.01)
+		}
+	}
+	e1 := systemEnergy(bodies)
+	drift := math.Abs(e1-e0) / math.Abs(e0)
+	if drift > 0.05 {
+		t.Errorf("energy drift %.2f%% over 8 steps, want < 5%%", 100*drift)
+	}
+}

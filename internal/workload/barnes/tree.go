@@ -1,0 +1,409 @@
+// Package barnes implements the Barnes-Hut hierarchical N-body
+// application from the SPLASH suite (the paper's primary parallel
+// benchmark) as a trace-generating workload: a real octree simulation —
+// tree construction, centre-of-mass pass, force computation with the
+// opening criterion, and position update — that emits, for every logical
+// processor, the memory-reference stream its share of the computation
+// produces.
+//
+// Bodies are partitioned in tree (leaf traversal) order, as SPLASH does,
+// so that processors with adjacent ranks work on adjacent regions of
+// space. Mapped onto the cluster architecture this is exactly what gives
+// the paper its headline effect: processors within a cluster traverse the
+// same regions of the tree at around the same time, so one processor's
+// miss prefetches for its neighbours.
+package barnes
+
+import (
+	"math"
+
+	"sccsim/internal/synth"
+)
+
+// body is one particle. Its memory image is 80 bytes = exactly 5 cache
+// lines: pos[0:24], vel[24:48], acc[48:72], mass[72:80]. 80 being a
+// multiple of the 16-byte line size means bodies never share lines.
+type body struct {
+	pos, vel, acc [3]float64
+	mass          float64
+	addr          uint32
+	// work is the interaction count of the previous force phase, used
+	// for cost-weighted partitioning (SPLASH "costzones" in miniature).
+	work int
+}
+
+// bodyBytes is the memory image size of a body.
+const bodyBytes = 80
+
+// Field offsets within a body's memory image.
+const (
+	bodyPosOff  = 0
+	bodyVelOff  = 24
+	bodyAccOff  = 48
+	bodyMassOff = 72
+)
+
+// cell is one internal octree node. Its memory image is 96 bytes = 6
+// lines: center[0:24], halfSize[24:32], com[32:56], mass[56:64],
+// children[64:96] (eight 4-byte pointers).
+type cell struct {
+	center   [3]float64
+	halfSize float64
+	com      [3]float64
+	mass     float64
+	child    [8]*node
+	addr     uint32
+}
+
+// cellBytes is the memory image size of a cell.
+const cellBytes = 96
+
+// Field offsets within a cell's memory image.
+const (
+	cellCenterOff   = 0
+	cellHalfOff     = 24
+	cellComOff      = 32
+	cellMassOff     = 56
+	cellChildrenOff = 64
+)
+
+// node is an octree slot: either an internal cell or a leaf body.
+type node struct {
+	cell *cell // non-nil for internal nodes
+	body *body // non-nil for leaves
+}
+
+// cellPool reuses cell records (and hence their simulated addresses)
+// across timesteps, the way the SPLASH code reuses its cell arrays. Keeping
+// addresses stable across steps is what preserves inter-step cache reuse.
+type cellPool struct {
+	cells []*cell
+	next  int
+	alloc func() uint32 // assigns an address to a newly created cell
+}
+
+func (p *cellPool) get() *cell {
+	if p.next < len(p.cells) {
+		c := p.cells[p.next]
+		p.next++
+		*c = cell{addr: c.addr}
+		return c
+	}
+	c := &cell{addr: p.alloc()}
+	p.cells = append(p.cells, c)
+	p.next = len(p.cells)
+	return c
+}
+
+func (p *cellPool) reset() { p.next = 0 }
+
+// tree is the octree for one timestep.
+type tree struct {
+	root *cell
+	pool *cellPool
+	// paths[i] is the list of cells visited while inserting body i,
+	// recorded so the build phase can be replayed as references.
+	paths [][]*cell
+}
+
+// octant returns which child slot of c the position falls in.
+func octant(c *cell, pos *[3]float64) int {
+	o := 0
+	if pos[0] >= c.center[0] {
+		o |= 1
+	}
+	if pos[1] >= c.center[1] {
+		o |= 2
+	}
+	if pos[2] >= c.center[2] {
+		o |= 4
+	}
+	return o
+}
+
+// childCenter returns the center of child octant o of c.
+func childCenter(c *cell, o int) [3]float64 {
+	h := c.halfSize / 2
+	ctr := c.center
+	if o&1 != 0 {
+		ctr[0] += h
+	} else {
+		ctr[0] -= h
+	}
+	if o&2 != 0 {
+		ctr[1] += h
+	} else {
+		ctr[1] -= h
+	}
+	if o&4 != 0 {
+		ctr[2] += h
+	} else {
+		ctr[2] -= h
+	}
+	return ctr
+}
+
+// build constructs the octree over the bodies, recording insertion paths.
+func build(bodies []*body, pool *cellPool) *tree {
+	pool.reset()
+
+	// Bounding cube.
+	lo, hi := bodies[0].pos, bodies[0].pos
+	for _, b := range bodies {
+		for d := 0; d < 3; d++ {
+			lo[d] = math.Min(lo[d], b.pos[d])
+			hi[d] = math.Max(hi[d], b.pos[d])
+		}
+	}
+	size := 0.0
+	var center [3]float64
+	for d := 0; d < 3; d++ {
+		size = math.Max(size, hi[d]-lo[d])
+		center[d] = (lo[d] + hi[d]) / 2
+	}
+	size *= 1.0001 // keep boundary bodies strictly inside
+
+	root := pool.get()
+	root.center = center
+	root.halfSize = size / 2
+
+	t := &tree{root: root, pool: pool, paths: make([][]*cell, len(bodies))}
+	for i, b := range bodies {
+		t.paths[i] = t.insert(b)
+	}
+	return t
+}
+
+// insert places b into the tree, returning the cells visited.
+func (t *tree) insert(b *body) []*cell {
+	path := []*cell{t.root}
+	c := t.root
+	for {
+		o := octant(c, &b.pos)
+		ch := c.child[o]
+		switch {
+		case ch == nil:
+			c.child[o] = &node{body: b}
+			return path
+		case ch.cell != nil:
+			c = ch.cell
+			path = append(path, c)
+		default:
+			// Slot holds a body: split it into a sub-cell and push both
+			// bodies down. Degenerate coincident positions bottom out by
+			// perturbation in the generator, not here.
+			other := ch.body
+			sub := t.pool.get()
+			sub.center = childCenter(c, o)
+			sub.halfSize = c.halfSize / 2
+			c.child[o] = &node{cell: sub}
+			sub.child[octant(sub, &other.pos)] = &node{body: other}
+			c = sub
+			path = append(path, c)
+		}
+	}
+}
+
+// computeCOM fills in mass and centre-of-mass for every cell, returning
+// the cells in postorder (children before parents) — the order the
+// parallel COM phase processes them.
+func (t *tree) computeCOM() []*cell {
+	var order []*cell
+	var rec func(c *cell)
+	rec = func(c *cell) {
+		c.mass = 0
+		c.com = [3]float64{}
+		for _, ch := range c.child {
+			if ch == nil {
+				continue
+			}
+			if ch.cell != nil {
+				rec(ch.cell)
+				c.mass += ch.cell.mass
+				for d := 0; d < 3; d++ {
+					c.com[d] += ch.cell.com[d] * ch.cell.mass
+				}
+			} else {
+				c.mass += ch.body.mass
+				for d := 0; d < 3; d++ {
+					c.com[d] += ch.body.pos[d] * ch.body.mass
+				}
+			}
+		}
+		if c.mass > 0 {
+			for d := 0; d < 3; d++ {
+				c.com[d] /= c.mass
+			}
+		}
+		order = append(order, c)
+	}
+	rec(t.root)
+	return order
+}
+
+// leafOrder returns the bodies in depth-first leaf order — the spatial
+// order used for partitioning.
+func (t *tree) leafOrder() []*body {
+	var order []*body
+	var rec func(c *cell)
+	rec = func(c *cell) {
+		for _, ch := range c.child {
+			if ch == nil {
+				continue
+			}
+			if ch.cell != nil {
+				rec(ch.cell)
+			} else {
+				order = append(order, ch.body)
+			}
+		}
+	}
+	rec(t.root)
+	return order
+}
+
+// visitor observes a force-phase traversal; the emitter implements it to
+// turn tree walks into references. Physics code calls it unconditionally,
+// so a nil-safe no-op implementation exists for warmup steps. depth is
+// the recursion depth, which the emitter maps to stack-frame addresses.
+type visitor interface {
+	// visitCell is called when the opening test runs against cell c;
+	// opened says whether the walk descended.
+	visitCell(c *cell, opened bool, depth int)
+	// visitBody is called for a direct body-body interaction.
+	visitBody(other *body, depth int)
+}
+
+type nopVisitor struct{}
+
+func (nopVisitor) visitCell(*cell, bool, int) {}
+func (nopVisitor) visitBody(*body, int)       {}
+
+const (
+	// eps2 is the gravitational softening (squared).
+	eps2 = 1e-4
+	// g is the gravitational constant in simulation units.
+	g = 1.0
+)
+
+// accumulate adds the gravitational pull of a point (pos, mass) on b.
+func accumulate(b *body, pos *[3]float64, mass float64) {
+	var d [3]float64
+	r2 := eps2
+	for i := 0; i < 3; i++ {
+		d[i] = pos[i] - b.pos[i]
+		r2 += d[i] * d[i]
+	}
+	inv := g * mass / (r2 * math.Sqrt(r2))
+	for i := 0; i < 3; i++ {
+		b.acc[i] += d[i] * inv
+	}
+}
+
+// force computes the acceleration on b by walking the tree with opening
+// angle theta, reporting every step to v. It returns the number of
+// interactions (the body's work measure).
+func force(t *tree, b *body, theta float64, v visitor) int {
+	b.acc = [3]float64{}
+	work := 0
+	var rec func(c *cell, depth int)
+	rec = func(c *cell, depth int) {
+		var d [3]float64
+		r2 := 0.0
+		for i := 0; i < 3; i++ {
+			d[i] = c.com[i] - b.pos[i]
+			r2 += d[i] * d[i]
+		}
+		size := 2 * c.halfSize
+		if size*size < theta*theta*r2 {
+			// Far enough: interact with the cell's centre of mass.
+			v.visitCell(c, false, depth)
+			accumulate(b, &c.com, c.mass)
+			work++
+			return
+		}
+		v.visitCell(c, true, depth)
+		for _, ch := range c.child {
+			if ch == nil {
+				continue
+			}
+			if ch.cell != nil {
+				rec(ch.cell, depth+1)
+			} else if ch.body != b {
+				v.visitBody(ch.body, depth)
+				accumulate(b, &ch.body.pos, ch.body.mass)
+				work++
+			}
+		}
+	}
+	rec(t.root, 0)
+	return work
+}
+
+// advance applies a leapfrog update to b with timestep dt.
+func advance(b *body, dt float64) {
+	for i := 0; i < 3; i++ {
+		b.vel[i] += b.acc[i] * dt
+		b.pos[i] += b.vel[i] * dt
+	}
+}
+
+// plummer samples n bodies from a Plummer sphere, the initial condition
+// the SPLASH Barnes-Hut generator uses.
+func plummer(n int, rng *synth.RNG) []*body {
+	bodies := make([]*body, n)
+	for i := range bodies {
+		b := &body{mass: 1.0 / float64(n)}
+		// Radius from the Plummer cumulative mass profile.
+		m := 0.999*rng.Float64() + 0.0005
+		r := 1.0 / math.Sqrt(math.Pow(m, -2.0/3.0)-1.0)
+		if r > 8 {
+			r = 8 // clip the rare far outlier, as SPLASH does
+		}
+		u := rng.UnitVector3()
+		for d := 0; d < 3; d++ {
+			b.pos[d] = r * u[d]
+		}
+		// Velocity by von Neumann rejection on the Plummer distribution.
+		var q float64
+		for {
+			q = rng.Float64()
+			g := rng.Float64() * 0.1
+			if g < q*q*math.Pow(1.0-q*q, 3.5) {
+				break
+			}
+		}
+		v := q * math.Sqrt2 * math.Pow(1.0+r*r, -0.25)
+		uv := rng.UnitVector3()
+		for d := 0; d < 3; d++ {
+			b.vel[d] = v * uv[d]
+		}
+		bodies[i] = b
+	}
+	return bodies
+}
+
+// systemEnergy returns the total energy (kinetic + potential, direct
+// O(n^2) sum with softening) — a physics diagnostic used by the tests to
+// check that the integrator and force computation cohere.
+func systemEnergy(bodies []*body) float64 {
+	e := 0.0
+	for _, b := range bodies {
+		v2 := 0.0
+		for d := 0; d < 3; d++ {
+			v2 += b.vel[d] * b.vel[d]
+		}
+		e += 0.5 * b.mass * v2
+	}
+	for i, a := range bodies {
+		for _, b := range bodies[i+1:] {
+			r2 := eps2
+			for d := 0; d < 3; d++ {
+				dd := a.pos[d] - b.pos[d]
+				r2 += dd * dd
+			}
+			e -= g * a.mass * b.mass / math.Sqrt(r2)
+		}
+	}
+	return e
+}

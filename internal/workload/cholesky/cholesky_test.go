@@ -1,0 +1,125 @@
+package cholesky
+
+import (
+	"testing"
+
+	"sccsim/internal/trace"
+)
+
+func small(procs int) Params {
+	return Params{Procs: procs, Seed: 3, GridW: 8, GridH: 8}
+}
+
+func TestGenerateValidates(t *testing.T) {
+	if _, err := Generate(Params{Procs: -1}); err == nil {
+		t.Error("accepted negative Procs")
+	}
+}
+
+func TestStructure(t *testing.T) {
+	p, err := Generate(small(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Phases) != 2 {
+		t.Fatalf("phases = %d, want 2 (load, factor)", len(p.Phases))
+	}
+	if p.Phases[0].Name != "load" || p.Phases[1].Name != "factor" {
+		t.Errorf("phase names: %q, %q", p.Phases[0].Name, p.Phases[1].Name)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := Generate(small(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(small(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Refs() != b.Refs() {
+		t.Fatalf("ref counts differ: %d vs %d", a.Refs(), b.Refs())
+	}
+}
+
+func TestFactorWorkDominatesLoad(t *testing.T) {
+	p, err := Generate(small(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := trace.Analyze(p)
+	if prof.ComputeCycles == 0 {
+		t.Fatal("no compute recorded")
+	}
+	loadRefs := len(p.Phases[0].Streams[0])
+	factorRefs := len(p.Phases[1].Streams[0])
+	if factorRefs < 2*loadRefs {
+		t.Errorf("factor refs %d vs load refs %d; factorization should dominate", factorRefs, loadRefs)
+	}
+}
+
+func TestImbalanceExists(t *testing.T) {
+	// With 32 processors the schedule is wait-dominated: some processor
+	// streams must contain substantial idle (Compute) time — the paper's
+	// "limited concurrency, bad load balancing and high synchronization
+	// overhead".
+	p, err := Generate(Params{Procs: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := trace.Analyze(p)
+	var min, max uint64
+	min = ^uint64(0)
+	for _, pp := range prof.PerProc {
+		work := pp.Reads + pp.Writes
+		if work < min {
+			min = work
+		}
+		if work > max {
+			max = work
+		}
+	}
+	if float64(max) < 1.3*float64(min) {
+		t.Errorf("per-proc ref counts too even (min %d, max %d) for a saturated schedule", min, max)
+	}
+}
+
+func TestSharedFactorColumns(t *testing.T) {
+	p, err := Generate(small(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := trace.Analyze(p)
+	// Fan-out updates read source columns written by other processors:
+	// a good fraction of lines must be shared.
+	if prof.SharedFrac() < 0.2 {
+		t.Errorf("shared fraction = %.2f, want >= 0.2", prof.SharedFrac())
+	}
+}
+
+func TestDefaultScale(t *testing.T) {
+	p, err := Generate(Params{Procs: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := trace.Analyze(p)
+	// L values ~1.3 MB plus indices: footprint should be 1-3 MB.
+	if fp := prof.FootprintBytes(); fp < 500*1024 || fp > 4*1024*1024 {
+		t.Errorf("footprint = %d KB, want 0.5-4 MB", fp/1024)
+	}
+	if prof.RefTotal() < 100_000 {
+		t.Errorf("refs = %d, suspiciously small", prof.RefTotal())
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(Params{Procs: 8, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

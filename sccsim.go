@@ -1,0 +1,270 @@
+// Package sccsim reproduces "Exploring the Design Space for a
+// Shared-Cache Multiprocessor" (Nayfeh & Olukotun, ISCA 1994): a
+// cluster-based multiprocessor in which the processors of each cluster
+// share a banked, multi-ported cluster cache (SCC), four clusters are
+// kept coherent over a snoopy invalidation bus, and the design question
+// is how to split silicon between processors and cache.
+//
+// The package is a facade over the internal substrates:
+//
+//   - a trace-driven multiprocessor memory-system simulator (banked SCCs
+//     with bank-contention timing, write buffers, a snoopy
+//     write-invalidate bus, per-processor virtual-time interleaving);
+//   - real implementations of the paper's workloads that emit their own
+//     reference streams: Barnes-Hut (octree N-body), MP3D (particle-in-
+//     cell hypersonic flow), supernodal sparse Cholesky on a
+//     BCSSTK14-like matrix, and an eight-application SPEC92-analogue
+//     multiprogramming workload with a round-robin scheduler;
+//   - the Section 4 implementation-cost model (chip areas, FO4 cycle
+//     budget, pad counts) and the Section 5 pipeline load-latency model;
+//   - sweep, comparison and reporting helpers that regenerate every
+//     table and figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	grid, err := sccsim.Sweep(sccsim.BarnesHut, sccsim.QuickScale())
+//	if err != nil { ... }
+//	fmt.Print(sccsim.SpeedupTable(grid)) // the paper's Table 3
+package sccsim
+
+import (
+	"sccsim/internal/area"
+	"sccsim/internal/costperf"
+	"sccsim/internal/explorer"
+	"sccsim/internal/pipeline"
+	"sccsim/internal/report"
+	"sccsim/internal/sim"
+	"sccsim/internal/sysmodel"
+	"sccsim/internal/trace"
+	"sccsim/internal/workload/multiprog"
+)
+
+// Config is one point in the processor-cache design space: cluster count,
+// processors per cluster, SCC size, associativity and load latency.
+type Config = sysmodel.Config
+
+// Options tunes simulator behaviour (write-buffer depth, bus-occupancy
+// ablation, context-switch penalty). The zero value is the paper's model.
+type Options = sim.Options
+
+// Result is the outcome of one simulation run: execution time, per-
+// processor stall breakdowns, cache statistics and coherence traffic.
+type Result = sim.Result
+
+// Workload names one of the paper's four benchmarks.
+type Workload = explorer.Workload
+
+// The paper's benchmarks.
+const (
+	BarnesHut = explorer.BarnesHut
+	MP3D      = explorer.MP3D
+	Cholesky  = explorer.Cholesky
+	Multiprog = explorer.Multiprog
+)
+
+// AllWorkloads lists every benchmark.
+var AllWorkloads = explorer.AllWorkloads
+
+// Scale sets problem sizes; the zero value is the paper's configuration.
+type Scale = explorer.Scale
+
+// Grid is a full design-space sweep for one workload.
+type Grid = explorer.Grid
+
+// Point is one simulated design point.
+type Point = explorer.Point
+
+// PaperScale returns the paper's problem sizes (1024 bodies, 10,000
+// particles / 5 steps, BCSSTK14-scale matrix, scaled multiprogramming
+// reference budget).
+func PaperScale() Scale { return Scale{Seed: 1} }
+
+// QuickScale returns a ~20x reduced configuration for interactive use
+// and tests.
+func QuickScale() Scale { return explorer.QuickScale() }
+
+// DefaultConfig returns the paper's base system for a processors-per-
+// cluster value and SCC size: four clusters and the load latency implied
+// by the Section 4 implementation.
+func DefaultConfig(procsPerCluster, sccBytes int) Config {
+	return sysmodel.Default(procsPerCluster, sccBytes)
+}
+
+// SCCSizes is the paper's cache-size sweep (4 KB - 512 KB).
+var SCCSizes = sysmodel.SCCSizes
+
+// ProcsPerClusterSweep is the paper's processor sweep (1, 2, 4, 8).
+var ProcsPerClusterSweep = sysmodel.ProcsPerClusterSweep
+
+// Run simulates one workload at one design point.
+func Run(w Workload, procsPerCluster, sccBytes int, s Scale) (*Point, error) {
+	return explorer.RunPoint(w, procsPerCluster, sccBytes, s, sim.Options{})
+}
+
+// RunWithOptions is Run with explicit simulator options.
+func RunWithOptions(w Workload, procsPerCluster, sccBytes int, s Scale, opts Options) (*Point, error) {
+	return explorer.RunPoint(w, procsPerCluster, sccBytes, s, opts)
+}
+
+// RunConfig simulates a parallel workload on an arbitrary configuration
+// (cluster count, associativity, load latency all free).
+func RunConfig(w Workload, cfg Config, s Scale, opts Options) (*Point, error) {
+	prog, err := explorer.GenerateParallel(w, cfg.Procs(), s)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(cfg, opts, prog)
+	if err != nil {
+		return nil, err
+	}
+	return &Point{Config: cfg, Result: res}, nil
+}
+
+// RunPrivateCaches simulates a parallel workload on the paper's
+// alternative cluster organization (Section 2.1): private per-processor
+// caches (sccBytes/procsPerCluster each, same total capacity) kept
+// coherent by snooping, with fast intra-cluster cache-to-cache
+// transfers. Comparing with Run on the same arguments reproduces the
+// shared-vs-private cluster cache argument.
+func RunPrivateCaches(w Workload, procsPerCluster, sccBytes int, s Scale) (*Point, error) {
+	cfg := sysmodel.Default(procsPerCluster, sccBytes)
+	prog, err := explorer.GenerateParallel(w, cfg.Procs(), s)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.RunPrivate(cfg, sim.Options{}, prog)
+	if err != nil {
+		return nil, err
+	}
+	return &Point{Config: cfg, Result: res}, nil
+}
+
+// RunFlat simulates a parallel workload on a conventional flat snoopy
+// multiprocessor — every processor is its own "cluster" with a private
+// cache of sccBytes/procsPerCluster on the single shared bus. This is
+// the organization whose invalidation growth motivates clustering in
+// Section 2.1. totalProcs must be at most 32.
+func RunFlat(w Workload, totalProcs, cacheBytes int, s Scale) (*Point, error) {
+	cfg := sysmodel.Config{
+		Clusters: totalProcs, ProcsPerCluster: 1, SCCBytes: cacheBytes,
+		LoadLatency: 2, Assoc: 1,
+	}
+	prog, err := explorer.GenerateParallel(w, totalProcs, s)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(cfg, sim.Options{}, prog)
+	if err != nil {
+		return nil, err
+	}
+	return &Point{Config: cfg, Result: res}, nil
+}
+
+// Sweep runs a workload over the full processor-cache design space
+// (Figures 2-6 of the paper).
+func Sweep(w Workload, s Scale) (*Grid, error) {
+	return explorer.Sweep(w, s, sim.Options{})
+}
+
+// SweepWithOptions is Sweep with explicit simulator options (ablations).
+func SweepWithOptions(w Workload, s Scale, opts Options) (*Grid, error) {
+	return explorer.Sweep(w, s, opts)
+}
+
+// GenerateTrace builds the raw per-processor reference trace for a
+// parallel workload — the substrate a custom experiment can feed to the
+// simulator directly.
+func GenerateTrace(w Workload, procs int, s Scale) (*trace.Program, error) {
+	return explorer.GenerateParallel(w, procs, s)
+}
+
+// AnalyzeTrace profiles a trace program (footprint, sharing, write
+// fraction).
+func AnalyzeTrace(p *trace.Program) *trace.Profile { return trace.Analyze(p) }
+
+// MultiprogApps returns the names of the eight SPEC92-analogue processes.
+func MultiprogApps() []string { return multiprog.Names() }
+
+// CostPerfEntry holds one workload's latency-adjusted execution times
+// across the four Section 4 cluster implementations.
+type CostPerfEntry = costperf.Entry
+
+// BuildCostPerfEntry simulates a workload on the four implementations
+// (1P/64KB, 2P/32KB, 4P/64KB, 8P/128KB).
+func BuildCostPerfEntry(w Workload, s Scale) (*CostPerfEntry, error) {
+	return costperf.BuildEntry(w, s, sim.Options{})
+}
+
+// SingleChipComparison is the paper's Table 6 result.
+type SingleChipComparison = costperf.SingleChip
+
+// CompareSingleChip builds Table 6 from workload entries.
+func CompareSingleChip(entries []*CostPerfEntry) *SingleChipComparison {
+	return costperf.CompareSingleChip(entries)
+}
+
+// MCMComparison is the paper's Table 7 result.
+type MCMComparison = costperf.MCM
+
+// CompareMCM builds Table 7 from workload entries.
+func CompareMCM(entries []*CostPerfEntry) *MCMComparison {
+	return costperf.CompareMCM(entries)
+}
+
+// FrontierPoint is one priced design point of the cost/performance
+// frontier extension.
+type FrontierPoint = costperf.FrontierPoint
+
+// Frontier prices every point of a swept grid with the generalized
+// Section 4 implementation rules (area, load latency, feasibility).
+func Frontier(g *Grid) []FrontierPoint { return costperf.Frontier(g) }
+
+// BestDesign returns the feasible frontier point with the best
+// cost/performance, or nil.
+func BestDesign(points []FrontierPoint) *FrontierPoint { return costperf.Best(points) }
+
+// ParetoFront returns the non-dominated feasible frontier points.
+func ParetoFront(points []FrontierPoint) []FrontierPoint { return costperf.ParetoFront(points) }
+
+// ChipDesign describes one Section 4 cluster implementation.
+type ChipDesign = area.ChipDesign
+
+// ChipDesigns returns the paper's four cluster implementations keyed by
+// processors per cluster.
+func ChipDesigns() map[int]ChipDesign { return area.Designs() }
+
+// PipelineProfile is a benchmark instruction mix for the load-latency
+// model.
+type PipelineProfile = pipeline.Profile
+
+// LoadLatencyFactor returns the Table 5 relative-execution-time factor
+// for a workload at a load latency of 2, 3 or 4 cycles.
+func LoadLatencyFactor(w Workload, loadLatency int) float64 {
+	return pipeline.RelTimeFor(string(w), loadLatency)
+}
+
+// Rendering helpers (text tables and ASCII figures).
+var (
+	// SpeedupTable renders a grid as the paper's Table 3.
+	SpeedupTable = report.SpeedupTable
+	// MissRateTable renders a grid as the paper's Table 4.
+	MissRateTable = report.MissRateTable
+	// Figure renders a grid as the paper's Figures 2-5.
+	Figure = report.Figure
+	// SpeedupFigure renders a grid as the paper's Figure 6.
+	SpeedupFigure = report.SpeedupFigure
+	// InvalidationTable shows coherence-traffic invariance.
+	InvalidationTable = report.InvalidationTable
+	// RenderTable5 renders the pipeline factors.
+	RenderTable5 = report.Table5
+	// RenderTable6 renders the single-chip comparison.
+	RenderTable6 = report.Table6
+	// RenderTable7 renders the MCM comparison.
+	RenderTable7 = report.Table7
+	// RenderAreaReport renders the Section 4 chip designs.
+	RenderAreaReport = report.AreaReport
+	// RenderFrontier renders the priced design space.
+	RenderFrontier = report.FrontierTable
+	// GridCSV renders a grid as CSV for external tooling.
+	GridCSV = report.GridCSV
+)
