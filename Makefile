@@ -2,9 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build test vet quick bench bench-quick experiments cover clean
+.PHONY: all check build test test-race vet quick bench bench-quick experiments cover clean
 
 all: build vet test
+
+# Tier-1 gate: compile, vet, full test suite.
+check: build vet test
 
 build:
 	$(GO) build ./...
@@ -18,6 +21,12 @@ test:
 # Skip the paper-scale headline run (a few minutes).
 quick:
 	$(GO) test -short ./...
+
+# Race-enabled run of the concurrency-bearing packages at QuickScale:
+# the shared-trace contract (internal/sim) and the sweep engine
+# (internal/explorer, internal/costperf, plus the facade API).
+test-race:
+	$(GO) test -race -short ./internal/sim/... ./internal/explorer/... ./internal/costperf/... .
 
 # Regenerate every paper table/figure at paper scale.
 bench:

@@ -6,16 +6,23 @@
 //
 //	sccexplore -exp all                 # everything (paper scale; slow)
 //	sccexplore -exp table3 -scale quick # one experiment, reduced scale
+//	sccexplore -exp fig2 -parallel 8    # sweep worker-pool size (same output)
 //	sccexplore -list                    # list experiment ids
+//
+// Sweeps run on the concurrent design-space engine and render a live
+// progress meter on stderr (suppress with -quiet). Output is identical
+// for every -parallel value; Ctrl-C cancels cleanly.
 //
 // Experiments: fig2 table3 table4 fig3 fig4 fig5 fig6 table5 table6
 // table7 area invariance all.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"sccsim"
@@ -45,6 +52,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload generator seed")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csvWorkload := flag.String("csv", "", "dump a workload's full design-space sweep as CSV and exit (barnes-hut|mp3d|cholesky|multiprog)")
+	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS); results are identical for any value")
+	quiet := flag.Bool("quiet", false, "suppress the live progress meter on stderr")
 	flag.Parse()
 
 	if *list {
@@ -66,8 +75,20 @@ func main() {
 	}
 	scale.Seed = *seed
 
+	// Ctrl-C cancels the in-flight sweep points and exits cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := func(label string) []sccsim.Opt {
+		o := []sccsim.Opt{sccsim.WithScale(scale), sccsim.WithParallelism(*parallel)}
+		if !*quiet {
+			o = append(o, sccsim.WithProgress(progressMeter(label)))
+		}
+		return o
+	}
+
 	if *csvWorkload != "" {
-		g, err := sccsim.Sweep(sccsim.Workload(*csvWorkload), scale)
+		g, err := sccsim.SweepCtx(ctx, sccsim.Workload(*csvWorkload), opts(*csvWorkload)...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sccexplore: %v\n", err)
 			os.Exit(1)
@@ -76,13 +97,28 @@ func main() {
 		return
 	}
 
-	if err := run(*exp, scale); err != nil {
+	if err := run(ctx, *exp, scale, opts); err != nil {
 		fmt.Fprintf(os.Stderr, "sccexplore: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, scale sccsim.Scale) error {
+// progressMeter renders the engine's progress hook as a live one-line
+// meter on stderr: points done/total, elapsed wall clock, and the
+// simulation time of the point that just finished.
+func progressMeter(label string) func(sccsim.Progress) {
+	return func(p sccsim.Progress) {
+		fmt.Fprintf(os.Stderr, "\r%-12s %2d/%d points  elapsed %-8v  last %v (%v)        ",
+			label, p.Done, p.Total,
+			p.Elapsed.Round(10*time.Millisecond),
+			p.PointTime.Round(time.Millisecond), p.Config)
+		if p.Done == p.Total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+}
+
+func run(ctx context.Context, exp string, scale sccsim.Scale, opts func(label string) []sccsim.Opt) error {
 	start := time.Now()
 	defer func() { fmt.Printf("\n[%s in %v]\n", exp, time.Since(start).Round(time.Millisecond)) }()
 
@@ -92,7 +128,7 @@ func run(exp string, scale sccsim.Scale) error {
 		if g, ok := grids[w]; ok {
 			return g, nil
 		}
-		g, err := sccsim.Sweep(w, scale)
+		g, err := sccsim.SweepCtx(ctx, w, opts("sweep "+string(w))...)
 		if err == nil {
 			grids[w] = g
 		}
@@ -102,7 +138,7 @@ func run(exp string, scale sccsim.Scale) error {
 	costEntries := func() ([]*sccsim.CostPerfEntry, error) {
 		var entries []*sccsim.CostPerfEntry
 		for _, w := range sccsim.AllWorkloads {
-			e, err := sccsim.BuildCostPerfEntry(w, scale)
+			e, err := sccsim.BuildCostPerfEntryCtx(ctx, w, opts("cost "+string(w))...)
 			if err != nil {
 				return nil, err
 			}

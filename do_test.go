@@ -1,0 +1,109 @@
+package sccsim_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"sccsim"
+)
+
+// The functional-options experiment API must agree exactly with the
+// deprecated wrappers it replaces.
+func TestDoMatchesRun(t *testing.T) {
+	s := sccsim.QuickScale()
+	old, err := sccsim.Run(sccsim.BarnesHut, 2, 32*1024, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := sccsim.Do(context.Background(), sccsim.BarnesHut,
+		sccsim.WithPoint(2, 32*1024), sccsim.WithScale(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Result.Cycles != old.Result.Cycles || pt.Result.Refs != old.Result.Refs {
+		t.Errorf("Do = %d cycles / %d refs, Run = %d / %d",
+			pt.Result.Cycles, pt.Result.Refs, old.Result.Cycles, old.Result.Refs)
+	}
+	if pt.Config != old.Config {
+		t.Errorf("Do config %v, Run config %v", pt.Config, old.Config)
+	}
+}
+
+func TestDoDefaultPoint(t *testing.T) {
+	pt, err := sccsim.Do(context.Background(), sccsim.BarnesHut,
+		sccsim.WithScale(sccsim.QuickScale()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The default design point is the paper's 1P/64KB baseline.
+	if pt.Config.ProcsPerCluster != 1 || pt.Config.SCCBytes != 64*1024 || pt.Config.Clusters != 4 {
+		t.Errorf("default point = %v", pt.Config)
+	}
+}
+
+func TestDoWithConfig(t *testing.T) {
+	cfg := sccsim.DefaultConfig(2, 32*1024)
+	cfg.Assoc = 2
+	pt, err := sccsim.Do(context.Background(), sccsim.BarnesHut,
+		sccsim.WithConfig(cfg), sccsim.WithScale(sccsim.QuickScale()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Config.Assoc != 2 {
+		t.Errorf("associativity not preserved: %v", pt.Config)
+	}
+	// An explicit Config is a parallel-workload feature, as in RunConfig.
+	if _, err := sccsim.Do(context.Background(), sccsim.Multiprog,
+		sccsim.WithConfig(cfg), sccsim.WithScale(sccsim.QuickScale())); err == nil {
+		t.Error("Do accepted WithConfig for the multiprogramming workload")
+	}
+}
+
+func TestSweepCtxMatchesSweepWithProgress(t *testing.T) {
+	s := sccsim.QuickScale()
+	old, err := sccsim.Sweep(sccsim.BarnesHut, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events int
+	grid, err := sccsim.SweepCtx(context.Background(), sccsim.BarnesHut,
+		sccsim.WithScale(s), sccsim.WithParallelism(2),
+		sccsim.WithProgress(func(p sccsim.Progress) { events++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sccsim.SpeedupTable(grid), sccsim.SpeedupTable(old); got != want {
+		t.Errorf("SweepCtx table diverged from Sweep:\n%s\nvs\n%s", got, want)
+	}
+	if want := len(sccsim.SCCSizes) * len(sccsim.ProcsPerClusterSweep); events != want {
+		t.Errorf("progress events = %d, want %d", events, want)
+	}
+}
+
+func TestSweepCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := sccsim.SweepCtx(ctx, sccsim.MP3D, sccsim.WithScale(sccsim.QuickScale()))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestBuildCostPerfEntryCtx(t *testing.T) {
+	s := sccsim.QuickScale()
+	e, err := sccsim.BuildCostPerfEntryCtx(context.Background(), sccsim.Cholesky,
+		sccsim.WithScale(s), sccsim.WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := sccsim.BuildCostPerfEntry(sccsim.Cholesky, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ppc, raw := range old.RawCycles {
+		if e.RawCycles[ppc] != raw {
+			t.Errorf("%dP: ctx entry %d cycles, serial %d", ppc, e.RawCycles[ppc], raw)
+		}
+	}
+}

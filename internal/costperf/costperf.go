@@ -6,6 +6,7 @@
 package costperf
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -47,18 +48,26 @@ func Adjusted(w explorer.Workload, ppc int, raw uint64) float64 {
 // BuildEntry simulates the four Section 4 implementations for one
 // workload.
 func BuildEntry(w explorer.Workload, s explorer.Scale, opts sim.Options) (*Entry, error) {
+	return BuildEntryCtx(context.Background(), w, s, opts, explorer.EngineOptions{})
+}
+
+// BuildEntryCtx is BuildEntry on the concurrent sweep engine: the four
+// implementation points are independent simulations and run on the
+// engine's worker pool, honoring ctx cancellation.
+func BuildEntryCtx(ctx context.Context, w explorer.Workload, s explorer.Scale, opts sim.Options, eng explorer.EngineOptions) (*Entry, error) {
 	e := &Entry{
 		Workload:  w,
 		RawCycles: make(map[int]uint64),
 		AdjCycles: make(map[int]float64),
 	}
-	for ppc, scc := range ClusterConfigs() {
-		pt, err := explorer.RunPoint(w, ppc, scc, s, opts)
-		if err != nil {
-			return nil, fmt.Errorf("costperf: %s %dP: %w", w, ppc, err)
-		}
-		e.RawCycles[ppc] = pt.Result.Cycles
-		e.AdjCycles[ppc] = Adjusted(w, ppc, pt.Result.Cycles)
+	specs := explorer.SortedPointSpecs(ClusterConfigs())
+	pts, err := explorer.RunPointsCtx(ctx, w, specs, s, opts, eng)
+	if err != nil {
+		return nil, fmt.Errorf("costperf: %s: %w", w, err)
+	}
+	for i, spec := range specs {
+		e.RawCycles[spec.PPC] = pts[i].Result.Cycles
+		e.AdjCycles[spec.PPC] = Adjusted(w, spec.PPC, pts[i].Result.Cycles)
 	}
 	return e, nil
 }

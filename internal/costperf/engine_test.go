@@ -1,0 +1,33 @@
+package costperf
+
+import (
+	"context"
+	"testing"
+
+	"sccsim/internal/explorer"
+	"sccsim/internal/sim"
+)
+
+// TestBuildEntryCtxMatchesSerialPoints: building an entry on the
+// concurrent engine yields exactly the cycles the serial RunPoint path
+// produces for each Section 4 implementation.
+func TestBuildEntryCtxMatchesSerialPoints(t *testing.T) {
+	s := explorer.QuickScale()
+	e, err := BuildEntryCtx(context.Background(), explorer.BarnesHut, s, sim.Options{},
+		explorer.EngineOptions{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ppc, scc := range ClusterConfigs() {
+		pt, err := explorer.RunPoint(explorer.BarnesHut, ppc, scc, s, sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.RawCycles[ppc] != pt.Result.Cycles {
+			t.Errorf("%dP: engine %d cycles, serial %d", ppc, e.RawCycles[ppc], pt.Result.Cycles)
+		}
+		if e.AdjCycles[ppc] != Adjusted(explorer.BarnesHut, ppc, pt.Result.Cycles) {
+			t.Errorf("%dP: adjusted cycles diverged", ppc)
+		}
+	}
+}

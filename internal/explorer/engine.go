@@ -1,0 +1,415 @@
+// The concurrent sweep engine: the paper's evaluation is a 7x4
+// design-space grid per workload, and every point is an independent
+// simulation over an immutable trace. The engine runs those points on a
+// bounded worker pool, shares one generated trace per processor count
+// through a keyed cache, and assembles the grid deterministically so the
+// rendered tables are byte-identical to the serial path regardless of
+// completion order.
+
+package explorer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"sccsim/internal/sim"
+	"sccsim/internal/sysmodel"
+	"sccsim/internal/trace"
+	"sccsim/internal/workload/multiprog"
+)
+
+// Progress is one event from the sweep engine, delivered after each
+// completed design point. Events are serialized: Done increases by one
+// per event and reaches Total exactly once.
+type Progress struct {
+	// Workload the engine is sweeping.
+	Workload Workload
+	// Done and Total count completed and scheduled design points.
+	Done, Total int
+	// Elapsed is wall-clock time since the engine started.
+	Elapsed time.Duration
+	// Config is the design point that just finished.
+	Config sysmodel.Config
+	// PointTime is how long that point's simulation took.
+	PointTime time.Duration
+}
+
+// EngineOptions tunes the concurrent sweep engine. The zero value runs
+// one worker per available CPU (GOMAXPROCS) with no progress reporting.
+type EngineOptions struct {
+	// Parallelism is the worker-pool size; <= 0 means GOMAXPROCS.
+	// Results are deterministic for every value.
+	Parallelism int
+	// Progress, when non-nil, is called (serially, from engine
+	// goroutines) after every completed design point.
+	Progress func(Progress)
+}
+
+func (o EngineOptions) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// pointJob is one design point scheduled on the engine.
+type pointJob struct {
+	cfg sysmodel.Config
+	run func(ctx context.Context) (*Point, error)
+}
+
+// runPoints executes the jobs on a bounded worker pool and returns their
+// results in job order. On the first job error the engine cancels the
+// remaining jobs and returns that error; results are nil on failure.
+func runPoints(ctx context.Context, w Workload, jobs []pointJob, eng EngineOptions) ([]*Point, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := eng.workers()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]*Point, len(jobs))
+	errs := make([]error, len(jobs))
+	idxCh := make(chan int)
+	start := time.Now()
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex // serializes progress events
+		done int
+	)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range idxCh {
+				if err := ctx.Err(); err != nil {
+					errs[idx] = err
+					continue
+				}
+				t0 := time.Now()
+				pt, err := jobs[idx].run(ctx)
+				if err != nil {
+					errs[idx] = err
+					cancel()
+					continue
+				}
+				results[idx] = pt
+				if eng.Progress != nil {
+					mu.Lock()
+					done++
+					eng.Progress(Progress{
+						Workload: w,
+						Done:     done, Total: len(jobs),
+						Elapsed:   time.Since(start),
+						Config:    pt.Config,
+						PointTime: time.Since(t0),
+					})
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for idx := range jobs {
+		idxCh <- idx
+	}
+	close(idxCh)
+	wg.Wait()
+
+	// First-error propagation: prefer the job that actually failed over
+	// jobs that merely observed the resulting cancellation, and report
+	// the lowest job index among those for determinism.
+	var firstCtx error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if firstCtx == nil {
+				firstCtx = err
+			}
+			continue
+		}
+		return nil, err
+	}
+	if firstCtx != nil {
+		return nil, firstCtx
+	}
+	return results, nil
+}
+
+// ---- Trace cache ----
+//
+// Traces are immutable once generated (see trace.Program) and the
+// simulator never mutates them (see sim.Run), so one generated program
+// can back every design point — and every concurrent worker — that
+// shares its (workload, procs, scale) key. The cache also persists
+// across engine calls, so e.g. the cost/performance entries reuse the
+// programs a full sweep already generated.
+
+type parallelKey struct {
+	w     Workload
+	procs int
+	scale Scale
+}
+
+type multiprogKey struct {
+	refs int
+	seed int64
+}
+
+// cacheEntry resolves once; concurrent requesters block on the first
+// generation instead of duplicating it.
+type cacheEntry struct {
+	once sync.Once
+	prog *trace.Program
+	pset []sim.Process
+	err  error
+}
+
+var traceCache = struct {
+	sync.Mutex
+	parallel  map[parallelKey]*cacheEntry
+	multiprog map[multiprogKey]*cacheEntry
+}{
+	parallel:  make(map[parallelKey]*cacheEntry),
+	multiprog: make(map[multiprogKey]*cacheEntry),
+}
+
+// maxCachedTraces bounds the cache; when exceeded the cache is reset
+// wholesale (entries already handed out stay valid — they are just
+// pointers the callers hold).
+const maxCachedTraces = 32
+
+// ResetTraceCache drops every cached trace program. Useful to release
+// memory after paper-scale sweeps.
+func ResetTraceCache() {
+	traceCache.Lock()
+	defer traceCache.Unlock()
+	traceCache.parallel = make(map[parallelKey]*cacheEntry)
+	traceCache.multiprog = make(map[multiprogKey]*cacheEntry)
+}
+
+func cachedParallelProgram(w Workload, procs int, s Scale) (*trace.Program, error) {
+	traceCache.Lock()
+	if len(traceCache.parallel) >= maxCachedTraces {
+		traceCache.parallel = make(map[parallelKey]*cacheEntry)
+	}
+	key := parallelKey{w, procs, s}
+	e, ok := traceCache.parallel[key]
+	if !ok {
+		e = &cacheEntry{}
+		traceCache.parallel[key] = e
+	}
+	traceCache.Unlock()
+	e.once.Do(func() { e.prog, e.err = GenerateParallel(w, procs, s) })
+	return e.prog, e.err
+}
+
+func cachedMultiprogProcesses(refs int, seed int64) ([]sim.Process, error) {
+	traceCache.Lock()
+	if len(traceCache.multiprog) >= maxCachedTraces {
+		traceCache.multiprog = make(map[multiprogKey]*cacheEntry)
+	}
+	key := multiprogKey{refs, seed}
+	e, ok := traceCache.multiprog[key]
+	if !ok {
+		e = &cacheEntry{}
+		traceCache.multiprog[key] = e
+	}
+	traceCache.Unlock()
+	e.once.Do(func() { e.pset, e.err = multiprog.Generate(multiprog.Params{RefsPerApp: refs, Seed: seed}) })
+	return e.pset, e.err
+}
+
+// multiprogRefs applies the default per-app reference budget.
+func multiprogRefs(s Scale) int {
+	if s.MultiprogRefs != 0 {
+		return s.MultiprogRefs
+	}
+	return 600_000
+}
+
+// ---- Concurrent sweeps ----
+
+// SweepParallelCtx is the concurrent counterpart of SweepParallel: the
+// same design space, run on the engine's worker pool. The grid — and
+// every table rendered from it — is byte-identical to the serial path
+// for any parallelism.
+func SweepParallelCtx(ctx context.Context, w Workload, s Scale, opts sim.Options, eng EngineOptions) (*Grid, error) {
+	jobs := make([]pointJob, 0, len(sysmodel.SCCSizes)*len(sysmodel.ProcsPerClusterSweep))
+	for _, size := range sysmodel.SCCSizes {
+		for _, ppc := range sysmodel.ProcsPerClusterSweep {
+			cfg := sysmodel.Default(ppc, size)
+			jobs = append(jobs, pointJob{cfg: cfg, run: func(ctx context.Context) (*Point, error) {
+				prog, err := cachedParallelProgram(w, cfg.Procs(), s)
+				if err != nil {
+					return nil, err
+				}
+				res, err := sim.Run(cfg, opts, prog)
+				if err != nil {
+					return nil, fmt.Errorf("explorer: %s at %v: %w", w, cfg, err)
+				}
+				return &Point{Config: cfg, Result: res}, nil
+			}})
+		}
+	}
+	points, err := runPoints(ctx, w, jobs, eng)
+	if err != nil {
+		return nil, err
+	}
+	return assembleGrid(w, points), nil
+}
+
+// SweepMultiprogCtx is the concurrent counterpart of SweepMultiprog:
+// 1/2/4/8 processors sharing one SCC, eight processes, round-robin
+// scheduling. The eight-process trace is generated once and shared by
+// all 28 points.
+func SweepMultiprogCtx(ctx context.Context, s Scale, opts sim.Options, eng EngineOptions) (*Grid, error) {
+	refs := multiprogRefs(s)
+	quantum := multiprog.Quantum(refs)
+	jobs := make([]pointJob, 0, len(sysmodel.SCCSizes)*len(sysmodel.ProcsPerClusterSweep))
+	for _, size := range sysmodel.SCCSizes {
+		for _, ppc := range sysmodel.ProcsPerClusterSweep {
+			cfg := sysmodel.Config{
+				Clusters: 1, ProcsPerCluster: ppc, SCCBytes: size,
+				LoadLatency: sysmodel.ImpliedLoadLatency(ppc), Assoc: 1,
+			}
+			jobs = append(jobs, pointJob{cfg: cfg, run: func(ctx context.Context) (*Point, error) {
+				procs, err := cachedMultiprogProcesses(refs, s.Seed)
+				if err != nil {
+					return nil, err
+				}
+				res, err := sim.RunMultiprog(cfg, opts, procs, quantum)
+				if err != nil {
+					return nil, fmt.Errorf("explorer: multiprog at %v: %w", cfg, err)
+				}
+				return &Point{Config: cfg, Result: res}, nil
+			}})
+		}
+	}
+	points, err := runPoints(ctx, Multiprog, jobs, eng)
+	if err != nil {
+		return nil, err
+	}
+	return assembleGrid(Multiprog, points), nil
+}
+
+// assembleGrid lays the engine's in-order point slice out as the
+// [size][ppc] grid. Job order is size-major, matching the serial loops.
+func assembleGrid(w Workload, points []*Point) *Grid {
+	g := &Grid{Workload: w, Points: make([][]*Point, len(sysmodel.SCCSizes))}
+	i := 0
+	for si := range sysmodel.SCCSizes {
+		g.Points[si] = make([]*Point, len(sysmodel.ProcsPerClusterSweep))
+		for pi := range sysmodel.ProcsPerClusterSweep {
+			g.Points[si][pi] = points[i]
+			i++
+		}
+	}
+	return g
+}
+
+// SweepCtx dispatches to the concurrent sweep for the workload.
+func SweepCtx(ctx context.Context, w Workload, s Scale, opts sim.Options, eng EngineOptions) (*Grid, error) {
+	if w == Multiprog {
+		return SweepMultiprogCtx(ctx, s, opts, eng)
+	}
+	return SweepParallelCtx(ctx, w, s, opts, eng)
+}
+
+// PointSpec names one (processors per cluster, SCC size) design point.
+type PointSpec struct {
+	PPC, SCCBytes int
+}
+
+// pointJobFor builds the engine job for one RunPoint-style design point,
+// sharing RunPoint's configuration rules (multiprogramming runs on a
+// single cluster) and the trace cache.
+func pointJobFor(w Workload, spec PointSpec, s Scale, opts sim.Options) pointJob {
+	cfg := sysmodel.Default(spec.PPC, spec.SCCBytes)
+	if w == Multiprog {
+		cfg.Clusters = 1
+	}
+	return pointJob{cfg: cfg, run: func(ctx context.Context) (*Point, error) {
+		if w == Multiprog {
+			refs := multiprogRefs(s)
+			procs, err := cachedMultiprogProcesses(refs, s.Seed)
+			if err != nil {
+				return nil, err
+			}
+			res, err := sim.RunMultiprog(cfg, opts, procs, multiprog.Quantum(refs))
+			if err != nil {
+				return nil, err
+			}
+			return &Point{Config: cfg, Result: res}, nil
+		}
+		prog, err := cachedParallelProgram(w, cfg.Procs(), s)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(cfg, opts, prog)
+		if err != nil {
+			return nil, err
+		}
+		return &Point{Config: cfg, Result: res}, nil
+	}}
+}
+
+// RunPointsCtx runs several design points for one workload concurrently,
+// returning results in input order.
+func RunPointsCtx(ctx context.Context, w Workload, specs []PointSpec, s Scale, opts sim.Options, eng EngineOptions) ([]*Point, error) {
+	jobs := make([]pointJob, len(specs))
+	for i, spec := range specs {
+		jobs[i] = pointJobFor(w, spec, s, opts)
+	}
+	return runPoints(ctx, w, jobs, eng)
+}
+
+// RunPointCtx is the context-aware, trace-cached form of RunPoint.
+func RunPointCtx(ctx context.Context, w Workload, ppc, sccBytes int, s Scale, opts sim.Options) (*Point, error) {
+	pts, err := RunPointsCtx(ctx, w, []PointSpec{{ppc, sccBytes}}, s, opts, EngineOptions{Parallelism: 1})
+	if err != nil {
+		return nil, err
+	}
+	return pts[0], nil
+}
+
+// RunConfigCtx simulates a parallel workload on an arbitrary
+// configuration through the trace cache.
+func RunConfigCtx(ctx context.Context, w Workload, cfg sysmodel.Config, s Scale, opts sim.Options) (*Point, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	prog, err := cachedParallelProgram(w, cfg.Procs(), s)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(cfg, opts, prog)
+	if err != nil {
+		return nil, err
+	}
+	return &Point{Config: cfg, Result: res}, nil
+}
+
+// SortedPointSpecs returns the specs in (ppc, size) order — a helper for
+// callers that build point sets from maps and need deterministic job
+// order.
+func SortedPointSpecs(m map[int]int) []PointSpec {
+	specs := make([]PointSpec, 0, len(m))
+	for ppc, size := range m {
+		specs = append(specs, PointSpec{ppc, size})
+	}
+	sort.Slice(specs, func(i, j int) bool {
+		if specs[i].PPC != specs[j].PPC {
+			return specs[i].PPC < specs[j].PPC
+		}
+		return specs[i].SCCBytes < specs[j].SCCBytes
+	})
+	return specs
+}

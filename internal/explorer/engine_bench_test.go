@@ -1,0 +1,34 @@
+package explorer_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"sccsim/internal/explorer"
+	"sccsim/internal/sim"
+)
+
+// BenchmarkSweepParallelism measures how the QuickScale Barnes-Hut
+// design-space sweep scales with the engine's worker-pool size. The
+// trace cache is warmed first so the benchmark isolates simulation
+// throughput. On a multi-core machine the 4-worker run should be well
+// over 1.5x faster than 1 worker; on a single core all sizes converge.
+func BenchmarkSweepParallelism(b *testing.B) {
+	s := explorer.QuickScale()
+	if _, err := explorer.SweepParallelCtx(context.Background(), explorer.BarnesHut, s,
+		sim.Options{}, explorer.EngineOptions{Parallelism: 1}); err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := explorer.SweepParallelCtx(context.Background(), explorer.BarnesHut, s,
+					sim.Options{}, explorer.EngineOptions{Parallelism: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,154 @@
+// External test package so the engine's output can be rendered through
+// internal/report (which imports explorer) and compared byte-for-byte
+// against the serial sweep path.
+package explorer_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"sccsim/internal/explorer"
+	"sccsim/internal/report"
+	"sccsim/internal/sim"
+)
+
+// TestSweepParallelCtxByteIdentical is the engine's determinism
+// guarantee: for QuickScale Barnes-Hut, the concurrent sweep renders
+// byte-identical tables to the serial engine, and the progress hook
+// reports every point exactly once.
+func TestSweepParallelCtxByteIdentical(t *testing.T) {
+	s := explorer.QuickScale()
+	serial, err := explorer.SweepParallel(explorer.BarnesHut, s, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var events []explorer.Progress
+	par, err := explorer.SweepParallelCtx(context.Background(), explorer.BarnesHut, s, sim.Options{},
+		explorer.EngineOptions{Parallelism: 4, Progress: func(p explorer.Progress) {
+			events = append(events, p)
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := report.SpeedupTable(par), report.SpeedupTable(serial); got != want {
+		t.Errorf("SpeedupTable diverged:\n--- parallel ---\n%s--- serial ---\n%s", got, want)
+	}
+	if got, want := report.MissRateTable(par), report.MissRateTable(serial); got != want {
+		t.Errorf("MissRateTable diverged:\n--- parallel ---\n%s--- serial ---\n%s", got, want)
+	}
+	if got, want := report.GridCSV(par), report.GridCSV(serial); got != want {
+		t.Error("GridCSV diverged")
+	}
+
+	total := len(par.Sizes()) * len(par.Procs())
+	if len(events) != total {
+		t.Fatalf("progress events = %d, want %d", len(events), total)
+	}
+	var lastElapsed int64
+	for i, e := range events {
+		if e.Done != i+1 || e.Total != total {
+			t.Errorf("event %d: Done/Total = %d/%d, want %d/%d", i, e.Done, e.Total, i+1, total)
+		}
+		if e.Workload != explorer.BarnesHut {
+			t.Errorf("event %d: workload = %s", i, e.Workload)
+		}
+		if int64(e.Elapsed) < lastElapsed {
+			t.Errorf("event %d: elapsed went backwards (%v)", i, e.Elapsed)
+		}
+		lastElapsed = int64(e.Elapsed)
+		if e.PointTime < 0 {
+			t.Errorf("event %d: negative point time", i)
+		}
+	}
+}
+
+// TestSweepMultiprogCtxByteIdentical checks the multiprogramming sweep
+// the same way, at a reduced reference budget to keep the 28 points
+// cheap.
+func TestSweepMultiprogCtxByteIdentical(t *testing.T) {
+	s := explorer.Scale{MultiprogRefs: 20_000, Seed: 1}
+	serial, err := explorer.SweepMultiprog(s, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := explorer.SweepMultiprogCtx(context.Background(), s, sim.Options{},
+		explorer.EngineOptions{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := report.GridCSV(par), report.GridCSV(serial); got != want {
+		t.Errorf("multiprog GridCSV diverged:\n--- parallel ---\n%s--- serial ---\n%s", got, want)
+	}
+}
+
+func TestSweepCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := explorer.SweepCtx(ctx, explorer.BarnesHut, explorer.QuickScale(), sim.Options{},
+		explorer.EngineOptions{Parallelism: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSweepCtxFirstError: a failing design point cancels the rest of the
+// sweep and its error — not the secondary cancellation — is returned.
+func TestSweepCtxFirstError(t *testing.T) {
+	_, err := explorer.SweepParallelCtx(context.Background(), explorer.Workload("no-such-workload"),
+		explorer.QuickScale(), sim.Options{}, explorer.EngineOptions{Parallelism: 4})
+	if err == nil {
+		t.Fatal("sweep of an unknown workload succeeded")
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatalf("first-error propagation returned the cancellation, not the cause: %v", err)
+	}
+}
+
+// TestRunPointsCtxMatchesRunPoint: the engine's point runner (with its
+// trace cache) returns the same results as the serial RunPoint path, in
+// input order, for both parallel and multiprogramming workloads.
+func TestRunPointsCtxMatchesRunPoint(t *testing.T) {
+	s := explorer.QuickScale()
+	for _, w := range []explorer.Workload{explorer.BarnesHut, explorer.Multiprog} {
+		specs := []explorer.PointSpec{{PPC: 1, SCCBytes: 64 * 1024}, {PPC: 2, SCCBytes: 32 * 1024}}
+		pts, err := explorer.RunPointsCtx(context.Background(), w, specs, s, sim.Options{},
+			explorer.EngineOptions{Parallelism: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", w, err)
+		}
+		for i, spec := range specs {
+			want, err := explorer.RunPoint(w, spec.PPC, spec.SCCBytes, s, sim.Options{})
+			if err != nil {
+				t.Fatalf("%s: %v", w, err)
+			}
+			if pts[i].Result.Cycles != want.Result.Cycles || pts[i].Result.Refs != want.Result.Refs {
+				t.Errorf("%s %dP/%dKB: engine %d cycles / %d refs, serial %d / %d",
+					w, spec.PPC, spec.SCCBytes/1024,
+					pts[i].Result.Cycles, pts[i].Result.Refs,
+					want.Result.Cycles, want.Result.Refs)
+			}
+			if pts[i].Config != want.Config {
+				t.Errorf("%s: config %v, want %v", w, pts[i].Config, want.Config)
+			}
+		}
+	}
+}
+
+func TestGridAccessors(t *testing.T) {
+	g := &explorer.Grid{Workload: explorer.BarnesHut}
+	sizes, procs := g.Sizes(), g.Procs()
+	if len(sizes) != 8 || sizes[0] != 4*1024 || sizes[7] != 512*1024 {
+		t.Errorf("Sizes() = %v", sizes)
+	}
+	if len(procs) != 4 || procs[0] != 1 || procs[3] != 8 {
+		t.Errorf("Procs() = %v", procs)
+	}
+	// Accessors hand out copies; mutating them must not corrupt the axes.
+	sizes[0], procs[0] = -1, -1
+	if g.Sizes()[0] != 4*1024 || g.Procs()[0] != 1 {
+		t.Error("accessor slices alias the sweep axes")
+	}
+}

@@ -98,6 +98,17 @@ type Grid struct {
 	Points [][]*Point
 }
 
+// Sizes returns the grid's SCC-size axis in row order (the order of
+// Points). Use it instead of indexing Points directly.
+func (g *Grid) Sizes() []int {
+	return append([]int(nil), sysmodel.SCCSizes...)
+}
+
+// Procs returns the grid's processors-per-cluster axis in column order.
+func (g *Grid) Procs() []int {
+	return append([]int(nil), sysmodel.ProcsPerClusterSweep...)
+}
+
 // At returns the point for an SCC size and processors-per-cluster value.
 func (g *Grid) At(sccBytes, ppc int) *Point {
 	for si, s := range sysmodel.SCCSizes {
@@ -181,12 +192,14 @@ func SweepMultiprog(s Scale, opts sim.Options) (*Grid, error) {
 	for si := range sysmodel.SCCSizes {
 		g.Points[si] = make([]*Point, len(sysmodel.ProcsPerClusterSweep))
 	}
+	// All 28 points replay the same eight-process trace: generate it
+	// once (the simulator never mutates it) instead of once per point.
+	procs, err := multiprog.Generate(multiprog.Params{RefsPerApp: refs, Seed: s.Seed})
+	if err != nil {
+		return nil, err
+	}
 	for pi, ppc := range sysmodel.ProcsPerClusterSweep {
 		for si, size := range sysmodel.SCCSizes {
-			procs, err := multiprog.Generate(multiprog.Params{RefsPerApp: refs, Seed: s.Seed})
-			if err != nil {
-				return nil, err
-			}
 			cfg := sysmodel.Config{
 				Clusters: 1, ProcsPerCluster: ppc, SCCBytes: size,
 				LoadLatency: sysmodel.ImpliedLoadLatency(ppc), Assoc: 1,

@@ -12,7 +12,6 @@ import (
 	"sccsim/internal/costperf"
 	"sccsim/internal/explorer"
 	"sccsim/internal/pipeline"
-	"sccsim/internal/sysmodel"
 )
 
 // Table renders rows with right-aligned columns under the given headers.
@@ -57,13 +56,13 @@ func kb(bytes int) string { return fmt.Sprintf("%d KB", bytes/1024) }
 // speedups relative to one processor per cluster, per SCC size.
 func SpeedupTable(g *explorer.Grid) string {
 	headers := []string{"SCC Size"}
-	for _, p := range sysmodel.ProcsPerClusterSweep {
+	for _, p := range g.Procs() {
 		headers = append(headers, fmt.Sprintf("%d Proc/cl", p))
 	}
 	var rows [][]string
-	for _, size := range sysmodel.SCCSizes {
+	for _, size := range g.Sizes() {
 		row := []string{kb(size)}
-		for _, p := range sysmodel.ProcsPerClusterSweep {
+		for _, p := range g.Procs() {
 			row = append(row, fmt.Sprintf("%.1f", g.Speedup(size, p)))
 		}
 		rows = append(rows, row)
@@ -81,7 +80,7 @@ func MissRateTable(g *explorer.Grid) string {
 		headers = append(headers, kb(s))
 	}
 	var rows [][]string
-	for _, p := range sysmodel.ProcsPerClusterSweep {
+	for _, p := range g.Procs() {
 		row := []string{fmt.Sprintf("%d", p)}
 		for _, s := range sizes {
 			pt := g.At(s, p)
@@ -98,13 +97,13 @@ func MissRateTable(g *explorer.Grid) string {
 // processors-per-cluster value, plus an ASCII curve per configuration.
 func Figure(g *explorer.Grid, title string) string {
 	headers := []string{"SCC Size"}
-	for _, p := range sysmodel.ProcsPerClusterSweep {
+	for _, p := range g.Procs() {
 		headers = append(headers, fmt.Sprintf("%dP/cl", p))
 	}
 	var rows [][]string
-	for _, size := range sysmodel.SCCSizes {
+	for _, size := range g.Sizes() {
 		row := []string{kb(size)}
-		for _, p := range sysmodel.ProcsPerClusterSweep {
+		for _, p := range g.Procs() {
 			row = append(row, fmt.Sprintf("%.3f", g.NormalizedTime(size, p)))
 		}
 		rows = append(rows, row)
@@ -122,13 +121,13 @@ func curves(g *explorer.Grid) string {
 	var b strings.Builder
 	b.WriteString("\n(execution time, one bar row per SCC size; marks: 1=1P 2=2P 4=4P 8=8P)\n")
 	const cols = 60
-	for _, size := range sysmodel.SCCSizes {
+	for _, size := range g.Sizes() {
 		line := make([]byte, cols+1)
 		for i := range line {
 			line[i] = ' '
 		}
 		marks := map[int]byte{1: '1', 2: '2', 4: '4', 8: '8'}
-		for _, p := range sysmodel.ProcsPerClusterSweep {
+		for _, p := range g.Procs() {
 			v := g.NormalizedTime(size, p)
 			pos := int(v * cols)
 			if pos > cols {
@@ -145,13 +144,13 @@ func curves(g *explorer.Grid) string {
 // function of processors per cluster, one series per SCC size.
 func SpeedupFigure(g *explorer.Grid) string {
 	headers := []string{"SCC Size"}
-	for _, p := range sysmodel.ProcsPerClusterSweep {
+	for _, p := range g.Procs() {
 		headers = append(headers, fmt.Sprintf("%dP", p))
 	}
 	var rows [][]string
-	for _, size := range sysmodel.SCCSizes {
+	for _, size := range g.Sizes() {
 		row := []string{kb(size)}
-		for _, p := range sysmodel.ProcsPerClusterSweep {
+		for _, p := range g.Procs() {
 			row = append(row, fmt.Sprintf("%.2f", g.Speedup(size, p)))
 		}
 		rows = append(rows, row)
@@ -164,13 +163,13 @@ func SpeedupFigure(g *explorer.Grid) string {
 // the paper's claim that clustering does not increase invalidations.
 func InvalidationTable(g *explorer.Grid) string {
 	headers := []string{"SCC Size"}
-	for _, p := range sysmodel.ProcsPerClusterSweep {
+	for _, p := range g.Procs() {
 		headers = append(headers, fmt.Sprintf("%dP/cl", p))
 	}
 	var rows [][]string
-	for _, size := range sysmodel.SCCSizes {
+	for _, size := range g.Sizes() {
 		row := []string{kb(size)}
-		for _, p := range sysmodel.ProcsPerClusterSweep {
+		for _, p := range g.Procs() {
 			pt := g.At(size, p)
 			row = append(row, fmt.Sprintf("%d", pt.Result.Snoop.Invalidations))
 		}
@@ -314,8 +313,8 @@ func FrontierTable(w explorer.Workload, points []costperf.FrontierPoint) string 
 func GridCSV(g *explorer.Grid) string {
 	var b strings.Builder
 	b.WriteString("workload,scc_bytes,procs_per_cluster,clusters,cycles,refs,read_miss_rate,invalidations,bank_stall,read_stall\n")
-	for _, size := range sysmodel.SCCSizes {
-		for _, p := range sysmodel.ProcsPerClusterSweep {
+	for _, size := range g.Sizes() {
+		for _, p := range g.Procs() {
 			pt := g.At(size, p)
 			if pt == nil {
 				continue

@@ -19,6 +19,15 @@
 //
 // Processor streams are interleaved in global virtual-time order, the
 // same conservative interleaving Tango-Lite provides.
+//
+// Concurrency contract: Run and RunMultiprog treat their inputs —
+// trace.Program and []Process — as immutable; they only ever read the
+// reference streams, and all mutable run state (caches, bus, write
+// buffers, locks, statistics) is allocated per call. It is therefore
+// safe to call Run concurrently from multiple goroutines against one
+// shared Program (the design-space engine in internal/explorer does
+// exactly this), and every such run returns identical results. This
+// contract is enforced by a -race test (TestRunSharedProgramConcurrent).
 package sim
 
 import (
@@ -465,7 +474,9 @@ func replay(prog *trace.Program, procs int, res *Result,
 }
 
 // Run simulates a parallel program on the configured system. The program
-// must have exactly cfg.Procs() streams per phase.
+// must have exactly cfg.Procs() streams per phase. Run never mutates
+// prog, so concurrent Runs may share one Program (see the package
+// comment's concurrency contract).
 func Run(cfg sysmodel.Config, opts Options, prog *trace.Program) (*Result, error) {
 	if err := prog.Validate(); err != nil {
 		return nil, err

@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"sccsim/internal/mem"
+)
+
+// TestProgramReadOnlyInvariants: Validate, Refs and Analyze are the
+// operations the sweep engine's shared-trace cache runs against one
+// Program from many goroutines; none of them may mutate it.
+func TestProgramReadOnlyInvariants(t *testing.T) {
+	prog := testProgram()
+	snapshot := cloneProgram(prog)
+
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if prog.Refs() == 0 {
+		t.Fatal("empty program")
+	}
+	if Analyze(prog) == nil {
+		t.Fatal("nil profile")
+	}
+
+	if !reflect.DeepEqual(prog, snapshot) {
+		t.Error("Validate/Refs/Analyze mutated the program")
+	}
+}
+
+func testProgram() *Program {
+	mk := func(seed uint32) []mem.Ref {
+		b := NewBuilder(16)
+		b.Compute(5)
+		b.Read(0x1000 + seed*64)
+		b.Write(0x2000 + seed*64)
+		b.Lock(0x3000)
+		b.Read(0x1000 + seed*64)
+		b.Unlock(0x3000)
+		b.Compute(3)
+		return b.Finish()
+	}
+	return &Program{
+		Name:  "immutable-test",
+		Procs: 2,
+		Phases: []Phase{
+			{Name: "a", Streams: [][]mem.Ref{mk(0), mk(1)}},
+			{Name: "b", Streams: [][]mem.Ref{mk(2), mk(3)}},
+		},
+	}
+}
+
+func cloneProgram(p *Program) *Program {
+	c := &Program{Name: p.Name, Procs: p.Procs, Phases: make([]Phase, len(p.Phases))}
+	for i, ph := range p.Phases {
+		cp := Phase{Name: ph.Name, Streams: make([][]mem.Ref, len(ph.Streams))}
+		for j, st := range ph.Streams {
+			cp.Streams[j] = append([]mem.Ref(nil), st...)
+		}
+		c.Phases[i] = cp
+	}
+	return c
+}

@@ -30,7 +30,10 @@ type Phase struct {
 }
 
 // Program is a complete workload trace: what one run of the application
-// does on every processor.
+// does on every processor. A Program is immutable once its generator
+// returns it: the simulator, the analyzer and the sweep engine only read
+// it, so one Program may back any number of concurrent simulations (the
+// explorer trace cache relies on this).
 type Program struct {
 	// Name identifies the workload ("barnes-hut", "mp3d", ...).
 	Name string

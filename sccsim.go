@@ -22,12 +22,20 @@
 //
 // Quick start:
 //
-//	grid, err := sccsim.Sweep(sccsim.BarnesHut, sccsim.QuickScale())
+//	grid, err := sccsim.SweepCtx(context.Background(), sccsim.BarnesHut,
+//		sccsim.WithScale(sccsim.QuickScale()))
 //	if err != nil { ... }
 //	fmt.Print(sccsim.SpeedupTable(grid)) // the paper's Table 3
+//
+// Sweeps run on a concurrent engine: independent design points are
+// distributed over a bounded worker pool (WithParallelism; default
+// GOMAXPROCS) that shares one immutable trace per processor count, and
+// the assembled grid is byte-identical to a serial run.
 package sccsim
 
 import (
+	"context"
+
 	"sccsim/internal/area"
 	"sccsim/internal/costperf"
 	"sccsim/internal/explorer"
@@ -96,28 +104,125 @@ var SCCSizes = sysmodel.SCCSizes
 // ProcsPerClusterSweep is the paper's processor sweep (1, 2, 4, 8).
 var ProcsPerClusterSweep = sysmodel.ProcsPerClusterSweep
 
+// Progress is one progress event from the concurrent sweep engine,
+// delivered after each completed design point.
+type Progress = explorer.Progress
+
+// expCfg is the resolved configuration of one Do/SweepCtx experiment.
+type expCfg struct {
+	scale       Scale
+	sim         Options
+	cfg         *Config
+	ppc, scc    int
+	parallelism int
+	progress    func(Progress)
+}
+
+// Opt configures an experiment run by Do, SweepCtx or
+// BuildCostPerfEntryCtx.
+type Opt func(*expCfg)
+
+// WithScale sets the problem sizes (default: PaperScale).
+func WithScale(s Scale) Opt { return func(c *expCfg) { c.scale = s } }
+
+// WithSimOptions sets simulator options beyond the architectural
+// configuration (write-buffer depth, ablations; default: the paper's
+// model).
+func WithSimOptions(o Options) Opt { return func(c *expCfg) { c.sim = o } }
+
+// WithConfig pins Do to an arbitrary design point (cluster count,
+// associativity, load latency all free). Overrides WithPoint. Only
+// parallel workloads accept an explicit Config.
+func WithConfig(cfg Config) Opt { return func(c *expCfg) { c.cfg = &cfg } }
+
+// WithPoint sets Do's design point on the paper's default system:
+// four clusters (one for the multiprogramming workload) and the load
+// latency implied by the Section 4 implementation. The default point is
+// the paper's 1P/64KB baseline.
+func WithPoint(procsPerCluster, sccBytes int) Opt {
+	return func(c *expCfg) { c.ppc, c.scc = procsPerCluster, sccBytes }
+}
+
+// WithParallelism bounds the sweep engine's worker pool (default:
+// GOMAXPROCS). Results are deterministic — byte-identical rendered
+// tables — for every value.
+func WithParallelism(n int) Opt { return func(c *expCfg) { c.parallelism = n } }
+
+// WithProgress installs a progress hook, called serially after every
+// completed design point.
+func WithProgress(fn func(Progress)) Opt { return func(c *expCfg) { c.progress = fn } }
+
+func resolve(opts []Opt) expCfg {
+	c := expCfg{scale: PaperScale(), ppc: 1, scc: 64 * 1024}
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+func (c expCfg) engine() explorer.EngineOptions {
+	return explorer.EngineOptions{Parallelism: c.parallelism, Progress: c.progress}
+}
+
+// Do simulates one workload at one design point — the single entry point
+// behind Run/RunWithOptions/RunConfig. The design point comes from
+// WithConfig or WithPoint (default: the paper's 1P/64KB baseline);
+// problem sizes from WithScale (default: PaperScale). Workload traces
+// are generated once per (workload, processors, scale) and cached, so
+// repeated experiments over the same trace pay for generation once.
+func Do(ctx context.Context, w Workload, opts ...Opt) (*Point, error) {
+	c := resolve(opts)
+	if c.cfg != nil {
+		return explorer.RunConfigCtx(ctx, w, *c.cfg, c.scale, c.sim)
+	}
+	return explorer.RunPointCtx(ctx, w, c.ppc, c.scc, c.scale, c.sim)
+}
+
+// SweepCtx runs a workload over the full processor-cache design space
+// (Figures 2-6 of the paper) on the concurrent sweep engine: the 32
+// independent design points are distributed over a bounded worker pool
+// (WithParallelism; default GOMAXPROCS) sharing one immutable trace per
+// processor count, with deterministic grid assembly — the rendered
+// tables are byte-identical to a serial run for any parallelism.
+// Cancelling ctx stops the sweep; the first point error cancels the
+// remaining points and is returned.
+func SweepCtx(ctx context.Context, w Workload, opts ...Opt) (*Grid, error) {
+	c := resolve(opts)
+	return explorer.SweepCtx(ctx, w, c.scale, c.sim, c.engine())
+}
+
+// BuildCostPerfEntryCtx simulates a workload on the four Section 4
+// implementations (1P/64KB, 2P/32KB, 4P/64KB, 8P/128KB) on the
+// concurrent sweep engine.
+func BuildCostPerfEntryCtx(ctx context.Context, w Workload, opts ...Opt) (*CostPerfEntry, error) {
+	c := resolve(opts)
+	return costperf.BuildEntryCtx(ctx, w, c.scale, c.sim, c.engine())
+}
+
+// ResetTraceCache drops every cached workload trace, releasing memory
+// after paper-scale experiments.
+func ResetTraceCache() { explorer.ResetTraceCache() }
+
 // Run simulates one workload at one design point.
+//
+// Deprecated: use Do with WithPoint and WithScale.
 func Run(w Workload, procsPerCluster, sccBytes int, s Scale) (*Point, error) {
-	return explorer.RunPoint(w, procsPerCluster, sccBytes, s, sim.Options{})
+	return Do(context.Background(), w, WithPoint(procsPerCluster, sccBytes), WithScale(s))
 }
 
 // RunWithOptions is Run with explicit simulator options.
+//
+// Deprecated: use Do with WithPoint, WithScale and WithSimOptions.
 func RunWithOptions(w Workload, procsPerCluster, sccBytes int, s Scale, opts Options) (*Point, error) {
-	return explorer.RunPoint(w, procsPerCluster, sccBytes, s, opts)
+	return Do(context.Background(), w, WithPoint(procsPerCluster, sccBytes), WithScale(s), WithSimOptions(opts))
 }
 
 // RunConfig simulates a parallel workload on an arbitrary configuration
 // (cluster count, associativity, load latency all free).
+//
+// Deprecated: use Do with WithConfig.
 func RunConfig(w Workload, cfg Config, s Scale, opts Options) (*Point, error) {
-	prog, err := explorer.GenerateParallel(w, cfg.Procs(), s)
-	if err != nil {
-		return nil, err
-	}
-	res, err := sim.Run(cfg, opts, prog)
-	if err != nil {
-		return nil, err
-	}
-	return &Point{Config: cfg, Result: res}, nil
+	return Do(context.Background(), w, WithConfig(cfg), WithScale(s), WithSimOptions(opts))
 }
 
 // RunPrivateCaches simulates a parallel workload on the paper's
@@ -161,14 +266,19 @@ func RunFlat(w Workload, totalProcs, cacheBytes int, s Scale) (*Point, error) {
 }
 
 // Sweep runs a workload over the full processor-cache design space
-// (Figures 2-6 of the paper).
+// (Figures 2-6 of the paper) on the concurrent sweep engine at the
+// default parallelism.
+//
+// Deprecated: use SweepCtx with WithScale.
 func Sweep(w Workload, s Scale) (*Grid, error) {
-	return explorer.Sweep(w, s, sim.Options{})
+	return SweepCtx(context.Background(), w, WithScale(s))
 }
 
 // SweepWithOptions is Sweep with explicit simulator options (ablations).
+//
+// Deprecated: use SweepCtx with WithScale and WithSimOptions.
 func SweepWithOptions(w Workload, s Scale, opts Options) (*Grid, error) {
-	return explorer.Sweep(w, s, opts)
+	return SweepCtx(context.Background(), w, WithScale(s), WithSimOptions(opts))
 }
 
 // GenerateTrace builds the raw per-processor reference trace for a
