@@ -2,12 +2,13 @@
 
 GO ?= go
 
-.PHONY: all check build test test-race vet quick bench bench-quick experiments cover clean
+.PHONY: all check build test test-race race-obs vet quick bench bench-quick bench-json experiments cover clean
 
 all: build vet test
 
-# Tier-1 gate: compile, vet, full test suite.
-check: build vet test
+# Tier-1 gate: compile, vet, full test suite, race-enabled observability
+# and engine packages.
+check: build vet test race-obs
 
 build:
 	$(GO) build ./...
@@ -27,6 +28,17 @@ quick:
 # (internal/explorer, internal/costperf, plus the facade API).
 test-race:
 	$(GO) test -race -short ./internal/sim/... ./internal/explorer/... ./internal/costperf/... .
+
+# Race-enabled run of the instrumentation layer and the engine that
+# drives it concurrently — cheap enough to sit inside `make check`.
+race-obs:
+	$(GO) test -race ./internal/obs ./internal/explorer
+
+# Machine-readable sweep benchmark: a quick-scale Barnes-Hut sweep whose
+# run manifest (timings, utilization, per-point stats) is committed as
+# BENCH_sweep.json to track the engine's performance across PRs.
+bench-json:
+	$(GO) run ./cmd/sccexplore -csv barnes-hut -scale quick -quiet -manifest BENCH_sweep.json > /dev/null
 
 # Regenerate every paper table/figure at paper scale.
 bench:

@@ -10,8 +10,17 @@
 //	sccexplore -list                    # list experiment ids
 //
 // Sweeps run on the concurrent design-space engine and render a live
-// progress meter on stderr (suppress with -quiet). Output is identical
-// for every -parallel value; Ctrl-C cancels cleanly.
+// progress meter on stderr (suppress with -quiet). Results go to stdout;
+// every diagnostic (progress, timing footer, errors) goes to stderr, so
+// stdout can be piped or redirected cleanly — in particular, -csv output
+// is exactly the CSV document. Output is identical for every -parallel
+// value; Ctrl-C cancels cleanly.
+//
+// Observability:
+//
+//	sccexplore -csv barnes-hut -manifest run.json  # versioned JSON run manifest
+//	sccexplore -csv barnes-hut -trace run.trace    # Chrome trace (Perfetto)
+//	sccexplore -exp all -debug-addr :6060          # live pprof + expvar metrics
 //
 // Experiments: fig2 table3 table4 fig3 fig4 fig5 fig6 table5 table6
 // table7 area invariance all.
@@ -19,13 +28,24 @@ package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"time"
 
 	"sccsim"
+)
+
+// stdout receives experiment results only; stderr receives every
+// diagnostic. Tests swap them to assert the separation.
+var (
+	stdout io.Writer = os.Stdout
+	stderr io.Writer = os.Stderr
 )
 
 var experiments = []struct {
@@ -47,20 +67,33 @@ var experiments = []struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (see -list)")
-	scaleName := flag.String("scale", "paper", `problem scale: "paper" or "quick"`)
-	seed := flag.Int64("seed", 1, "workload generator seed")
-	list := flag.Bool("list", false, "list experiment ids and exit")
-	csvWorkload := flag.String("csv", "", "dump a workload's full design-space sweep as CSV and exit (barnes-hut|mp3d|cholesky|multiprog)")
-	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS); results are identical for any value")
-	quiet := flag.Bool("quiet", false, "suppress the live progress meter on stderr")
-	flag.Parse()
+	os.Exit(cli(os.Args[1:]))
+}
+
+// cli is the whole command behind main, parameterized for tests: it
+// parses args, runs, and returns the process exit code.
+func cli(args []string) int {
+	fs := flag.NewFlagSet("sccexplore", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment id (see -list)")
+	scaleName := fs.String("scale", "paper", `problem scale: "paper" or "quick"`)
+	seed := fs.Int64("seed", 1, "workload generator seed")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	csvWorkload := fs.String("csv", "", "dump a workload's full design-space sweep as CSV and exit (barnes-hut|mp3d|cholesky|multiprog)")
+	parallel := fs.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS); results are identical for any value")
+	quiet := fs.Bool("quiet", false, "suppress the live progress meter on stderr")
+	manifestPath := fs.String("manifest", "", "write a versioned JSON run manifest of the -csv sweep to this file")
+	tracePath := fs.String("trace", "", "write a Chrome trace_event timeline of the -csv sweep to this file (open in Perfetto)")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, e := range experiments {
-			fmt.Printf("%-11s %s\n", e.id, e.desc)
+			fmt.Fprintf(stdout, "%-11s %s\n", e.id, e.desc)
 		}
-		return
+		return 0
 	}
 
 	var scale sccsim.Scale
@@ -70,10 +103,33 @@ func main() {
 	case "quick":
 		scale = sccsim.QuickScale()
 	default:
-		fmt.Fprintf(os.Stderr, "sccexplore: unknown scale %q\n", *scaleName)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "sccexplore: unknown scale %q\n", *scaleName)
+		return 2
 	}
 	scale.Seed = *seed
+
+	if (*manifestPath != "" || *tracePath != "") && *csvWorkload == "" {
+		fmt.Fprintln(stderr, "sccexplore: -manifest and -trace require -csv (they describe one sweep)")
+		return 2
+	}
+
+	// The metrics registry feeds two consumers: the expvar endpoint
+	// (live, while running) and the manifest's metrics snapshot (final).
+	var metrics *sccsim.Metrics
+	if *debugAddr != "" || *manifestPath != "" {
+		metrics = sccsim.NewMetrics()
+	}
+	if *debugAddr != "" {
+		expvar.Publish("sccsim", expvar.Func(func() any { return metrics.Snapshot() }))
+		go func() {
+			// DefaultServeMux carries both the pprof handlers (via the
+			// package import) and expvar's /debug/vars.
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintf(stderr, "sccexplore: debug server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(stderr, "sccexplore: pprof and expvar on http://%s/debug/\n", *debugAddr)
+	}
 
 	// Ctrl-C cancels the in-flight sweep points and exits cleanly.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -81,6 +137,9 @@ func main() {
 
 	opts := func(label string) []sccsim.Opt {
 		o := []sccsim.Opt{sccsim.WithScale(scale), sccsim.WithParallelism(*parallel)}
+		if metrics != nil {
+			o = append(o, sccsim.WithMetrics(metrics))
+		}
 		if !*quiet {
 			o = append(o, sccsim.WithProgress(progressMeter(label)))
 		}
@@ -88,19 +147,65 @@ func main() {
 	}
 
 	if *csvWorkload != "" {
-		g, err := sccsim.SweepCtx(ctx, sccsim.Workload(*csvWorkload), opts(*csvWorkload)...)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "sccexplore: %v\n", err)
-			os.Exit(1)
+		if err := runCSV(ctx, *csvWorkload, *manifestPath, *tracePath, opts); err != nil {
+			fmt.Fprintf(stderr, "sccexplore: %v\n", err)
+			return 1
 		}
-		fmt.Print(sccsim.GridCSV(g))
-		return
+		return 0
 	}
 
-	if err := run(ctx, *exp, scale, opts); err != nil {
-		fmt.Fprintf(os.Stderr, "sccexplore: %v\n", err)
-		os.Exit(1)
+	if err := run(ctx, *exp, opts); err != nil {
+		fmt.Fprintf(stderr, "sccexplore: %v\n", err)
+		return 1
 	}
+	return 0
+}
+
+// runCSV sweeps one workload and prints its grid as CSV, optionally
+// writing the run manifest and Chrome trace artifacts.
+func runCSV(ctx context.Context, workload, manifestPath, tracePath string, opts func(string) []sccsim.Opt) error {
+	o := opts(workload)
+	var files []*os.File
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	open := func(path string) (*os.File, error) {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		return f, nil
+	}
+	if manifestPath != "" {
+		f, err := open(manifestPath)
+		if err != nil {
+			return err
+		}
+		o = append(o, sccsim.WithManifest(f))
+	}
+	if tracePath != "" {
+		f, err := open(tracePath)
+		if err != nil {
+			return err
+		}
+		o = append(o, sccsim.WithTraceExport(f))
+	}
+	g, err := sccsim.SweepCtx(ctx, sccsim.Workload(workload), o...)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, sccsim.GridCSV(g))
+	for _, f := range files {
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "sccexplore: wrote %s\n", f.Name())
+	}
+	files = nil
+	return nil
 }
 
 // progressMeter renders the engine's progress hook as a live one-line
@@ -108,19 +213,20 @@ func main() {
 // simulation time of the point that just finished.
 func progressMeter(label string) func(sccsim.Progress) {
 	return func(p sccsim.Progress) {
-		fmt.Fprintf(os.Stderr, "\r%-12s %2d/%d points  elapsed %-8v  last %v (%v)        ",
+		fmt.Fprintf(stderr, "\r%-12s %2d/%d points  elapsed %-8v  last %v (%v)        ",
 			label, p.Done, p.Total,
 			p.Elapsed.Round(10*time.Millisecond),
 			p.PointTime.Round(time.Millisecond), p.Config)
 		if p.Done == p.Total {
-			fmt.Fprintln(os.Stderr)
+			fmt.Fprintln(stderr)
 		}
 	}
 }
 
-func run(ctx context.Context, exp string, scale sccsim.Scale, opts func(label string) []sccsim.Opt) error {
+func run(ctx context.Context, exp string, opts func(label string) []sccsim.Opt) error {
 	start := time.Now()
-	defer func() { fmt.Printf("\n[%s in %v]\n", exp, time.Since(start).Round(time.Millisecond)) }()
+	// Timing footer is a diagnostic: stderr, so stdout stays pipeable.
+	defer func() { fmt.Fprintf(stderr, "[%s in %v]\n", exp, time.Since(start).Round(time.Millisecond)) }()
 
 	// Cached sweeps so "all" reuses grids across experiments.
 	grids := map[sccsim.Workload]*sccsim.Grid{}
@@ -158,48 +264,48 @@ func run(ctx context.Context, exp string, scale sccsim.Scale, opts func(label st
 			if err != nil {
 				return err
 			}
-			fmt.Println(sccsim.Figure(g, "Figure "+id[3:]+" — "+string(w)))
+			fmt.Fprintln(stdout, sccsim.Figure(g, "Figure "+id[3:]+" — "+string(w)))
 		case "table3":
 			g, err := grid(sccsim.BarnesHut)
 			if err != nil {
 				return err
 			}
-			fmt.Println(sccsim.SpeedupTable(g))
+			fmt.Fprintln(stdout, sccsim.SpeedupTable(g))
 		case "table4":
 			g, err := grid(sccsim.BarnesHut)
 			if err != nil {
 				return err
 			}
-			fmt.Println(sccsim.MissRateTable(g))
+			fmt.Fprintln(stdout, sccsim.MissRateTable(g))
 		case "fig6":
 			g, err := grid(sccsim.Multiprog)
 			if err != nil {
 				return err
 			}
-			fmt.Println(sccsim.SpeedupFigure(g))
+			fmt.Fprintln(stdout, sccsim.SpeedupFigure(g))
 		case "table5":
-			fmt.Println(sccsim.RenderTable5())
+			fmt.Fprintln(stdout, sccsim.RenderTable5())
 		case "table6":
 			entries, err := costEntries()
 			if err != nil {
 				return err
 			}
-			fmt.Println(sccsim.RenderTable6(sccsim.CompareSingleChip(entries)))
+			fmt.Fprintln(stdout, sccsim.RenderTable6(sccsim.CompareSingleChip(entries)))
 		case "table7":
 			entries, err := costEntries()
 			if err != nil {
 				return err
 			}
-			fmt.Println(sccsim.RenderTable7(sccsim.CompareMCM(entries)))
+			fmt.Fprintln(stdout, sccsim.RenderTable7(sccsim.CompareMCM(entries)))
 		case "area":
-			fmt.Println(sccsim.RenderAreaReport())
+			fmt.Fprintln(stdout, sccsim.RenderAreaReport())
 		case "frontier":
 			for _, w := range sccsim.AllWorkloads {
 				g, err := grid(w)
 				if err != nil {
 					return err
 				}
-				fmt.Println(sccsim.RenderFrontier(w, sccsim.Frontier(g)))
+				fmt.Fprintln(stdout, sccsim.RenderFrontier(w, sccsim.Frontier(g)))
 			}
 		case "invariance":
 			for _, w := range []sccsim.Workload{sccsim.BarnesHut, sccsim.MP3D, sccsim.Cholesky} {
@@ -207,7 +313,7 @@ func run(ctx context.Context, exp string, scale sccsim.Scale, opts func(label st
 				if err != nil {
 					return err
 				}
-				fmt.Println(sccsim.InvalidationTable(g))
+				fmt.Fprintln(stdout, sccsim.InvalidationTable(g))
 			}
 		default:
 			return fmt.Errorf("unknown experiment %q (try -list)", id)
@@ -219,7 +325,7 @@ func run(ctx context.Context, exp string, scale sccsim.Scale, opts func(label st
 		return show(exp)
 	}
 	for _, e := range experiments {
-		fmt.Printf("=== %s — %s ===\n", e.id, e.desc)
+		fmt.Fprintf(stdout, "=== %s — %s ===\n", e.id, e.desc)
 		if err := show(e.id); err != nil {
 			return err
 		}

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI runs the command in-process with stdout/stderr captured.
+func runCLI(t *testing.T, args ...string) (code int, out, errOut string) {
+	t.Helper()
+	var o, e bytes.Buffer
+	oldOut, oldErr := stdout, stderr
+	stdout, stderr = &o, &e
+	defer func() { stdout, stderr = oldOut, oldErr }()
+	code = cli(args)
+	return code, o.String(), e.String()
+}
+
+// TestCSVStdoutIsClean pins the contract that -csv output is exactly the
+// CSV document: header plus data rows, with every diagnostic (progress
+// meter, timing footer) on stderr.
+func TestCSVStdoutIsClean(t *testing.T) {
+	code, out, errOut := runCLI(t, "-csv", "multiprog", "-scale", "quick", "-parallel", "4")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errOut)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.HasPrefix(lines[0], "workload,") {
+		t.Fatalf("stdout does not start with the CSV header:\n%s", out)
+	}
+	for i, line := range lines[1:] {
+		if !strings.HasPrefix(line, "multiprog,") {
+			t.Errorf("stdout line %d is not a CSV row: %q", i+2, line)
+		}
+	}
+	if strings.Contains(out, "[") || strings.Contains(out, "points") {
+		t.Errorf("diagnostics leaked into stdout:\n%s", out)
+	}
+	// The progress meter still runs — on stderr.
+	if !strings.Contains(errOut, "points") {
+		t.Errorf("progress meter missing from stderr:\n%s", errOut)
+	}
+}
+
+// TestExperimentFooterOnStderr: the timing footer must land on stderr,
+// leaving stdout to carry the experiment output alone.
+func TestExperimentFooterOnStderr(t *testing.T) {
+	code, out, errOut := runCLI(t, "-exp", "area", "-quiet")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errOut)
+	}
+	if strings.Contains(out, "[area in ") {
+		t.Errorf("timing footer leaked into stdout:\n%s", out)
+	}
+	if !strings.Contains(errOut, "[area in ") {
+		t.Errorf("timing footer missing from stderr:\n%s", errOut)
+	}
+	if !strings.Contains(out, "Cluster implementations") && len(out) == 0 {
+		t.Error("experiment output missing from stdout")
+	}
+}
+
+// TestManifestAndTraceFlags: the -csv sweep writes both artifacts and
+// they parse as JSON.
+func TestManifestAndTraceFlags(t *testing.T) {
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "run.json")
+	trace := filepath.Join(dir, "run.trace")
+	code, out, errOut := runCLI(t,
+		"-csv", "multiprog", "-scale", "quick", "-quiet", "-parallel", "4",
+		"-manifest", manifest, "-trace", trace)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errOut)
+	}
+	if !strings.HasPrefix(out, "workload,") {
+		t.Errorf("stdout is not CSV:\n%s", out)
+	}
+	var doc struct {
+		Version  int    `json:"version"`
+		Workload string `json:"workload"`
+		Sweep    struct {
+			TraceCacheMisses uint64 `json:"trace_cache_misses"`
+		} `json:"sweep"`
+	}
+	if err := decodeJSONFile(manifest, &doc); err != nil {
+		t.Fatalf("manifest: %v", err)
+	}
+	if doc.Version != 1 || doc.Workload != "multiprog" {
+		t.Errorf("manifest = version %d workload %q", doc.Version, doc.Workload)
+	}
+	var tr struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := decodeJSONFile(trace, &tr); err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Error("chrome trace is empty")
+	}
+}
+
+// TestManifestRequiresCSV: -manifest/-trace describe one sweep; outside
+// -csv mode they are a usage error.
+func TestManifestRequiresCSV(t *testing.T) {
+	code, _, errOut := runCLI(t, "-exp", "area", "-manifest", "x.json")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2 (usage error); stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "-csv") {
+		t.Errorf("usage error does not mention -csv:\n%s", errOut)
+	}
+}
+
+// TestDebugEndpointsServe: with -debug-addr semantics, DefaultServeMux
+// must carry both pprof and expvar handlers (the import side effects the
+// flag relies on).
+func TestDebugEndpointsServe(t *testing.T) {
+	srv := httptest.NewServer(http.DefaultServeMux)
+	defer srv.Close()
+	for _, path := range []string{"/debug/vars", "/debug/pprof/"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestListGoesToStdout keeps -list scriptable.
+func TestListGoesToStdout(t *testing.T) {
+	code, out, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "table3") || !strings.Contains(out, "frontier") {
+		t.Errorf("-list output incomplete:\n%s", out)
+	}
+}
+
+func decodeJSONFile(path string, v any) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(b, v)
+}

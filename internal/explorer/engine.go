@@ -15,8 +15,10 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"sccsim/internal/obs"
 	"sccsim/internal/sim"
 	"sccsim/internal/sysmodel"
 	"sccsim/internal/trace"
@@ -37,10 +39,46 @@ type Progress struct {
 	Config sysmodel.Config
 	// PointTime is how long that point's simulation took.
 	PointTime time.Duration
+	// QueueWait is how long the point sat scheduled before a worker
+	// picked it up.
+	QueueWait time.Duration
+	// TraceHits and TraceMisses are the sweep's cumulative trace-cache
+	// counts at the time of the event: a miss generates a workload
+	// trace, a hit reuses one (the miss count for a whole sweep equals
+	// the number of distinct trace keys — each trace is generated
+	// exactly once).
+	TraceHits, TraceMisses uint64
+}
+
+// SweepReport summarizes a completed sweep: wall-clock and per-point
+// timings, worker-pool utilization, and trace-cache effectiveness. It
+// feeds the run manifest (see the sccsim facade) and the CLI's
+// diagnostics.
+type SweepReport struct {
+	// Workload the engine swept.
+	Workload Workload
+	// Points is the number of design points run; Workers the pool size.
+	Points, Workers int
+	// Wall is the whole sweep's wall-clock time.
+	Wall time.Duration
+	// PointWall[i] is design point i's simulation time, in job order
+	// (SCC-size-major, matching the serial sweep loops).
+	PointWall []time.Duration
+	// QueueWait[i] is how long point i waited for a worker.
+	QueueWait []time.Duration
+	// Busy is the sum of PointWall — total simulation work done.
+	Busy time.Duration
+	// Utilization is Busy / (Workers * Wall): 1.0 means every worker
+	// simulated for the whole sweep.
+	Utilization float64
+	// TraceHits and TraceMisses count trace-cache lookups: each miss
+	// generated a workload trace, each hit shared one.
+	TraceHits, TraceMisses uint64
 }
 
 // EngineOptions tunes the concurrent sweep engine. The zero value runs
-// one worker per available CPU (GOMAXPROCS) with no progress reporting.
+// one worker per available CPU (GOMAXPROCS) with no progress reporting
+// and no instrumentation.
 type EngineOptions struct {
 	// Parallelism is the worker-pool size; <= 0 means GOMAXPROCS.
 	// Results are deterministic for every value.
@@ -48,6 +86,18 @@ type EngineOptions struct {
 	// Progress, when non-nil, is called (serially, from engine
 	// goroutines) after every completed design point.
 	Progress func(Progress)
+	// Report, when non-nil, is called once after a sweep completes
+	// successfully with the sweep's telemetry.
+	Report func(SweepReport)
+	// NewTracer, when non-nil, is called once per design point to build
+	// that run's simulator tracer (e.g. an obs collector track). The
+	// engine never shares a tracer between concurrent runs.
+	NewTracer func(cfg sysmodel.Config) sim.Tracer
+	// Metrics, when non-nil, receives live engine counters
+	// (explorer.points_done, explorer.trace_cache_{hits,misses}) and a
+	// per-point wall-time histogram (explorer.point_ms) — the registry a
+	// long-running CLI exposes over expvar.
+	Metrics *obs.Registry
 }
 
 func (o EngineOptions) workers() int {
@@ -57,16 +107,53 @@ func (o EngineOptions) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// pointJob is one design point scheduled on the engine.
+// pointJob is one design point scheduled on the engine. run receives the
+// point's tracer (nil unless EngineOptions.NewTracer is set) and wires
+// it into the simulator options.
 type pointJob struct {
 	cfg sysmodel.Config
-	run func(ctx context.Context) (*Point, error)
+	run func(ctx context.Context, tr sim.Tracer) (*Point, error)
 }
+
+// traceCounters accumulates one sweep's trace-cache lookups; jobs record
+// into it and the engine folds the totals into Progress events and the
+// SweepReport. A nil receiver no-ops (points run outside a sweep).
+type traceCounters struct {
+	hits, misses atomic.Uint64
+	reg          *obs.Registry
+}
+
+// record notes one cache lookup (hit = an already-generated trace was
+// shared; miss = this lookup generated the trace).
+func (t *traceCounters) record(hit bool) {
+	if t == nil {
+		return
+	}
+	if hit {
+		t.hits.Add(1)
+		t.reg.Counter("explorer.trace_cache_hits").Inc()
+	} else {
+		t.misses.Add(1)
+		t.reg.Counter("explorer.trace_cache_misses").Inc()
+	}
+}
+
+// loads returns the current (hits, misses).
+func (t *traceCounters) loads() (uint64, uint64) {
+	if t == nil {
+		return 0, 0
+	}
+	return t.hits.Load(), t.misses.Load()
+}
+
+// pointWallBucketsMS is the fixed bucket layout (milliseconds) of the
+// engine's per-point wall-time histogram.
+var pointWallBucketsMS = []uint64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 60000}
 
 // runPoints executes the jobs on a bounded worker pool and returns their
 // results in job order. On the first job error the engine cancels the
 // remaining jobs and returns that error; results are nil on failure.
-func runPoints(ctx context.Context, w Workload, jobs []pointJob, eng EngineOptions) ([]*Point, error) {
+func runPoints(ctx context.Context, w Workload, jobs []pointJob, eng EngineOptions, tc *traceCounters) ([]*Point, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -76,6 +163,8 @@ func runPoints(ctx context.Context, w Workload, jobs []pointJob, eng EngineOptio
 	}
 	results := make([]*Point, len(jobs))
 	errs := make([]error, len(jobs))
+	pointWall := make([]time.Duration, len(jobs))
+	queueWait := make([]time.Duration, len(jobs))
 	idxCh := make(chan int)
 	start := time.Now()
 	var (
@@ -93,22 +182,37 @@ func runPoints(ctx context.Context, w Workload, jobs []pointJob, eng EngineOptio
 					continue
 				}
 				t0 := time.Now()
-				pt, err := jobs[idx].run(ctx)
+				queueWait[idx] = t0.Sub(start)
+				var tr sim.Tracer
+				if eng.NewTracer != nil {
+					tr = eng.NewTracer(jobs[idx].cfg)
+				}
+				pt, err := jobs[idx].run(ctx, tr)
 				if err != nil {
 					errs[idx] = err
 					cancel()
 					continue
 				}
+				pointWall[idx] = time.Since(t0)
 				results[idx] = pt
+				if m := eng.Metrics; m != nil {
+					m.Counter("explorer.points_done").Inc()
+					m.Histogram("explorer.point_ms", pointWallBucketsMS).
+						Observe(uint64(pointWall[idx].Milliseconds()))
+				}
 				if eng.Progress != nil {
+					hits, misses := tc.loads()
 					mu.Lock()
 					done++
 					eng.Progress(Progress{
 						Workload: w,
 						Done:     done, Total: len(jobs),
-						Elapsed:   time.Since(start),
-						Config:    pt.Config,
-						PointTime: time.Since(t0),
+						Elapsed:     time.Since(start),
+						Config:      pt.Config,
+						PointTime:   pointWall[idx],
+						QueueWait:   queueWait[idx],
+						TraceHits:   hits,
+						TraceMisses: misses,
 					})
 					mu.Unlock()
 				}
@@ -139,6 +243,27 @@ func runPoints(ctx context.Context, w Workload, jobs []pointJob, eng EngineOptio
 	}
 	if firstCtx != nil {
 		return nil, firstCtx
+	}
+	if eng.Report != nil {
+		wall := time.Since(start)
+		var busy time.Duration
+		for _, d := range pointWall {
+			busy += d
+		}
+		util := 0.0
+		if wall > 0 && workers > 0 {
+			util = float64(busy) / (float64(workers) * float64(wall))
+		}
+		hits, misses := tc.loads()
+		eng.Report(SweepReport{
+			Workload: w,
+			Points:   len(jobs), Workers: workers,
+			Wall:      wall,
+			PointWall: pointWall,
+			QueueWait: queueWait,
+			Busy:      busy, Utilization: util,
+			TraceHits: hits, TraceMisses: misses,
+		})
 	}
 	return results, nil
 }
@@ -195,7 +320,11 @@ func ResetTraceCache() {
 	traceCache.multiprog = make(map[multiprogKey]*cacheEntry)
 }
 
-func cachedParallelProgram(w Workload, procs int, s Scale) (*trace.Program, error) {
+// cachedParallelProgram returns the shared program for a (workload,
+// procs, scale) key. hit reports whether the program already existed (or
+// another requester is generating it); a miss means this call generated
+// it — each distinct key is generated exactly once per cache lifetime.
+func cachedParallelProgram(w Workload, procs int, s Scale) (prog *trace.Program, hit bool, err error) {
 	traceCache.Lock()
 	if len(traceCache.parallel) >= maxCachedTraces {
 		traceCache.parallel = make(map[parallelKey]*cacheEntry)
@@ -208,10 +337,10 @@ func cachedParallelProgram(w Workload, procs int, s Scale) (*trace.Program, erro
 	}
 	traceCache.Unlock()
 	e.once.Do(func() { e.prog, e.err = GenerateParallel(w, procs, s) })
-	return e.prog, e.err
+	return e.prog, ok, e.err
 }
 
-func cachedMultiprogProcesses(refs int, seed int64) ([]sim.Process, error) {
+func cachedMultiprogProcesses(refs int, seed int64) (pset []sim.Process, hit bool, err error) {
 	traceCache.Lock()
 	if len(traceCache.multiprog) >= maxCachedTraces {
 		traceCache.multiprog = make(map[multiprogKey]*cacheEntry)
@@ -224,7 +353,7 @@ func cachedMultiprogProcesses(refs int, seed int64) ([]sim.Process, error) {
 	}
 	traceCache.Unlock()
 	e.once.Do(func() { e.pset, e.err = multiprog.Generate(multiprog.Params{RefsPerApp: refs, Seed: seed}) })
-	return e.pset, e.err
+	return e.pset, ok, e.err
 }
 
 // multiprogRefs applies the default per-app reference budget.
@@ -242,16 +371,20 @@ func multiprogRefs(s Scale) int {
 // every table rendered from it — is byte-identical to the serial path
 // for any parallelism.
 func SweepParallelCtx(ctx context.Context, w Workload, s Scale, opts sim.Options, eng EngineOptions) (*Grid, error) {
+	tc := &traceCounters{reg: eng.Metrics}
 	jobs := make([]pointJob, 0, len(sysmodel.SCCSizes)*len(sysmodel.ProcsPerClusterSweep))
 	for _, size := range sysmodel.SCCSizes {
 		for _, ppc := range sysmodel.ProcsPerClusterSweep {
 			cfg := sysmodel.Default(ppc, size)
-			jobs = append(jobs, pointJob{cfg: cfg, run: func(ctx context.Context) (*Point, error) {
-				prog, err := cachedParallelProgram(w, cfg.Procs(), s)
+			jobs = append(jobs, pointJob{cfg: cfg, run: func(ctx context.Context, tr sim.Tracer) (*Point, error) {
+				prog, hit, err := cachedParallelProgram(w, cfg.Procs(), s)
 				if err != nil {
 					return nil, err
 				}
-				res, err := sim.Run(cfg, opts, prog)
+				tc.record(hit)
+				o := opts
+				o.Tracer = tr
+				res, err := sim.Run(cfg, o, prog)
 				if err != nil {
 					return nil, fmt.Errorf("explorer: %s at %v: %w", w, cfg, err)
 				}
@@ -259,7 +392,7 @@ func SweepParallelCtx(ctx context.Context, w Workload, s Scale, opts sim.Options
 			}})
 		}
 	}
-	points, err := runPoints(ctx, w, jobs, eng)
+	points, err := runPoints(ctx, w, jobs, eng, tc)
 	if err != nil {
 		return nil, err
 	}
@@ -273,6 +406,7 @@ func SweepParallelCtx(ctx context.Context, w Workload, s Scale, opts sim.Options
 func SweepMultiprogCtx(ctx context.Context, s Scale, opts sim.Options, eng EngineOptions) (*Grid, error) {
 	refs := multiprogRefs(s)
 	quantum := multiprog.Quantum(refs)
+	tc := &traceCounters{reg: eng.Metrics}
 	jobs := make([]pointJob, 0, len(sysmodel.SCCSizes)*len(sysmodel.ProcsPerClusterSweep))
 	for _, size := range sysmodel.SCCSizes {
 		for _, ppc := range sysmodel.ProcsPerClusterSweep {
@@ -280,12 +414,15 @@ func SweepMultiprogCtx(ctx context.Context, s Scale, opts sim.Options, eng Engin
 				Clusters: 1, ProcsPerCluster: ppc, SCCBytes: size,
 				LoadLatency: sysmodel.ImpliedLoadLatency(ppc), Assoc: 1,
 			}
-			jobs = append(jobs, pointJob{cfg: cfg, run: func(ctx context.Context) (*Point, error) {
-				procs, err := cachedMultiprogProcesses(refs, s.Seed)
+			jobs = append(jobs, pointJob{cfg: cfg, run: func(ctx context.Context, tr sim.Tracer) (*Point, error) {
+				procs, hit, err := cachedMultiprogProcesses(refs, s.Seed)
 				if err != nil {
 					return nil, err
 				}
-				res, err := sim.RunMultiprog(cfg, opts, procs, quantum)
+				tc.record(hit)
+				o := opts
+				o.Tracer = tr
+				res, err := sim.RunMultiprog(cfg, o, procs, quantum)
 				if err != nil {
 					return nil, fmt.Errorf("explorer: multiprog at %v: %w", cfg, err)
 				}
@@ -293,7 +430,7 @@ func SweepMultiprogCtx(ctx context.Context, s Scale, opts sim.Options, eng Engin
 			}})
 		}
 	}
-	points, err := runPoints(ctx, Multiprog, jobs, eng)
+	points, err := runPoints(ctx, Multiprog, jobs, eng, tc)
 	if err != nil {
 		return nil, err
 	}
@@ -331,29 +468,38 @@ type PointSpec struct {
 // pointJobFor builds the engine job for one RunPoint-style design point,
 // sharing RunPoint's configuration rules (multiprogramming runs on a
 // single cluster) and the trace cache.
-func pointJobFor(w Workload, spec PointSpec, s Scale, opts sim.Options) pointJob {
+func pointJobFor(w Workload, spec PointSpec, s Scale, opts sim.Options, tc *traceCounters) pointJob {
 	cfg := sysmodel.Default(spec.PPC, spec.SCCBytes)
 	if w == Multiprog {
 		cfg.Clusters = 1
 	}
-	return pointJob{cfg: cfg, run: func(ctx context.Context) (*Point, error) {
+	return pointJob{cfg: cfg, run: func(ctx context.Context, tr sim.Tracer) (*Point, error) {
+		o := opts
+		if tr != nil {
+			// Engine-built tracers win; a caller-provided opts.Tracer
+			// survives only when the engine isn't making its own (the
+			// single-point path, where no sharing is possible).
+			o.Tracer = tr
+		}
 		if w == Multiprog {
 			refs := multiprogRefs(s)
-			procs, err := cachedMultiprogProcesses(refs, s.Seed)
+			procs, hit, err := cachedMultiprogProcesses(refs, s.Seed)
 			if err != nil {
 				return nil, err
 			}
-			res, err := sim.RunMultiprog(cfg, opts, procs, multiprog.Quantum(refs))
+			tc.record(hit)
+			res, err := sim.RunMultiprog(cfg, o, procs, multiprog.Quantum(refs))
 			if err != nil {
 				return nil, err
 			}
 			return &Point{Config: cfg, Result: res}, nil
 		}
-		prog, err := cachedParallelProgram(w, cfg.Procs(), s)
+		prog, hit, err := cachedParallelProgram(w, cfg.Procs(), s)
 		if err != nil {
 			return nil, err
 		}
-		res, err := sim.Run(cfg, opts, prog)
+		tc.record(hit)
+		res, err := sim.Run(cfg, o, prog)
 		if err != nil {
 			return nil, err
 		}
@@ -364,11 +510,12 @@ func pointJobFor(w Workload, spec PointSpec, s Scale, opts sim.Options) pointJob
 // RunPointsCtx runs several design points for one workload concurrently,
 // returning results in input order.
 func RunPointsCtx(ctx context.Context, w Workload, specs []PointSpec, s Scale, opts sim.Options, eng EngineOptions) ([]*Point, error) {
+	tc := &traceCounters{reg: eng.Metrics}
 	jobs := make([]pointJob, len(specs))
 	for i, spec := range specs {
-		jobs[i] = pointJobFor(w, spec, s, opts)
+		jobs[i] = pointJobFor(w, spec, s, opts, tc)
 	}
-	return runPoints(ctx, w, jobs, eng)
+	return runPoints(ctx, w, jobs, eng, tc)
 }
 
 // RunPointCtx is the context-aware, trace-cached form of RunPoint.
@@ -386,7 +533,7 @@ func RunConfigCtx(ctx context.Context, w Workload, cfg sysmodel.Config, s Scale,
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	prog, err := cachedParallelProgram(w, cfg.Procs(), s)
+	prog, _, err := cachedParallelProgram(w, cfg.Procs(), s)
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"sccsim/internal/explorer"
+	"sccsim/internal/obs"
 	"sccsim/internal/report"
 	"sccsim/internal/sim"
 )
@@ -81,6 +82,89 @@ func TestSweepMultiprogCtxByteIdentical(t *testing.T) {
 	}
 	if got, want := report.GridCSV(par), report.GridCSV(serial); got != want {
 		t.Errorf("multiprog GridCSV diverged:\n--- parallel ---\n%s--- serial ---\n%s", got, want)
+	}
+}
+
+// TestSweepTelemetryAndTraceCache: a multiprogramming sweep shares one
+// generated trace — the SweepReport must show exactly one cache miss
+// (the generation) and a hit for every other point — and the report's
+// timings must be internally consistent.
+func TestSweepTelemetryAndTraceCache(t *testing.T) {
+	explorer.ResetTraceCache()
+	s := explorer.Scale{MultiprogRefs: 20_000, Seed: 1}
+	var rep *explorer.SweepReport
+	var lastProgress explorer.Progress
+	g, err := explorer.SweepMultiprogCtx(context.Background(), s, sim.Options{},
+		explorer.EngineOptions{
+			Parallelism: 4,
+			Report:      func(r explorer.SweepReport) { rep = &r },
+			Progress:    func(p explorer.Progress) { lastProgress = p },
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil {
+		t.Fatal("Report hook was not called")
+	}
+	total := len(g.Sizes()) * len(g.Procs())
+	if rep.Points != total {
+		t.Errorf("report points = %d, want %d", rep.Points, total)
+	}
+	if rep.TraceMisses != 1 {
+		t.Errorf("trace-cache misses = %d, want exactly 1 (each trace generated once)", rep.TraceMisses)
+	}
+	if rep.TraceHits != uint64(total-1) {
+		t.Errorf("trace-cache hits = %d, want %d", rep.TraceHits, total-1)
+	}
+	if lastProgress.TraceHits+lastProgress.TraceMisses != uint64(total) {
+		t.Errorf("final progress event counted %d+%d cache lookups, want %d",
+			lastProgress.TraceHits, lastProgress.TraceMisses, total)
+	}
+	if rep.Workers != 4 {
+		t.Errorf("report workers = %d, want 4", rep.Workers)
+	}
+	if len(rep.PointWall) != total || len(rep.QueueWait) != total {
+		t.Fatalf("per-point slices = %d/%d entries, want %d",
+			len(rep.PointWall), len(rep.QueueWait), total)
+	}
+	var busy int64
+	for _, d := range rep.PointWall {
+		if d <= 0 {
+			t.Error("a completed point has zero wall time")
+		}
+		busy += int64(d)
+	}
+	if int64(rep.Busy) != busy {
+		t.Errorf("Busy = %v, sum of PointWall = %v", rep.Busy, busy)
+	}
+	if rep.Utilization <= 0 || rep.Utilization > 1.0001 {
+		t.Errorf("Utilization = %v, want in (0, 1]", rep.Utilization)
+	}
+	if rep.Wall <= 0 {
+		t.Error("Wall not recorded")
+	}
+}
+
+// TestSweepEngineMetrics: a registry handed to the engine records the
+// points-done counter and per-point timing histogram.
+func TestSweepEngineMetrics(t *testing.T) {
+	explorer.ResetTraceCache()
+	reg := obs.NewRegistry()
+	s := explorer.Scale{MultiprogRefs: 20_000, Seed: 1}
+	g, err := explorer.SweepMultiprogCtx(context.Background(), s, sim.Options{},
+		explorer.EngineOptions{Parallelism: 4, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := uint64(len(g.Sizes()) * len(g.Procs()))
+	if got := reg.Counter("explorer.points_done").Value(); got != total {
+		t.Errorf("points_done = %d, want %d", got, total)
+	}
+	if got := reg.Counter("explorer.trace_cache_misses").Value(); got != 1 {
+		t.Errorf("trace_cache_misses = %d, want 1", got)
+	}
+	if got := reg.Counter("explorer.trace_cache_hits").Value(); got != total-1 {
+		t.Errorf("trace_cache_hits = %d, want %d", got, total-1)
 	}
 }
 

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace_event export: the TraceSet is written as a JSON object
+// with a "traceEvents" array in the format chrome://tracing and Perfetto
+// load directly. One simulated cycle maps to one microsecond of trace
+// time (the format's native unit), so a 100-cycle memory fetch renders
+// as a 100 µs slice. Each collector (one simulation run) becomes a
+// process; each track (processor or cluster-bus timeline) becomes a
+// thread within it, named via metadata events.
+//
+// Events with a duration are emitted as complete events (ph "X");
+// zero-duration events as thread-scoped instants (ph "i"). Events are
+// sorted by (track, start time) before writing so every track's
+// timestamps are monotonically non-decreasing — the property the
+// exporter's smoke test pins down.
+
+// chromeEvent is one trace_event record. Field order matters only for
+// readability of the output.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int32          `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome writes the whole trace set as Chrome trace_event JSON.
+func (s *TraceSet) WriteChrome(w io.Writer) error {
+	bw := &errWriter{w: w}
+	bw.str(`{"displayTimeUnit":"ms","traceEvents":[`)
+	first := true
+	emit := func(ev chromeEvent) {
+		if !first {
+			bw.str(",\n")
+		} else {
+			bw.str("\n")
+			first = false
+		}
+		b, err := json.Marshal(ev)
+		if err != nil {
+			bw.fail(err)
+			return
+		}
+		bw.raw(b)
+	}
+
+	for _, c := range s.Collectors() {
+		meta := map[string]any{"name": c.name}
+		if c.dropped > 0 {
+			meta["dropped_events"] = c.dropped
+		}
+		emit(chromeEvent{Name: "process_name", Ph: "M", PID: c.pid, Args: meta})
+
+		// Stable-sort a copy by (track, ts) so per-track timestamps are
+		// non-decreasing; emission order inside the simulator is global
+		// issue order, which bank waits can locally reorder.
+		evs := append([]Event(nil), c.events...)
+		sort.SliceStable(evs, func(i, j int) bool {
+			if evs[i].Track != evs[j].Track {
+				return evs[i].Track < evs[j].Track
+			}
+			return evs[i].TS < evs[j].TS
+		})
+
+		var lastTrack int32 = -1
+		for _, e := range evs {
+			if e.Track != lastTrack {
+				name := c.trackNames[e.Track]
+				if name == "" {
+					name = fmt.Sprintf("track %d", e.Track)
+				}
+				emit(chromeEvent{Name: "thread_name", Ph: "M", PID: c.pid, TID: e.Track,
+					Args: map[string]any{"name": name}})
+				lastTrack = e.Track
+			}
+			ce := chromeEvent{
+				Name: s.kindName(e.Kind),
+				TS:   e.TS,
+				PID:  c.pid,
+				TID:  e.Track,
+				Args: map[string]any{"addr": fmt.Sprintf("0x%08x", e.Addr)},
+			}
+			if e.Dur > 0 {
+				ce.Ph, ce.Dur = "X", e.Dur
+			} else {
+				ce.Ph, ce.S = "i", "t"
+			}
+			emit(ce)
+		}
+	}
+	bw.str("\n]}\n")
+	return bw.err
+}
+
+// errWriter folds write errors into one sticky error.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) str(s string) { e.raw([]byte(s)) }
+func (e *errWriter) raw(b []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(b)
+}
+func (e *errWriter) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// chromeDoc mirrors the trace_event container for test decoding.
+type chromeDoc struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		TS   uint64         `json:"ts"`
+		Dur  uint64         `json:"dur"`
+		PID  int            `json:"pid"`
+		TID  int32          `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func exportDoc(t *testing.T, ts *TraceSet) chromeDoc {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ts.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	return doc
+}
+
+func TestWriteChromeValidAndMonotonic(t *testing.T) {
+	ts := NewTraceSet([]string{"read hit", "read miss"})
+	c := ts.NewCollector("4P/64KB", 0)
+	c.SetTrackName(0, "cpu 0")
+	c.SetTrackName(1, "cpu 1")
+	// Emission order is global issue order — deliberately interleaved and
+	// locally out of order within track 1; the exporter must sort.
+	c.Emit(Event{TS: 10, Dur: 100, Track: 0, Kind: 1, Addr: 0x40})
+	c.Emit(Event{TS: 5, Track: 1, Kind: 0})
+	c.Emit(Event{TS: 120, Track: 0, Kind: 0})
+	c.Emit(Event{TS: 2, Dur: 3, Track: 1, Kind: 1})
+
+	doc := exportDoc(t, ts)
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+
+	// Per-(pid, tid) timestamps must be monotonically non-decreasing.
+	last := map[[2]int64]uint64{}
+	var timeline, meta int
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" {
+			meta++
+			continue
+		}
+		timeline++
+		key := [2]int64{int64(e.PID), int64(e.TID)}
+		if prev, ok := last[key]; ok && e.TS < prev {
+			t.Errorf("track (%d,%d): ts %d after %d", e.PID, e.TID, e.TS, prev)
+		}
+		last[key] = e.TS
+		switch {
+		case e.Dur > 0 && e.Ph != "X":
+			t.Errorf("duration event has ph %q", e.Ph)
+		case e.Dur == 0 && e.Ph != "i":
+			t.Errorf("instant event has ph %q", e.Ph)
+		}
+	}
+	if timeline != 4 {
+		t.Errorf("%d timeline events, want 4", timeline)
+	}
+	// One process_name + one thread_name per used track.
+	if meta != 3 {
+		t.Errorf("%d metadata events, want 3", meta)
+	}
+}
+
+func TestWriteChromeMetadataNames(t *testing.T) {
+	ts := NewTraceSet([]string{"hit"})
+	c := ts.NewCollector("run A", 1) // cap 1: second emit drops
+	c.SetTrackName(0, "cpu 0")
+	c.Emit(Event{TS: 1, Track: 0})
+	c.Emit(Event{TS: 2, Track: 0})
+
+	doc := exportDoc(t, ts)
+	var sawProcess, sawThread, sawDropped bool
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "M" {
+			continue
+		}
+		switch e.Name {
+		case "process_name":
+			sawProcess = e.Args["name"] == "run A"
+			_, sawDropped = e.Args["dropped_events"]
+		case "thread_name":
+			sawThread = e.Args["name"] == "cpu 0"
+		}
+	}
+	if !sawProcess || !sawThread {
+		t.Errorf("metadata names missing: process=%v thread=%v", sawProcess, sawThread)
+	}
+	if !sawDropped {
+		t.Error("dropped_events missing from process metadata")
+	}
+}
+
+func TestWriteChromeEmpty(t *testing.T) {
+	ts := NewTraceSet(nil)
+	doc := exportDoc(t, ts)
+	if len(doc.TraceEvents) != 0 {
+		t.Errorf("empty trace set exported %d events", len(doc.TraceEvents))
+	}
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Event is one timeline event emitted by an instrumented component. It
+// is deliberately small (24 bytes) because the simulator emits one per
+// memory reference on the traced path; semantic meaning lives in the
+// emitter's Kind table (see sim.EventKind), which the exporter receives
+// separately so this package stays dependency-free.
+type Event struct {
+	// TS is the event start time in simulated cycles.
+	TS uint64
+	// Dur is the event duration in cycles; 0 renders as an instant.
+	Dur uint64
+	// Track is the timeline the event belongs to (processors first, then
+	// per-cluster bus tracks, by the simulator's convention).
+	Track int32
+	// Kind indexes the emitter's kind-name table.
+	Kind uint8
+	// Addr is the memory address involved, when meaningful.
+	Addr uint32
+}
+
+// DefaultCollectorCap is the default per-collector event bound: enough
+// to cover a QuickScale run in full and to keep a 32-point sweep's
+// export in the hundreds of megabytes at worst. Events past the cap are
+// dropped and counted.
+const DefaultCollectorCap = 1 << 16
+
+// Collector accumulates events for one simulation run into a bounded
+// buffer. Emit is not synchronized: a collector belongs to exactly one
+// run, and the simulator is single-goroutine per run (the sweep engine
+// creates one collector per design point). A nil collector no-ops.
+type Collector struct {
+	name       string
+	pid        int
+	cap        int
+	events     []Event
+	dropped    uint64
+	trackNames map[int32]string
+}
+
+// NewCollector builds a standalone collector (pid 0). Collectors that
+// are part of a multi-run trace come from TraceSet.NewCollector instead.
+func NewCollector(name string, capacity int) *Collector {
+	if capacity <= 0 {
+		capacity = DefaultCollectorCap
+	}
+	return &Collector{name: name, cap: capacity}
+}
+
+// Emit records one event, dropping (and counting) once the buffer is
+// full. Safe on a nil receiver.
+func (c *Collector) Emit(e Event) {
+	if c == nil {
+		return
+	}
+	if len(c.events) >= c.cap {
+		c.dropped++
+		return
+	}
+	c.events = append(c.events, e)
+}
+
+// SetTrackName labels a track id for the exporter ("cpu 3",
+// "bus (cluster 1)"). Unlabelled tracks render as "track N".
+func (c *Collector) SetTrackName(id int32, name string) {
+	if c == nil {
+		return
+	}
+	if c.trackNames == nil {
+		c.trackNames = make(map[int32]string)
+	}
+	c.trackNames[id] = name
+}
+
+// Name returns the collector's label (the design-point name).
+func (c *Collector) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Len returns the number of buffered events.
+func (c *Collector) Len() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.events)
+}
+
+// Dropped returns the number of events discarded after the buffer
+// filled.
+func (c *Collector) Dropped() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.dropped
+}
+
+// TraceSet groups per-run collectors into one exportable trace: each
+// collector becomes a Chrome trace "process" with its own tracks.
+// NewCollector is safe to call concurrently (the sweep engine creates
+// collectors from worker goroutines); each returned collector is then
+// used by a single goroutine.
+type TraceSet struct {
+	mu        sync.Mutex
+	kindNames []string
+	cols      []*Collector
+}
+
+// NewTraceSet builds an empty trace set. kindNames maps Event.Kind to
+// the human-readable event names used in the export (the emitter's
+// table, e.g. sim.EventKindNames).
+func NewTraceSet(kindNames []string) *TraceSet {
+	return &TraceSet{kindNames: append([]string(nil), kindNames...)}
+}
+
+// NewCollector adds a collector for one run; its pid in the export is
+// its creation order.
+func (s *TraceSet) NewCollector(name string, capacity int) *Collector {
+	if capacity <= 0 {
+		capacity = DefaultCollectorCap
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := &Collector{name: name, pid: len(s.cols), cap: capacity}
+	s.cols = append(s.cols, c)
+	return c
+}
+
+// Collectors returns the set's collectors in pid order.
+func (s *TraceSet) Collectors() []*Collector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Collector(nil), s.cols...)
+}
+
+// kindName resolves an event kind to its exported name.
+func (s *TraceSet) kindName(k uint8) string {
+	if int(k) < len(s.kindNames) {
+		return s.kindNames[k]
+	}
+	return fmt.Sprintf("event %d", k)
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ManifestVersion is the schema version stamped into every manifest.
+// Bump it on any breaking change to the document layout; consumers key
+// their parsers on it.
+const ManifestVersion = 1
+
+// Manifest is the machine-readable record of one design-space sweep:
+// what was run (workload, scale, config grid), where (host, toolchain),
+// how fast (per-point and whole-sweep timings, worker utilization,
+// trace-cache effectiveness) and what came out (per-point simulator
+// statistics). The `make bench-json` target writes one of these as
+// BENCH_sweep.json so the performance trajectory of the engine is
+// tracked across PRs.
+type Manifest struct {
+	Version   int    `json:"version"`
+	Tool      string `json:"tool"`
+	CreatedAt string `json:"created_at,omitempty"`
+	Host      Host   `json:"host"`
+
+	Workload    string `json:"workload"`
+	Scale       any    `json:"scale"`
+	Parallelism int    `json:"parallelism"`
+
+	Grid      GridAxes      `json:"grid"`
+	Points    []PointRecord `json:"points"`
+	Aggregate Aggregate     `json:"aggregate"`
+	Sweep     SweepStats    `json:"sweep"`
+
+	// Metrics is an optional registry snapshot (see Registry.Snapshot).
+	Metrics map[string]any `json:"metrics,omitempty"`
+}
+
+// Host records where the run happened.
+type Host struct {
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	CPUs      int    `json:"cpus"`
+	GoVersion string `json:"go_version"`
+}
+
+// GridAxes names the swept design-space axes.
+type GridAxes struct {
+	SCCBytes        []int `json:"scc_bytes"`
+	ProcsPerCluster []int `json:"procs_per_cluster"`
+}
+
+// PointRecord is one design point's outcome.
+type PointRecord struct {
+	ProcsPerCluster int `json:"procs_per_cluster"`
+	SCCBytes        int `json:"scc_bytes"`
+	Clusters        int `json:"clusters"`
+
+	Cycles            uint64  `json:"cycles"`
+	Refs              uint64  `json:"refs"`
+	ReadMissRate      float64 `json:"read_miss_rate"`
+	ReadStallCycles   uint64  `json:"read_stall_cycles"`
+	WriteStallCycles  uint64  `json:"write_stall_cycles"`
+	BankStallCycles   uint64  `json:"bank_stall_cycles"`
+	BusFetches        uint64  `json:"bus_fetches"`
+	Invalidations     uint64  `json:"invalidations"`
+	WallNanos         int64   `json:"wall_ns"`
+	QueueWaitNanos    int64   `json:"queue_wait_ns"`
+	SimCyclesPerMicro float64 `json:"sim_cycles_per_us"`
+}
+
+// Aggregate sums the per-point simulator statistics.
+type Aggregate struct {
+	Points        int    `json:"points"`
+	Refs          uint64 `json:"refs"`
+	BusFetches    uint64 `json:"bus_fetches"`
+	Invalidations uint64 `json:"invalidations"`
+	BestCycles    uint64 `json:"best_cycles"`
+	WorstCycles   uint64 `json:"worst_cycles"`
+}
+
+// SweepStats records the engine-level timings of the sweep.
+type SweepStats struct {
+	WallNanos        int64   `json:"wall_ns"`
+	Workers          int     `json:"workers"`
+	Utilization      float64 `json:"utilization"`
+	QueueWaitNanos   int64   `json:"queue_wait_ns"`
+	PointWallP50     int64   `json:"point_wall_p50_ns"`
+	PointWallP95     int64   `json:"point_wall_p95_ns"`
+	TraceCacheHits   uint64  `json:"trace_cache_hits"`
+	TraceCacheMisses uint64  `json:"trace_cache_misses"`
+}
+
+// WriteManifest validates and writes the manifest as indented JSON.
+func WriteManifest(w io.Writer, m *Manifest) error {
+	if m == nil {
+		return fmt.Errorf("obs: nil manifest")
+	}
+	if m.Version == 0 {
+		m.Version = ManifestVersion
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		return fmt.Errorf("obs: writing manifest: %w", err)
+	}
+	return nil
+}

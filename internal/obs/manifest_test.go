@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenManifest is a fully-populated manifest with fixed values: the
+// golden file pins the JSON schema (field names, nesting, version) so an
+// accidental tag change breaks loudly.
+func goldenManifest() *Manifest {
+	return &Manifest{
+		Version:   ManifestVersion,
+		Tool:      "sccsim",
+		CreatedAt: "2026-01-02T03:04:05Z",
+		Host:      Host{OS: "linux", Arch: "amd64", CPUs: 8, GoVersion: "go1.24.0"},
+		Workload:  "barnes-hut",
+		Scale: map[string]any{
+			"BarnesBodies": 256,
+			"Seed":         1,
+		},
+		Parallelism: 4,
+		Grid: GridAxes{
+			SCCBytes:        []int{4096, 8192},
+			ProcsPerCluster: []int{1, 2},
+		},
+		Points: []PointRecord{
+			{
+				ProcsPerCluster: 1, SCCBytes: 4096, Clusters: 4,
+				Cycles: 1000, Refs: 500, ReadMissRate: 0.125,
+				ReadStallCycles: 40, WriteStallCycles: 10, BankStallCycles: 5,
+				BusFetches: 20, Invalidations: 3,
+				WallNanos: 2_000_000, QueueWaitNanos: 1000, SimCyclesPerMicro: 0.5,
+			},
+			{
+				ProcsPerCluster: 2, SCCBytes: 8192, Clusters: 4,
+				Cycles: 800, Refs: 500, ReadMissRate: 0.0625,
+				ReadStallCycles: 20, BusFetches: 10,
+				WallNanos: 1_500_000, SimCyclesPerMicro: 0.5333,
+			},
+		},
+		Aggregate: Aggregate{
+			Points: 2, Refs: 1000, BusFetches: 30, Invalidations: 3,
+			BestCycles: 800, WorstCycles: 1000,
+		},
+		Sweep: SweepStats{
+			WallNanos: 3_000_000, Workers: 4, Utilization: 0.29,
+			QueueWaitNanos: 1000, PointWallP50: 1_750_000, PointWallP95: 1_975_000,
+			TraceCacheHits: 1, TraceCacheMisses: 1,
+		},
+		Metrics: map[string]any{"explorer.points_done": 2},
+	}
+}
+
+// TestManifestGolden pins the manifest JSON schema against a golden file.
+// Regenerate deliberately with `go test ./internal/obs -run Golden -update`
+// after an intentional schema change (and bump ManifestVersion).
+func TestManifestGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteManifest(&buf, goldenManifest()); err != nil {
+		t.Fatalf("WriteManifest: %v", err)
+	}
+	path := filepath.Join("testdata", "manifest_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("manifest schema drifted from golden file.\ngot:\n%s\nwant:\n%s\n(run with -update if the change is intentional; bump ManifestVersion on breaking changes)",
+			buf.Bytes(), want)
+	}
+}
+
+func TestWriteManifestDefaults(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteManifest(&buf, &Manifest{Tool: "t", Workload: "w"}); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if doc["version"] != float64(ManifestVersion) {
+		t.Errorf("version defaulted to %v, want %d", doc["version"], ManifestVersion)
+	}
+	// Keys the schema promises are always present.
+	for _, key := range []string{"tool", "host", "workload", "grid", "aggregate", "sweep"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("manifest missing %q", key)
+		}
+	}
+	if _, ok := doc["metrics"]; ok {
+		t.Error("empty metrics should be omitted")
+	}
+	if err := WriteManifest(&buf, nil); err == nil {
+		t.Error("nil manifest did not error")
+	}
+}

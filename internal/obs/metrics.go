@@ -1,0 +1,309 @@
+// Package obs is the observability substrate of the reproduction: a
+// lightweight metrics registry (counters, gauges, fixed-bucket
+// histograms), a bounded-buffer trace-event collector with a Chrome
+// trace_event JSON exporter, and the versioned run-manifest document the
+// sweep tooling emits for machine consumption.
+//
+// Everything here is built around a nil-disabled contract: a nil
+// *Registry, *Counter, *Gauge, *Histogram or *Collector is a valid
+// no-op receiver, so instrumented code can hold the pointers
+// unconditionally and the disabled configuration costs one predictable
+// nil-check branch per site — the hot simulator paths stay within the
+// tier-1 performance budget with instrumentation off.
+//
+// The package deliberately imports only the standard library so every
+// layer of the system (sim, snoop, explorer, the facade, the CLIs) can
+// use it without import cycles.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64 metric. All methods are
+// safe for concurrent use and safe on a nil receiver (no-ops).
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable int64 metric. All methods are safe for concurrent
+// use and safe on a nil receiver (no-ops).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adds delta (negative deltas decrement).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram of uint64 samples. Bounds are
+// inclusive upper bounds in ascending order; an implicit overflow bucket
+// catches samples above the last bound. Observations are lock-free
+// atomic increments, safe for concurrent use and no-ops on nil.
+type Histogram struct {
+	bounds  []uint64
+	buckets []atomic.Uint64 // len(bounds)+1; last is overflow
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// NewHistogram builds a histogram with the given ascending inclusive
+// upper bounds. It panics on empty or unsorted bounds — bucket layouts
+// are compile-time decisions, not runtime inputs.
+func NewHistogram(bounds []uint64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending at %d", i))
+		}
+	}
+	return &Histogram{
+		bounds:  append([]uint64(nil), bounds...),
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// CycleBuckets is a general-purpose power-of-two bucket layout for cycle
+// counts: the simulator's interesting stall durations run from a single
+// bank cycle to a few memory latencies (100 cycles each).
+var CycleBuckets = []uint64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+type HistogramSnapshot struct {
+	// Bounds are the inclusive upper bounds; Counts[i] is the number of
+	// samples in bucket i, with Counts[len(Bounds)] the overflow bucket.
+	Bounds []uint64
+	Counts []uint64
+	Count  uint64
+	Sum    uint64
+}
+
+// Snapshot copies the histogram state (zero value on a nil receiver).
+// Concurrent observations may land between field reads; the snapshot is
+// internally consistent enough for reporting, not for accounting.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: append([]uint64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.buckets)),
+		Count:  h.count.Load(),
+		Sum:    h.sum.Load(),
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Mean returns the mean sample value (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) by linear
+// interpolation inside the containing bucket. Samples in the overflow
+// bucket are attributed to the last bound.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, n := range s.Counts {
+		next := cum + float64(n)
+		if next >= rank && n > 0 {
+			lo := float64(0)
+			if i > 0 {
+				lo = float64(s.Bounds[i-1])
+			}
+			hi := float64(s.Bounds[len(s.Bounds)-1])
+			if i < len(s.Bounds) {
+				hi = float64(s.Bounds[i])
+			} else {
+				lo = hi // overflow bucket: report the last bound
+			}
+			frac := (rank - cum) / float64(n)
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	return float64(s.Bounds[len(s.Bounds)-1])
+}
+
+// Registry is a named collection of metrics. Lookups lazily create the
+// metric; a nil *Registry returns nil metrics, whose methods no-op, so
+// "disabled" needs no branches at the call sites beyond what the
+// instrumented code chooses to add.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use (nil on a
+// nil registry).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use (nil on a nil
+// registry).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds on first use; an existing histogram keeps its original bounds.
+// Returns nil on a nil registry.
+func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot returns all metrics as a plain map — counters and gauges as
+// numbers, histograms as {count, sum, mean, p50, p95, p99, buckets} —
+// ready for expvar.Func or JSON embedding. Nil registries return nil.
+func (r *Registry) Snapshot() map[string]any {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s := h.Snapshot()
+		buckets := make(map[string]uint64, len(s.Counts))
+		for i, n := range s.Counts {
+			if n == 0 {
+				continue
+			}
+			if i < len(s.Bounds) {
+				buckets[fmt.Sprintf("le_%d", s.Bounds[i])] = n
+			} else {
+				buckets[fmt.Sprintf("gt_%d", s.Bounds[len(s.Bounds)-1])] = n
+			}
+		}
+		out[name] = map[string]any{
+			"count":   s.Count,
+			"sum":     s.Sum,
+			"mean":    s.Mean(),
+			"p50":     s.Quantile(0.50),
+			"p95":     s.Quantile(0.95),
+			"p99":     s.Quantile(0.99),
+			"buckets": buckets,
+		}
+	}
+	return out
+}

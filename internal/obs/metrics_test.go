@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// The nil-disabled contract is the package's core promise: every metric
+// type must be a safe no-op on a nil receiver.
+func TestNilReceiversNoOp(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil Counter.Value != 0")
+	}
+
+	var g *Gauge
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 0 {
+		t.Error("nil Gauge.Value != 0")
+	}
+
+	var h *Histogram
+	h.Observe(42)
+	if s := h.Snapshot(); s.Count != 0 || len(s.Bounds) != 0 {
+		t.Errorf("nil Histogram.Snapshot = %+v", s)
+	}
+
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x", CycleBuckets) != nil {
+		t.Error("nil Registry returned non-nil metric")
+	}
+	// The full disabled chain: nil registry -> nil metric -> no-op.
+	r.Counter("x").Inc()
+	r.Histogram("x", CycleBuckets).Observe(9)
+	if r.Snapshot() != nil {
+		t.Error("nil Registry.Snapshot != nil")
+	}
+
+	var col *Collector
+	col.Emit(Event{TS: 1})
+	col.SetTrackName(0, "cpu 0")
+	if col.Len() != 0 || col.Dropped() != 0 || col.Name() != "" {
+		t.Error("nil Collector is not a no-op")
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	c := &Counter{}
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("Counter = %d, want 5", c.Value())
+	}
+	g := &Gauge{}
+	g.Set(10)
+	g.Add(-4)
+	if g.Value() != 6 {
+		t.Errorf("Gauge = %d, want 6", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]uint64{10, 100})
+	for _, v := range []uint64{1, 10, 11, 100, 101, 5000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 || s.Sum != 1+10+11+100+101+5000 {
+		t.Errorf("Count=%d Sum=%d", s.Count, s.Sum)
+	}
+	want := []uint64{2, 2, 2} // <=10, <=100, overflow
+	for i, n := range want {
+		if s.Counts[i] != n {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], n)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]uint64{10, 20, 30, 40})
+	// 100 samples uniform over (0, 40]: quantiles track the sample rank.
+	for i := 1; i <= 100; i++ {
+		h.Observe(uint64((i*40 + 99) / 100))
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); math.Abs(q-20) > 2.5 {
+		t.Errorf("p50 = %v, want ~20", q)
+	}
+	if q := s.Quantile(0.95); math.Abs(q-38) > 2.5 {
+		t.Errorf("p95 = %v, want ~38", q)
+	}
+	if q := s.Quantile(0); q < 0 || q > 10 {
+		t.Errorf("p0 = %v, want within first bucket", q)
+	}
+	// Overflow samples are attributed to the last bound.
+	h2 := NewHistogram([]uint64{10})
+	h2.Observe(9999)
+	if q := h2.Snapshot().Quantile(0.99); q != 10 {
+		t.Errorf("overflow quantile = %v, want 10", q)
+	}
+	if (HistogramSnapshot{}).Quantile(0.5) != 0 {
+		t.Error("empty snapshot quantile != 0")
+	}
+}
+
+func TestNewHistogramPanics(t *testing.T) {
+	for _, bounds := range [][]uint64{nil, {}, {5, 5}, {10, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("Counter lookup is not stable")
+	}
+	r.Counter("a").Add(3)
+	r.Gauge("b").Set(-1)
+	r.Histogram("c", CycleBuckets).Observe(64)
+
+	snap := r.Snapshot()
+	if snap["a"] != uint64(3) {
+		t.Errorf("snapshot a = %v", snap["a"])
+	}
+	if snap["b"] != int64(-1) {
+		t.Errorf("snapshot b = %v", snap["b"])
+	}
+	hm, ok := snap["c"].(map[string]any)
+	if !ok || hm["count"] != uint64(1) {
+		t.Errorf("snapshot c = %v", snap["c"])
+	}
+	buckets, ok := hm["buckets"].(map[string]uint64)
+	if !ok || buckets["le_64"] != 1 {
+		t.Errorf("snapshot c buckets = %v", hm["buckets"])
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("n").Inc()
+				r.Histogram("h", CycleBuckets).Observe(uint64(j % 128))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n").Value(); got != 8000 {
+		t.Errorf("concurrent counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h", CycleBuckets).Snapshot().Count; got != 8000 {
+		t.Errorf("concurrent histogram count = %d, want 8000", got)
+	}
+}
+
+func TestCollectorBounded(t *testing.T) {
+	c := NewCollector("run", 4)
+	for i := 0; i < 10; i++ {
+		c.Emit(Event{TS: uint64(i)})
+	}
+	if c.Len() != 4 {
+		t.Errorf("Len = %d, want 4", c.Len())
+	}
+	if c.Dropped() != 6 {
+		t.Errorf("Dropped = %d, want 6", c.Dropped())
+	}
+	if c.Name() != "run" {
+		t.Errorf("Name = %q", c.Name())
+	}
+}
+
+func TestTraceSetPIDs(t *testing.T) {
+	ts := NewTraceSet([]string{"a", "b"})
+	c0 := ts.NewCollector("first", 0)
+	c1 := ts.NewCollector("second", 0)
+	cols := ts.Collectors()
+	if len(cols) != 2 || cols[0] != c0 || cols[1] != c1 {
+		t.Fatalf("Collectors = %v", cols)
+	}
+	if c0.pid != 0 || c1.pid != 1 {
+		t.Errorf("pids = %d, %d, want 0, 1", c0.pid, c1.pid)
+	}
+	if ts.kindName(0) != "a" || ts.kindName(9) != "event 9" {
+		t.Error("kindName resolution wrong")
+	}
+}

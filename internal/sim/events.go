@@ -1,0 +1,99 @@
+package sim
+
+import "sccsim/internal/obs"
+
+// Event tracing: the simulator can narrate a run as a stream of
+// obs.Events — one per memory reference plus stall, coherence, lock and
+// scheduling events — which the obs package renders as a Chrome
+// trace_event timeline (one track per processor, one per cluster bus).
+//
+// The hook is Options.Tracer. When it is nil (the default) every
+// emission site reduces to one predictable nil-check branch, keeping the
+// replay/access hot path within the tier-1 performance budget; the
+// BenchmarkSweepParallelism guard in internal/explorer holds the
+// disabled overhead under 2%.
+
+// EventKind classifies a simulator trace event. The values index
+// EventKindNames and are stored in obs.Event.Kind.
+type EventKind uint8
+
+const (
+	// EvReadHit / EvWriteHit: the SCC serviced the access from a
+	// resident line (instant).
+	EvReadHit EventKind = iota
+	EvWriteHit
+	// EvReadMiss: a read fetched its line over the bus; the duration is
+	// the processor's stall. EvWriteMiss is an instant — the write
+	// retires into the write buffer and the fetch shows on the bus track.
+	EvReadMiss
+	EvWriteMiss
+	// EvBankStall: the access waited for a busy SCC bank.
+	EvBankStall
+	// EvWriteBufStall: the write buffer was full; the processor stalled
+	// until the oldest entry drained.
+	EvWriteBufStall
+	// EvLockSpin: one test-and-test-and-set spin iteration on a held
+	// lock. EvLockAcquire / EvLockRelease mark ownership changes.
+	EvLockSpin
+	EvLockAcquire
+	EvLockRelease
+	// EvBarrierWait: idle time at a phase barrier (or, in
+	// multiprogramming, idle with no runnable process).
+	EvBarrierWait
+	// EvSwitch: the multiprogramming scheduler switched the processor to
+	// a different process.
+	EvSwitch
+	// EvBusFetch: a line transfer over the snoopy bus (duration = fetch
+	// latency). EvBusInvalidate: an invalidation broadcast.
+	// EvBusWriteBack: a dirty eviction's write-back transaction. These
+	// land on the requesting cluster's bus track.
+	EvBusFetch
+	EvBusInvalidate
+	EvBusWriteBack
+
+	numEventKinds
+)
+
+// NumEventKinds is the number of distinct event kinds.
+const NumEventKinds = int(numEventKinds)
+
+// EventKindNames maps EventKind to the names used in trace exports.
+var EventKindNames = [NumEventKinds]string{
+	EvReadHit:       "scc read hit",
+	EvWriteHit:      "scc write hit",
+	EvReadMiss:      "scc read miss",
+	EvWriteMiss:     "scc write miss",
+	EvBankStall:     "bank stall",
+	EvWriteBufStall: "write-buffer full",
+	EvLockSpin:      "lock spin",
+	EvLockAcquire:   "lock acquire",
+	EvLockRelease:   "lock release",
+	EvBarrierWait:   "barrier wait",
+	EvSwitch:        "context switch",
+	EvBusFetch:      "bus fetch",
+	EvBusInvalidate: "bus invalidate",
+	EvBusWriteBack:  "bus write-back",
+}
+
+func (k EventKind) String() string {
+	if int(k) < NumEventKinds {
+		return EventKindNames[k]
+	}
+	return "unknown event"
+}
+
+// Tracer observes simulator events. Emit is called inline from the
+// replay hot path, once per memory reference and more under contention,
+// so implementations must be cheap and must not block; obs.Collector
+// (bounded buffer, drop-and-count on overflow) is the intended one. A
+// tracer belongs to exactly one run: the simulator is single-goroutine
+// per run, so Emit needs no synchronization, but concurrent runs must
+// not share a tracer (the sweep engine creates one per design point —
+// see explorer.EngineOptions.NewTracer).
+type Tracer interface {
+	Emit(e obs.Event)
+}
+
+// busTrack returns the trace track for a cluster's bus events:
+// processors occupy tracks [0, procs); cluster buses follow.
+func busTrack(procs, cluster int) int32 { return int32(procs + cluster) }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sccsim/internal/mem"
+	"sccsim/internal/obs"
 	"sccsim/internal/sysmodel"
 	"sccsim/internal/trace"
 )
@@ -94,6 +95,7 @@ func RunMultiprog(cfg sysmodel.Config, opts Options, processes []Process, quantu
 			s.res.BarrierWait[victim] += clock[victim] - idleSince[victim]
 			current[victim] = pid
 			s.res.Switches++
+			s.emitSwitch(victim, clock[victim])
 			clock[victim] += s.opts.SwitchPenalty
 			quantumEnd[victim] = clock[victim] + quantum
 			h.push(victim)
@@ -115,6 +117,7 @@ func RunMultiprog(cfg sysmodel.Config, opts Options, processes []Process, quantu
 				queue = queue[1:]
 				current[p] = next
 				s.res.Switches++
+				s.emitSwitch(p, clock[p])
 				clock[p] += s.opts.SwitchPenalty
 				quantumEnd[p] = clock[p] + quantum
 				h.push(p)
@@ -135,6 +138,7 @@ func RunMultiprog(cfg sysmodel.Config, opts Options, processes []Process, quantu
 			current[p] = next
 			if next != pid {
 				s.res.Switches++
+				s.emitSwitch(p, clock[p])
 				clock[p] += s.opts.SwitchPenalty
 			}
 			quantumEnd[p] = clock[p] + quantum
@@ -179,6 +183,14 @@ func RunMultiprog(cfg sysmodel.Config, opts Options, processes []Process, quantu
 	}
 	s.finish(clock)
 	return s.res, nil
+}
+
+// emitSwitch traces a context switch on processor p at time t.
+func (s *system) emitSwitch(p int, t uint64) {
+	if s.tr != nil {
+		s.tr.Emit(obs.Event{TS: t, Dur: s.opts.SwitchPenalty, Track: int32(p),
+			Kind: uint8(EvSwitch)})
+	}
 }
 
 func anyIdle(idle []bool) bool {

@@ -149,7 +149,9 @@ func RunPrivate(cfg sysmodel.Config, opts Options, prog *trace.Program) (*Result
 		}
 	}
 
-	clock := replay(prog, procs, res, access)
+	// Private-cache mode traces barrier waits only; the per-reference
+	// event stream is a shared-SCC (Run/RunMultiprog) feature.
+	clock := replay(prog, procs, res, opts.Tracer, access)
 	copy(res.ProcFinish, clock)
 	for _, t := range clock {
 		if t > res.Cycles {

@@ -35,6 +35,7 @@ import (
 
 	"sccsim/internal/cache"
 	"sccsim/internal/mem"
+	"sccsim/internal/obs"
 	"sccsim/internal/scc"
 	"sccsim/internal/snoop"
 	"sccsim/internal/sysmodel"
@@ -71,6 +72,16 @@ type Options struct {
 	// runs, which is the default here too). Timing is unaffected — only
 	// the counters reset.
 	WarmupRefs uint64
+	// Tracer, when non-nil, receives a timeline event for every memory
+	// reference, stall, bus transaction, lock operation and scheduling
+	// decision (see EventKind). The tracer must be exclusive to this run.
+	// nil (the default) disables tracing at near-zero cost.
+	Tracer Tracer
+	// Metrics, when non-nil, accumulates stall-duration histograms
+	// (sim.bank_wait_cycles, sim.read_miss_cycles, sim.wb_stall_cycles)
+	// into the registry. Registries are safe to share across concurrent
+	// runs; nil (the default) disables collection at near-zero cost.
+	Metrics *obs.Registry
 }
 
 // DefaultWriteBufferDepth is the per-cluster write-buffer depth used when
@@ -193,6 +204,13 @@ type system struct {
 	wbHead    []int
 	locks     *lockTable
 	res       *Result
+
+	// Instrumentation (all nil when disabled; every use is behind a
+	// nil check so the uninstrumented hot path pays only the branch).
+	tr           Tracer
+	histBankWait *obs.Histogram
+	histReadMiss *obs.Histogram
+	histWBStall  *obs.Histogram
 }
 
 func newSystem(cfg sysmodel.Config, opts Options, procs int) (*system, error) {
@@ -220,6 +238,31 @@ func newSystem(cfg sysmodel.Config, opts Options, procs int) (*system, error) {
 	s.wbPending = make([][]uint64, cfg.Clusters)
 	s.wbHead = make([]int, cfg.Clusters)
 	s.locks = newLockTable()
+
+	s.tr = opts.Tracer
+	if s.tr != nil {
+		// Bus transactions land on the requesting cluster's bus track,
+		// laid out after the processor tracks.
+		tr := s.tr
+		s.bus.Hook = func(kind snoop.TxnKind, start, dur uint64, cluster int, addr uint32) {
+			var k EventKind
+			switch kind {
+			case snoop.TxnFetch:
+				k = EvBusFetch
+			case snoop.TxnInvalidate:
+				k = EvBusInvalidate
+			default:
+				k = EvBusWriteBack
+			}
+			tr.Emit(obs.Event{TS: start, Dur: dur, Track: busTrack(procs, cluster),
+				Kind: uint8(k), Addr: addr})
+		}
+	}
+	if m := opts.Metrics; m != nil {
+		s.histBankWait = m.Histogram("sim.bank_wait_cycles", obs.CycleBuckets)
+		s.histReadMiss = m.Histogram("sim.read_miss_cycles", obs.CycleBuckets)
+		s.histWBStall = m.Histogram("sim.wb_stall_cycles", obs.CycleBuckets)
+	}
 
 	s.res = &Result{
 		Config:      cfg,
@@ -275,14 +318,24 @@ func (s *system) access(p int, now uint64, r mem.Ref) (uint64, bool) {
 		if holder, held := s.locks.holder(r.Addr); held && holder != p {
 			s.res.LockSpins++
 			s.res.LockStall[p] += SpinInterval
+			if s.tr != nil {
+				s.tr.Emit(obs.Event{TS: t, Dur: SpinInterval, Track: int32(p),
+					Kind: uint8(EvLockSpin), Addr: r.Addr})
+			}
 			return t + SpinInterval, true
 		}
 		t = s.memAccess(p, t, r.Addr, mem.Write)
 		s.locks.acquire(r.Addr, p)
+		if s.tr != nil {
+			s.tr.Emit(obs.Event{TS: t, Track: int32(p), Kind: uint8(EvLockAcquire), Addr: r.Addr})
+		}
 		return t, false
 	case mem.Unlock:
 		t := s.memAccess(p, now, r.Addr, mem.Write)
 		s.locks.release(r.Addr)
+		if s.tr != nil {
+			s.tr.Emit(obs.Event{TS: t, Track: int32(p), Kind: uint8(EvLockRelease), Addr: r.Addr})
+		}
 		return t, false
 	default:
 		return s.memAccess(p, now, r.Addr, r.Kind), false
@@ -295,8 +348,18 @@ func (s *system) memAccess(p int, now uint64, addr uint32, kind mem.Kind) uint64
 	sc := s.sccs[c]
 	r := mem.Ref{Addr: addr, Kind: kind}
 	ar := sc.Access(now, r.Addr, r.Kind)
-	s.res.BankStall[p] += ar.Wait(now)
+	wait := ar.Wait(now)
+	s.res.BankStall[p] += wait
 	t := ar.Start
+	if wait > 0 {
+		if s.tr != nil {
+			s.tr.Emit(obs.Event{TS: now, Dur: wait, Track: int32(p),
+				Kind: uint8(EvBankStall), Addr: addr})
+		}
+		if s.histBankWait != nil {
+			s.histBankWait.Observe(wait)
+		}
+	}
 
 	if ar.Evicted != cache.EvictedNone {
 		s.bus.Evicted(t, c, ar.Evicted, ar.EvictedDirty)
@@ -306,6 +369,13 @@ func (s *system) memAccess(p int, now uint64, addr uint32, kind mem.Kind) uint64
 		if r.Kind == mem.Write {
 			// Write hit: invalidate other clusters' copies if shared.
 			s.bus.WriteShared(t, c, r.Addr)
+		}
+		if s.tr != nil {
+			k := EvReadHit
+			if r.Kind == mem.Write {
+				k = EvWriteHit
+			}
+			s.tr.Emit(obs.Event{TS: t, Track: int32(p), Kind: uint8(k), Addr: addr})
 		}
 		return t
 	}
@@ -319,9 +389,19 @@ func (s *system) memAccess(p int, now uint64, addr uint32, kind mem.Kind) uint64
 	ready := s.bus.Fetch(t, c, r.Addr, r.Kind)
 	if r.Kind == mem.Read {
 		s.res.ReadStall[p] += ready - t
+		if s.tr != nil {
+			s.tr.Emit(obs.Event{TS: t, Dur: ready - t, Track: int32(p),
+				Kind: uint8(EvReadMiss), Addr: addr})
+		}
+		if s.histReadMiss != nil {
+			s.histReadMiss.Observe(ready - t)
+		}
 		return ready
 	}
 	// Write miss: retire into the write buffer; stall only if full.
+	if s.tr != nil {
+		s.tr.Emit(obs.Event{TS: t, Track: int32(p), Kind: uint8(EvWriteMiss), Addr: addr})
+	}
 	return s.bufferWrite(p, c, t, ready)
 }
 
@@ -343,6 +423,13 @@ func (s *system) bufferWrite(p, c int, now, ready uint64) uint64 {
 		// Buffer full: stall until the oldest entry drains.
 		wait := pend[head] - now
 		s.res.WriteStall[p] += wait
+		if s.tr != nil {
+			s.tr.Emit(obs.Event{TS: now, Dur: wait, Track: int32(p),
+				Kind: uint8(EvWriteBufStall)})
+		}
+		if s.histWBStall != nil {
+			s.histWBStall.Observe(wait)
+		}
 		now = pend[head]
 		head++
 	}
@@ -409,8 +496,9 @@ func (h *procHeap) empty() bool { return len(h.ids) == 0 }
 // replay drives a phase-structured program through an access function in
 // global issue order, handling barriers and accounting into res. The
 // access function performs one memory reference for a processor at a
-// time and returns when the processor may proceed.
-func replay(prog *trace.Program, procs int, res *Result,
+// time and returns when the processor may proceed. A non-nil tracer
+// receives a barrier-wait event per processor per phase.
+func replay(prog *trace.Program, procs int, res *Result, tr Tracer,
 	access func(p int, now uint64, r mem.Ref) (uint64, bool)) []uint64 {
 
 	clock := make([]uint64, procs)
@@ -464,6 +552,10 @@ func replay(prog *trace.Program, procs int, res *Result,
 			}
 		}
 		for p := range clock {
+			if tr != nil && maxT > clock[p] {
+				tr.Emit(obs.Event{TS: clock[p], Dur: maxT - clock[p], Track: int32(p),
+					Kind: uint8(EvBarrierWait)})
+			}
 			res.BarrierWait[p] += maxT - clock[p]
 			clock[p] = maxT
 		}
@@ -490,7 +582,7 @@ func Run(cfg sysmodel.Config, opts Options, prog *trace.Program) (*Result, error
 	if err != nil {
 		return nil, err
 	}
-	clock := replay(prog, procs, s.res, func(p int, now uint64, r mem.Ref) (uint64, bool) {
+	clock := replay(prog, procs, s.res, s.tr, func(p int, now uint64, r mem.Ref) (uint64, bool) {
 		t, retry := s.access(p, now, r)
 		if !retry {
 			// replay increments Refs after we return; reset on the

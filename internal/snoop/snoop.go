@@ -61,11 +61,32 @@ type Stats struct {
 	MemBankWait uint64
 }
 
+// TxnKind classifies a bus transaction for the tracing hook.
+type TxnKind uint8
+
+const (
+	// TxnFetch is a line transfer into a cache (read or write miss).
+	TxnFetch TxnKind = iota
+	// TxnInvalidate is an invalidation broadcast.
+	TxnInvalidate
+	// TxnWriteBack is a dirty eviction written back to memory.
+	TxnWriteBack
+)
+
 // Bus is the snoopy inter-cluster bus plus the coherence state.
 type Bus struct {
 	sccs     []Invalidator
 	presence *presenceTable
 	stats    Stats
+
+	// Hook, when non-nil, observes every bus transaction at its grant
+	// time: the kind, the grant cycle, the transaction's latency in
+	// cycles (0 for logically-instant invalidations and write-backs),
+	// the requesting cache/cluster, and the address. It is called inline
+	// from the simulation hot path, must be cheap, and must not call
+	// back into the bus. nil (the default) disables the hook at the cost
+	// of one branch per transaction.
+	Hook func(kind TxnKind, start, dur uint64, cluster int, addr uint32)
 
 	// Occupancy is the number of cycles each bus transaction holds the
 	// bus. Zero reproduces the paper's fixed-latency model with no bus
@@ -170,6 +191,9 @@ func (b *Bus) Fetch(now uint64, cluster int, addr uint32, kind mem.Kind) uint64 
 	} else {
 		b.presence.set(li, mask|self)
 	}
+	if b.Hook != nil {
+		b.Hook(TxnFetch, start, latency, cluster, addr)
+	}
 	return start + latency
 }
 
@@ -188,6 +212,9 @@ func (b *Bus) WriteShared(now uint64, cluster int, addr uint32) bool {
 	b.acquire(now)
 	b.invalidateOthers(li, addr, cluster, mask)
 	b.presence.set(li, self)
+	if b.Hook != nil {
+		b.Hook(TxnInvalidate, now, 0, cluster, addr)
+	}
 	return true
 }
 
@@ -225,6 +252,9 @@ func (b *Bus) Evicted(now uint64, cluster int, lineIndex uint32, dirty bool) {
 	if dirty {
 		b.acquire(now)
 		b.stats.WriteBacks++
+		if b.Hook != nil {
+			b.Hook(TxnWriteBack, now, 0, cluster, lineIndex*sysmodel.LineSize)
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Mean returns the arithmetic mean of xs (0 for empty input).
@@ -75,6 +76,37 @@ func MinMax(xs []float64) (min, max float64) {
 		}
 	}
 	return min, max
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between closest ranks, without mutating xs
+// (0 for empty input). p outside [0, 100] is clamped.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 {
+	return Percentile(xs, 50)
 }
 
 // Summary bundles the descriptive statistics of a sample.

@@ -71,6 +71,53 @@ func TestSummary(t *testing.T) {
 	}
 }
 
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15},
+		{100, 50},
+		{50, 35},
+		{25, 20},
+		{40, 29}, // rank 1.6: 20 + 0.6*(35-20)
+		{-5, 15}, // clamped
+		{120, 50},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !approx(got, c.want) {
+			t.Errorf("Percentile(xs, %v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Input order must not matter and the input must not be mutated.
+	shuffled := []float64{40, 15, 50, 35, 20}
+	if got := Percentile(shuffled, 50); !approx(got, 35) {
+		t.Errorf("Percentile(shuffled, 50) = %v, want 35", got)
+	}
+	if shuffled[0] != 40 || shuffled[1] != 15 {
+		t.Error("Percentile mutated its input")
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("Percentile(nil) != 0")
+	}
+	if got := Percentile([]float64{7}, 95); !approx(got, 7) {
+		t.Errorf("single-sample percentile = %v, want 7", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); !approx(got, 2) {
+		t.Errorf("Median odd = %v, want 2", got)
+	}
+	if got := Median([]float64{1, 2, 3, 4}); !approx(got, 2.5) {
+		t.Errorf("Median even = %v, want 2.5", got)
+	}
+	if Median(nil) != 0 {
+		t.Error("Median(nil) != 0")
+	}
+}
+
 // Properties: min <= mean <= max, sd >= 0, GeoMean <= Mean (AM-GM).
 func TestStatsProperties(t *testing.T) {
 	f := func(raw []uint16) bool {

@@ -35,10 +35,12 @@ package sccsim
 
 import (
 	"context"
+	"io"
 
 	"sccsim/internal/area"
 	"sccsim/internal/costperf"
 	"sccsim/internal/explorer"
+	"sccsim/internal/obs"
 	"sccsim/internal/pipeline"
 	"sccsim/internal/report"
 	"sccsim/internal/sim"
@@ -116,6 +118,13 @@ type expCfg struct {
 	ppc, scc    int
 	parallelism int
 	progress    func(Progress)
+
+	// Observability (see manifest.go): all nil by default — the
+	// simulator and engine then skip every instrumentation site.
+	metrics   *Metrics
+	reportFn  func(SweepReport)
+	manifestW io.Writer
+	traceW    io.Writer
 }
 
 // Opt configures an experiment run by Do, SweepCtx or
@@ -161,7 +170,10 @@ func resolve(opts []Opt) expCfg {
 }
 
 func (c expCfg) engine() explorer.EngineOptions {
-	return explorer.EngineOptions{Parallelism: c.parallelism, Progress: c.progress}
+	return explorer.EngineOptions{
+		Parallelism: c.parallelism, Progress: c.progress,
+		Report: c.reportFn, Metrics: c.metrics,
+	}
 }
 
 // Do simulates one workload at one design point — the single entry point
@@ -172,10 +184,37 @@ func (c expCfg) engine() explorer.EngineOptions {
 // repeated experiments over the same trace pay for generation once.
 func Do(ctx context.Context, w Workload, opts ...Opt) (*Point, error) {
 	c := resolve(opts)
-	if c.cfg != nil {
-		return explorer.RunConfigCtx(ctx, w, *c.cfg, c.scale, c.sim)
+	var ts *obs.TraceSet
+	if c.traceW != nil {
+		// Single-run trace: one collector, wired straight into the
+		// simulator options.
+		var newTracer func(Config) sim.Tracer
+		ts, newTracer = newTraceSet()
+		cfg := sysmodel.Default(c.ppc, c.scc)
+		if c.cfg != nil {
+			cfg = *c.cfg
+		} else if w == Multiprog {
+			cfg.Clusters = 1
+		}
+		c.sim.Tracer = newTracer(cfg)
 	}
-	return explorer.RunPointCtx(ctx, w, c.ppc, c.scc, c.scale, c.sim)
+	c.sim.Metrics = c.metrics
+	var pt *Point
+	var err error
+	if c.cfg != nil {
+		pt, err = explorer.RunConfigCtx(ctx, w, *c.cfg, c.scale, c.sim)
+	} else {
+		pt, err = explorer.RunPointCtx(ctx, w, c.ppc, c.scc, c.scale, c.sim)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if ts != nil {
+		if werr := ts.WriteChrome(c.traceW); werr != nil {
+			return nil, werr
+		}
+	}
+	return pt, nil
 }
 
 // SweepCtx runs a workload over the full processor-cache design space
@@ -186,9 +225,45 @@ func Do(ctx context.Context, w Workload, opts ...Opt) (*Point, error) {
 // tables are byte-identical to a serial run for any parallelism.
 // Cancelling ctx stops the sweep; the first point error cancels the
 // remaining points and is returned.
+// When WithTraceExport, WithManifest or WithMetrics are set, the sweep
+// additionally records per-run timelines (one bounded collector per
+// design point) and writes the trace and the versioned run manifest
+// after the sweep completes; see manifest.go.
 func SweepCtx(ctx context.Context, w Workload, opts ...Opt) (*Grid, error) {
 	c := resolve(opts)
-	return explorer.SweepCtx(ctx, w, c.scale, c.sim, c.engine())
+	c.sim.Metrics = c.metrics
+	eng := c.engine()
+
+	var ts *obs.TraceSet
+	if c.traceW != nil {
+		ts, eng.NewTracer = newTraceSet()
+	}
+	var rep *SweepReport
+	if c.manifestW != nil || c.reportFn != nil {
+		userReport := c.reportFn
+		eng.Report = func(r SweepReport) {
+			rep = &r
+			if userReport != nil {
+				userReport(r)
+			}
+		}
+	}
+
+	g, err := explorer.SweepCtx(ctx, w, c.scale, c.sim, eng)
+	if err != nil {
+		return nil, err
+	}
+	if ts != nil {
+		if werr := ts.WriteChrome(c.traceW); werr != nil {
+			return nil, werr
+		}
+	}
+	if c.manifestW != nil {
+		if werr := obs.WriteManifest(c.manifestW, buildManifest(w, c, g, rep)); werr != nil {
+			return nil, werr
+		}
+	}
+	return g, nil
 }
 
 // BuildCostPerfEntryCtx simulates a workload on the four Section 4
