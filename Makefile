@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-race race-obs vet quick bench bench-quick bench-json experiments cover clean
+.PHONY: all check build test test-race race-obs vet quick bench bench-quick bench-json bench-compare experiments cover clean
 
 all: build vet test
 
@@ -39,6 +39,16 @@ race-obs:
 # BENCH_sweep.json to track the engine's performance across PRs.
 bench-json:
 	$(GO) run ./cmd/sccexplore -csv barnes-hut -scale quick -quiet -manifest BENCH_sweep.json > /dev/null
+
+# Perf regression gate: rerun the benchmark sweep and diff it point by
+# point against the committed BENCH_sweep.json. Fails when the median
+# per-point sim_cycles_per_us ratio drops more than 10%, when any single
+# point drops more than 30%, or when results (cycles/refs) silently
+# change. Override the tolerance with THRESHOLD=0.15.
+THRESHOLD ?= 0.10
+bench-compare:
+	$(GO) run ./cmd/sccexplore -csv barnes-hut -scale quick -quiet -manifest /tmp/sccsim_bench_current.json > /dev/null
+	$(GO) run ./cmd/benchcompare -threshold $(THRESHOLD) BENCH_sweep.json /tmp/sccsim_bench_current.json
 
 # Regenerate every paper table/figure at paper scale.
 bench:

@@ -1,0 +1,173 @@
+// Command benchcompare diffs two sweep run manifests (see
+// obs.Manifest / `make bench-json`) point by point and fails when the
+// candidate regresses on performance. It is the enforcement half of the
+// committed BENCH_sweep.json — `make bench-compare` regenerates the
+// manifest and runs this against the committed baseline, so a PR that
+// slows the simulator down fails loudly instead of silently rewriting
+// the baseline.
+//
+// Every point's sim_cycles_per_us and wall_ns deltas are printed. The
+// failure criterion is robust to single-point scheduler noise (per-point
+// wall times at quick scale jitter by tens of percent on a loaded
+// machine): the gate trips when the MEDIAN per-point throughput ratio
+// drops more than -threshold, or when any single point drops more than
+// three times the threshold, or when grid points are missing.
+//
+// Simulation *results* (cycles, refs) are compared too: a mismatch is
+// reported as a warning, because it usually means the workloads or the
+// model changed — legitimate in a PR that says so, alarming otherwise.
+//
+// Usage:
+//
+//	benchcompare [-threshold 0.10] baseline.json candidate.json
+//
+// Exit status: 0 when within threshold, 1 on regression or mismatched
+// grids, 2 on usage or read errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"sccsim/internal/obs"
+)
+
+type pointKey struct {
+	clusters, ppc, sccBytes int
+}
+
+func readManifest(path string) (*obs.Manifest, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m obs.Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(m.Points) == 0 {
+		return nil, fmt.Errorf("%s: manifest has no points", path)
+	}
+	return &m, nil
+}
+
+func index(m *obs.Manifest) map[pointKey]obs.PointRecord {
+	idx := make(map[pointKey]obs.PointRecord, len(m.Points))
+	for _, p := range m.Points {
+		idx[pointKey{p.Clusters, p.ProcsPerCluster, p.SCCBytes}] = p
+	}
+	return idx
+}
+
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10,
+		"tolerated median throughput regression (0.10 = 10%); any single point may lose up to 3x this")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [-threshold 0.10] baseline.json candidate.json\n", os.Args[0])
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := readManifest(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(2)
+	}
+	cand, err := readManifest(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(2)
+	}
+
+	baseIdx, candIdx := index(base), index(cand)
+	keys := make([]pointKey, 0, len(baseIdx))
+	for k := range baseIdx {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.sccBytes != b.sccBytes {
+			return a.sccBytes < b.sccBytes
+		}
+		if a.ppc != b.ppc {
+			return a.ppc < b.ppc
+		}
+		return a.clusters < b.clusters
+	})
+
+	severeFloor := 1 - 3*(*threshold)
+	failures, warnings := 0, 0
+	var ratios []float64
+	for _, k := range keys {
+		b := baseIdx[k]
+		c, ok := candIdx[k]
+		if !ok {
+			fmt.Printf("MISSING  scc=%-8d ppc=%-2d clusters=%d: point absent from candidate\n",
+				k.sccBytes, k.ppc, k.clusters)
+			failures++
+			continue
+		}
+		if c.Cycles != b.Cycles || c.Refs != b.Refs {
+			fmt.Printf("WARN     scc=%-8d ppc=%-2d clusters=%d: results changed "+
+				"(cycles %d -> %d, refs %d -> %d) — model or workload change?\n",
+				k.sccBytes, k.ppc, k.clusters, b.Cycles, c.Cycles, b.Refs, c.Refs)
+			warnings++
+		}
+		if b.SimCyclesPerMicro <= 0 || c.SimCyclesPerMicro <= 0 {
+			continue
+		}
+		ratio := c.SimCyclesPerMicro / b.SimCyclesPerMicro
+		ratios = append(ratios, ratio)
+		tag := "ok      "
+		switch {
+		case ratio < severeFloor:
+			tag = "SEVERE  "
+			failures++
+		case ratio < 1-*threshold:
+			tag = "slower  "
+		}
+		if tag != "ok      " {
+			fmt.Printf("%s scc=%-8d ppc=%-2d clusters=%d: "+
+				"%.2f -> %.2f sim_cycles/us (%+.0f%%), wall %.2fms -> %.2fms\n",
+				tag, k.sccBytes, k.ppc, k.clusters,
+				b.SimCyclesPerMicro, c.SimCyclesPerMicro, (ratio-1)*100,
+				float64(b.WallNanos)/1e6, float64(c.WallNanos)/1e6)
+		}
+	}
+	for k := range candIdx {
+		if _, ok := baseIdx[k]; !ok {
+			fmt.Printf("NOTE     scc=%-8d ppc=%-2d clusters=%d: new point not in baseline\n",
+				k.sccBytes, k.ppc, k.clusters)
+		}
+	}
+
+	med := median(ratios)
+	if med > 0 && med < 1-*threshold {
+		fmt.Printf("REGRESS  median throughput ratio %.2fx is below %.2fx\n", med, 1-*threshold)
+		failures++
+	}
+	fmt.Printf("benchcompare: %d points, median throughput ratio %.2fx, "+
+		"%d failure(s), %d result warning(s)\n", len(keys), med, failures, warnings)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

@@ -22,6 +22,10 @@
 //	sccexplore -csv barnes-hut -trace run.trace    # Chrome trace (Perfetto)
 //	sccexplore -exp all -debug-addr :6060          # live pprof + expvar metrics
 //
+// Trace caching: -trace-cache DIR persists every generated workload
+// trace under DIR; later runs (any experiment, any process) load the
+// traces instead of regenerating them.
+//
 // Experiments: fig2 table3 table4 fig3 fig4 fig5 fig6 table5 table6
 // table7 area invariance all.
 package main
@@ -83,6 +87,7 @@ func cli(args []string) int {
 	parallel := fs.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS); results are identical for any value")
 	quiet := fs.Bool("quiet", false, "suppress the live progress meter on stderr")
 	manifestPath := fs.String("manifest", "", "write a versioned JSON run manifest of the -csv sweep to this file")
+	traceCacheDir := fs.String("trace-cache", "", "persist generated workload traces in this directory; repeated runs load them instead of regenerating")
 	tracePath := fs.String("trace", "", "write a Chrome trace_event timeline of the -csv sweep to this file (open in Perfetto)")
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
@@ -139,6 +144,9 @@ func cli(args []string) int {
 		o := []sccsim.Opt{sccsim.WithScale(scale), sccsim.WithParallelism(*parallel)}
 		if metrics != nil {
 			o = append(o, sccsim.WithMetrics(metrics))
+		}
+		if *traceCacheDir != "" {
+			o = append(o, sccsim.WithTraceCache(*traceCacheDir))
 		}
 		if !*quiet {
 			o = append(o, sccsim.WithProgress(progressMeter(label)))

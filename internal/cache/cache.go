@@ -163,12 +163,18 @@ const EvictedNone = ^uint32(0)
 // Access performs a read or write of addr, filling on miss
 // (write-allocate) and returning the outcome. Writes mark the line dirty.
 func (c *Cache) Access(addr uint32, kind mem.Kind) Result {
+	if c.assoc == 1 {
+		if c.HitDM(addr, kind) {
+			return Result{Hit: true, Evicted: EvictedNone}
+		}
+		return c.MissDM(addr, kind)
+	}
 	tag := addr / sysmodel.LineSize
 	set := tag & c.setMask
 	base := set * c.assoc
-	c.clock++
 	c.stats.Accesses[kind]++
 
+	c.clock++
 	ways := c.sets[base : base+c.assoc]
 	victim := 0
 	victimLRU := ^uint32(0)
@@ -209,6 +215,67 @@ func (c *Cache) Access(addr uint32, kind mem.Kind) Result {
 	w.lru = c.clock
 	w.dirty = kind == mem.Write
 	return res
+}
+
+// HitDM and MissDM are Access split in two for direct-mapped caches: one
+// candidate way, no victim search, and no LRU bookkeeping (replacement
+// is forced, so the clock and lru fields are meaningless and
+// deliberately left untouched). HitDM performs the access when it hits
+// and is small enough for the compiler to inline into the SCC's bank
+// loop — the overwhelmingly common hit then costs no call through the
+// cache layer. When HitDM returns false the caller MUST complete the
+// access with MissDM (the pair is one access: HitDM counts it, MissDM
+// adds only the miss-side statistics). Callers must ensure Assoc() == 1;
+// Access delegates automatically.
+func (c *Cache) HitDM(addr uint32, kind mem.Kind) bool {
+	tag := addr / sysmodel.LineSize
+	w := &c.sets[tag&c.setMask]
+	c.stats.Accesses[kind]++
+	if w.tag != tag {
+		return false
+	}
+	if kind == mem.Write {
+		w.dirty = true
+	}
+	return true
+}
+
+// MissDM completes a direct-mapped access HitDM reported as a miss:
+// eviction accounting and line install. See HitDM for the contract.
+func (c *Cache) MissDM(addr uint32, kind mem.Kind) Result {
+	tag := addr / sysmodel.LineSize
+	w := &c.sets[tag&c.setMask]
+	c.stats.Misses[kind]++
+	res := Result{Evicted: EvictedNone}
+	if w.tag != tagInvalid {
+		c.stats.Evictions++
+		res.Evicted = w.tag
+		res.EvictedDirty = w.dirty
+		if w.dirty {
+			c.stats.WriteBacks++
+		}
+	}
+	w.tag = tag
+	w.dirty = kind == mem.Write
+	return res
+}
+
+// MarkDirty sets the dirty bit of the line containing addr if it is
+// present, reporting whether it was. Unlike a write Access it touches no
+// statistics, LRU state, or replacement clock — it exists for state
+// restoration paths (the victim buffer swapping a dirty line back in)
+// that must not masquerade as program references.
+func (c *Cache) MarkDirty(addr uint32) bool {
+	tag := addr / sysmodel.LineSize
+	base := (tag & c.setMask) * c.assoc
+	ways := c.sets[base : base+c.assoc]
+	for i := range ways {
+		if ways[i].tag == tag {
+			ways[i].dirty = true
+			return true
+		}
+	}
+	return false
 }
 
 // Probe reports whether addr is present without updating LRU or stats.

@@ -304,3 +304,21 @@ func BenchmarkAccessStream(b *testing.B) {
 		c.Access(uint32(i)*sysmodel.LineSize, mem.Read)
 	}
 }
+
+func TestMarkDirty(t *testing.T) {
+	c := MustNew(1024, 1)
+	c.Access(0x100, mem.Read)
+	before := *c.Stats()
+	if !c.MarkDirty(0x100) {
+		t.Fatal("MarkDirty missed a resident line")
+	}
+	if c.MarkDirty(0x9000) {
+		t.Error("MarkDirty claimed an absent line")
+	}
+	if *c.Stats() != before {
+		t.Error("MarkDirty changed statistics")
+	}
+	if _, dirty := c.Invalidate(0x100); !dirty {
+		t.Error("line not dirty after MarkDirty")
+	}
+}

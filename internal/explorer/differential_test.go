@@ -1,0 +1,68 @@
+// Differential guarantee for the compiled-trace execution path: for
+// every workload, the full 32-point design-space grid simulated through
+// the compiled arena must match the legacy per-stream replay result for
+// result. The fast path is an optimization, never a model change.
+package explorer_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"sccsim/internal/explorer"
+	"sccsim/internal/sim"
+)
+
+func TestCompiledReplayMatchesLegacyFullGrid(t *testing.T) {
+	s := explorer.QuickScale()
+	for _, w := range explorer.AllWorkloads {
+		w := w
+		t.Run(string(w), func(t *testing.T) {
+			t.Parallel()
+			legacy, err := explorer.SweepCtx(context.Background(), w, s,
+				sim.Options{LegacyReplay: true}, explorer.EngineOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			compiled, err := explorer.SweepCtx(context.Background(), w, s,
+				sim.Options{}, explorer.EngineOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sizes, procs := legacy.Sizes(), legacy.Procs()
+			points := 0
+			for si := range legacy.Points {
+				for pi := range legacy.Points[si] {
+					points++
+					l, c := legacy.Points[si][pi], compiled.Points[si][pi]
+					if l.Config != c.Config {
+						t.Fatalf("grid shape differs at [%d][%d]", si, pi)
+					}
+					if !reflect.DeepEqual(l.Result, c.Result) {
+						t.Errorf("%s: compiled result differs from legacy at scc=%d ppc=%d: %s",
+							w, sizes[si], procs[pi], diffSummary(l.Result, c.Result))
+					}
+				}
+			}
+			if want := len(sizes) * len(procs); points != want {
+				t.Fatalf("grid has %d points, want the full %d", points, want)
+			}
+		})
+	}
+}
+
+// diffSummary points at the first mismatching headline stat so a
+// regression names the divergent quantity, not just "differs".
+func diffSummary(a, b *sim.Result) string {
+	switch {
+	case a.Cycles != b.Cycles:
+		return fmt.Sprintf("cycles %d vs %d", a.Cycles, b.Cycles)
+	case a.Refs != b.Refs:
+		return fmt.Sprintf("refs %d vs %d", a.Refs, b.Refs)
+	case a.ReadMissRate() != b.ReadMissRate():
+		return fmt.Sprintf("read miss rate %g vs %g", a.ReadMissRate(), b.ReadMissRate())
+	default:
+		return "secondary statistics differ"
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sccsim/internal/mem"
 	"sccsim/internal/obs"
 	"sccsim/internal/sim"
 	"sccsim/internal/sysmodel"
@@ -43,11 +44,15 @@ type Progress struct {
 	// picked it up.
 	QueueWait time.Duration
 	// TraceHits and TraceMisses are the sweep's cumulative trace-cache
-	// counts at the time of the event: a miss generates a workload
-	// trace, a hit reuses one (the miss count for a whole sweep equals
-	// the number of distinct trace keys — each trace is generated
-	// exactly once).
+	// counts at the time of the event: a miss resolves a workload trace
+	// (from disk or a generator), a hit reuses an in-memory one (the
+	// miss count for a whole sweep equals the number of distinct trace
+	// keys — each trace is resolved exactly once).
 	TraceHits, TraceMisses uint64
+	// TraceDiskHits counts misses satisfied by the persistent disk cache
+	// (EngineOptions.TraceCache); TraceGenerated counts misses that ran
+	// a workload generator. DiskHits + Generated == Misses.
+	TraceDiskHits, TraceGenerated uint64
 }
 
 // SweepReport summarizes a completed sweep: wall-clock and per-point
@@ -72,8 +77,12 @@ type SweepReport struct {
 	// simulated for the whole sweep.
 	Utilization float64
 	// TraceHits and TraceMisses count trace-cache lookups: each miss
-	// generated a workload trace, each hit shared one.
+	// resolved a workload trace, each hit shared an in-memory one.
 	TraceHits, TraceMisses uint64
+	// TraceDiskHits counts misses satisfied by the persistent disk
+	// cache; TraceGenerated counts misses that ran a workload generator.
+	// A sweep against a warm disk cache reports TraceGenerated == 0.
+	TraceDiskHits, TraceGenerated uint64
 }
 
 // EngineOptions tunes the concurrent sweep engine. The zero value runs
@@ -94,10 +103,17 @@ type EngineOptions struct {
 	// engine never shares a tracer between concurrent runs.
 	NewTracer func(cfg sysmodel.Config) sim.Tracer
 	// Metrics, when non-nil, receives live engine counters
-	// (explorer.points_done, explorer.trace_cache_{hits,misses}) and a
-	// per-point wall-time histogram (explorer.point_ms) — the registry a
-	// long-running CLI exposes over expvar.
+	// (explorer.points_done, explorer.trace_cache_{hits,misses},
+	// explorer.trace_{disk_hits,generated}) and a per-point wall-time
+	// histogram (explorer.point_ms) — the registry a long-running CLI
+	// exposes over expvar.
 	Metrics *obs.Registry
+	// TraceCache, when non-nil, is a persistent on-disk trace store
+	// consulted before running a workload generator and populated after:
+	// repeated sweeps — across processes — skip generation entirely.
+	// The in-memory cache still fronts it, so a warm process touches
+	// disk once per distinct trace key.
+	TraceCache *trace.DiskCache
 }
 
 func (o EngineOptions) workers() int {
@@ -115,35 +131,58 @@ type pointJob struct {
 	run func(ctx context.Context, tr sim.Tracer) (*Point, error)
 }
 
+// traceSource says how a trace-cache lookup resolved.
+type traceSource int
+
+const (
+	// traceShared: the in-memory cache already had (or was resolving)
+	// the trace.
+	traceShared traceSource = iota
+	// traceFromDisk: this lookup loaded the trace from the persistent
+	// disk cache.
+	traceFromDisk
+	// traceGenerated: this lookup ran the workload generator.
+	traceGenerated
+)
+
 // traceCounters accumulates one sweep's trace-cache lookups; jobs record
 // into it and the engine folds the totals into Progress events and the
 // SweepReport. A nil receiver no-ops (points run outside a sweep).
 type traceCounters struct {
-	hits, misses atomic.Uint64
-	reg          *obs.Registry
+	hits, misses        atomic.Uint64
+	diskHits, generated atomic.Uint64
+	reg                 *obs.Registry
 }
 
-// record notes one cache lookup (hit = an already-generated trace was
-// shared; miss = this lookup generated the trace).
-func (t *traceCounters) record(hit bool) {
+// record notes one cache lookup. A memory-level hit shares an
+// already-resolved trace; a miss resolved it from disk or a generator.
+func (t *traceCounters) record(src traceSource) {
 	if t == nil {
 		return
 	}
-	if hit {
+	switch src {
+	case traceShared:
 		t.hits.Add(1)
 		t.reg.Counter("explorer.trace_cache_hits").Inc()
-	} else {
+	case traceFromDisk:
 		t.misses.Add(1)
+		t.diskHits.Add(1)
 		t.reg.Counter("explorer.trace_cache_misses").Inc()
+		t.reg.Counter("explorer.trace_disk_hits").Inc()
+	default:
+		t.misses.Add(1)
+		t.generated.Add(1)
+		t.reg.Counter("explorer.trace_cache_misses").Inc()
+		t.reg.Counter("explorer.trace_generated").Inc()
 	}
 }
 
-// loads returns the current (hits, misses).
-func (t *traceCounters) loads() (uint64, uint64) {
+// loads returns the current (hits, misses, diskHits, generated).
+func (t *traceCounters) loads() (hits, misses, diskHits, generated uint64) {
 	if t == nil {
-		return 0, 0
+		return 0, 0, 0, 0
 	}
-	return t.hits.Load(), t.misses.Load()
+	return t.hits.Load(), t.misses.Load(), t.diskHits.Load(), t.generated.Load()
 }
 
 // pointWallBucketsMS is the fixed bucket layout (milliseconds) of the
@@ -201,18 +240,20 @@ func runPoints(ctx context.Context, w Workload, jobs []pointJob, eng EngineOptio
 						Observe(uint64(pointWall[idx].Milliseconds()))
 				}
 				if eng.Progress != nil {
-					hits, misses := tc.loads()
+					hits, misses, diskHits, generated := tc.loads()
 					mu.Lock()
 					done++
 					eng.Progress(Progress{
 						Workload: w,
 						Done:     done, Total: len(jobs),
-						Elapsed:     time.Since(start),
-						Config:      pt.Config,
-						PointTime:   pointWall[idx],
-						QueueWait:   queueWait[idx],
-						TraceHits:   hits,
-						TraceMisses: misses,
+						Elapsed:        time.Since(start),
+						Config:         pt.Config,
+						PointTime:      pointWall[idx],
+						QueueWait:      queueWait[idx],
+						TraceHits:      hits,
+						TraceMisses:    misses,
+						TraceDiskHits:  diskHits,
+						TraceGenerated: generated,
 					})
 					mu.Unlock()
 				}
@@ -254,7 +295,7 @@ func runPoints(ctx context.Context, w Workload, jobs []pointJob, eng EngineOptio
 		if wall > 0 && workers > 0 {
 			util = float64(busy) / (float64(workers) * float64(wall))
 		}
-		hits, misses := tc.loads()
+		hits, misses, diskHits, generated := tc.loads()
 		eng.Report(SweepReport{
 			Workload: w,
 			Points:   len(jobs), Workers: workers,
@@ -263,6 +304,7 @@ func runPoints(ctx context.Context, w Workload, jobs []pointJob, eng EngineOptio
 			QueueWait: queueWait,
 			Busy:      busy, Utilization: util,
 			TraceHits: hits, TraceMisses: misses,
+			TraceDiskHits: diskHits, TraceGenerated: generated,
 		})
 	}
 	return results, nil
@@ -289,11 +331,13 @@ type multiprogKey struct {
 }
 
 // cacheEntry resolves once; concurrent requesters block on the first
-// generation instead of duplicating it.
+// resolution instead of duplicating it. src records how the resolving
+// call got the trace (disk or generator) for the sweep counters.
 type cacheEntry struct {
 	once sync.Once
 	prog *trace.Program
 	pset []sim.Process
+	src  traceSource
 	err  error
 }
 
@@ -320,11 +364,56 @@ func ResetTraceCache() {
 	traceCache.multiprog = make(map[multiprogKey]*cacheEntry)
 }
 
+// parallelDiskKey is the persistent-cache key for a parallel workload
+// trace: everything that determines the trace's content — the on-disk
+// format version (so a format change invalidates old entries), the
+// workload, the processor count, and the full problem scale including
+// the seed. MultiprogRefs is deliberately excluded: it does not affect
+// parallel-trace generation, and keying on it would fracture the cache.
+func parallelDiskKey(w Workload, procs int, s Scale) string {
+	return fmt.Sprintf("scct%d-%s-p%d-seed%d-bb%d-bs%d-mp%d-ms%d-cw%d-ch%d",
+		trace.FormatVersion, w, procs, s.Seed, s.BarnesBodies, s.BarnesSteps,
+		s.MP3DParticles, s.MP3DSteps, s.CholeskyGridW, s.CholeskyGridH)
+}
+
+// multiprogDiskKey is the persistent-cache key for the eight-process
+// multiprogramming trace set.
+func multiprogDiskKey(refs int, seed int64) string {
+	return fmt.Sprintf("scct%d-multiprog-refs%d-seed%d", trace.FormatVersion, refs, seed)
+}
+
+// processesToProgram packs a multiprogramming process set into a
+// single-processor Program — one phase per process, the phase name
+// carrying the process name — a lossless container in the format the
+// disk cache stores.
+func processesToProgram(pset []sim.Process) *trace.Program {
+	p := &trace.Program{Name: "multiprog", Procs: 1, Phases: make([]trace.Phase, len(pset))}
+	for i, ps := range pset {
+		p.Phases[i] = trace.Phase{Name: ps.Name, Streams: [][]mem.Ref{ps.Refs}}
+	}
+	return p
+}
+
+// programToProcesses inverts processesToProgram.
+func programToProcesses(p *trace.Program) ([]sim.Process, error) {
+	if p.Procs != 1 {
+		return nil, fmt.Errorf("explorer: cached multiprog trace has %d procs, want 1", p.Procs)
+	}
+	pset := make([]sim.Process, len(p.Phases))
+	for i, ph := range p.Phases {
+		pset[i] = sim.Process{Name: ph.Name, Refs: ph.Streams[0]}
+	}
+	return pset, nil
+}
+
 // cachedParallelProgram returns the shared program for a (workload,
-// procs, scale) key. hit reports whether the program already existed (or
-// another requester is generating it); a miss means this call generated
-// it — each distinct key is generated exactly once per cache lifetime.
-func cachedParallelProgram(w Workload, procs int, s Scale) (prog *trace.Program, hit bool, err error) {
+// procs, scale) key. src reports how the lookup resolved: traceShared
+// when the program already existed in memory (or another requester is
+// resolving it), traceFromDisk when this call loaded it from dc, and
+// traceGenerated when this call ran the generator — each distinct key
+// resolves exactly once per cache lifetime. dc may be nil (no
+// persistent cache).
+func cachedParallelProgram(w Workload, procs int, s Scale, dc *trace.DiskCache) (prog *trace.Program, src traceSource, err error) {
 	traceCache.Lock()
 	if len(traceCache.parallel) >= maxCachedTraces {
 		traceCache.parallel = make(map[parallelKey]*cacheEntry)
@@ -336,11 +425,27 @@ func cachedParallelProgram(w Workload, procs int, s Scale) (prog *trace.Program,
 		traceCache.parallel[key] = e
 	}
 	traceCache.Unlock()
-	e.once.Do(func() { e.prog, e.err = GenerateParallel(w, procs, s) })
-	return e.prog, ok, e.err
+	e.once.Do(func() {
+		if dc != nil {
+			if p, _ := dc.Load(parallelDiskKey(w, procs, s)); p != nil {
+				e.prog, e.src = p, traceFromDisk
+				return
+			}
+		}
+		e.src = traceGenerated
+		e.prog, e.err = GenerateParallel(w, procs, s)
+		if e.err == nil && dc != nil {
+			// Best-effort: a failed store only costs a later regeneration.
+			_ = dc.Store(parallelDiskKey(w, procs, s), e.prog)
+		}
+	})
+	if ok {
+		return e.prog, traceShared, e.err
+	}
+	return e.prog, e.src, e.err
 }
 
-func cachedMultiprogProcesses(refs int, seed int64) (pset []sim.Process, hit bool, err error) {
+func cachedMultiprogProcesses(refs int, seed int64, dc *trace.DiskCache) (pset []sim.Process, src traceSource, err error) {
 	traceCache.Lock()
 	if len(traceCache.multiprog) >= maxCachedTraces {
 		traceCache.multiprog = make(map[multiprogKey]*cacheEntry)
@@ -352,8 +457,25 @@ func cachedMultiprogProcesses(refs int, seed int64) (pset []sim.Process, hit boo
 		traceCache.multiprog[key] = e
 	}
 	traceCache.Unlock()
-	e.once.Do(func() { e.pset, e.err = multiprog.Generate(multiprog.Params{RefsPerApp: refs, Seed: seed}) })
-	return e.pset, ok, e.err
+	e.once.Do(func() {
+		if dc != nil {
+			if p, _ := dc.Load(multiprogDiskKey(refs, seed)); p != nil {
+				if ps, cerr := programToProcesses(p); cerr == nil {
+					e.pset, e.src = ps, traceFromDisk
+					return
+				}
+			}
+		}
+		e.src = traceGenerated
+		e.pset, e.err = multiprog.Generate(multiprog.Params{RefsPerApp: refs, Seed: seed})
+		if e.err == nil && dc != nil {
+			_ = dc.Store(multiprogDiskKey(refs, seed), processesToProgram(e.pset))
+		}
+	})
+	if ok {
+		return e.pset, traceShared, e.err
+	}
+	return e.pset, e.src, e.err
 }
 
 // multiprogRefs applies the default per-app reference budget.
@@ -377,11 +499,11 @@ func SweepParallelCtx(ctx context.Context, w Workload, s Scale, opts sim.Options
 		for _, ppc := range sysmodel.ProcsPerClusterSweep {
 			cfg := sysmodel.Default(ppc, size)
 			jobs = append(jobs, pointJob{cfg: cfg, run: func(ctx context.Context, tr sim.Tracer) (*Point, error) {
-				prog, hit, err := cachedParallelProgram(w, cfg.Procs(), s)
+				prog, src, err := cachedParallelProgram(w, cfg.Procs(), s, eng.TraceCache)
 				if err != nil {
 					return nil, err
 				}
-				tc.record(hit)
+				tc.record(src)
 				o := opts
 				o.Tracer = tr
 				res, err := sim.Run(cfg, o, prog)
@@ -415,11 +537,11 @@ func SweepMultiprogCtx(ctx context.Context, s Scale, opts sim.Options, eng Engin
 				LoadLatency: sysmodel.ImpliedLoadLatency(ppc), Assoc: 1,
 			}
 			jobs = append(jobs, pointJob{cfg: cfg, run: func(ctx context.Context, tr sim.Tracer) (*Point, error) {
-				procs, hit, err := cachedMultiprogProcesses(refs, s.Seed)
+				procs, src, err := cachedMultiprogProcesses(refs, s.Seed, eng.TraceCache)
 				if err != nil {
 					return nil, err
 				}
-				tc.record(hit)
+				tc.record(src)
 				o := opts
 				o.Tracer = tr
 				res, err := sim.RunMultiprog(cfg, o, procs, quantum)
@@ -468,7 +590,7 @@ type PointSpec struct {
 // pointJobFor builds the engine job for one RunPoint-style design point,
 // sharing RunPoint's configuration rules (multiprogramming runs on a
 // single cluster) and the trace cache.
-func pointJobFor(w Workload, spec PointSpec, s Scale, opts sim.Options, tc *traceCounters) pointJob {
+func pointJobFor(w Workload, spec PointSpec, s Scale, opts sim.Options, tc *traceCounters, dc *trace.DiskCache) pointJob {
 	cfg := sysmodel.Default(spec.PPC, spec.SCCBytes)
 	if w == Multiprog {
 		cfg.Clusters = 1
@@ -483,22 +605,22 @@ func pointJobFor(w Workload, spec PointSpec, s Scale, opts sim.Options, tc *trac
 		}
 		if w == Multiprog {
 			refs := multiprogRefs(s)
-			procs, hit, err := cachedMultiprogProcesses(refs, s.Seed)
+			procs, src, err := cachedMultiprogProcesses(refs, s.Seed, dc)
 			if err != nil {
 				return nil, err
 			}
-			tc.record(hit)
+			tc.record(src)
 			res, err := sim.RunMultiprog(cfg, o, procs, multiprog.Quantum(refs))
 			if err != nil {
 				return nil, err
 			}
 			return &Point{Config: cfg, Result: res}, nil
 		}
-		prog, hit, err := cachedParallelProgram(w, cfg.Procs(), s)
+		prog, src, err := cachedParallelProgram(w, cfg.Procs(), s, dc)
 		if err != nil {
 			return nil, err
 		}
-		tc.record(hit)
+		tc.record(src)
 		res, err := sim.Run(cfg, o, prog)
 		if err != nil {
 			return nil, err
@@ -513,7 +635,7 @@ func RunPointsCtx(ctx context.Context, w Workload, specs []PointSpec, s Scale, o
 	tc := &traceCounters{reg: eng.Metrics}
 	jobs := make([]pointJob, len(specs))
 	for i, spec := range specs {
-		jobs[i] = pointJobFor(w, spec, s, opts, tc)
+		jobs[i] = pointJobFor(w, spec, s, opts, tc, eng.TraceCache)
 	}
 	return runPoints(ctx, w, jobs, eng, tc)
 }
@@ -533,7 +655,7 @@ func RunConfigCtx(ctx context.Context, w Workload, cfg sysmodel.Config, s Scale,
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	prog, _, err := cachedParallelProgram(w, cfg.Procs(), s)
+	prog, _, err := cachedParallelProgram(w, cfg.Procs(), s, nil)
 	if err != nil {
 		return nil, err
 	}

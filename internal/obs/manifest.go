@@ -90,6 +90,11 @@ type SweepStats struct {
 	PointWallP95     int64   `json:"point_wall_p95_ns"`
 	TraceCacheHits   uint64  `json:"trace_cache_hits"`
 	TraceCacheMisses uint64  `json:"trace_cache_misses"`
+	// TraceDiskHits counts cache misses satisfied by the persistent
+	// on-disk trace cache; TraceGenerated counts misses that ran a
+	// workload generator. DiskHits + Generated == Misses.
+	TraceDiskHits  uint64 `json:"trace_disk_hits"`
+	TraceGenerated uint64 `json:"trace_generated"`
 }
 
 // WriteManifest validates and writes the manifest as indented JSON.

@@ -28,11 +28,15 @@ import (
 // SCC is one cluster's shared cache.
 type SCC struct {
 	tags     *cache.Cache
+	dm       bool // tags are direct-mapped: take the inlinable fast path
 	banks    int
 	bankMask uint32
-	// bankFree[b] is the cycle at which bank b next becomes available.
-	bankFree []uint64
-	stats    Stats
+	// bank[b] is bank b's timing and access count, fused into one struct
+	// so the per-access hot path pays one bounds check and touches one
+	// cache line instead of two parallel slices. Stats() materializes the
+	// counts into Stats.BankAccesses for external consumers.
+	bank  []bankState
+	stats Stats
 
 	// victim is an optional small fully-associative victim buffer that
 	// catches recently conflict-evicted lines (Jouppi-style) — an
@@ -49,6 +53,12 @@ type victimBuffer struct {
 }
 
 const victimInvalid = ^uint32(0)
+
+// bankState is one bank's arbitration state.
+type bankState struct {
+	free  uint64 // cycle at which the bank next becomes available
+	count uint64 // accesses routed to this bank
+}
 
 func newVictimBuffer(entries int) *victimBuffer {
 	v := &victimBuffer{tags: make([]uint32, entries), dirty: make([]bool, entries)}
@@ -70,11 +80,16 @@ func (v *victimBuffer) take(line uint32) (bool, bool) {
 	return false, false
 }
 
-// put inserts an evicted line, displacing the oldest entry.
+// put inserts an evicted line, displacing the oldest entry. The cursor
+// wraps with a compare-and-reset rather than a modulo: the buffer sits on
+// the miss path and an integer divide per eviction is measurable at the
+// typical 4-8 entry sizes.
 func (v *victimBuffer) put(line uint32, dirty bool) {
 	v.tags[v.next] = line
 	v.dirty[v.next] = dirty
-	v.next = (v.next + 1) % len(v.tags)
+	if v.next++; v.next == len(v.tags) {
+		v.next = 0
+	}
 }
 
 // Stats accumulates SCC-specific contention statistics on top of the tag
@@ -107,9 +122,10 @@ func New(size, assoc, banks int) (*SCC, error) {
 	}
 	return &SCC{
 		tags:     tags,
+		dm:       assoc == 1,
 		banks:    banks,
 		bankMask: uint32(banks - 1),
-		bankFree: make([]uint64, banks),
+		bank:     make([]bankState, banks),
 		stats:    Stats{BankAccesses: make([]uint64, banks)},
 	}, nil
 }
@@ -140,8 +156,28 @@ func (s *SCC) SizeBytes() int { return s.tags.SizeBytes() }
 // CacheStats returns the tag-store hit/miss statistics.
 func (s *SCC) CacheStats() *cache.Stats { return s.tags.Stats() }
 
-// Stats returns the contention statistics.
-func (s *SCC) Stats() *Stats { return &s.stats }
+// Stats returns the contention statistics, materializing the per-bank
+// access counts from the fused bank state. The returned pointer stays
+// valid, but BankAccesses reflects the counts as of this call.
+func (s *SCC) Stats() *Stats {
+	for i := range s.bank {
+		s.stats.BankAccesses[i] = s.bank[i].count
+	}
+	return &s.stats
+}
+
+// ResetStats zeroes the contention statistics (bank access counts,
+// conflicts, wait cycles, victim hits) — the simulator's statistics
+// warmup uses it. Bank timing state is untouched.
+func (s *SCC) ResetStats() {
+	for i := range s.bank {
+		s.bank[i].count = 0
+	}
+	for i := range s.stats.BankAccesses {
+		s.stats.BankAccesses[i] = 0
+	}
+	s.stats.BankConflicts, s.stats.BankWaitCycles, s.stats.VictimHits = 0, 0, 0
+}
 
 // BankOf returns the bank servicing addr (line-interleaved).
 func (s *SCC) BankOf(addr uint32) int {
@@ -166,6 +202,38 @@ type Result struct {
 // Wait returns the bank-arbitration wait given the issue time.
 func (r Result) Wait(now uint64) uint64 { return r.Start - now }
 
+// BankStart arbitrates addr's bank for an access issued at cycle now:
+// if the bank is busy the access waits (accounted as a conflict), then
+// the bank is occupied for sysmodel.BankAccessCycles. Returns the cycle
+// at which the bank begins servicing the access. This is Access's
+// arbitration step, exported and kept inline-small so the simulator's
+// fused direct-mapped path (see DirectTags) can run it without a call.
+func (s *SCC) BankStart(now uint64, addr uint32) uint64 {
+	b := &s.bank[sysmodel.LineIndex(addr)&s.bankMask]
+	b.count++
+	start := b.free
+	if start <= now {
+		start = now
+	} else {
+		s.stats.BankConflicts++
+		s.stats.BankWaitCycles += start - now
+	}
+	b.free = start + sysmodel.BankAccessCycles
+	return start
+}
+
+// DirectTags returns the tag store when the SCC is direct-mapped with no
+// victim buffer — the configuration whose access path the simulator
+// fuses inline (BankStart for timing plus cache.HitDM/MissDM for the tag
+// probe reproduce Access exactly) — and nil otherwise. Accessing the
+// returned cache outside that pairing bypasses bank accounting.
+func (s *SCC) DirectTags() *cache.Cache {
+	if s.dm && s.victim == nil {
+		return s.tags
+	}
+	return nil
+}
+
 // Access performs an access issued at cycle now, modelling bank
 // arbitration: if the bank is busy the access waits. The bank is then
 // occupied for sysmodel.BankAccessCycles. On a miss the caller is
@@ -173,16 +241,20 @@ func (r Result) Wait(now uint64) uint64 { return r.Start - now }
 // during the refill (see OccupyBank).
 func (s *SCC) Access(now uint64, addr uint32, kind mem.Kind) Result {
 	bank := s.BankOf(addr)
-	start := now
-	if f := s.bankFree[bank]; f > start {
-		start = f
-		s.stats.BankConflicts++
-		s.stats.BankWaitCycles += f - now
-	}
-	s.bankFree[bank] = start + sysmodel.BankAccessCycles
-	s.stats.BankAccesses[bank]++
+	start := s.BankStart(now, addr)
 
-	cr := s.tags.Access(addr, kind)
+	var cr cache.Result
+	if s.dm {
+		// Direct-mapped tag probe, inlined here: the common hit costs no
+		// call through the cache layer.
+		if s.tags.HitDM(addr, kind) {
+			cr = cache.Result{Hit: true, Evicted: cache.EvictedNone}
+		} else {
+			cr = s.tags.MissDM(addr, kind)
+		}
+	} else {
+		cr = s.tags.Access(addr, kind)
+	}
 	res := Result{
 		Hit:          cr.Hit,
 		Bank:         bank,
@@ -202,10 +274,10 @@ func (s *SCC) Access(now uint64, addr uint32, kind mem.Kind) Result {
 			s.stats.VictimHits++
 			res.Hit = true
 			if dirty && kind == mem.Read {
-				// Preserve dirtiness: mark the refilled line dirty with a
-				// silent write touch.
-				s.tags.Access(addr, mem.Write)
-				s.stats.BankAccesses[bank]--
+				// Preserve dirtiness without perturbing any statistics: the
+				// swap-back is not a program reference, so it must not show
+				// up in Accesses[Write] or the hit/miss counts.
+				s.tags.MarkDirty(addr)
 			}
 		}
 	}
@@ -228,9 +300,9 @@ func (s *SCC) Access(now uint64, addr uint32, kind mem.Kind) Result {
 // than its current free time. The refill port uses this when a line
 // returns from the bus so processor accesses to that bank wait.
 func (s *SCC) OccupyBank(addr uint32, until uint64) {
-	bank := s.BankOf(addr)
-	if until > s.bankFree[bank] {
-		s.bankFree[bank] = until
+	b := &s.bank[s.BankOf(addr)]
+	if until > b.free {
+		b.free = until
 	}
 }
 

@@ -1,6 +1,7 @@
 package scc
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -258,5 +259,110 @@ func TestVictimBufferSuppressesBusEviction(t *testing.T) {
 	r := s.Access(1, 0x1000, mem.Read)
 	if r.Evicted != cache.EvictedNone {
 		t.Error("eviction into the victim buffer was reported to the bus")
+	}
+}
+
+// TestVictimBufferDirtyRestore is the regression test for the dirty
+// swap-back: a dirty line parked in the victim buffer and then re-read
+// must come back dirty WITHOUT the restore registering as a program
+// write (the old implementation issued a write Access, inflating the
+// write-access count and perturbing hit statistics).
+func TestVictimBufferDirtyRestore(t *testing.T) {
+	s := MustNew(4096, 1, 4)
+	s.EnableVictimBuffer(4)
+	s.Access(0, 0x0, mem.Write)   // program write: line 0x0 dirty
+	s.Access(1, 0x1000, mem.Read) // conflict-evicts 0x0 into the buffer
+	r := s.Access(2, 0x0, mem.Read)
+	if !r.Hit {
+		t.Fatal("victim buffer did not satisfy the re-read")
+	}
+	cs := s.CacheStats()
+	if got := cs.Accesses[mem.Write]; got != 1 {
+		t.Errorf("write accesses = %d, want 1 (the swap-back must not count as a write)", got)
+	}
+	if got := cs.Accesses[mem.Read]; got != 2 {
+		t.Errorf("read accesses = %d, want 2", got)
+	}
+	if got := s.Stats().VictimHits; got != 1 {
+		t.Errorf("victim hits = %d, want 1", got)
+	}
+	// The restored line must still be dirty: an invalidation (which now
+	// finds it in the tag store, not the buffer) reports writeback needed.
+	present, dirty := s.Invalidate(0x0)
+	if !present || !dirty {
+		t.Errorf("restored line Invalidate = (%v,%v), want (true,true): dirtiness lost in swap-back",
+			present, dirty)
+	}
+}
+
+// TestVictimBufferFIFODisplacement: the put cursor wraps (compare-and-
+// reset, not modulo) and displaces the oldest entry.
+func TestVictimBufferFIFODisplacement(t *testing.T) {
+	v := newVictimBuffer(2)
+	v.put(10, false)
+	v.put(20, true)
+	v.put(30, false) // wraps: displaces line 10
+	if found, _ := v.take(10); found {
+		t.Error("oldest entry survived displacement")
+	}
+	if found, dirty := v.take(20); !found || !dirty {
+		t.Errorf("take(20) = (%v,%v), want (true,true)", found, dirty)
+	}
+	if found, _ := v.take(30); !found {
+		t.Error("newest entry missing")
+	}
+	// Emptied slots miss.
+	if found, _ := v.take(30); found {
+		t.Error("taken entry still present")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	s := MustNew(4096, 1, 4)
+	// Two back-to-back accesses to one bank: the second conflicts.
+	s.Access(0, 0x0, mem.Read)
+	s.Access(0, 0x1000, mem.Read)
+	st := s.Stats()
+	if st.BankConflicts == 0 || st.BankAccesses[0] != 2 {
+		t.Fatalf("setup: conflicts=%d bank0=%d, want a conflict on bank 0",
+			st.BankConflicts, st.BankAccesses[0])
+	}
+	s.ResetStats()
+	st = s.Stats()
+	if st.BankConflicts != 0 || st.BankWaitCycles != 0 || st.VictimHits != 0 {
+		t.Error("scalar stats survived ResetStats")
+	}
+	for b, n := range st.BankAccesses {
+		if n != 0 {
+			t.Errorf("bank %d access count %d after reset", b, n)
+		}
+	}
+	// Counting resumes from zero and Stats() materializes fresh counts.
+	s.Access(100, 0x0, mem.Read)
+	if got := s.Stats().BankAccesses[0]; got != 1 {
+		t.Errorf("bank 0 accesses after reset+1 access = %d, want 1", got)
+	}
+}
+
+// BenchmarkVictimBufferTake measures the linear scan on the miss path at
+// the typical buffer sizes; it backs the choice of a scan over a map.
+func BenchmarkVictimBufferTake(b *testing.B) {
+	for _, entries := range []int{4, 8} {
+		b.Run(fmt.Sprintf("entries=%d", entries), func(b *testing.B) {
+			v := newVictimBuffer(entries)
+			for i := 0; i < entries; i++ {
+				v.put(uint32(i), false)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Alternate hit (worst slot) and miss (full scan).
+				if i&1 == 0 {
+					v.take(uint32(entries - 1))
+					v.put(uint32(entries-1), false)
+				} else {
+					v.take(0xffff0000)
+				}
+			}
+		})
 	}
 }

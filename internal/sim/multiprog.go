@@ -40,6 +40,22 @@ func RunMultiprog(cfg sysmodel.Config, opts Options, processes []Process, quantu
 	if err != nil {
 		return nil, err
 	}
+	if !opts.LegacyReplay {
+		// Size the flat presence table from the workload's footprint; one
+		// linear pass over the streams is negligible against the run.
+		var maxLine uint32
+		for i := range processes {
+			for _, r := range processes[i].Refs {
+				if r.Kind == mem.Idle {
+					continue
+				}
+				if li := sysmodel.LineIndex(r.Addr); li > maxLine {
+					maxLine = li
+				}
+			}
+		}
+		s.bus.ReserveLines(maxLine + 1)
+	}
 
 	// Per-process progress.
 	pos := make([]int, len(processes))
@@ -66,10 +82,14 @@ func RunMultiprog(cfg sysmodel.Config, opts Options, processes []Process, quantu
 		queue = append(queue, i)
 	}
 
-	h := &procHeap{time: clock}
+	// The scheduler is keyed on each processor's clock; every push below
+	// re-registers the processor at its current clock, which is exactly
+	// what the old live-keyed heap observed (only a popped processor's
+	// clock ever changes while it is unscheduled).
+	h := newSched(nproc)
 	for p := 0; p < nproc; p++ {
 		if current[p] >= 0 {
-			h.push(p)
+			h.add(p, clock[p])
 		}
 	}
 
@@ -98,12 +118,15 @@ func RunMultiprog(cfg sysmodel.Config, opts Options, processes []Process, quantu
 			s.emitSwitch(victim, clock[victim])
 			clock[victim] += s.opts.SwitchPenalty
 			quantumEnd[victim] = clock[victim] + quantum
-			h.push(victim)
+			h.add(victim, clock[victim])
 		}
 	}
 
-	for !h.empty() {
-		p := h.pop()
+	for {
+		p, _ := h.next()
+		if p < 0 {
+			break
+		}
 		pid := current[p]
 		if pid < 0 {
 			continue
@@ -120,7 +143,7 @@ func RunMultiprog(cfg sysmodel.Config, opts Options, processes []Process, quantu
 				s.emitSwitch(p, clock[p])
 				clock[p] += s.opts.SwitchPenalty
 				quantumEnd[p] = clock[p] + quantum
-				h.push(p)
+				h.add(p, clock[p])
 			} else {
 				current[p] = -1
 				idle[p] = true
@@ -143,7 +166,7 @@ func RunMultiprog(cfg sysmodel.Config, opts Options, processes []Process, quantu
 			}
 			quantumEnd[p] = clock[p] + quantum
 			wake(clock[p])
-			h.push(p)
+			h.add(p, clock[p])
 			continue
 		}
 		if clock[p] >= quantumEnd[p] {
@@ -159,14 +182,14 @@ func RunMultiprog(cfg sysmodel.Config, opts Options, processes []Process, quantu
 			if retry {
 				// Spin iteration on a held lock: re-issue later.
 				clock[p] = t
-				h.push(p)
+				h.add(p, t)
 				continue
 			}
 			s.res.Refs++
 		}
 		pos[pid]++
 		clock[p] = t
-		h.push(p)
+		h.add(p, t)
 	}
 
 	// Close out idle accounting to the makespan.

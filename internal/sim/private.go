@@ -35,13 +35,14 @@ const IntraClusterLatency = 20
 
 // RunPrivate simulates the private-per-processor-cache organization.
 func RunPrivate(cfg sysmodel.Config, opts Options, prog *trace.Program) (*Result, error) {
-	if err := prog.Validate(); err != nil {
-		return nil, err
-	}
 	procs := cfg.Procs()
 	if prog.Procs != procs {
 		return nil, fmt.Errorf("sim: program %q generated for %d processors, config has %d",
 			prog.Name, prog.Procs, procs)
+	}
+	phases, comp, err := programPhases(prog, opts)
+	if err != nil {
+		return nil, err
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -72,6 +73,9 @@ func RunPrivate(cfg sysmodel.Config, opts Options, prog *trace.Program) (*Result
 	bus.MemBankOccupancy = opts.MemBankOccupancy
 	bus.GroupOf = groups
 	bus.IntraLatency = IntraClusterLatency
+	if comp != nil {
+		bus.ReserveLines(comp.MaxLineIndex() + 1)
+	}
 
 	res := &Result{
 		Config:      cfg,
@@ -150,8 +154,9 @@ func RunPrivate(cfg sysmodel.Config, opts Options, prog *trace.Program) (*Result
 	}
 
 	// Private-cache mode traces barrier waits only; the per-reference
-	// event stream is a shared-SCC (Run/RunMultiprog) feature.
-	clock := replay(prog, procs, res, opts.Tracer, access)
+	// event stream is a shared-SCC (Run/RunMultiprog) feature. Warmup
+	// resets are likewise a shared-SCC feature (warmupAt = 0).
+	clock := replay(phases, procs, res, opts.Tracer, 0, nil, access)
 	copy(res.ProcFinish, clock)
 	for _, t := range clock {
 		if t > res.Cycles {

@@ -82,6 +82,14 @@ type Options struct {
 	// into the registry. Registries are safe to share across concurrent
 	// runs; nil (the default) disables collection at near-zero cost.
 	Metrics *obs.Registry
+	// LegacyReplay, when true, bypasses the compiled-trace execution path:
+	// the program is re-validated per run, replay iterates the Program's
+	// own stream slices, and the coherence bus keeps its paged presence
+	// table instead of the direct-indexed one. Results are byte-identical
+	// either way (the differential test in internal/explorer runs the full
+	// design grid both ways); this is a debugging escape hatch and the
+	// reference the differential test compares against.
+	LegacyReplay bool
 }
 
 // DefaultWriteBufferDepth is the per-cluster write-buffer depth used when
@@ -204,6 +212,12 @@ type system struct {
 	wbHead    []int
 	locks     *lockTable
 	res       *Result
+	// cluster[p] is processor p's cluster, precomputed so the per-ref hot
+	// path indexes a table instead of dividing by ProcsPerCluster.
+	cluster []int32
+	// fastTags[c] is cluster c's tag store when its SCC qualifies for the
+	// fused direct-mapped access path (scc.DirectTags), nil otherwise.
+	fastTags []*cache.Cache
 
 	// Instrumentation (all nil when disabled; every use is behind a
 	// nil check so the uninstrumented hot path pays only the branch).
@@ -238,6 +252,14 @@ func newSystem(cfg sysmodel.Config, opts Options, procs int) (*system, error) {
 	s.wbPending = make([][]uint64, cfg.Clusters)
 	s.wbHead = make([]int, cfg.Clusters)
 	s.locks = newLockTable()
+	s.cluster = make([]int32, procs)
+	for p := 0; p < procs; p++ {
+		s.cluster[p] = int32(p / cfg.ProcsPerCluster)
+	}
+	s.fastTags = make([]*cache.Cache, cfg.Clusters)
+	for i, sc := range s.sccs {
+		s.fastTags[i] = sc.DirectTags()
+	}
 
 	s.tr = opts.Tracer
 	if s.tr != nil {
@@ -279,21 +301,15 @@ func newSystem(cfg sysmodel.Config, opts Options, procs int) (*system, error) {
 }
 
 // clusterOf maps a processor index to its cluster.
-func (s *system) clusterOf(p int) int { return p / s.cfg.ProcsPerCluster }
+func (s *system) clusterOf(p int) int { return int(s.cluster[p]) }
 
-// maybeWarmupReset clears the statistics once the warmup budget is
-// reached. Called after every executed reference.
-func (s *system) maybeWarmupReset() {
-	if s.opts.WarmupRefs == 0 || s.res.Refs != s.opts.WarmupRefs {
-		return
-	}
+// warmupReset clears the statistics accumulated so far; replay invokes
+// it exactly once, immediately after the Options.WarmupRefs'th reference
+// completes (cold-start exclusion). Timing state is untouched.
+func (s *system) warmupReset() {
 	for _, sc := range s.sccs {
 		*sc.CacheStats() = cache.Stats{}
-		st := sc.Stats()
-		for i := range st.BankAccesses {
-			st.BankAccesses[i] = 0
-		}
-		st.BankConflicts, st.BankWaitCycles, st.VictimHits = 0, 0, 0
+		sc.ResetStats()
 	}
 	*s.bus.Stats() = snoop.Stats{}
 	for p := range s.res.ReadStall {
@@ -346,48 +362,87 @@ func (s *system) access(p int, now uint64, r mem.Ref) (uint64, bool) {
 func (s *system) memAccess(p int, now uint64, addr uint32, kind mem.Kind) uint64 {
 	c := s.clusterOf(p)
 	sc := s.sccs[c]
-	r := mem.Ref{Addr: addr, Kind: kind}
-	ar := sc.Access(now, r.Addr, r.Kind)
-	wait := ar.Wait(now)
-	s.res.BankStall[p] += wait
-	t := ar.Start
-	if wait > 0 {
-		if s.tr != nil {
-			s.tr.Emit(obs.Event{TS: now, Dur: wait, Track: int32(p),
-				Kind: uint8(EvBankStall), Addr: addr})
+	if tags := s.fastTags[c]; tags != nil {
+		// Fused fast path for the paper's SCC configuration
+		// (direct-mapped, no victim buffer): bank arbitration and tag
+		// probe inline — an ordinary hit runs call-free instead of
+		// threading a Result struct through two layers. Semantically
+		// identical to the general path below; the differential test
+		// pins that.
+		t := sc.BankStart(now, addr)
+		if t != now {
+			s.bankStallAt(p, now, t-now, addr)
 		}
-		if s.histBankWait != nil {
-			s.histBankWait.Observe(wait)
-		}
-	}
-
-	if ar.Evicted != cache.EvictedNone {
-		s.bus.Evicted(t, c, ar.Evicted, ar.EvictedDirty)
-	}
-
-	if ar.Hit {
-		if r.Kind == mem.Write {
-			// Write hit: invalidate other clusters' copies if shared.
-			s.bus.WriteShared(t, c, r.Addr)
-		}
-		if s.tr != nil {
-			k := EvReadHit
-			if r.Kind == mem.Write {
-				k = EvWriteHit
+		if tags.HitDM(addr, kind) {
+			if kind == mem.Write && s.bus.MaybeShared(addr, c) {
+				// Write hit to a possibly-shared line: invalidate other
+				// clusters' copies. The MaybeShared probe keeps the common
+				// private-line write hit call-free.
+				s.bus.WriteShared(t, c, addr)
 			}
-			s.tr.Emit(obs.Event{TS: t, Track: int32(p), Kind: uint8(k), Addr: addr})
+			if s.tr != nil {
+				s.emitHit(p, t, addr, kind)
+			}
+			return t
+		}
+		cr := tags.MissDM(addr, kind)
+		return s.missFrom(p, c, t, addr, kind, cr.Evicted, cr.EvictedDirty)
+	}
+
+	ar := sc.Access(now, addr, kind)
+	if wait := ar.Wait(now); wait > 0 {
+		s.bankStallAt(p, now, wait, addr)
+	}
+	t := ar.Start
+	if ar.Hit {
+		if kind == mem.Write {
+			// Write hit: invalidate other clusters' copies if shared.
+			s.bus.WriteShared(t, c, addr)
+		}
+		if s.tr != nil {
+			s.emitHit(p, t, addr, kind)
 		}
 		return t
 	}
+	return s.missFrom(p, c, t, addr, kind, ar.Evicted, ar.EvictedDirty)
+}
 
-	// Miss: fetch over the bus. The refill's own bank cycle is not
-	// modeled as future bank occupancy: the bank-free time is a scalar
-	// "busy until", and reserving it through the whole 100-cycle fetch
-	// would wrongly block the bank during the fetch (the SCC is
-	// non-blocking). The one refill cycle is negligible against the
-	// 100-cycle transfer.
-	ready := s.bus.Fetch(t, c, r.Addr, r.Kind)
-	if r.Kind == mem.Read {
+// bankStallAt accounts a bank-arbitration wait for processor p.
+func (s *system) bankStallAt(p int, now, wait uint64, addr uint32) {
+	s.res.BankStall[p] += wait
+	if s.tr != nil {
+		s.tr.Emit(obs.Event{TS: now, Dur: wait, Track: int32(p),
+			Kind: uint8(EvBankStall), Addr: addr})
+	}
+	if s.histBankWait != nil {
+		s.histBankWait.Observe(wait)
+	}
+}
+
+// emitHit traces an SCC hit event.
+func (s *system) emitHit(p int, t uint64, addr uint32, kind mem.Kind) {
+	k := EvReadHit
+	if kind == mem.Write {
+		k = EvWriteHit
+	}
+	s.tr.Emit(obs.Event{TS: t, Track: int32(p), Kind: uint8(k), Addr: addr})
+}
+
+// missFrom completes a miss whose bank service started at t: eviction
+// notice, bus fetch, and read-stall or write-buffer accounting.
+func (s *system) missFrom(p, c int, t uint64, addr uint32, kind mem.Kind,
+	evicted uint32, evictedDirty bool) uint64 {
+
+	if evicted != cache.EvictedNone {
+		s.bus.Evicted(t, c, evicted, evictedDirty)
+	}
+	// Fetch over the bus. The refill's own bank cycle is not modeled as
+	// future bank occupancy: the bank-free time is a scalar "busy until",
+	// and reserving it through the whole 100-cycle fetch would wrongly
+	// block the bank during the fetch (the SCC is non-blocking). The one
+	// refill cycle is negligible against the 100-cycle transfer.
+	ready := s.bus.Fetch(t, c, addr, kind)
+	if kind == mem.Read {
 		s.res.ReadStall[p] += ready - t
 		if s.tr != nil {
 			s.tr.Emit(obs.Event{TS: t, Dur: ready - t, Track: int32(p),
@@ -439,109 +494,178 @@ func (s *system) bufferWrite(p, c int, now, ready uint64) uint64 {
 	return now
 }
 
-// procHeap is a binary min-heap of processor ids keyed by their clocks,
-// tie-broken by id for determinism.
-type procHeap struct {
-	ids  []int
-	time []uint64 // indexed by proc id
+// sched selects the processor with the earliest next-issue time,
+// tie-broken by lowest id — exactly the order the id-keyed binary heap it
+// replaced produced. It is a binary min-heap of single uint64 keys with
+// the issue time in the high bits and the processor id in the low
+// schedIDBits, so every comparison is one word compare on contiguous
+// memory (the old heap chased ids[i] -> time[id] through two slices per
+// comparison) and the id tie-break falls out of the packing for free.
+// The packing caps issue times at 2^56 cycles — about 2.5 billion years
+// of simulated time at the paper's clock — and processor counts at 256
+// (the machine model tops out at 32).
+type sched struct {
+	keys []uint64
+	// min mirrors keys[0] (schedEmpty when the heap is empty) so isMin —
+	// the replay loop's per-reference test — is a field load and one
+	// compare instead of a length check plus a bounds-checked index.
+	min uint64
 }
 
-func (h *procHeap) less(a, b int) bool {
-	ta, tb := h.time[h.ids[a]], h.time[h.ids[b]]
-	if ta != tb {
-		return ta < tb
+const schedIDBits = 8
+
+// schedEmpty is min's value for an empty heap: larger than every real
+// packed key (a key only reaches 2^64-1 at the 2^56-cycle time cap, far
+// beyond any run), so isMin is unconditionally true, matching the "no
+// one else is scheduled" case.
+const schedEmpty = ^uint64(0)
+
+func newSched(procs int) *sched {
+	return &sched{keys: make([]uint64, 0, procs), min: schedEmpty}
+}
+
+// add schedules processor p to issue at time t.
+func (s *sched) add(p int, t uint64) {
+	k := t<<schedIDBits | uint64(p)
+	if k < s.min {
+		s.min = k
 	}
-	return h.ids[a] < h.ids[b]
-}
-
-func (h *procHeap) push(id int) {
-	h.ids = append(h.ids, id)
-	i := len(h.ids) - 1
+	keys := append(s.keys, k)
+	i := len(keys) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !h.less(i, parent) {
+		if keys[parent] <= k {
 			break
 		}
-		h.ids[i], h.ids[parent] = h.ids[parent], h.ids[i]
+		keys[i] = keys[parent]
 		i = parent
 	}
+	keys[i] = k
+	s.keys = keys
 }
 
-func (h *procHeap) pop() int {
-	top := h.ids[0]
-	last := len(h.ids) - 1
-	h.ids[0] = h.ids[last]
-	h.ids = h.ids[:last]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < len(h.ids) && h.less(l, smallest) {
-			smallest = l
-		}
-		if r < len(h.ids) && h.less(r, smallest) {
-			smallest = r
-		}
-		if smallest == i {
-			break
-		}
-		h.ids[i], h.ids[smallest] = h.ids[smallest], h.ids[i]
-		i = smallest
+// next removes and returns the processor with the earliest issue time and
+// that time; p is -1 when none are scheduled.
+func (s *sched) next() (p int, t uint64) {
+	keys := s.keys
+	if len(keys) == 0 {
+		return -1, 0
 	}
-	return top
+	top := keys[0]
+	last := len(keys) - 1
+	k := keys[last]
+	keys = keys[:last]
+	s.keys = keys
+	if last > 0 {
+		i := 0
+		for {
+			l := 2*i + 1
+			if l >= last {
+				break
+			}
+			if r := l + 1; r < last && keys[r] < keys[l] {
+				l = r
+			}
+			if k <= keys[l] {
+				break
+			}
+			keys[i] = keys[l]
+			i = l
+		}
+		keys[i] = k
+	}
+	if last > 0 {
+		s.min = keys[0]
+	} else {
+		s.min = schedEmpty
+	}
+	return int(top & (1<<schedIDBits - 1)), top >> schedIDBits
 }
 
-func (h *procHeap) empty() bool { return len(h.ids) == 0 }
+// isMin reports whether processor p issuing at time t would be the next
+// processor the scheduler picks — i.e. whether p's packed key precedes
+// every scheduled key. Packed keys are unique (the id is in the low
+// bits), so strict < is exact, including the lowest-id tie-break.
+// replay uses this to keep running the earliest processor without a
+// push/pop round-trip per reference.
+func (s *sched) isMin(p int, t uint64) bool {
+	return t<<schedIDBits|uint64(p) < s.min
+}
 
-// replay drives a phase-structured program through an access function in
-// global issue order, handling barriers and accounting into res. The
-// access function performs one memory reference for a processor at a
-// time and returns when the processor may proceed. A non-nil tracer
-// receives a barrier-wait event per processor per phase.
-func replay(prog *trace.Program, procs int, res *Result, tr Tracer,
+// replay drives barrier-delimited phase streams through an access
+// function in global issue order, handling barriers and accounting into
+// res. phases is the per-phase, per-processor stream table — a compiled
+// program's arena views or a legacy Program's own slices; replay is
+// agnostic. The access function performs one memory reference for a
+// processor at a time and returns when the processor may proceed.
+// warmupAt, when nonzero, invokes reset exactly once, immediately after
+// the warmupAt'th reference completes. A non-nil tracer receives a
+// barrier-wait event per processor per phase.
+func replay(phases [][][]mem.Ref, procs int, res *Result, tr Tracer,
+	warmupAt uint64, reset func(),
 	access func(p int, now uint64, r mem.Ref) (uint64, bool)) []uint64 {
+
+	if procs == 1 {
+		return replay1(phases, res, warmupAt, reset, access)
+	}
 
 	clock := make([]uint64, procs)
 	pos := make([]int, procs)
-	// nextAt[p] is when processor p's next reference issues; the heap is
-	// keyed on it so references execute in global issue order even when
-	// compute gaps differ wildly across processors.
-	nextAt := make([]uint64, procs)
+	sc := newSched(procs)
 	var phaseStart uint64
 
-	for _, ph := range prog.Phases {
-		h := &procHeap{time: nextAt}
+	for _, streams := range phases {
 		for p := 0; p < procs; p++ {
 			pos[p] = 0
-			if len(ph.Streams[p]) > 0 {
-				nextAt[p] = clock[p] + uint64(ph.Streams[p][0].Gap)
-				h.push(p)
+			if len(streams[p]) > 0 {
+				sc.add(p, clock[p]+uint64(streams[p][0].Gap))
 			}
 		}
 		// Replay streams in global issue order: repeatedly advance the
-		// processor whose next reference is earliest.
-		for !h.empty() {
-			p := h.pop()
-			st := ph.Streams[p]
-			r := st[pos[p]]
-			t := nextAt[p]
-			if r.Kind != mem.Idle {
-				var retry bool
-				t, retry = access(p, t, r)
-				if retry {
-					// Spin iteration: re-issue the same reference later.
-					nextAt[p] = t
-					clock[p] = t
-					h.push(p)
-					continue
-				}
-				res.Refs++
+		// processor whose next reference is earliest. The inner loop is a
+		// run-ahead: after each reference, if the processor's next issue
+		// time still precedes every scheduled key it keeps executing
+		// without touching the heap — the order is identical to a full
+		// push/pop per reference (isMin is the heap's own comparison),
+		// but long stretches where one processor runs (the others parked
+		// 100 cycles ahead by misses, or finished) cost no heap traffic.
+		for {
+			p, t := sc.next()
+			if p < 0 {
+				break
 			}
-			pos[p]++
-			clock[p] = t
-			if pos[p] < len(st) {
-				nextAt[p] = t + uint64(st[pos[p]].Gap)
-				h.push(p)
+			st := streams[p]
+			for {
+				r := st[pos[p]]
+				if r.Kind != mem.Idle {
+					t2, retry := access(p, t, r)
+					if retry {
+						// Spin iteration: re-issue the same reference later.
+						clock[p] = t2
+						if sc.isMin(p, t2) {
+							t = t2
+							continue
+						}
+						sc.add(p, t2)
+						break
+					}
+					t = t2
+					res.Refs++
+					if warmupAt != 0 && res.Refs == warmupAt {
+						reset()
+					}
+				}
+				pos[p]++
+				clock[p] = t
+				if pos[p] == len(st) {
+					break
+				}
+				nt := t + uint64(st[pos[p]].Gap)
+				if !sc.isMin(p, nt) {
+					sc.add(p, nt)
+					break
+				}
+				t = nt
 			}
 		}
 		// Barrier: everyone waits for the slowest processor.
@@ -565,34 +689,87 @@ func replay(prog *trace.Program, procs int, res *Result, tr Tracer,
 	return clock
 }
 
+// replay1 is the single-processor fast path: stream order is issue
+// order, so no scheduler runs at all and barriers degenerate to phase
+// accounting. Lock references cannot spin with one processor (access
+// reports retry only when another processor holds the lock), but the
+// retry loop is kept so the two paths share one contract.
+func replay1(phases [][][]mem.Ref, res *Result, warmupAt uint64, reset func(),
+	access func(p int, now uint64, r mem.Ref) (uint64, bool)) []uint64 {
+
+	var now, phaseStart uint64
+	for _, streams := range phases {
+		for _, r := range streams[0] {
+			now += uint64(r.Gap)
+			if r.Kind == mem.Idle {
+				continue
+			}
+			for {
+				t, retry := access(0, now, r)
+				now = t
+				if !retry {
+					break
+				}
+			}
+			res.Refs++
+			if warmupAt != 0 && res.Refs == warmupAt {
+				reset()
+			}
+		}
+		res.PhaseCycles = append(res.PhaseCycles, now-phaseStart)
+		phaseStart = now
+	}
+	return []uint64{now}
+}
+
+// programPhases resolves a program into the stream table replay consumes.
+// The default path compiles the program (validation and arena packing
+// happen once per Program, memoized — not once per run) and returns the
+// compiled form so Run can size the flat presence table; under
+// Options.LegacyReplay it returns the raw per-phase slices with a fresh
+// validation and a nil Compiled.
+func programPhases(prog *trace.Program, opts Options) ([][][]mem.Ref, *trace.Compiled, error) {
+	if opts.LegacyReplay {
+		if err := prog.Validate(); err != nil {
+			return nil, nil, err
+		}
+		phases := make([][][]mem.Ref, len(prog.Phases))
+		for i := range prog.Phases {
+			phases[i] = prog.Phases[i].Streams
+		}
+		return phases, nil, nil
+	}
+	c, err := trace.Compile(prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c.Streams, c, nil
+}
+
 // Run simulates a parallel program on the configured system. The program
 // must have exactly cfg.Procs() streams per phase. Run never mutates
 // prog, so concurrent Runs may share one Program (see the package
-// comment's concurrency contract).
+// comment's concurrency contract); the compiled form a Run memoizes on
+// the program (trace.Compile) is itself immutable and shared the same
+// way.
 func Run(cfg sysmodel.Config, opts Options, prog *trace.Program) (*Result, error) {
-	if err := prog.Validate(); err != nil {
-		return nil, err
-	}
 	procs := cfg.Procs()
 	if prog.Procs != procs {
 		return nil, fmt.Errorf("sim: program %q generated for %d processors, config has %d",
 			prog.Name, prog.Procs, procs)
 	}
+	phases, comp, err := programPhases(prog, opts)
+	if err != nil {
+		return nil, err
+	}
 	s, err := newSystem(cfg, opts, procs)
 	if err != nil {
 		return nil, err
 	}
-	clock := replay(prog, procs, s.res, s.tr, func(p int, now uint64, r mem.Ref) (uint64, bool) {
-		t, retry := s.access(p, now, r)
-		if !retry {
-			// replay increments Refs after we return; reset on the
-			// boundary using the upcoming count.
-			s.res.Refs++
-			s.maybeWarmupReset()
-			s.res.Refs--
-		}
-		return t, retry
-	})
+	if comp != nil {
+		s.bus.ReserveLines(comp.MaxLineIndex() + 1)
+	}
+	clock := replay(phases, procs, s.res, s.tr, opts.WarmupRefs, s.warmupReset, s.access)
 	s.finish(clock)
 	return s.res, nil
 }

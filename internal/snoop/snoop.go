@@ -125,6 +125,25 @@ func New(sccs []Invalidator) *Bus {
 // Clusters returns the number of clusters on the bus.
 func (b *Bus) Clusters() int { return len(b.sccs) }
 
+// MaxFlatLines bounds the direct-indexed presence table at 1<<22 lines
+// (a 16 MiB table covering 128 MiB of address space). Footprints beyond
+// that keep the paged representation.
+const MaxFlatLines = 1 << 22
+
+// ReserveLines switches the presence table to a direct-indexed array
+// covering line indices [0, lines). Callers that know the trace's
+// footprint up front (a compiled trace records its max line index) use
+// this to replace the per-access map lookup — paid on every fetch, write
+// hit to a shared line, and eviction — with a bounds-checked array index.
+// Lines at or beyond the reserved bound still fall back to the paged
+// map, so the call is a pure optimization: coherence behavior is
+// identical either way. Requests larger than MaxFlatLines are ignored.
+// Any state already in the paged table is migrated, so the call is
+// correct (if pointless) mid-simulation.
+func (b *Bus) ReserveLines(lines uint32) {
+	b.presence.reserve(lines)
+}
+
 // Stats returns the accumulated coherence statistics.
 func (b *Bus) Stats() *Stats { return &b.stats }
 
@@ -218,6 +237,23 @@ func (b *Bus) WriteShared(now uint64, cluster int, addr uint32) bool {
 	return true
 }
 
+// MaybeShared reports whether the line containing addr might be held by
+// a cluster other than cluster: false only when the flat presence table
+// covers the line and records no other holder. It is WriteShared's
+// early-out lifted into an inlinable probe — WriteShared itself is over
+// the inlining budget, so a caller on a hot write-hit path uses this to
+// skip the call entirely on the common private-line case (skipping is
+// exactly what WriteShared would have done: no state change, no
+// statistics). Lines outside the flat table conservatively report true.
+func (b *Bus) MaybeShared(addr uint32, cluster int) bool {
+	li := sysmodel.LineIndex(addr)
+	flat := b.presence.flat
+	if li < uint32(len(flat)) {
+		return flat[li]&^(uint32(1)<<uint(cluster)) != 0
+	}
+	return true
+}
+
 // invalidateOthers kills the line in every cluster in mask except the
 // writer and accounts for the traffic.
 func (b *Bus) invalidateOthers(li uint32, addr uint32, cluster int, mask uint32) {
@@ -264,9 +300,13 @@ func (b *Bus) Present(addr uint32) uint32 {
 	return b.presence.get(sysmodel.LineIndex(addr))
 }
 
-// presenceTable maps line index -> cluster bitmask, stored in 4096-line
-// pages so the common case (dense footprints) avoids per-line map entries.
+// presenceTable maps line index -> cluster bitmask. Two representations:
+// a direct-indexed flat array for line indices below the reserved bound
+// (see Bus.ReserveLines), and 4096-line pages in a map for everything
+// else. The flat array is the hot path — the paged map only exists so
+// unreserved footprints and out-of-bound stragglers stay correct.
 type presenceTable struct {
+	flat  []uint32
 	pages map[uint32][]uint32
 }
 
@@ -276,7 +316,28 @@ func newPresenceTable() *presenceTable {
 	return &presenceTable{pages: make(map[uint32][]uint32)}
 }
 
+func (t *presenceTable) reserve(lines uint32) {
+	if lines == 0 || lines > MaxFlatLines || uint32(len(t.flat)) >= lines {
+		return
+	}
+	flat := make([]uint32, lines)
+	copy(flat, t.flat)
+	for pn, p := range t.pages {
+		base := pn << pageShift
+		for off, mask := range p {
+			if li := base + uint32(off); mask != 0 && li < lines {
+				flat[li] = mask
+				p[off] = 0
+			}
+		}
+	}
+	t.flat = flat
+}
+
 func (t *presenceTable) get(li uint32) uint32 {
+	if li < uint32(len(t.flat)) {
+		return t.flat[li]
+	}
 	p, ok := t.pages[li>>pageShift]
 	if !ok {
 		return 0
@@ -285,6 +346,10 @@ func (t *presenceTable) get(li uint32) uint32 {
 }
 
 func (t *presenceTable) set(li uint32, mask uint32) {
+	if li < uint32(len(t.flat)) {
+		t.flat[li] = mask
+		return
+	}
 	pn := li >> pageShift
 	p, ok := t.pages[pn]
 	if !ok {

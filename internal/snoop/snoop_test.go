@@ -284,3 +284,106 @@ func TestMemBanksOffByDefault(t *testing.T) {
 		t.Error("MemBankWait nonzero with banking disabled")
 	}
 }
+
+// TestFlatPagedEquivalence drives identical operation sequences through
+// a reserved (flat) bus and an unreserved (paged) bus: presence state
+// and statistics must match at every step — ReserveLines is a pure
+// representation change.
+func TestFlatPagedEquivalence(t *testing.T) {
+	flat, _ := newBus4()
+	flat.ReserveLines(1 << 12)
+	paged, _ := newBus4()
+
+	ops := []struct {
+		cluster int
+		addr    uint32
+		kind    mem.Kind
+	}{
+		{0, 0x40, mem.Read}, {1, 0x40, mem.Read}, {2, 0x40, mem.Write},
+		{3, 0x1000, mem.Write}, {0, 0x1000, mem.Read},
+		// Beyond the flat bound: exercises the paged fallback on both.
+		{1, (1 << 12) * sysmodel.LineSize, mem.Write},
+		{2, (1 << 12) * sysmodel.LineSize, mem.Read},
+	}
+	for i, op := range ops {
+		now := uint64(i * 200)
+		f := flat.Fetch(now, op.cluster, op.addr, op.kind)
+		p := paged.Fetch(now, op.cluster, op.addr, op.kind)
+		if f != p {
+			t.Fatalf("op %d: ready time %d (flat) vs %d (paged)", i, f, p)
+		}
+		if fm, pm := flat.Present(op.addr), paged.Present(op.addr); fm != pm {
+			t.Fatalf("op %d: presence %#x (flat) vs %#x (paged)", i, fm, pm)
+		}
+	}
+	flat.WriteShared(2000, 0, 0x1000)
+	paged.WriteShared(2000, 0, 0x1000)
+	flat.Evicted(2100, 2, sysmodel.LineIndex(0x40), true)
+	paged.Evicted(2100, 2, sysmodel.LineIndex(0x40), true)
+	if *flat.Stats() != *paged.Stats() {
+		t.Errorf("stats diverged:\nflat:  %+v\npaged: %+v", *flat.Stats(), *paged.Stats())
+	}
+}
+
+// TestReserveLinesMigratesState: presence recorded while paged survives
+// a mid-simulation switch to the flat table.
+func TestReserveLinesMigratesState(t *testing.T) {
+	b, _ := newBus4()
+	b.Fetch(0, 0, 0x40, mem.Read)
+	b.Fetch(0, 1, 0x40, mem.Read)
+	before := b.Present(0x40)
+	if before != 0b11 {
+		t.Fatalf("setup: presence %#x, want 0b11", before)
+	}
+	b.ReserveLines(1 << 10)
+	if got := b.Present(0x40); got != before {
+		t.Errorf("presence %#x after reserve, want %#x", got, before)
+	}
+	// The migrated line is now served by the flat array.
+	if li := sysmodel.LineIndex(0x40); b.presence.flat[li] != before {
+		t.Errorf("flat[%d] = %#x, want %#x", li, b.presence.flat[li], before)
+	}
+	// Oversized requests are ignored, keeping whatever table exists.
+	b.ReserveLines(MaxFlatLines + 1)
+	if got := uint32(len(b.presence.flat)); got != 1<<10 {
+		t.Errorf("flat table resized to %d by an oversized request", got)
+	}
+}
+
+// TestMaybeShared pins the inlinable probe's contract: false only when
+// the flat table proves no other holder; unknown lines report true.
+func TestMaybeShared(t *testing.T) {
+	b, _ := newBus4()
+	// No flat table yet: everything is conservatively "maybe".
+	if !b.MaybeShared(0x40, 0) {
+		t.Error("paged-only bus claimed a line is private")
+	}
+	b.ReserveLines(1 << 10)
+	if b.MaybeShared(0x40, 0) {
+		t.Error("unfetched line inside the flat bound reported shared")
+	}
+	b.Fetch(0, 0, 0x40, mem.Read)
+	if b.MaybeShared(0x40, 0) {
+		t.Error("exclusively-held line reported shared to its holder")
+	}
+	if !b.MaybeShared(0x40, 1) {
+		t.Error("line held by cluster 0 reported private to cluster 1")
+	}
+	b.Fetch(100, 1, 0x40, mem.Read)
+	if !b.MaybeShared(0x40, 0) {
+		t.Error("shared line reported private")
+	}
+	// Beyond the flat bound: conservative true even when untouched.
+	if !b.MaybeShared((1<<10)*sysmodel.LineSize, 0) {
+		t.Error("line beyond the flat bound reported private")
+	}
+	// MaybeShared == false must imply WriteShared is a no-op: the probe
+	// exists so callers can skip the call, and skipping must match calling.
+	b.Fetch(0, 2, 0x2040, mem.Read)
+	if b.MaybeShared(0x2040, 2) {
+		t.Fatal("exclusively-fetched line reported shared")
+	}
+	if b.WriteShared(0, 2, 0x2040) {
+		t.Error("WriteShared transacted on a line the probe called private")
+	}
+}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"sccsim/internal/mem"
+	"sccsim/internal/sysmodel"
+)
+
+// compileFixture builds a small two-phase, two-processor program with
+// idle refs, uneven streams, and a known footprint.
+func compileFixture() *Program {
+	return &Program{
+		Name:  "fixture",
+		Procs: 2,
+		Phases: []Phase{
+			{Name: "build", Streams: [][]mem.Ref{
+				{
+					{Addr: 0x100, Kind: mem.Read, Gap: 3},
+					{Kind: mem.Idle, Gap: 7},
+					{Addr: 0x2000, Kind: mem.Write},
+				},
+				{
+					{Addr: 0x110, Kind: mem.Read},
+				},
+			}},
+			{Name: "solve", Streams: [][]mem.Ref{
+				{},
+				{
+					{Addr: 0x40, Kind: mem.Lock},
+					{Addr: 0x9000, Kind: mem.Write, Gap: 1},
+					{Addr: 0x40, Kind: mem.Unlock},
+				},
+			}},
+		},
+	}
+}
+
+func TestCompileLayoutAndMetadata(t *testing.T) {
+	p := compileFixture()
+	c, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != p.Name || c.Procs != p.Procs {
+		t.Fatalf("header mismatch: %q/%d vs %q/%d", c.Name, c.Procs, p.Name, p.Procs)
+	}
+	if got, want := len(c.Arena), 3+1+0+3; got != want {
+		t.Fatalf("arena has %d refs, want %d", got, want)
+	}
+	// Streams must mirror the program's slices value-for-value and be
+	// views into the arena, laid out phase-major then processor-major.
+	off := 0
+	for i, ph := range p.Phases {
+		if c.PhaseNames[i] != ph.Name {
+			t.Errorf("phase %d name %q, want %q", i, c.PhaseNames[i], ph.Name)
+		}
+		for pr, st := range ph.Streams {
+			got := c.Streams[i][pr]
+			if !reflect.DeepEqual(append([]mem.Ref{}, got...), append([]mem.Ref{}, st...)) {
+				t.Errorf("phase %d proc %d stream differs from source", i, pr)
+			}
+			if len(got) > 0 && &got[0] != &c.Arena[off] {
+				t.Errorf("phase %d proc %d stream is not an arena view at offset %d", i, pr, off)
+			}
+			off += len(st)
+		}
+	}
+	// Footprint metadata: 6 non-idle refs, max line from 0x9000.
+	if c.Refs() != 6 {
+		t.Errorf("Refs() = %d, want 6", c.Refs())
+	}
+	if want := sysmodel.LineIndex(0x9000); c.MaxLineIndex() != want {
+		t.Errorf("MaxLineIndex() = %d, want %d", c.MaxLineIndex(), want)
+	}
+	if got := c.StreamRefs[0][0]; got != 2 {
+		t.Errorf("StreamRefs[0][0] = %d, want 2 (idle excluded)", got)
+	}
+	if got := c.StreamRefs[1][1]; got != 3 {
+		t.Errorf("StreamRefs[1][1] = %d, want 3", got)
+	}
+}
+
+func TestCompileMemoizes(t *testing.T) {
+	p := compileFixture()
+	c1, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatal("second Compile returned a different object; memo not used")
+	}
+}
+
+func TestProgramRefsAgreesWithCompiled(t *testing.T) {
+	p := compileFixture()
+	slow := p.Refs() // pre-compile: counting pass
+	if _, err := Compile(p); err != nil {
+		t.Fatal(err)
+	}
+	if fast := p.Refs(); fast != slow {
+		t.Fatalf("Refs() changed after compile: %d vs %d", fast, slow)
+	}
+}
+
+func TestCompileRejectsInvalidProgram(t *testing.T) {
+	p := &Program{Name: "bad", Procs: 2, Phases: []Phase{
+		{Name: "p", Streams: [][]mem.Ref{{}}}, // 1 stream, want 2
+	}}
+	if _, err := Compile(p); err == nil {
+		t.Fatal("Compile accepted a program Validate rejects")
+	}
+	if p.compiled.Load() != nil {
+		t.Fatal("failed Compile populated the memo")
+	}
+}

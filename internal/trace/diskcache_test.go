@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func mustCache(t *testing.T) *DiskCache {
+	t.Helper()
+	dc, err := NewDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dc
+}
+
+func TestDiskCacheRoundTrip(t *testing.T) {
+	dc := mustCache(t)
+	p := compileFixture()
+	const key = "scct1-fixture-p2-seed42"
+	if err := dc.Store(key, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dc.Load(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("Load missed a just-stored key")
+	}
+	if got.Name != p.Name || got.Procs != p.Procs || !reflect.DeepEqual(got.Phases, p.Phases) {
+		t.Fatal("loaded program differs from stored program")
+	}
+}
+
+func TestDiskCacheMissIsNilNil(t *testing.T) {
+	dc := mustCache(t)
+	p, err := dc.Load("never-stored")
+	if err != nil {
+		t.Fatalf("miss returned error: %v", err)
+	}
+	if p != nil {
+		t.Fatal("miss returned a program")
+	}
+}
+
+func TestDiskCacheCorruptEntryIsMissAndRemoved(t *testing.T) {
+	dc := mustCache(t)
+	const key = "scct1-corrupt"
+	if err := dc.Store(key, compileFixture()); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the stored entry mid-stream.
+	path := dc.path(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := dc.Load(key)
+	if err != nil || p != nil {
+		t.Fatalf("corrupt entry: got (%v, %v), want (nil, nil)", p, err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry was not removed")
+	}
+}
+
+func TestDiskCacheKeySeparation(t *testing.T) {
+	dc := mustCache(t)
+	p := compileFixture()
+	if err := dc.Store("key-a", p); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := dc.Load("key-b"); got != nil {
+		t.Fatal("different key hit key-a's entry")
+	}
+}
+
+func TestDiskCacheFileNames(t *testing.T) {
+	dc := mustCache(t)
+	if err := dc.Store("scct1/odd key*", compileFixture()); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dc.Dir(), "*.scct"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("want exactly one .scct entry, got %v (%v)", entries, err)
+	}
+	base := filepath.Base(entries[0])
+	if strings.ContainsAny(base, "/*? ") {
+		t.Fatalf("unsanitized file name %q", base)
+	}
+	if !strings.HasPrefix(base, "scct1-odd-key-") {
+		t.Fatalf("file name %q does not carry the sanitized key prefix", base)
+	}
+}
+
+func TestNewDiskCacheRejectsBadDir(t *testing.T) {
+	if _, err := NewDiskCache(""); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	// A path whose parent is a regular file cannot be created.
+	file := filepath.Join(t.TempDir(), "plain")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDiskCache(filepath.Join(file, "sub")); err == nil {
+		t.Fatal("dir under a regular file accepted")
+	}
+}

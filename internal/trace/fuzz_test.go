@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzTraceRoundTrip feeds arbitrary bytes to the binary trace reader.
+// Garbage must fail cleanly (error, no panic, no unbounded allocation —
+// the length guards in io.go); anything the reader accepts must survive
+// an encode/decode round trip unchanged, which pins the format against
+// asymmetric reader/writer drift.
+func FuzzTraceRoundTrip(f *testing.F) {
+	var valid bytes.Buffer
+	if err := compileFixture().EncodeTo(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:len(valid.Bytes())/2]) // truncated mid-stream
+	f.Add(valid.Bytes()[:3])                    // truncated magic
+	bad := append([]byte(nil), valid.Bytes()...)
+	copy(bad, "XXXX") // bad magic
+	f.Add(bad)
+	f.Add([]byte{})
+	f.Add([]byte("SCCT")) // magic only, missing header
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ReadProgram(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: fine, as long as it didn't panic
+		}
+		var out bytes.Buffer
+		if err := p.EncodeTo(&out); err != nil {
+			t.Fatalf("accepted program failed to re-encode: %v", err)
+		}
+		p2, err := ReadProgram(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded program failed to read back: %v", err)
+		}
+		if p2.Name != p.Name || p2.Procs != p.Procs || !reflect.DeepEqual(p2.Phases, p.Phases) {
+			t.Fatal("round trip changed the program")
+		}
+	})
+}

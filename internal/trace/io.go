@@ -21,6 +21,11 @@ const (
 	traceVersion = 1
 )
 
+// FormatVersion is the on-disk trace format version. Cache keys include
+// it so a format change invalidates previously stored traces instead of
+// tripping the version check at load time.
+const FormatVersion = traceVersion
+
 // EncodeTo serializes the program.
 func (p *Program) EncodeTo(w io.Writer) error {
 	bw := bufio.NewWriter(w)

@@ -15,6 +15,7 @@ package trace
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"sccsim/internal/mem"
 	"sccsim/internal/sysmodel"
@@ -42,6 +43,13 @@ type Program struct {
 	Procs int
 	// Phases in execution order.
 	Phases []Phase
+
+	// compiled memoizes the packed form built by Compile. Only Compile
+	// writes it (and only after successful validation); read-only
+	// operations like Validate and Refs never populate it, so they remain
+	// side-effect free. Programs must be shared by pointer — the atomic
+	// makes the memo safe under the concurrent sweep engine.
+	compiled atomic.Pointer[Compiled]
 }
 
 // Validate checks structural invariants: every phase has one stream per
@@ -99,8 +107,12 @@ func (p *Program) Validate() error {
 }
 
 // Refs returns the total number of memory references (excluding Idle) in
-// the program.
+// the program. If the program has been compiled the precomputed total is
+// returned; otherwise the streams are counted.
 func (p *Program) Refs() uint64 {
+	if c := p.compiled.Load(); c != nil {
+		return c.refs
+	}
 	var n uint64
 	for _, ph := range p.Phases {
 		for _, st := range ph.Streams {

@@ -175,6 +175,8 @@ func buildManifest(w Workload, c expCfg, g *Grid, rep *SweepReport) *RunManifest
 			PointWallP95:     int64(stats.Percentile(walls, 95)),
 			TraceCacheHits:   rep.TraceHits,
 			TraceCacheMisses: rep.TraceMisses,
+			TraceDiskHits:    rep.TraceDiskHits,
+			TraceGenerated:   rep.TraceGenerated,
 		}
 	}
 	if c.metrics != nil {

@@ -118,6 +118,9 @@ type expCfg struct {
 	ppc, scc    int
 	parallelism int
 	progress    func(Progress)
+	// traceCacheDir, when set, roots the persistent on-disk trace cache
+	// (see WithTraceCache).
+	traceCacheDir string
 
 	// Observability (see manifest.go): all nil by default — the
 	// simulator and engine then skip every instrumentation site.
@@ -161,6 +164,16 @@ func WithParallelism(n int) Opt { return func(c *expCfg) { c.parallelism = n } }
 // completed design point.
 func WithProgress(fn func(Progress)) Opt { return func(c *expCfg) { c.progress = fn } }
 
+// WithTraceCache roots a persistent on-disk trace cache at dir
+// (created if needed): sweeps consult it before running a workload
+// generator and populate it after, keyed by workload, processor count,
+// problem scale, seed, and the trace-format version — so repeated
+// sweeps, including across processes, skip trace generation entirely.
+// The sweep report's TraceDiskHits/TraceGenerated counters say how the
+// cache performed. An unusable directory fails the experiment at start,
+// before any simulation runs.
+func WithTraceCache(dir string) Opt { return func(c *expCfg) { c.traceCacheDir = dir } }
+
 func resolve(opts []Opt) expCfg {
 	c := expCfg{scale: PaperScale(), ppc: 1, scc: 64 * 1024}
 	for _, o := range opts {
@@ -169,11 +182,19 @@ func resolve(opts []Opt) expCfg {
 	return c
 }
 
-func (c expCfg) engine() explorer.EngineOptions {
-	return explorer.EngineOptions{
+func (c expCfg) engine() (explorer.EngineOptions, error) {
+	eng := explorer.EngineOptions{
 		Parallelism: c.parallelism, Progress: c.progress,
 		Report: c.reportFn, Metrics: c.metrics,
 	}
+	if c.traceCacheDir != "" {
+		dc, err := trace.NewDiskCache(c.traceCacheDir)
+		if err != nil {
+			return eng, err
+		}
+		eng.TraceCache = dc
+	}
+	return eng, nil
 }
 
 // Do simulates one workload at one design point — the single entry point
@@ -232,7 +253,10 @@ func Do(ctx context.Context, w Workload, opts ...Opt) (*Point, error) {
 func SweepCtx(ctx context.Context, w Workload, opts ...Opt) (*Grid, error) {
 	c := resolve(opts)
 	c.sim.Metrics = c.metrics
-	eng := c.engine()
+	eng, err := c.engine()
+	if err != nil {
+		return nil, err
+	}
 
 	var ts *obs.TraceSet
 	if c.traceW != nil {
@@ -271,7 +295,11 @@ func SweepCtx(ctx context.Context, w Workload, opts ...Opt) (*Grid, error) {
 // concurrent sweep engine.
 func BuildCostPerfEntryCtx(ctx context.Context, w Workload, opts ...Opt) (*CostPerfEntry, error) {
 	c := resolve(opts)
-	return costperf.BuildEntryCtx(ctx, w, c.scale, c.sim, c.engine())
+	eng, err := c.engine()
+	if err != nil {
+		return nil, err
+	}
+	return costperf.BuildEntryCtx(ctx, w, c.scale, c.sim, eng)
 }
 
 // ResetTraceCache drops every cached workload trace, releasing memory
