@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-race race-obs vet quick bench bench-quick bench-json bench-compare experiments cover clean
+.PHONY: all check build test test-race race-obs fuzz-smoke vet quick bench bench-quick bench-json bench-compare experiments cover clean
 
 all: build vet test
 
@@ -24,15 +24,28 @@ quick:
 	$(GO) test -short ./...
 
 # Race-enabled run of the concurrency-bearing packages at QuickScale:
-# the shared-trace contract (internal/sim) and the sweep engine
-# (internal/explorer, internal/costperf, plus the facade API).
+# the shared-trace contract (internal/sim), the sweep engine
+# (internal/explorer, internal/costperf, plus the facade API), the
+# cross-process trace disk cache (internal/trace), and the verification
+# layer (internal/verify).
 test-race:
-	$(GO) test -race -short ./internal/sim/... ./internal/explorer/... ./internal/costperf/... .
+	$(GO) test -race -short ./internal/sim/... ./internal/explorer/... ./internal/costperf/... ./internal/trace/... ./internal/verify/... .
 
 # Race-enabled run of the instrumentation layer and the engine that
 # drives it concurrently — cheap enough to sit inside `make check`.
+# -short keeps the explorer's full-grid oracle diff (which `test` runs
+# uninstrumented) to a representative pair of cache sizes here.
 race-obs:
-	$(GO) test -race ./internal/obs ./internal/explorer
+	$(GO) test -race -short ./internal/obs ./internal/explorer
+
+# Seed-plus-30s coverage-guided fuzz of the two properties most worth
+# hammering: the verified simulator against the oracle model
+# (FuzzSimConfig) and the trace binary format round trip
+# (FuzzTraceRoundTrip). Each target runs alone (go test allows one
+# -fuzz pattern per invocation).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzSimConfig$$' -fuzztime 30s ./internal/sim
+	$(GO) test -run '^$$' -fuzz '^FuzzTraceRoundTrip$$' -fuzztime 30s ./internal/trace
 
 # Machine-readable sweep benchmark: a quick-scale Barnes-Hut sweep whose
 # run manifest (timings, utilization, per-point stats) is committed as

@@ -13,6 +13,12 @@
 // drops more than -threshold, or when any single point drops more than
 // three times the threshold, or when grid points are missing.
 //
+// A missing or unparsable manifest is a hard error (exit 2), with a
+// hint to regenerate it — comparing against an absent baseline must
+// never pass. So is a pair of manifests with no comparable throughput
+// samples at all: a comparison that compared nothing is a failure, not
+// a success.
+//
 // Simulation *results* (cycles, refs) are compared too: a mismatch is
 // reported as a warning, because it usually means the workloads or the
 // model changed — legitimate in a PR that says so, alarming otherwise.
@@ -21,18 +27,28 @@
 //
 //	benchcompare [-threshold 0.10] baseline.json candidate.json
 //
-// Exit status: 0 when within threshold, 1 on regression or mismatched
-// grids, 2 on usage or read errors.
+// Exit status: 0 when within threshold, 1 on regression, mismatched
+// grids, or nothing comparable, 2 on usage or read errors.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"io/fs"
 	"os"
 	"sort"
 
 	"sccsim/internal/obs"
+)
+
+// stdout receives the point-by-point report; stderr receives usage and
+// read errors. Variables so tests can capture both streams.
+var (
+	stdout io.Writer = os.Stdout
+	stderr io.Writer = os.Stderr
 )
 
 type pointKey struct {
@@ -42,14 +58,17 @@ type pointKey struct {
 func readManifest(path string) (*obs.Manifest, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("%s does not exist — run `make bench-json` to generate it", path)
+		}
 		return nil, err
 	}
 	var m obs.Manifest
 	if err := json.Unmarshal(raw, &m); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, fmt.Errorf("%s is not a sweep manifest (%v) — regenerate it with `make bench-json`", path, err)
 	}
 	if len(m.Points) == 0 {
-		return nil, fmt.Errorf("%s: manifest has no points", path)
+		return nil, fmt.Errorf("%s is a manifest with no points — regenerate it with `make bench-json`", path)
 	}
 	return &m, nil
 }
@@ -76,26 +95,36 @@ func median(v []float64) float64 {
 }
 
 func main() {
-	threshold := flag.Float64("threshold", 0.10,
+	os.Exit(cli(os.Args[1:]))
+}
+
+// cli is the whole command behind main, parameterized for tests: it
+// parses args, compares, and returns the process exit code.
+func cli(args []string) int {
+	fs := flag.NewFlagSet("benchcompare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 0.10,
 		"tolerated median throughput regression (0.10 = 10%); any single point may lose up to 3x this")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [-threshold 0.10] baseline.json candidate.json\n", os.Args[0])
-		flag.PrintDefaults()
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: benchcompare [-threshold 0.10] baseline.json candidate.json\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
-	if flag.NArg() != 2 {
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	base, err := readManifest(flag.Arg(0))
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	base, err := readManifest(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchcompare:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchcompare: baseline:", err)
+		return 2
 	}
-	cand, err := readManifest(flag.Arg(1))
+	cand, err := readManifest(fs.Arg(1))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchcompare:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchcompare: candidate:", err)
+		return 2
 	}
 
 	baseIdx, candIdx := index(base), index(cand)
@@ -121,13 +150,13 @@ func main() {
 		b := baseIdx[k]
 		c, ok := candIdx[k]
 		if !ok {
-			fmt.Printf("MISSING  scc=%-8d ppc=%-2d clusters=%d: point absent from candidate\n",
+			fmt.Fprintf(stdout, "MISSING  scc=%-8d ppc=%-2d clusters=%d: point absent from candidate\n",
 				k.sccBytes, k.ppc, k.clusters)
 			failures++
 			continue
 		}
 		if c.Cycles != b.Cycles || c.Refs != b.Refs {
-			fmt.Printf("WARN     scc=%-8d ppc=%-2d clusters=%d: results changed "+
+			fmt.Fprintf(stdout, "WARN     scc=%-8d ppc=%-2d clusters=%d: results changed "+
 				"(cycles %d -> %d, refs %d -> %d) — model or workload change?\n",
 				k.sccBytes, k.ppc, k.clusters, b.Cycles, c.Cycles, b.Refs, c.Refs)
 			warnings++
@@ -146,7 +175,7 @@ func main() {
 			tag = "slower  "
 		}
 		if tag != "ok      " {
-			fmt.Printf("%s scc=%-8d ppc=%-2d clusters=%d: "+
+			fmt.Fprintf(stdout, "%s scc=%-8d ppc=%-2d clusters=%d: "+
 				"%.2f -> %.2f sim_cycles/us (%+.0f%%), wall %.2fms -> %.2fms\n",
 				tag, k.sccBytes, k.ppc, k.clusters,
 				b.SimCyclesPerMicro, c.SimCyclesPerMicro, (ratio-1)*100,
@@ -155,19 +184,30 @@ func main() {
 	}
 	for k := range candIdx {
 		if _, ok := baseIdx[k]; !ok {
-			fmt.Printf("NOTE     scc=%-8d ppc=%-2d clusters=%d: new point not in baseline\n",
+			fmt.Fprintf(stdout, "NOTE     scc=%-8d ppc=%-2d clusters=%d: new point not in baseline\n",
 				k.sccBytes, k.ppc, k.clusters)
 		}
 	}
 
-	med := median(ratios)
-	if med > 0 && med < 1-*threshold {
-		fmt.Printf("REGRESS  median throughput ratio %.2fx is below %.2fx\n", med, 1-*threshold)
+	// No common point carried a throughput sample on both sides: this
+	// "comparison" compared nothing. A zeroed or foreign baseline would
+	// otherwise sail through (median of an empty set is 0, below no
+	// floor), turning the gate into a no-op.
+	if len(ratios) == 0 {
+		fmt.Fprintf(stdout, "EMPTY    no comparable throughput samples between the manifests — "+
+			"regenerate the baseline with `make bench-json`\n")
 		failures++
 	}
-	fmt.Printf("benchcompare: %d points, median throughput ratio %.2fx, "+
+
+	med := median(ratios)
+	if med > 0 && med < 1-*threshold {
+		fmt.Fprintf(stdout, "REGRESS  median throughput ratio %.2fx is below %.2fx\n", med, 1-*threshold)
+		failures++
+	}
+	fmt.Fprintf(stdout, "benchcompare: %d points, median throughput ratio %.2fx, "+
 		"%d failure(s), %d result warning(s)\n", len(keys), med, failures, warnings)
 	if failures > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sccsim/internal/obs"
+)
+
+// run invokes cli with captured streams and returns (exit, stdout, stderr).
+func run(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	oldOut, oldErr := stdout, stderr
+	stdout, stderr = &out, &errb
+	defer func() { stdout, stderr = oldOut, oldErr }()
+	code := cli(args)
+	return code, out.String(), errb.String()
+}
+
+func writeManifest(t *testing.T, name string, points []obs.PointRecord) string {
+	t.Helper()
+	m := obs.Manifest{Version: 1, Tool: "test", Points: points}
+	raw, err := json.Marshal(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func pt(ppc, scc int, throughput float64) obs.PointRecord {
+	return obs.PointRecord{
+		ProcsPerCluster: ppc, SCCBytes: scc, Clusters: 4,
+		Cycles: 1000, Refs: 500, WallNanos: 1e6,
+		SimCyclesPerMicro: throughput,
+	}
+}
+
+func TestMissingBaselineIsHardError(t *testing.T) {
+	cand := writeManifest(t, "cand.json", []obs.PointRecord{pt(1, 4096, 10)})
+	code, _, errOut := run(t, filepath.Join(t.TempDir(), "nope.json"), cand)
+	if code != 2 {
+		t.Fatalf("missing baseline exited %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "does not exist") || !strings.Contains(errOut, "make bench-json") {
+		t.Fatalf("missing-baseline message unhelpful: %q", errOut)
+	}
+}
+
+func TestUnparsableBaselineIsHardError(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cand := writeManifest(t, "cand.json", []obs.PointRecord{pt(1, 4096, 10)})
+	code, _, errOut := run(t, bad, cand)
+	if code != 2 {
+		t.Fatalf("unparsable baseline exited %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "not a sweep manifest") {
+		t.Fatalf("unparsable-baseline message unhelpful: %q", errOut)
+	}
+}
+
+func TestEmptyManifestIsHardError(t *testing.T) {
+	empty := writeManifest(t, "empty.json", nil)
+	cand := writeManifest(t, "cand.json", []obs.PointRecord{pt(1, 4096, 10)})
+	if code, _, errOut := run(t, empty, cand); code != 2 || !strings.Contains(errOut, "no points") {
+		t.Fatalf("pointless baseline exited %d (%q), want 2", code, errOut)
+	}
+}
+
+// TestZeroThroughputBaselineFails is the regression test for the
+// vacuous pass: a baseline whose points carry no throughput samples
+// produced an empty ratio set, a zero median, and a green exit.
+func TestZeroThroughputBaselineFails(t *testing.T) {
+	base := writeManifest(t, "base.json", []obs.PointRecord{pt(1, 4096, 0)})
+	cand := writeManifest(t, "cand.json", []obs.PointRecord{pt(1, 4096, 10)})
+	code, out, _ := run(t, base, cand)
+	if code != 1 {
+		t.Fatalf("zero-throughput baseline exited %d, want 1", code)
+	}
+	if !strings.Contains(out, "no comparable throughput samples") {
+		t.Fatalf("empty-comparison message missing: %q", out)
+	}
+}
+
+func TestMatchingManifestsPass(t *testing.T) {
+	points := []obs.PointRecord{pt(1, 4096, 10), pt(2, 8192, 12)}
+	base := writeManifest(t, "base.json", points)
+	cand := writeManifest(t, "cand.json", points)
+	code, out, _ := run(t, base, cand)
+	if code != 0 {
+		t.Fatalf("identical manifests exited %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "0 failure(s)") {
+		t.Fatalf("summary missing: %q", out)
+	}
+}
+
+func TestSeverePointRegressionFails(t *testing.T) {
+	base := writeManifest(t, "base.json", []obs.PointRecord{pt(1, 4096, 10), pt(2, 8192, 10)})
+	cand := writeManifest(t, "cand.json", []obs.PointRecord{pt(1, 4096, 10), pt(2, 8192, 1)})
+	code, out, _ := run(t, base, cand)
+	if code != 1 || !strings.Contains(out, "SEVERE") {
+		t.Fatalf("70%%+ single-point drop exited %d:\n%s", code, out)
+	}
+}
+
+func TestMissingGridPointFails(t *testing.T) {
+	base := writeManifest(t, "base.json", []obs.PointRecord{pt(1, 4096, 10), pt(2, 8192, 10)})
+	cand := writeManifest(t, "cand.json", []obs.PointRecord{pt(1, 4096, 10)})
+	code, out, _ := run(t, base, cand)
+	if code != 1 || !strings.Contains(out, "MISSING") {
+		t.Fatalf("dropped grid point exited %d:\n%s", code, out)
+	}
+}
+
+func TestUsageError(t *testing.T) {
+	if code, _, errOut := run(t, "one.json"); code != 2 || !strings.Contains(errOut, "usage:") {
+		t.Fatalf("single argument exited %d (%q), want usage error", code, errOut)
+	}
+}

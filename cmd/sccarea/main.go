@@ -12,29 +12,53 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 
 	"sccsim"
 	"sccsim/internal/area"
 )
 
+// stdout receives the report; stderr receives usage errors. Variables
+// so tests can capture both streams.
+var (
+	stdout io.Writer = os.Stdout
+	stderr io.Writer = os.Stderr
+)
+
 func main() {
-	access := flag.Bool("access", false, "print the cache access-time model")
-	flag.Parse()
+	os.Exit(cli(os.Args[1:]))
+}
+
+// cli is the whole command behind main, parameterized for tests: it
+// parses args, prints, and returns the process exit code.
+func cli(args []string) int {
+	fs := flag.NewFlagSet("sccarea", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	access := fs.Bool("access", false, "print the cache access-time model")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "usage: sccarea [-access]\n")
+		return 2
+	}
 
 	if *access {
-		fmt.Printf("direct-mapped cache access time (cycle budget %.0f FO4):\n", area.CycleFO4)
+		fmt.Fprintf(stdout, "direct-mapped cache access time (cycle budget %.0f FO4):\n", area.CycleFO4)
 		for size := 4 * 1024; size <= 512*1024; size *= 2 {
 			fo4 := area.CacheAccessFO4(size)
 			note := ""
 			if fo4 > area.CycleFO4 {
 				note = "  (exceeds one cycle)"
 			}
-			fmt.Printf("  %4d KB  %5.1f FO4%s\n", size/1024, fo4, note)
+			fmt.Fprintf(stdout, "  %4d KB  %5.1f FO4%s\n", size/1024, fo4, note)
 		}
-		fmt.Printf("largest single-cycle cache: %d KB\n", area.MaxSingleCycleCache()/1024)
-		fmt.Printf("SCC bank arbitration: %.0f FO4 -> extra pipeline stage (3-cycle loads)\n",
+		fmt.Fprintf(stdout, "largest single-cycle cache: %d KB\n", area.MaxSingleCycleCache()/1024)
+		fmt.Fprintf(stdout, "SCC bank arbitration: %.0f FO4 -> extra pipeline stage (3-cycle loads)\n",
 			area.ArbitrationFO4)
-		return
+		return 0
 	}
-	fmt.Print(sccsim.RenderAreaReport())
+	fmt.Fprint(stdout, sccsim.RenderAreaReport())
+	return 0
 }

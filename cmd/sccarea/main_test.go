@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from current output")
+
+// runCLI runs the command in-process with stdout/stderr captured.
+func runCLI(t *testing.T, args ...string) (code int, out, errOut string) {
+	t.Helper()
+	var o, e bytes.Buffer
+	oldOut, oldErr := stdout, stderr
+	stdout, stderr = &o, &e
+	defer func() { stdout, stderr = oldOut, oldErr }()
+	code = cli(args)
+	return code, o.String(), e.String()
+}
+
+// checkGolden compares got against testdata/<name>, rewriting the file
+// under -update. The area model is pure arithmetic on paper constants,
+// so its rendered output is exactly reproducible — any diff is a real
+// model change and should be reviewed as one.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with `go test ./cmd/sccarea -update`)", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s (regenerate with `go test ./cmd/sccarea -update`):\n got:\n%s\nwant:\n%s",
+			path, got, want)
+	}
+}
+
+func TestAreaReportGolden(t *testing.T) {
+	code, out, errOut := runCLI(t)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errOut)
+	}
+	if errOut != "" {
+		t.Errorf("diagnostics leaked into stderr:\n%s", errOut)
+	}
+	checkGolden(t, "report.golden", out)
+}
+
+func TestAccessModelGolden(t *testing.T) {
+	code, out, errOut := runCLI(t, "-access")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errOut)
+	}
+	if errOut != "" {
+		t.Errorf("diagnostics leaked into stderr:\n%s", errOut)
+	}
+	checkGolden(t, "access.golden", out)
+}
+
+func TestUsageErrorsGoToStderr(t *testing.T) {
+	code, out, errOut := runCLI(t, "extra-arg")
+	if code != 2 {
+		t.Fatalf("stray argument exited %d, want 2", code)
+	}
+	if out != "" {
+		t.Errorf("usage error wrote to stdout: %q", out)
+	}
+	if !strings.Contains(errOut, "usage: sccarea") {
+		t.Errorf("usage message missing from stderr: %q", errOut)
+	}
+}

@@ -86,6 +86,7 @@ func cli(args []string) int {
 	csvWorkload := fs.String("csv", "", "dump a workload's full design-space sweep as CSV and exit (barnes-hut|mp3d|cholesky|multiprog)")
 	parallel := fs.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS); results are identical for any value")
 	quiet := fs.Bool("quiet", false, "suppress the live progress meter on stderr")
+	verifyRuns := fs.Bool("verify", false, "run every simulation with the coherence invariant checker attached (slower; a violation fails the experiment)")
 	manifestPath := fs.String("manifest", "", "write a versioned JSON run manifest of the -csv sweep to this file")
 	traceCacheDir := fs.String("trace-cache", "", "persist generated workload traces in this directory; repeated runs load them instead of regenerating")
 	tracePath := fs.String("trace", "", "write a Chrome trace_event timeline of the -csv sweep to this file (open in Perfetto)")
@@ -147,6 +148,9 @@ func cli(args []string) int {
 		}
 		if *traceCacheDir != "" {
 			o = append(o, sccsim.WithTraceCache(*traceCacheDir))
+		}
+		if *verifyRuns {
+			o = append(o, sccsim.WithVerify())
 		}
 		if !*quiet {
 			o = append(o, sccsim.WithProgress(progressMeter(label)))

@@ -146,6 +146,23 @@ func TestListGoesToStdout(t *testing.T) {
 	}
 }
 
+// TestVerifyFlag runs a sweep with the coherence invariant checker
+// attached: it must succeed and print the same CSV document as the
+// unverified run — verification observes, never perturbs.
+func TestVerifyFlag(t *testing.T) {
+	code, plain, errOut := runCLI(t, "-csv", "multiprog", "-scale", "quick", "-quiet", "-parallel", "4")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errOut)
+	}
+	code, checked, errOut := runCLI(t, "-csv", "multiprog", "-scale", "quick", "-quiet", "-parallel", "4", "-verify")
+	if code != 0 {
+		t.Fatalf("-verify exit %d, stderr:\n%s", code, errOut)
+	}
+	if checked != plain {
+		t.Error("-verify changed the sweep CSV")
+	}
+}
+
 func decodeJSONFile(path string, v any) error {
 	b, err := os.ReadFile(path)
 	if err != nil {

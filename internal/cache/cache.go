@@ -314,6 +314,19 @@ func (c *Cache) Invalidate(addr uint32) (present, dirty bool) {
 	return false, false
 }
 
+// VisitLines calls fn for every valid line currently resident, passing
+// the line index (addr / LineSize) and its dirty bit. Iteration order is
+// set-major and unspecified beyond that. No statistics or LRU state are
+// touched; the invariant checker uses this to audit residency against
+// the coherence presence table.
+func (c *Cache) VisitLines(fn func(lineIndex uint32, dirty bool)) {
+	for i := range c.sets {
+		if w := &c.sets[i]; w.tag != tagInvalid {
+			fn(w.tag, w.dirty)
+		}
+	}
+}
+
 // Flush empties the cache without touching statistics. It is used between
 // multiprogramming scheduler epochs in ablation experiments.
 func (c *Cache) Flush() {

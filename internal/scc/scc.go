@@ -309,6 +309,21 @@ func (s *SCC) OccupyBank(addr uint32, until uint64) {
 // Probe reports whether addr is resident without side effects.
 func (s *SCC) Probe(addr uint32) bool { return s.tags.Probe(addr) }
 
+// VisitLines calls fn for every line the SCC currently holds — tag-store
+// lines first, then lines parked in the victim buffer (which are still
+// resident for coherence purposes: Invalidate reaches them and their
+// presence bits stay set). No statistics are touched.
+func (s *SCC) VisitLines(fn func(lineIndex uint32, dirty bool)) {
+	s.tags.VisitLines(fn)
+	if s.victim != nil {
+		for i, t := range s.victim.tags {
+			if t != victimInvalid {
+				fn(t, s.victim.dirty[i])
+			}
+		}
+	}
+}
+
 // Invalidate removes addr's line if present (inter-cluster coherence),
 // including a copy parked in the victim buffer.
 func (s *SCC) Invalidate(addr uint32) (present, dirty bool) {

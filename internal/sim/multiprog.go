@@ -40,21 +40,26 @@ func RunMultiprog(cfg sysmodel.Config, opts Options, processes []Process, quantu
 	if err != nil {
 		return nil, err
 	}
-	if !opts.LegacyReplay {
-		// Size the flat presence table from the workload's footprint; one
-		// linear pass over the streams is negligible against the run.
+	var expRefs uint64
+	if !opts.LegacyReplay || s.ck != nil {
+		// Size the flat presence table from the workload's footprint (and
+		// count the non-idle references the verifier expects); one linear
+		// pass over the streams is negligible against the run.
 		var maxLine uint32
 		for i := range processes {
 			for _, r := range processes[i].Refs {
 				if r.Kind == mem.Idle {
 					continue
 				}
+				expRefs++
 				if li := sysmodel.LineIndex(r.Addr); li > maxLine {
 					maxLine = li
 				}
 			}
 		}
-		s.bus.ReserveLines(maxLine + 1)
+		if !opts.LegacyReplay {
+			s.bus.ReserveLines(maxLine + 1)
+		}
 	}
 
 	// Per-process progress.
@@ -205,6 +210,11 @@ func RunMultiprog(cfg sysmodel.Config, opts Options, processes []Process, quantu
 		}
 	}
 	s.finish(clock)
+	if s.ck != nil {
+		if err := s.verifyFinish(expRefs); err != nil {
+			return nil, err
+		}
+	}
 	return s.res, nil
 }
 

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"sccsim/internal/mem"
+)
+
+// TestWriteBufferDepthMapping pins the documented boundary semantics of
+// Options.WriteBufferDepth: zero selects the default, negative means
+// effectively infinite, positive values pass through.
+func TestWriteBufferDepthMapping(t *testing.T) {
+	cases := []struct {
+		name string
+		in   int
+		want int
+	}{
+		{"zero selects default", 0, DefaultWriteBufferDepth},
+		{"negative means infinite", -1, 1 << 30},
+		{"large negative means infinite", -1000, 1 << 30},
+		{"one passes through", 1, 1},
+		{"five passes through", 5, 5},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := (Options{WriteBufferDepth: c.in}).wbDepth(); got != c.want {
+				t.Errorf("wbDepth(%d) = %d, want %d", c.in, got, c.want)
+			}
+		})
+	}
+}
+
+// TestWriteBufferDepthBehavior checks the mapping at the simulation
+// level: depth 0 behaves exactly like the explicit default, depth 1
+// stalls on back-to-back write misses, and a negative depth never
+// stalls.
+func TestWriteBufferDepthBehavior(t *testing.T) {
+	var refs []mem.Ref
+	for i := uint32(1); i <= 20; i++ {
+		refs = append(refs, wr(i*0x100, 0))
+	}
+	p := prog(1, refs)
+
+	run := func(depth int) *Result {
+		t.Helper()
+		r, err := Run(cfg1(4096), Options{WriteBufferDepth: depth}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	zero := run(0)
+	def := run(DefaultWriteBufferDepth)
+	if !reflect.DeepEqual(zero, def) {
+		t.Errorf("depth 0 and explicit default %d disagree", DefaultWriteBufferDepth)
+	}
+
+	one := run(1)
+	inf := run(-1)
+	if one.WriteStall[0] == 0 {
+		t.Error("depth-1 buffer never stalled on a 20-write-miss burst")
+	}
+	if inf.WriteStall[0] != 0 {
+		t.Errorf("infinite buffer stalled %d cycles", inf.WriteStall[0])
+	}
+	if zero.WriteStall[0] >= one.WriteStall[0] {
+		t.Errorf("default depth stalls (%d) not below depth-1 stalls (%d)",
+			zero.WriteStall[0], one.WriteStall[0])
+	}
+}
+
+// TestBusOccupancyBoundary checks the BusOccupancy ablation switch at
+// its boundary: zero (the paper's pure-latency bus) records no bus
+// waiting, one makes concurrent transactions queue — without disturbing
+// the cache hit/miss behaviour, which occupancy must not affect.
+func TestBusOccupancyBoundary(t *testing.T) {
+	// Two clusters missing on disjoint lines at the same instants: pure
+	// contention, no sharing.
+	var a, b []mem.Ref
+	for i := uint32(1); i <= 100; i++ {
+		a = append(a, rd(i*0x100, 0))
+		b = append(b, rd(i*0x100+0x80000, 0))
+	}
+	p := prog(2, a, b)
+	cfg := cfg2(4096)
+
+	plain, err := Run(cfg, Options{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Snoop.BusWaitCycles != 0 {
+		t.Errorf("BusOccupancy 0 recorded %d bus-wait cycles, want 0", plain.Snoop.BusWaitCycles)
+	}
+
+	occ, err := Run(cfg, Options{BusOccupancy: 1}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ.Snoop.BusWaitCycles == 0 {
+		t.Error("BusOccupancy 1 recorded no bus-wait cycles under contention")
+	}
+	if occ.Cycles <= plain.Cycles {
+		t.Errorf("occupied bus (%d cycles) not slower than free bus (%d)", occ.Cycles, plain.Cycles)
+	}
+	for c := range plain.SCC {
+		if *plain.SCC[c] != *occ.SCC[c] {
+			t.Errorf("cluster %d hit/miss stats changed with bus occupancy: %+v vs %+v",
+				c, *plain.SCC[c], *occ.SCC[c])
+		}
+	}
+}

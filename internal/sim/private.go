@@ -47,6 +47,12 @@ func RunPrivate(cfg sysmodel.Config, opts Options, prog *trace.Program) (*Result
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if opts.Verify != nil {
+		// The invariant checker audits the shared-SCC organization; the
+		// private-cache machine is assembled ad hoc here and is not wired
+		// for it. Refuse rather than silently skip verification.
+		return nil, fmt.Errorf("sim: Options.Verify is not supported by the private-cache organization")
+	}
 	if procs > 32 {
 		return nil, fmt.Errorf("sim: private-cache mode supports at most 32 caches, config has %d", procs)
 	}

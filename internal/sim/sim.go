@@ -40,6 +40,7 @@ import (
 	"sccsim/internal/snoop"
 	"sccsim/internal/sysmodel"
 	"sccsim/internal/trace"
+	"sccsim/internal/verify"
 )
 
 // Options tunes simulator behaviour beyond the architectural Config.
@@ -82,6 +83,16 @@ type Options struct {
 	// into the registry. Registries are safe to share across concurrent
 	// runs; nil (the default) disables collection at near-zero cost.
 	Metrics *obs.Registry
+	// Verify, when non-nil, attaches the coherence invariant checker
+	// (internal/verify) to the run: every bus transaction is checked
+	// against the protocol invariants as it happens, and at end of run
+	// the presence table is audited against actual cache residency and
+	// the statistics against their conservation laws. A violation makes
+	// Run/RunMultiprog return an error describing it. The Options value
+	// is read-only and may be shared across concurrent runs; nil (the
+	// default) disables verification at near-zero cost — the same
+	// nil-disabled contract as Tracer and Metrics.
+	Verify *verify.Options
 	// LegacyReplay, when true, bypasses the compiled-trace execution path:
 	// the program is re-validated per run, replay iterates the Program's
 	// own stream slices, and the coherence bus keeps its paged presence
@@ -225,6 +236,7 @@ type system struct {
 	histBankWait *obs.Histogram
 	histReadMiss *obs.Histogram
 	histWBStall  *obs.Histogram
+	ck           *verify.Checker
 }
 
 func newSystem(cfg sysmodel.Config, opts Options, procs int) (*system, error) {
@@ -259,6 +271,15 @@ func newSystem(cfg sysmodel.Config, opts Options, procs int) (*system, error) {
 	s.fastTags = make([]*cache.Cache, cfg.Clusters)
 	for i, sc := range s.sccs {
 		s.fastTags[i] = sc.DirectTags()
+	}
+
+	if opts.Verify != nil {
+		cls := make([]verify.Cluster, len(s.sccs))
+		for i, sc := range s.sccs {
+			cls[i] = sc
+		}
+		s.ck = verify.NewChecker(opts.Verify, s.bus, cls, opts.VictimEntries > 0)
+		s.bus.Verifier = s.ck
 	}
 
 	s.tr = opts.Tracer
@@ -320,6 +341,9 @@ func (s *system) warmupReset() {
 	}
 	s.res.LockSpins = 0
 	s.res.WarmupExcluded = s.res.Refs
+	if s.ck != nil {
+		s.ck.OnWarmupReset()
+	}
 }
 
 // access performs processor p's memory reference at time now, returning
@@ -362,6 +386,11 @@ func (s *system) access(p int, now uint64, r mem.Ref) (uint64, bool) {
 func (s *system) memAccess(p int, now uint64, addr uint32, kind mem.Kind) uint64 {
 	c := s.clusterOf(p)
 	sc := s.sccs[c]
+	if s.ck != nil {
+		// Shadow-count the access so FinishRun can assert the tag store
+		// accounted every access exactly once (hits + misses == accesses).
+		s.ck.OnAccess(c)
+	}
 	if tags := s.fastTags[c]; tags != nil {
 		// Fused fast path for the paper's SCC configuration
 		// (direct-mapped, no victim buffer): bank arbitration and tag
@@ -771,7 +800,84 @@ func Run(cfg sysmodel.Config, opts Options, prog *trace.Program) (*Result, error
 	}
 	clock := replay(phases, procs, s.res, s.tr, opts.WarmupRefs, s.warmupReset, s.access)
 	s.finish(clock)
+	if s.ck != nil {
+		var exp uint64
+		if comp != nil {
+			exp = comp.Refs()
+		} else {
+			exp = countRefs(phases)
+		}
+		if err := s.verifyFinish(exp); err != nil {
+			return nil, err
+		}
+	}
 	return s.res, nil
+}
+
+// countRefs counts the non-idle references of a stream table — the
+// expected Result.Refs when no compiled form carries the precomputed
+// total (LegacyReplay with verification enabled).
+func countRefs(phases [][][]mem.Ref) uint64 {
+	var n uint64
+	for _, streams := range phases {
+		for _, st := range streams {
+			for _, r := range st {
+				if r.Kind != mem.Idle {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// verifyFinish runs the checker's end-of-run audit against the
+// finished result; expectedRefs of 0 skips the trace-conservation check.
+func (s *system) verifyFinish(expectedRefs uint64) error {
+	err := s.ck.FinishRun(verify.Final{
+		Cycles:           s.res.Cycles,
+		Refs:             s.res.Refs,
+		ExpectedRefs:     expectedRefs,
+		Cache:            s.res.SCC,
+		Bank:             s.res.SCCBank,
+		BankAccessCycles: sysmodel.BankAccessCycles,
+	})
+	if err != nil {
+		return fmt.Errorf("sim: verification failed: %w", err)
+	}
+	return nil
+}
+
+// VerifyStats projects the result onto the surface the oracle simulator
+// reports (verify.RunStats), for DiffRunStats comparisons. Statistics
+// slices are deep-copied, so the projection is safe to hold after the
+// result is discarded.
+func (r *Result) VerifyStats() verify.RunStats {
+	rs := verify.RunStats{
+		Cycles:      r.Cycles,
+		Refs:        r.Refs,
+		LockSpins:   r.LockSpins,
+		Switches:    r.Switches,
+		ProcFinish:  append([]uint64(nil), r.ProcFinish...),
+		ReadStall:   append([]uint64(nil), r.ReadStall...),
+		WriteStall:  append([]uint64(nil), r.WriteStall...),
+		BankStall:   append([]uint64(nil), r.BankStall...),
+		BarrierWait: append([]uint64(nil), r.BarrierWait...),
+		LockStall:   append([]uint64(nil), r.LockStall...),
+		PhaseCycles: append([]uint64(nil), r.PhaseCycles...),
+	}
+	for _, cs := range r.SCC {
+		rs.Cache = append(rs.Cache, *cs)
+	}
+	for _, bs := range r.SCCBank {
+		b := *bs
+		b.BankAccesses = append([]uint64(nil), bs.BankAccesses...)
+		rs.Bank = append(rs.Bank, b)
+	}
+	if r.Snoop != nil {
+		rs.Bus = *r.Snoop
+	}
+	return rs
 }
 
 // finish copies final per-processor state and system statistics into the

@@ -61,6 +61,26 @@ type Stats struct {
 	MemBankWait uint64
 }
 
+// Verifier observes coherence-state transitions for invariant checking.
+// Each method is called after the bus has fully applied the transition
+// (presence updated, invalidations performed), so the verifier sees the
+// post-state. Implementations must not call back into the bus's mutating
+// methods. nil (the default) disables verification; every call site is
+// behind a nil check, so the unverified hot path pays only the branch —
+// the same contract as Hook.
+type Verifier interface {
+	// AfterFetch observes a completed Fetch: cluster now holds addr's
+	// line; a write fetch has invalidated every other copy.
+	AfterFetch(now uint64, cluster int, addr uint32, kind mem.Kind)
+	// AfterWriteShared observes a WriteShared that actually broadcast an
+	// invalidation (the private-line early-out is not reported: it
+	// changes no state).
+	AfterWriteShared(now uint64, cluster int, addr uint32)
+	// AfterEvicted observes an eviction notice: cluster's presence bit
+	// for lineIndex is now clear.
+	AfterEvicted(now uint64, cluster int, lineIndex uint32, dirty bool)
+}
+
 // TxnKind classifies a bus transaction for the tracing hook.
 type TxnKind uint8
 
@@ -87,6 +107,11 @@ type Bus struct {
 	// back into the bus. nil (the default) disables the hook at the cost
 	// of one branch per transaction.
 	Hook func(kind TxnKind, start, dur uint64, cluster int, addr uint32)
+
+	// Verifier, when non-nil, observes every coherence-state transition
+	// after it is applied (see the Verifier interface). Set by the
+	// simulator when sim.Options.Verify is enabled.
+	Verifier Verifier
 
 	// Occupancy is the number of cycles each bus transaction holds the
 	// bus. Zero reproduces the paper's fixed-latency model with no bus
@@ -213,6 +238,9 @@ func (b *Bus) Fetch(now uint64, cluster int, addr uint32, kind mem.Kind) uint64 
 	if b.Hook != nil {
 		b.Hook(TxnFetch, start, latency, cluster, addr)
 	}
+	if b.Verifier != nil {
+		b.Verifier.AfterFetch(start, cluster, addr, kind)
+	}
 	return start + latency
 }
 
@@ -233,6 +261,9 @@ func (b *Bus) WriteShared(now uint64, cluster int, addr uint32) bool {
 	b.presence.set(li, self)
 	if b.Hook != nil {
 		b.Hook(TxnInvalidate, now, 0, cluster, addr)
+	}
+	if b.Verifier != nil {
+		b.Verifier.AfterWriteShared(now, cluster, addr)
 	}
 	return true
 }
@@ -292,12 +323,61 @@ func (b *Bus) Evicted(now uint64, cluster int, lineIndex uint32, dirty bool) {
 			b.Hook(TxnWriteBack, now, 0, cluster, lineIndex*sysmodel.LineSize)
 		}
 	}
+	if b.Verifier != nil {
+		b.Verifier.AfterEvicted(now, cluster, lineIndex, dirty)
+	}
 }
 
 // Present reports which clusters currently hold the line containing addr,
 // as a bitmask. Exposed for tests and invariant checks.
 func (b *Bus) Present(addr uint32) uint32 {
 	return b.presence.get(sysmodel.LineIndex(addr))
+}
+
+// VisitPresence calls fn for every line with a nonzero presence mask —
+// flat table first, then the paged overflow in unspecified page order.
+// Used by the invariant checker's end-of-run residency audit.
+func (b *Bus) VisitPresence(fn func(lineIndex uint32, mask uint32)) {
+	for li, mask := range b.presence.flat {
+		if mask != 0 {
+			fn(uint32(li), mask)
+		}
+	}
+	for pn, page := range b.presence.pages {
+		base := pn << pageShift
+		for off, mask := range page {
+			if mask != 0 {
+				fn(base+uint32(off), mask)
+			}
+		}
+	}
+}
+
+// PresenceConsistency checks the flat/paged representation boundary: a
+// line index covered by the flat table must carry no state in the paged
+// map (ReserveLines migrates and zeroes page entries; a nonzero leftover
+// would make get and set disagree about which copy is authoritative).
+// Returns nil when consistent.
+func (b *Bus) PresenceConsistency() error {
+	flat := uint32(len(b.presence.flat))
+	for pn, page := range b.presence.pages {
+		base := pn << pageShift
+		for off, mask := range page {
+			if li := base + uint32(off); mask != 0 && li < flat {
+				return fmt.Errorf("snoop: line %d holds presence mask %#x in the paged table below the flat bound %d",
+					li, mask, flat)
+			}
+		}
+	}
+	return nil
+}
+
+// SetPresence overwrites the presence mask of addr's line. It exists
+// solely as a fault-injection seam for invariant-checker tests (seeding
+// a corrupted presence table that the checker must catch); the simulator
+// never calls it.
+func (b *Bus) SetPresence(addr uint32, mask uint32) {
+	b.presence.set(sysmodel.LineIndex(addr), mask)
 }
 
 // presenceTable maps line index -> cluster bitmask. Two representations:

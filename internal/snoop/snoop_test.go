@@ -387,3 +387,84 @@ func TestMaybeShared(t *testing.T) {
 		t.Error("WriteShared transacted on a line the probe called private")
 	}
 }
+
+// recordingVerifier captures Verifier callbacks for assertion.
+type recordingVerifier struct {
+	fetches, writeShareds, evicts []uint32
+}
+
+func (v *recordingVerifier) AfterFetch(now uint64, cluster int, addr uint32, kind mem.Kind) {
+	v.fetches = append(v.fetches, addr)
+}
+func (v *recordingVerifier) AfterWriteShared(now uint64, cluster int, addr uint32) {
+	v.writeShareds = append(v.writeShareds, addr)
+}
+func (v *recordingVerifier) AfterEvicted(now uint64, cluster int, lineIndex uint32, dirty bool) {
+	v.evicts = append(v.evicts, lineIndex)
+}
+
+func TestVerifierObservesStateChanges(t *testing.T) {
+	b, fs := newBus4()
+	v := &recordingVerifier{}
+	b.Verifier = v
+
+	b.Fetch(0, 0, 0x40, mem.Read)
+	fs[1].hold(0x40, false)
+	b.Fetch(0, 1, 0x40, mem.Read)
+	b.WriteShared(10, 1, 0x40) // cluster 0 holds it: broadcast, reported
+	if b.WriteShared(20, 1, 0x40) {
+		t.Fatal("second WriteShared transacted")
+	}
+	b.Evicted(30, 1, sysmodel.LineIndex(0x40), true)
+
+	if len(v.fetches) != 2 {
+		t.Errorf("verifier saw %d fetches, want 2", len(v.fetches))
+	}
+	if len(v.writeShareds) != 1 {
+		t.Errorf("verifier saw %d write-shared broadcasts, want 1 (the early-out must not report)", len(v.writeShareds))
+	}
+	if len(v.evicts) != 1 || v.evicts[0] != sysmodel.LineIndex(0x40) {
+		t.Errorf("verifier saw evictions %v, want the one line", v.evicts)
+	}
+}
+
+func TestVisitPresenceCoversFlatAndPages(t *testing.T) {
+	b, _ := newBus4()
+	b.ReserveLines(64)
+	b.Fetch(0, 0, 5*sysmodel.LineSize, mem.Read)    // flat
+	b.Fetch(0, 1, 9000*sysmodel.LineSize, mem.Read) // paged (beyond the bound)
+	got := map[uint32]uint32{}
+	b.VisitPresence(func(li, mask uint32) { got[li] = mask })
+	if got[5] != 1 || got[9000] != 2 || len(got) != 2 {
+		t.Fatalf("VisitPresence saw %v, want lines 5 (mask 1) and 9000 (mask 2)", got)
+	}
+}
+
+func TestPresenceConsistencyDetectsDuplicateState(t *testing.T) {
+	b, _ := newBus4()
+	b.Fetch(0, 0, 5*sysmodel.LineSize, mem.Read)
+	b.ReserveLines(64)
+	if err := b.PresenceConsistency(); err != nil {
+		t.Fatalf("migrated table reported inconsistent: %v", err)
+	}
+	// Seed the bug ReserveLines' migration is guarding against: state for
+	// a flat-covered line left behind in the paged map, so get (flat) and
+	// a hypothetical stale reader (page) disagree. Only reachable by
+	// poking the representation directly — which is the point: the
+	// invariant holds through the public API and the checker proves it
+	// stays held.
+	page := make([]uint32, 1<<pageShift)
+	page[5] = 0b10
+	b.presence.pages[0] = page
+	if err := b.PresenceConsistency(); err == nil {
+		t.Fatal("duplicate flat/paged state not detected")
+	}
+}
+
+func TestSetPresenceSeamRoundTrips(t *testing.T) {
+	b, _ := newBus4()
+	b.SetPresence(0x80, 0b1010)
+	if got := b.Present(0x80); got != 0b1010 {
+		t.Fatalf("SetPresence wrote %#b, Present read %#b", 0b1010, got)
+	}
+}

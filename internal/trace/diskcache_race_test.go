@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestDiskCacheConcurrentStoreLoad hammers one key from parallel
+// writers and readers (run under -race via `make test-race`). The
+// temp-file-plus-rename protocol promises readers never observe a torn
+// entry: every Load is either a clean miss or the complete program.
+func TestDiskCacheConcurrentStoreLoad(t *testing.T) {
+	dc := mustCache(t)
+	p := compileFixture()
+	const key = "scct1-race-fixture"
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := dc.Store(key, p); err != nil {
+					errs <- "store: " + err.Error()
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				got, err := dc.Load(key)
+				if err != nil {
+					errs <- "load: " + err.Error()
+					return
+				}
+				if got == nil {
+					continue // clean miss: first store not landed yet
+				}
+				if got.Name != p.Name || got.Procs != p.Procs ||
+					!reflect.DeepEqual(got.Phases, p.Phases) {
+					errs <- "load observed a torn or foreign entry"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+
+	// After the dust settles: exactly one generation of the entry on
+	// disk — concurrent stores must not leak temp files or duplicates.
+	entries, err := os.ReadDir(dc.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kept []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Errorf("leaked temp file %s", e.Name())
+			continue
+		}
+		kept = append(kept, e.Name())
+	}
+	want := filepath.Base(dc.path(key))
+	if len(kept) != 1 || kept[0] != want {
+		t.Errorf("cache directory holds %v, want exactly [%s]", kept, want)
+	}
+
+	got, err := dc.Load(key)
+	if err != nil || got == nil {
+		t.Fatalf("final Load failed: %v, %v", got, err)
+	}
+}

@@ -1,0 +1,705 @@
+// The oracle simulator: a deliberately naive reimplementation of the
+// documented simulation model, used to cross-check the optimized
+// simulator's results. Where internal/sim compiles traces into arenas,
+// keeps a flat presence array, fuses the direct-mapped bank/tag path
+// inline and schedules processors through a packed binary heap, the
+// oracle uses maps for everything (sets, presence, bank timing, locks),
+// walks the Program's own stream slices, and picks the next processor
+// with a linear scan. The two implementations share no simulation code —
+// only the small statistics structs they both report — so a bug in one
+// is overwhelmingly unlikely to be reproduced by the other.
+//
+// Model scope (the paper's baseline model, which the whole design-space
+// grid runs under): fixed 100-cycle memory, zero bus occupancy, flat
+// main memory, no victim buffer, no statistics warmup. Ablations of
+// those assumptions (BusOccupancy, MemBanks, VictimEntries, WarmupRefs)
+// are outside the oracle's scope and are guarded by the invariant
+// checker instead.
+package verify
+
+import (
+	"fmt"
+	"reflect"
+
+	"sccsim/internal/cache"
+	"sccsim/internal/mem"
+	"sccsim/internal/scc"
+	"sccsim/internal/snoop"
+	"sccsim/internal/sysmodel"
+	"sccsim/internal/trace"
+)
+
+// OracleOptions mirrors the subset of sim.Options the oracle models.
+type OracleOptions struct {
+	// WriteBufferDepth follows the documented sim.Options semantics:
+	// 0 means the default of 8, negative means infinite.
+	WriteBufferDepth int
+	// SwitchPenalty is the multiprogramming context-switch cost in
+	// cycles. Ignored by RunOracle.
+	SwitchPenalty uint64
+}
+
+func (o OracleOptions) wbDepth() int {
+	switch {
+	case o.WriteBufferDepth == 0:
+		return 8
+	case o.WriteBufferDepth < 0:
+		return 1 << 30
+	default:
+		return o.WriteBufferDepth
+	}
+}
+
+// oracleSpinInterval is the documented re-test period of the
+// test-and-test-and-set spin loop (sim.SpinInterval).
+const oracleSpinInterval = 12
+
+// Process is one sequential program of a multiprogramming workload, the
+// oracle-side mirror of sim.Process (verify cannot import sim).
+type Process struct {
+	Name string
+	Refs []mem.Ref
+}
+
+// RunStats is the result surface the oracle and the real simulator are
+// compared on: every headline counter, per-processor stall account, and
+// per-cluster statistic both implementations compute.
+type RunStats struct {
+	Cycles      uint64
+	Refs        uint64
+	LockSpins   uint64
+	Switches    uint64
+	ProcFinish  []uint64
+	ReadStall   []uint64
+	WriteStall  []uint64
+	BankStall   []uint64
+	BarrierWait []uint64
+	LockStall   []uint64
+	PhaseCycles []uint64
+	// Cache[i] / Bank[i] are cluster i's tag-store and contention stats.
+	Cache []cache.Stats
+	Bank  []scc.Stats
+	Bus   snoop.Stats
+}
+
+// DiffRunStats compares an oracle run against a real run field by field
+// and returns a human-readable description of every divergence (empty
+// when the runs agree exactly).
+func DiffRunStats(oracle, real *RunStats) []string {
+	var d []string
+	add := func(format string, args ...any) { d = append(d, fmt.Sprintf(format, args...)) }
+	cmp := func(name string, a, b uint64) {
+		if a != b {
+			add("%s: oracle %d, real %d", name, a, b)
+		}
+	}
+	cmp("cycles", oracle.Cycles, real.Cycles)
+	cmp("refs", oracle.Refs, real.Refs)
+	cmp("lock spins", oracle.LockSpins, real.LockSpins)
+	cmp("switches", oracle.Switches, real.Switches)
+	cmpSlice := func(name string, a, b []uint64) {
+		if len(a) != len(b) {
+			add("%s: oracle has %d entries, real %d", name, len(a), len(b))
+			return
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				add("%s[%d]: oracle %d, real %d", name, i, a[i], b[i])
+				return
+			}
+		}
+	}
+	cmpSlice("proc finish", oracle.ProcFinish, real.ProcFinish)
+	cmpSlice("read stall", oracle.ReadStall, real.ReadStall)
+	cmpSlice("write stall", oracle.WriteStall, real.WriteStall)
+	cmpSlice("bank stall", oracle.BankStall, real.BankStall)
+	cmpSlice("barrier wait", oracle.BarrierWait, real.BarrierWait)
+	cmpSlice("lock stall", oracle.LockStall, real.LockStall)
+	cmpSlice("phase cycles", oracle.PhaseCycles, real.PhaseCycles)
+	if len(oracle.Cache) != len(real.Cache) {
+		add("cache stats: oracle has %d clusters, real %d", len(oracle.Cache), len(real.Cache))
+	} else {
+		for i := range oracle.Cache {
+			if !reflect.DeepEqual(oracle.Cache[i], real.Cache[i]) {
+				add("cluster %d cache stats: oracle %+v, real %+v", i, oracle.Cache[i], real.Cache[i])
+			}
+		}
+	}
+	if len(oracle.Bank) != len(real.Bank) {
+		add("bank stats: oracle has %d clusters, real %d", len(oracle.Bank), len(real.Bank))
+	} else {
+		for i := range oracle.Bank {
+			if !reflect.DeepEqual(oracle.Bank[i], real.Bank[i]) {
+				add("cluster %d bank stats: oracle %+v, real %+v", i, oracle.Bank[i], real.Bank[i])
+			}
+		}
+	}
+	if oracle.Bus != real.Bus {
+		add("bus stats: oracle %+v, real %+v", oracle.Bus, real.Bus)
+	}
+	return d
+}
+
+// oway is one way of one oracle cache set.
+type oway struct {
+	tag   uint32
+	lru   uint64
+	valid bool
+	dirty bool
+}
+
+// oracleCache is the naive cache model: a map of lazily-created sets,
+// true-LRU via a per-cache access clock, write-allocate, write-back.
+// Victim choice matches the documented policy: first empty way, else
+// the least recently used way.
+type oracleCache struct {
+	nsets uint32
+	assoc int
+	sets  map[uint32][]oway
+	clock uint64
+	stats cache.Stats
+}
+
+func newOracleCache(size, assoc int) (*oracleCache, error) {
+	if assoc < 1 {
+		return nil, fmt.Errorf("verify: oracle cache: associativity %d, want >= 1", assoc)
+	}
+	lines := size / sysmodel.LineSize
+	if lines*sysmodel.LineSize != size || lines < assoc {
+		return nil, fmt.Errorf("verify: oracle cache: size %d not a whole number of %d-way line sets", size, assoc)
+	}
+	nsets := lines / assoc
+	if nsets&(nsets-1) != 0 {
+		return nil, fmt.Errorf("verify: oracle cache: set count %d is not a power of two", nsets)
+	}
+	return &oracleCache{nsets: uint32(nsets), assoc: assoc, sets: make(map[uint32][]oway)}, nil
+}
+
+func (c *oracleCache) set(tag uint32) []oway {
+	s := tag % c.nsets
+	w, ok := c.sets[s]
+	if !ok {
+		w = make([]oway, c.assoc)
+		c.sets[s] = w
+	}
+	return w
+}
+
+// access performs one reference, returning hit or the displaced line.
+func (c *oracleCache) access(addr uint32, kind mem.Kind) (hit bool, evicted uint32, evictedDirty, evictedValid bool) {
+	tag := addr / sysmodel.LineSize
+	ways := c.set(tag)
+	c.stats.Accesses[kind]++
+	c.clock++
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].lru = c.clock
+			if kind == mem.Write {
+				ways[i].dirty = true
+			}
+			return true, 0, false, false
+		}
+	}
+	c.stats.Misses[kind]++
+	victim := -1
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		victim = 0
+		for i := 1; i < len(ways); i++ {
+			if ways[i].lru < ways[victim].lru {
+				victim = i
+			}
+		}
+		c.stats.Evictions++
+		evicted, evictedDirty, evictedValid = ways[victim].tag, ways[victim].dirty, true
+		if evictedDirty {
+			c.stats.WriteBacks++
+		}
+	}
+	ways[victim] = oway{tag: tag, lru: c.clock, valid: true, dirty: kind == mem.Write}
+	return false, evicted, evictedDirty, evictedValid
+}
+
+// invalidate removes addr's line if present (inter-cluster coherence).
+func (c *oracleCache) invalidate(addr uint32) (present, dirty bool) {
+	tag := addr / sysmodel.LineSize
+	ways, ok := c.sets[tag%c.nsets]
+	if !ok {
+		return false, false
+	}
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			c.stats.Invalidations++
+			if ways[i].dirty {
+				c.stats.WriteBacks++
+			}
+			present, dirty = true, ways[i].dirty
+			ways[i] = oway{}
+			return present, dirty
+		}
+	}
+	return false, false
+}
+
+// osys is the assembled oracle machine for one run.
+type osys struct {
+	banks    int
+	wbDepth  int
+	caches   []*oracleCache
+	presence map[uint32]uint32
+	bus      snoop.Stats
+	// Per-cluster bank state, map-keyed by bank number.
+	bankFree  []map[uint32]uint64
+	bankCount []map[uint32]uint64
+	bankConf  []uint64
+	bankWait  []uint64
+	// wb[c] is cluster c's in-flight buffered-write completion times.
+	wb      [][]uint64
+	locks   map[uint32]int
+	cluster []int
+	st      *RunStats
+}
+
+func newOsys(cfg sysmodel.Config, procs int, o OracleOptions) (*osys, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	banks := cfg.Banks()
+	if banks < 1 || banks&(banks-1) != 0 {
+		return nil, fmt.Errorf("verify: oracle: bank count %d is not a positive power of two", banks)
+	}
+	if cfg.SCCBytes/sysmodel.LineSize < banks {
+		return nil, fmt.Errorf("verify: oracle: %d B has fewer lines than %d banks", cfg.SCCBytes, banks)
+	}
+	s := &osys{
+		banks:    banks,
+		wbDepth:  o.wbDepth(),
+		presence: make(map[uint32]uint32),
+		locks:    make(map[uint32]int),
+		cluster:  make([]int, procs),
+		st: &RunStats{
+			ProcFinish:  make([]uint64, procs),
+			ReadStall:   make([]uint64, procs),
+			WriteStall:  make([]uint64, procs),
+			BankStall:   make([]uint64, procs),
+			BarrierWait: make([]uint64, procs),
+			LockStall:   make([]uint64, procs),
+		},
+	}
+	for i := 0; i < cfg.Clusters; i++ {
+		c, err := newOracleCache(cfg.SCCBytes, cfg.Assoc)
+		if err != nil {
+			return nil, err
+		}
+		s.caches = append(s.caches, c)
+		s.bankFree = append(s.bankFree, make(map[uint32]uint64))
+		s.bankCount = append(s.bankCount, make(map[uint32]uint64))
+	}
+	s.bankConf = make([]uint64, cfg.Clusters)
+	s.bankWait = make([]uint64, cfg.Clusters)
+	s.wb = make([][]uint64, cfg.Clusters)
+	for p := 0; p < procs; p++ {
+		s.cluster[p] = p / cfg.ProcsPerCluster
+	}
+	return s, nil
+}
+
+// bankStart arbitrates addr's line-interleaved bank at time now.
+func (s *osys) bankStart(p, c int, addr uint32, now uint64) uint64 {
+	b := sysmodel.LineIndex(addr) % uint32(s.banks)
+	s.bankCount[c][b]++
+	start := now
+	if free := s.bankFree[c][b]; free > now {
+		s.bankConf[c]++
+		s.bankWait[c] += free - now
+		s.st.BankStall[p] += free - now
+		start = free
+	}
+	s.bankFree[c][b] = start + sysmodel.BankAccessCycles
+	return start
+}
+
+// invalidateOthers kills the line in every holder but the writer.
+func (s *osys) invalidateOthers(li, addr uint32, c int, mask uint32) {
+	others := mask &^ (uint32(1) << uint(c))
+	if others == 0 {
+		return
+	}
+	s.bus.InvalidationTxns++
+	for i := range s.caches {
+		if others&(uint32(1)<<uint(i)) == 0 {
+			continue
+		}
+		present, dirty := s.caches[i].invalidate(addr)
+		if present {
+			s.bus.Invalidations++
+			if dirty {
+				s.bus.DirtyInvalidations++
+			}
+		}
+	}
+}
+
+// fetch services a miss: 100-cycle line transfer plus coherence actions.
+func (s *osys) fetch(c int, addr uint32, kind mem.Kind) uint64 {
+	s.bus.Fetches++
+	li := sysmodel.LineIndex(addr)
+	mask := s.presence[li]
+	self := uint32(1) << uint(c)
+	if mask&^self != 0 {
+		s.bus.FetchesFromSCC++
+	}
+	if kind == mem.Write {
+		s.invalidateOthers(li, addr, c, mask)
+		s.presence[li] = self
+	} else {
+		s.presence[li] = mask | self
+	}
+	return sysmodel.MemLatency
+}
+
+// bufferWrite retires a write completing at ready into cluster c's
+// write buffer, stalling processor p only when the buffer is full.
+func (s *osys) bufferWrite(p, c int, now, ready uint64) uint64 {
+	q := s.wb[c]
+	for len(q) > 0 && q[0] <= now {
+		q = q[1:]
+	}
+	if len(q) >= s.wbDepth {
+		wait := q[0] - now
+		s.st.WriteStall[p] += wait
+		now = q[0]
+		q = q[1:]
+	}
+	s.wb[c] = append(q, ready)
+	return now
+}
+
+// memAccess performs one load or store through processor p's cluster.
+func (s *osys) memAccess(p int, now uint64, addr uint32, kind mem.Kind) uint64 {
+	c := s.cluster[p]
+	start := s.bankStart(p, c, addr, now)
+	hit, evicted, evictedDirty, evictedValid := s.caches[c].access(addr, kind)
+	if hit {
+		if kind == mem.Write {
+			li := sysmodel.LineIndex(addr)
+			mask := s.presence[li]
+			if mask&^(uint32(1)<<uint(c)) != 0 {
+				s.invalidateOthers(li, addr, c, mask)
+				s.presence[li] = uint32(1) << uint(c)
+			}
+		}
+		return start
+	}
+	if evictedValid {
+		s.presence[evicted] &^= uint32(1) << uint(c)
+		if evictedDirty {
+			s.bus.WriteBacks++
+		}
+	}
+	ready := start + s.fetch(c, addr, kind)
+	if kind == mem.Read {
+		s.st.ReadStall[p] += ready - start
+		return ready
+	}
+	return s.bufferWrite(p, c, start, ready)
+}
+
+// access performs one reference, handling the lock kinds' documented
+// test-and-test-and-set semantics. retry means a spin iteration: the
+// caller must re-issue the same reference at the returned time.
+func (s *osys) access(p int, now uint64, r mem.Ref) (uint64, bool) {
+	switch r.Kind {
+	case mem.Lock:
+		t := s.memAccess(p, now, r.Addr, mem.Read)
+		if holder, held := s.locks[r.Addr]; held && holder != p {
+			s.st.LockSpins++
+			s.st.LockStall[p] += oracleSpinInterval
+			return t + oracleSpinInterval, true
+		}
+		t = s.memAccess(p, t, r.Addr, mem.Write)
+		s.locks[r.Addr] = p
+		return t, false
+	case mem.Unlock:
+		t := s.memAccess(p, now, r.Addr, mem.Write)
+		delete(s.locks, r.Addr)
+		return t, false
+	default:
+		return s.memAccess(p, now, r.Addr, r.Kind), false
+	}
+}
+
+// finish materializes the final per-cluster statistics.
+func (s *osys) finish(clock []uint64) *RunStats {
+	copy(s.st.ProcFinish, clock)
+	for _, t := range clock {
+		if t > s.st.Cycles {
+			s.st.Cycles = t
+		}
+	}
+	for c, oc := range s.caches {
+		s.st.Cache = append(s.st.Cache, oc.stats)
+		bs := scc.Stats{
+			BankConflicts:  s.bankConf[c],
+			BankWaitCycles: s.bankWait[c],
+			BankAccesses:   make([]uint64, s.banks),
+		}
+		for b, n := range s.bankCount[c] {
+			bs.BankAccesses[b] = n
+		}
+		s.st.Bank = append(s.st.Bank, bs)
+	}
+	s.st.Bus = s.bus
+	return s.st
+}
+
+// RunOracle replays a parallel program on the oracle machine: processors
+// advance in global virtual-time order (earliest next issue time, lowest
+// id on ties) and synchronize at phase barriers, per the documented
+// model. The returned RunStats is compared against the real simulator's
+// Result.VerifyStats with DiffRunStats.
+func RunOracle(cfg sysmodel.Config, prog *trace.Program, o OracleOptions) (*RunStats, error) {
+	procs := cfg.Procs()
+	if prog.Procs != procs {
+		return nil, fmt.Errorf("verify: oracle: program %q has %d processors, config has %d",
+			prog.Name, prog.Procs, procs)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := newOsys(cfg, procs, o)
+	if err != nil {
+		return nil, err
+	}
+
+	clock := make([]uint64, procs)
+	var phaseStart uint64
+	for _, ph := range prog.Phases {
+		streams := ph.Streams
+		pos := make([]int, procs)
+		next := make([]uint64, procs)
+		active := make([]bool, procs)
+		for p := 0; p < procs; p++ {
+			if len(streams[p]) > 0 {
+				next[p] = clock[p] + uint64(streams[p][0].Gap)
+				active[p] = true
+			}
+		}
+		for {
+			// Pick the earliest scheduled processor, lowest id on ties.
+			p := -1
+			for q := 0; q < procs; q++ {
+				if active[q] && (p < 0 || next[q] < next[p]) {
+					p = q
+				}
+			}
+			if p < 0 {
+				break
+			}
+			t := next[p]
+			r := streams[p][pos[p]]
+			if r.Kind != mem.Idle {
+				t2, retry := s.access(p, t, r)
+				if retry {
+					clock[p] = t2
+					next[p] = t2
+					continue
+				}
+				t = t2
+				s.st.Refs++
+			}
+			pos[p]++
+			clock[p] = t
+			if pos[p] == len(streams[p]) {
+				active[p] = false
+				continue
+			}
+			next[p] = t + uint64(streams[p][pos[p]].Gap)
+		}
+		// Barrier: everyone waits for the slowest processor.
+		var maxT uint64
+		for _, t := range clock {
+			if t > maxT {
+				maxT = t
+			}
+		}
+		for p := range clock {
+			s.st.BarrierWait[p] += maxT - clock[p]
+			clock[p] = maxT
+		}
+		s.st.PhaseCycles = append(s.st.PhaseCycles, maxT-phaseStart)
+		phaseStart = maxT
+	}
+	return s.finish(clock), nil
+}
+
+// RunOracleMultiprog replays a multiprogramming workload on the oracle
+// machine under the documented round-robin scheduler: a processor whose
+// quantum expires queues its process and takes the head; idle processors
+// pick up preempted processes immediately.
+func RunOracleMultiprog(cfg sysmodel.Config, processes []Process, quantum uint64, o OracleOptions) (*RunStats, error) {
+	if len(processes) == 0 {
+		return nil, fmt.Errorf("verify: oracle: no processes to schedule")
+	}
+	if quantum == 0 {
+		return nil, fmt.Errorf("verify: oracle: zero scheduler quantum")
+	}
+	nproc := cfg.Procs()
+	s, err := newOsys(cfg, nproc, o)
+	if err != nil {
+		return nil, err
+	}
+
+	pos := make([]int, len(processes))
+	queue := make([]int, 0, len(processes))
+	current := make([]int, nproc)
+	quantumEnd := make([]uint64, nproc)
+	clock := make([]uint64, nproc)
+	idle := make([]bool, nproc)
+	idleSince := make([]uint64, nproc)
+	scheduled := make([]bool, nproc)
+
+	for p := 0; p < nproc; p++ {
+		if p < len(processes) {
+			current[p] = p
+			quantumEnd[p] = quantum
+			scheduled[p] = true
+		} else {
+			current[p] = -1
+			idle[p] = true
+		}
+	}
+	for i := nproc; i < len(processes); i++ {
+		queue = append(queue, i)
+	}
+
+	anyIdle := func() bool {
+		for _, b := range idle {
+			if b {
+				return true
+			}
+		}
+		return false
+	}
+
+	// wake hands queued processes to idle processors, at or after time t.
+	wake := func(t uint64) {
+		for len(queue) > 0 {
+			victim := -1
+			for p := 0; p < nproc; p++ {
+				if idle[p] && (victim < 0 || clock[p] < clock[victim]) {
+					victim = p
+				}
+			}
+			if victim < 0 {
+				return
+			}
+			pid := queue[0]
+			queue = queue[1:]
+			idle[victim] = false
+			if clock[victim] < t {
+				s.st.BarrierWait[victim] += t - clock[victim]
+				clock[victim] = t
+			}
+			s.st.BarrierWait[victim] += clock[victim] - idleSince[victim]
+			current[victim] = pid
+			s.st.Switches++
+			clock[victim] += o.SwitchPenalty
+			quantumEnd[victim] = clock[victim] + quantum
+			scheduled[victim] = true
+		}
+	}
+
+	for {
+		// Pick the scheduled processor with the earliest clock, lowest
+		// id on ties — the documented issue order.
+		p := -1
+		for q := 0; q < nproc; q++ {
+			if scheduled[q] && (p < 0 || clock[q] < clock[p]) {
+				p = q
+			}
+		}
+		if p < 0 {
+			break
+		}
+		scheduled[p] = false
+		pid := current[p]
+		if pid < 0 {
+			continue
+		}
+		st := processes[pid].Refs
+
+		if pos[pid] >= len(st) {
+			// Process finished: take the next one or go idle.
+			if len(queue) > 0 {
+				next := queue[0]
+				queue = queue[1:]
+				current[p] = next
+				s.st.Switches++
+				clock[p] += o.SwitchPenalty
+				quantumEnd[p] = clock[p] + quantum
+				scheduled[p] = true
+			} else {
+				current[p] = -1
+				idle[p] = true
+				idleSince[p] = clock[p]
+			}
+			continue
+		}
+
+		if clock[p] >= quantumEnd[p] && (len(queue) > 0 || anyIdle()) {
+			// Quantum expired and someone can use the processor.
+			queue = append(queue, pid)
+			next := queue[0]
+			queue = queue[1:]
+			current[p] = next
+			if next != pid {
+				s.st.Switches++
+				clock[p] += o.SwitchPenalty
+			}
+			quantumEnd[p] = clock[p] + quantum
+			wake(clock[p])
+			scheduled[p] = true
+			continue
+		}
+		if clock[p] >= quantumEnd[p] {
+			// Nobody is waiting: keep running, restart the quantum.
+			quantumEnd[p] = clock[p] + quantum
+		}
+
+		r := st[pos[pid]]
+		t := clock[p] + uint64(r.Gap)
+		if r.Kind != mem.Idle {
+			var retry bool
+			t, retry = s.access(p, t, r)
+			if retry {
+				clock[p] = t
+				scheduled[p] = true
+				continue
+			}
+			s.st.Refs++
+		}
+		pos[pid]++
+		clock[p] = t
+		scheduled[p] = true
+	}
+
+	// Close out idle accounting to the makespan.
+	var maxT uint64
+	for _, t := range clock {
+		if t > maxT {
+			maxT = t
+		}
+	}
+	for p := 0; p < nproc; p++ {
+		if idle[p] {
+			s.st.BarrierWait[p] += maxT - idleSince[p]
+		}
+	}
+	return s.finish(clock), nil
+}

@@ -46,6 +46,7 @@ import (
 	"sccsim/internal/sim"
 	"sccsim/internal/sysmodel"
 	"sccsim/internal/trace"
+	"sccsim/internal/verify"
 	"sccsim/internal/workload/multiprog"
 )
 
@@ -118,6 +119,9 @@ type expCfg struct {
 	ppc, scc    int
 	parallelism int
 	progress    func(Progress)
+	// verify, when set, attaches the coherence invariant checker to
+	// every simulation the experiment runs (see WithVerify).
+	verify bool
 	// traceCacheDir, when set, roots the persistent on-disk trace cache
 	// (see WithTraceCache).
 	traceCacheDir string
@@ -174,10 +178,24 @@ func WithProgress(fn func(Progress)) Opt { return func(c *expCfg) { c.progress =
 // before any simulation runs.
 func WithTraceCache(dir string) Opt { return func(c *expCfg) { c.traceCacheDir = dir } }
 
+// WithVerify attaches the coherence invariant checker (internal/verify)
+// to every simulation the experiment runs: bus transactions are checked
+// against the protocol invariants as they happen and the presence table
+// and statistics are audited at end of run, turning any violation into
+// an experiment error. Simulation results are unchanged (the checker is
+// an observer); runs pay a modest overhead. Composes with
+// WithSimOptions in either order.
+func WithVerify() Opt { return func(c *expCfg) { c.verify = true } }
+
 func resolve(opts []Opt) expCfg {
 	c := expCfg{scale: PaperScale(), ppc: 1, scc: 64 * 1024}
 	for _, o := range opts {
 		o(&c)
+	}
+	// Applied after all opts so a later WithSimOptions cannot silently
+	// drop an earlier WithVerify.
+	if c.verify && c.sim.Verify == nil {
+		c.sim.Verify = &verify.Options{}
 	}
 	return c
 }

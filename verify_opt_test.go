@@ -1,0 +1,58 @@
+package sccsim_test
+
+import (
+	"context"
+	"testing"
+
+	"sccsim"
+)
+
+// WithVerify is an observer: a verified run must succeed on correct
+// code and return exactly the unverified numbers, in either composition
+// order with WithSimOptions.
+func TestWithVerifyIsTransparent(t *testing.T) {
+	s := sccsim.QuickScale()
+	plain, err := sccsim.Do(context.Background(), sccsim.BarnesHut,
+		sccsim.WithPoint(2, 32*1024), sccsim.WithScale(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked, err := sccsim.Do(context.Background(), sccsim.BarnesHut,
+		sccsim.WithPoint(2, 32*1024), sccsim.WithScale(s), sccsim.WithVerify())
+	if err != nil {
+		t.Fatalf("verified run failed: %v", err)
+	}
+	if checked.Result.Cycles != plain.Result.Cycles || checked.Result.Refs != plain.Result.Refs {
+		t.Errorf("WithVerify changed the result: %d cycles / %d refs vs %d / %d",
+			checked.Result.Cycles, checked.Result.Refs, plain.Result.Cycles, plain.Result.Refs)
+	}
+
+	// WithVerify before WithSimOptions must survive the sim-options
+	// overwrite (verification is resolved after all opts apply).
+	reordered, err := sccsim.Do(context.Background(), sccsim.BarnesHut,
+		sccsim.WithVerify(), sccsim.WithSimOptions(sccsim.Options{WriteBufferDepth: 8}),
+		sccsim.WithPoint(2, 32*1024), sccsim.WithScale(s))
+	if err != nil {
+		t.Fatalf("WithVerify + WithSimOptions run failed: %v", err)
+	}
+	if reordered.Result.Cycles != plain.Result.Cycles {
+		t.Errorf("option order changed the result: %d vs %d cycles",
+			reordered.Result.Cycles, plain.Result.Cycles)
+	}
+}
+
+// A verified sweep exercises the checker across the whole grid through
+// the public API — the surface `sccexplore -verify` drives.
+func TestWithVerifySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full verified sweep is a long test")
+	}
+	g, err := sccsim.SweepCtx(context.Background(), sccsim.Multiprog,
+		sccsim.WithScale(sccsim.QuickScale()), sccsim.WithVerify())
+	if err != nil {
+		t.Fatalf("verified sweep failed: %v", err)
+	}
+	if len(g.Points) == 0 {
+		t.Fatal("verified sweep returned no points")
+	}
+}
