@@ -2,13 +2,13 @@
 
 GO ?= go
 
-.PHONY: all check build test test-race race-obs fuzz-smoke vet quick bench bench-quick bench-json bench-compare experiments cover clean
+.PHONY: all check build test test-race race-obs fuzz-smoke vet quick bench bench-quick bench-json bench-compare experiments cover clean docs-check serve
 
 all: build vet test
 
 # Tier-1 gate: compile, vet, full test suite, race-enabled observability
-# and engine packages.
-check: build vet test race-obs
+# and engine packages, documentation contract.
+check: build vet test race-obs docs-check
 
 build:
 	$(GO) build ./...
@@ -26,17 +26,29 @@ quick:
 # Race-enabled run of the concurrency-bearing packages at QuickScale:
 # the shared-trace contract (internal/sim), the sweep engine
 # (internal/explorer, internal/costperf, plus the facade API), the
-# cross-process trace disk cache (internal/trace), and the verification
-# layer (internal/verify).
+# cross-process trace disk cache (internal/trace), the verification
+# layer (internal/verify), and the HTTP service (internal/serve).
 test-race:
-	$(GO) test -race -short ./internal/sim/... ./internal/explorer/... ./internal/costperf/... ./internal/trace/... ./internal/verify/... .
+	$(GO) test -race -short ./internal/sim/... ./internal/explorer/... ./internal/costperf/... ./internal/trace/... ./internal/verify/... ./internal/serve/... .
 
-# Race-enabled run of the instrumentation layer and the engine that
-# drives it concurrently — cheap enough to sit inside `make check`.
+# Race-enabled run of the instrumentation layer, the engine that
+# drives it concurrently, and the HTTP service that shares one registry
+# across jobs — cheap enough to sit inside `make check`.
 # -short keeps the explorer's full-grid oracle diff (which `test` runs
 # uninstrumented) to a representative pair of cache sizes here.
 race-obs:
-	$(GO) test -race -short ./internal/obs ./internal/explorer
+	$(GO) test -race -short ./internal/obs ./internal/explorer ./internal/serve
+
+# Documentation contract: every exported identifier in the facade and
+# the serve package carries a doc comment, and docs/API.md documents
+# every registered HTTP route (see cmd/docscheck).
+docs-check:
+	$(GO) vet ./...
+	$(GO) run ./cmd/docscheck -api docs/API.md . ./internal/serve
+
+# Run the HTTP simulation service locally (see docs/API.md).
+serve:
+	$(GO) run ./cmd/sccserve -addr :8347
 
 # Seed-plus-30s coverage-guided fuzz of the two properties most worth
 # hammering: the verified simulator against the oracle model

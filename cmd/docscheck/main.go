@@ -1,0 +1,155 @@
+// Command docscheck enforces the repository's documentation contract:
+// every listed package must carry a package comment and a doc comment
+// on each exported top-level identifier (consts, vars, funcs, types and
+// their exported methods), and docs/API.md must mention every HTTP
+// route the serve package registers.
+//
+// Usage:
+//
+//	docscheck [-api docs/API.md] DIR...
+//
+// Each DIR is parsed as one Go package (test files excluded). Problems
+// are listed one per line on stderr and the exit code is non-zero when
+// any are found, so `make docs-check` and CI fail loudly. It is a
+// purely static check — nothing is executed, only parsed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/doc"
+	"go/parser"
+	"go/token"
+	"io"
+	"io/fs"
+	"os"
+	"strings"
+
+	"sccsim/internal/serve"
+)
+
+// stdout is unused (docscheck emits data nowhere); stderr receives the
+// problem list. Tests swap them.
+var (
+	stdout io.Writer = os.Stdout
+	stderr io.Writer = os.Stderr
+)
+
+func main() {
+	os.Exit(cli(os.Args[1:]))
+}
+
+// cli parses args, runs every check, and returns the exit code.
+func cli(args []string) int {
+	fs := flag.NewFlagSet("docscheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	apiDoc := fs.String("api", "", "markdown file that must mention every serve route")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var problems []string
+	for _, dir := range fs.Args() {
+		ps, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintf(stderr, "docscheck: %v\n", err)
+			return 2
+		}
+		problems = append(problems, ps...)
+	}
+	if *apiDoc != "" {
+		ps, err := checkAPIDoc(*apiDoc, serve.Routes())
+		if err != nil {
+			fmt.Fprintf(stderr, "docscheck: %v\n", err)
+			return 2
+		}
+		problems = append(problems, ps...)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(stderr, p)
+		}
+		fmt.Fprintf(stderr, "docscheck: %d problem(s)\n", len(problems))
+		return 1
+	}
+	return 0
+}
+
+// checkDir parses the package in dir and returns one problem string per
+// undocumented exported identifier.
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		d := doc.New(pkg, dir, 0)
+		add := func(format string, a ...any) {
+			problems = append(problems, dir+": "+fmt.Sprintf(format, a...))
+		}
+		if strings.TrimSpace(d.Doc) == "" {
+			add("package %s has no package comment", name)
+		}
+		values := func(kind string, vs []*doc.Value) {
+			for _, v := range vs {
+				if strings.TrimSpace(v.Doc) != "" {
+					continue
+				}
+				for _, n := range v.Names {
+					if ast.IsExported(n) {
+						add("exported %s %s has no doc comment", kind, n)
+					}
+				}
+			}
+		}
+		funcs := func(prefix string, fns []*doc.Func) {
+			for _, f := range fns {
+				if ast.IsExported(f.Name) && strings.TrimSpace(f.Doc) == "" {
+					add("exported func %s%s has no doc comment", prefix, f.Name)
+				}
+			}
+		}
+		values("const", d.Consts)
+		values("var", d.Vars)
+		funcs("", d.Funcs)
+		for _, t := range d.Types {
+			if ast.IsExported(t.Name) && strings.TrimSpace(t.Doc) == "" {
+				add("exported type %s has no doc comment", t.Name)
+			}
+			values("const", t.Consts)
+			values("var", t.Vars)
+			funcs("", t.Funcs)
+			var methodPrefix = t.Name + "."
+			for _, m := range t.Methods {
+				if ast.IsExported(m.Name) && strings.TrimSpace(m.Doc) == "" {
+					problems = append(problems, dir+": "+fmt.Sprintf(
+						"exported method %s%s has no doc comment", methodPrefix, m.Name))
+				}
+			}
+		}
+	}
+	return problems, nil
+}
+
+// checkAPIDoc verifies every route pattern appears verbatim in the API
+// document.
+func checkAPIDoc(path string, routes []string) ([]string, error) {
+	content, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for _, r := range routes {
+		if !strings.Contains(string(content), r) {
+			problems = append(problems, fmt.Sprintf("%s: route %q is not documented", path, r))
+		}
+	}
+	return problems, nil
+}

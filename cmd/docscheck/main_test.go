@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sccsim/internal/serve"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, errOut string) {
+	t.Helper()
+	var outBuf, errBuf bytes.Buffer
+	stdout, stderr = &outBuf, &errBuf
+	defer func() { stdout, stderr = nil, nil }()
+	return cli(args), errBuf.String()
+}
+
+func writePkg(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestUndocumentedIdentifiersFail: a package missing its package comment
+// and doc comments on exported identifiers is reported, one problem per
+// identifier, with a non-zero exit.
+func TestUndocumentedIdentifiersFail(t *testing.T) {
+	dir := writePkg(t, `package p
+
+const Exported = 1
+
+var V int
+
+func F() {}
+
+type T struct{}
+
+func (T) M() {}
+
+// documented is unexported and undocumented identifiers that are
+// unexported stay out of the report.
+func hidden() {}
+`)
+	code, errOut := runCLI(t, dir)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1; stderr:\n%s", code, errOut)
+	}
+	for _, want := range []string{
+		"package p has no package comment",
+		"exported const Exported",
+		"exported var V",
+		"exported func F",
+		"exported type T",
+		"exported method T.M",
+	} {
+		if !strings.Contains(errOut, want) {
+			t.Errorf("stderr missing %q:\n%s", want, errOut)
+		}
+	}
+	if strings.Contains(errOut, "hidden") {
+		t.Errorf("unexported func reported:\n%s", errOut)
+	}
+}
+
+// TestDocumentedPackagePasses: full doc coverage exits zero with no
+// output.
+func TestDocumentedPackagePasses(t *testing.T) {
+	dir := writePkg(t, `// Package p is documented.
+package p
+
+// Exported is documented.
+const Exported = 1
+
+// F is documented.
+func F() {}
+
+// T is documented.
+type T struct{}
+
+// M is documented.
+func (T) M() {}
+`)
+	code, errOut := runCLI(t, dir)
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0; stderr:\n%s", code, errOut)
+	}
+	if errOut != "" {
+		t.Errorf("unexpected output:\n%s", errOut)
+	}
+}
+
+// TestAPIDocRouteCoverage: -api fails when a registered route is
+// missing from the document and passes when all are present.
+func TestAPIDocRouteCoverage(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.md")
+	if err := os.WriteFile(full, []byte(strings.Join(serve.Routes(), "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, errOut := runCLI(t, "-api", full); code != 0 {
+		t.Errorf("complete API doc: exit %d, stderr:\n%s", code, errOut)
+	}
+
+	partial := filepath.Join(dir, "partial.md")
+	routes := serve.Routes()
+	if err := os.WriteFile(partial, []byte(strings.Join(routes[:len(routes)-1], "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, errOut := runCLI(t, "-api", partial)
+	if code != 1 {
+		t.Errorf("incomplete API doc: exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "is not documented") {
+		t.Errorf("stderr missing the undocumented-route problem:\n%s", errOut)
+	}
+}
+
+// TestRealPackagesPass runs the checker over the packages `make
+// docs-check` gates, so a doc regression fails here before it fails in
+// CI.
+func TestRealPackagesPass(t *testing.T) {
+	code, errOut := runCLI(t, "-api", "../../docs/API.md", "../..", "../../internal/serve")
+	if code != 0 {
+		t.Errorf("docs-check over the facade and serve failed:\n%s", errOut)
+	}
+}

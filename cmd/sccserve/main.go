@@ -1,0 +1,122 @@
+// Command sccserve runs the simulation service: the sccsim design-space
+// API behind HTTP/JSON, with job deduplication, backpressure and result
+// caching (see internal/serve and docs/API.md).
+//
+// Usage:
+//
+//	sccserve -addr :8347
+//	sccserve -addr :8347 -workers 4 -queue 16 -trace-cache /var/cache/scc
+//
+// Routes:
+//
+//	POST /v1/sweep      full design-space sweep (sync, async or NDJSON stream)
+//	GET  /v1/sweep/{id} async job status and result
+//	POST /v1/point      one design point
+//	GET  /healthz       liveness and queue state
+//	GET  /metrics       metrics registry snapshot (JSON)
+//
+// The process exits cleanly on SIGINT/SIGTERM: new submissions are
+// refused while admitted jobs drain, bounded by -drain-timeout.
+// Diagnostics go to stderr; stdout is never written, so the process
+// composes with service managers that capture streams separately.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sccsim/internal/serve"
+)
+
+// stdout is reserved for data (sccserve emits none); stderr receives
+// every diagnostic. Tests swap them to assert the separation.
+var (
+	stdout io.Writer = os.Stdout
+	stderr io.Writer = os.Stderr
+)
+
+// testHookReady is called with the bound address once the server is
+// accepting connections, and testHookShutdown lets tests request the
+// same drain path a signal would. Both are no-ops in production.
+var (
+	testHookReady    = func(addr net.Addr) {}
+	testHookShutdown = make(chan struct{})
+)
+
+func main() {
+	os.Exit(cli(os.Args[1:]))
+}
+
+// cli is the whole command behind main, parameterized for tests: it
+// parses args, serves until interrupted, drains, and returns the
+// process exit code.
+func cli(args []string) int {
+	fs := flag.NewFlagSet("sccserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8347", "listen address")
+	workers := fs.Int("workers", 0, "jobs executed concurrently (0 = service default of 2)")
+	queue := fs.Int("queue", 0, "admitted jobs waiting for a worker before 429 (0 = default of 8)")
+	cacheEntries := fs.Int("cache-entries", 0, "completed results kept in the LRU cache (0 = default of 32)")
+	jobTimeout := fs.Duration("job-timeout", 0, "hard cap on any single job (0 = default of 15m)")
+	parallel := fs.Int("parallel", 0, "engine worker-pool size per sweep (0 = GOMAXPROCS); results are identical for any value")
+	traceCacheDir := fs.String("trace-cache", "", "persist generated workload traces in this directory, shared by all jobs")
+	drainTimeout := fs.Duration("drain-timeout", time.Minute, "how long shutdown waits for running jobs before cancelling them")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	svc := serve.New(serve.Options{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		CacheEntries:  *cacheEntries,
+		JobTimeout:    *jobTimeout,
+		Parallelism:   *parallel,
+		TraceCacheDir: *traceCacheDir,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "sccserve: %v\n", err)
+		return 1
+	}
+	hs := &http.Server{Handler: svc}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	fmt.Fprintf(stderr, "sccserve: listening on http://%s\n", ln.Addr())
+	testHookReady(ln.Addr())
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "sccserve: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	case <-testHookShutdown:
+	}
+	stop()
+
+	fmt.Fprintf(stderr, "sccserve: shutting down, draining jobs (up to %v)\n", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop accepting and finish in-flight HTTP exchanges, then drain the
+	// job queue itself.
+	if err := hs.Shutdown(dctx); err != nil {
+		fmt.Fprintf(stderr, "sccserve: http shutdown: %v\n", err)
+	}
+	if err := svc.Shutdown(dctx); err != nil {
+		fmt.Fprintf(stderr, "sccserve: drain incomplete: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stderr, "sccserve: drained cleanly")
+	return 0
+}

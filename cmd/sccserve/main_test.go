@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeSmoke boots the real command on an ephemeral port, runs one
+// tiny sweep over HTTP, and shuts it down through the same drain path a
+// signal takes — asserting that stdout stays empty and diagnostics land
+// on stderr.
+func TestServeSmoke(t *testing.T) {
+	var outBuf, errBuf bytes.Buffer
+	stdout, stderr = &outBuf, &errBuf
+	defer func() { stdout, stderr = nil, nil }()
+
+	ready := make(chan net.Addr, 1)
+	testHookReady = func(addr net.Addr) { ready <- addr }
+	defer func() { testHookReady = func(net.Addr) {} }()
+
+	exit := make(chan int, 1)
+	go func() {
+		exit <- cli([]string{"-addr", "127.0.0.1:0", "-workers", "1"})
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not start")
+	}
+	base := "http://" + addr.String()
+
+	hr, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d, want 200", hr.StatusCode)
+	}
+
+	resp, err := http.Post(base+"/v1/sweep", "application/json", strings.NewReader(
+		`{"workload":"multiprog","scale_spec":{"multiprog_refs":6000,"seed":21}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d, want 200", resp.StatusCode)
+	}
+	var env struct {
+		Status string          `json:"status"`
+		Grid   json.RawMessage `json:"grid"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Status != "done" || len(env.Grid) == 0 {
+		t.Fatalf("sweep response status %q with %d grid bytes, want done with a grid", env.Status, len(env.Grid))
+	}
+
+	close(testHookShutdown)
+	defer func() { testHookShutdown = make(chan struct{}) }()
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Errorf("exit code %d, want 0 (stderr: %s)", code, errBuf.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+
+	if outBuf.Len() != 0 {
+		t.Errorf("stdout not empty: %q", outBuf.String())
+	}
+	es := errBuf.String()
+	if !strings.Contains(es, "listening on") || !strings.Contains(es, "drained cleanly") {
+		t.Errorf("stderr missing lifecycle diagnostics:\n%s", es)
+	}
+}

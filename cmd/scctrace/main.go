@@ -9,40 +9,61 @@
 //	scctrace -workload all -procs 8 -scale quick
 //	scctrace -workload mp3d -procs 4 -dump mp3d.scct   # serialize a trace
 //	scctrace -read mp3d.scct                           # profile a saved trace
+//
+// Trace profiles go to stdout; every diagnostic (file-written notices,
+// errors) goes to stderr, so stdout can be piped or redirected cleanly.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"sccsim"
 	"sccsim/internal/trace"
 )
 
+// stdout receives trace profiles only; stderr receives every
+// diagnostic. Tests swap them to assert the separation.
+var (
+	stdout io.Writer = os.Stdout
+	stderr io.Writer = os.Stderr
+)
+
 func main() {
-	workload := flag.String("workload", "all", "barnes-hut | mp3d | cholesky | all")
-	procs := flag.Int("procs", 8, "logical processors to partition across")
-	scaleName := flag.String("scale", "paper", `problem scale: "paper" or "quick"`)
-	seed := flag.Int64("seed", 1, "workload generator seed")
-	dump := flag.String("dump", "", "write the generated trace to this file (single workload only)")
-	readFile := flag.String("read", "", "profile a previously dumped trace file and exit")
-	flag.Parse()
+	os.Exit(cli(os.Args[1:]))
+}
+
+// cli is the whole command behind main, parameterized for tests: it
+// parses args, runs, and returns the process exit code.
+func cli(args []string) int {
+	fs := flag.NewFlagSet("scctrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	workload := fs.String("workload", "all", "barnes-hut | mp3d | cholesky | all")
+	procs := fs.Int("procs", 8, "logical processors to partition across")
+	scaleName := fs.String("scale", "paper", `problem scale: "paper" or "quick"`)
+	seed := fs.Int64("seed", 1, "workload generator seed")
+	dump := fs.String("dump", "", "write the generated trace to this file (single workload only)")
+	readFile := fs.String("read", "", "profile a previously dumped trace file and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *readFile != "" {
 		f, err := os.Open(*readFile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "scctrace: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "scctrace: %v\n", err)
+			return 1
 		}
 		defer f.Close()
 		prog, err := trace.ReadProgram(f)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "scctrace: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "scctrace: %v\n", err)
+			return 1
 		}
 		describeProgram(prog)
-		return
+		return 0
 	}
 
 	var scale sccsim.Scale
@@ -52,8 +73,8 @@ func main() {
 	case "quick":
 		scale = sccsim.QuickScale()
 	default:
-		fmt.Fprintf(os.Stderr, "scctrace: unknown scale %q\n", *scaleName)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "scctrace: unknown scale %q\n", *scaleName)
+		return 2
 	}
 	scale.Seed = *seed
 
@@ -62,15 +83,16 @@ func main() {
 		names = []sccsim.Workload{sccsim.Workload(*workload)}
 	}
 	if *dump != "" && len(names) != 1 {
-		fmt.Fprintln(os.Stderr, "scctrace: -dump needs a single -workload")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "scctrace: -dump needs a single -workload")
+		return 2
 	}
 	for _, w := range names {
 		if err := describe(w, *procs, scale, *dump); err != nil {
-			fmt.Fprintf(os.Stderr, "scctrace: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "scctrace: %v\n", err)
+			return 1
 		}
 	}
+	return 0
 }
 
 func describe(w sccsim.Workload, procs int, scale sccsim.Scale, dump string) error {
@@ -87,7 +109,8 @@ func describe(w sccsim.Workload, procs int, scale sccsim.Scale, dump string) err
 		if err := prog.EncodeTo(f); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s trace to %s\n", w, dump)
+		// A diagnostic, not data: stderr, so stdout stays the profile.
+		fmt.Fprintf(stderr, "scctrace: wrote %s trace to %s\n", w, dump)
 	}
 	describeProgram(prog)
 	return nil
@@ -95,12 +118,12 @@ func describe(w sccsim.Workload, procs int, scale sccsim.Scale, dump string) err
 
 func describeProgram(prog *trace.Program) {
 	p := sccsim.AnalyzeTrace(prog)
-	fmt.Printf("%s (%d processors)\n", prog.Name, prog.Procs)
-	fmt.Printf("  references      %d (%.1f%% writes)\n", p.RefTotal(), 100*p.WriteFrac())
-	fmt.Printf("  compute cycles  %d (%.2f refs/instr)\n", p.ComputeCycles,
+	fmt.Fprintf(stdout, "%s (%d processors)\n", prog.Name, prog.Procs)
+	fmt.Fprintf(stdout, "  references      %d (%.1f%% writes)\n", p.RefTotal(), 100*p.WriteFrac())
+	fmt.Fprintf(stdout, "  compute cycles  %d (%.2f refs/instr)\n", p.ComputeCycles,
 		float64(p.RefTotal())/float64(p.ComputeCycles+p.RefTotal()))
-	fmt.Printf("  footprint       %d KB (%d lines)\n", p.FootprintBytes()/1024, p.FootprintLines)
-	fmt.Printf("  shared lines    %.1f%% of footprint (%.1f%% write-shared)\n",
+	fmt.Fprintf(stdout, "  footprint       %d KB (%d lines)\n", p.FootprintBytes()/1024, p.FootprintLines)
+	fmt.Fprintf(stdout, "  shared lines    %.1f%% of footprint (%.1f%% write-shared)\n",
 		100*p.SharedFrac(), 100*float64(p.WriteSharedLines)/float64(max(1, p.FootprintLines)))
 	var minR, maxR uint64
 	minR = ^uint64(0)
@@ -113,5 +136,5 @@ func describeProgram(prog *trace.Program) {
 			maxR = r
 		}
 	}
-	fmt.Printf("  balance         min/max refs per processor = %d/%d\n\n", minR, maxR)
+	fmt.Fprintf(stdout, "  balance         min/max refs per processor = %d/%d\n\n", minR, maxR)
 }

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI captures the command's stdout and stderr separately.
+func runCLI(t *testing.T, args ...string) (code int, out, errOut string) {
+	t.Helper()
+	var outBuf, errBuf bytes.Buffer
+	stdout, stderr = &outBuf, &errBuf
+	defer func() { stdout, stderr = nil, nil }()
+	return cli(args), outBuf.String(), errBuf.String()
+}
+
+// TestStreamSeparation: the trace profile is exactly stdout; the
+// file-written diagnostic for -dump goes to stderr, so redirecting
+// stdout yields a clean profile.
+func TestStreamSeparation(t *testing.T) {
+	dump := filepath.Join(t.TempDir(), "mp3d.scct")
+	code, out, errOut := runCLI(t,
+		"-workload", "mp3d", "-procs", "4", "-scale", "quick", "-dump", dump)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(out, "references") || !strings.Contains(out, "footprint") {
+		t.Errorf("stdout missing the profile:\n%s", out)
+	}
+	if strings.Contains(out, "wrote") {
+		t.Errorf("file-written diagnostic leaked to stdout:\n%s", out)
+	}
+	if !strings.Contains(errOut, "wrote mp3d trace to "+dump) {
+		t.Errorf("stderr missing the file-written diagnostic:\n%s", errOut)
+	}
+
+	// The dumped trace round-trips through -read, profile again on stdout.
+	code, out, errOut = runCLI(t, "-read", dump)
+	if code != 0 {
+		t.Fatalf("-read exit code %d, stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(out, "references") {
+		t.Errorf("-read stdout missing the profile:\n%s", out)
+	}
+	if errOut != "" {
+		t.Errorf("-read wrote diagnostics with nothing to report:\n%s", errOut)
+	}
+}
+
+// TestErrorsGoToStderr: failures report on stderr with a non-zero exit
+// and leave stdout empty.
+func TestErrorsGoToStderr(t *testing.T) {
+	cases := [][]string{
+		{"-workload", "fft", "-procs", "4"},
+		{"-scale", "huge"},
+		{"-read", filepath.Join(t.TempDir(), "missing.scct")},
+		{"-dump", "x.scct"}, // -dump with -workload all
+	}
+	for _, args := range cases {
+		code, out, errOut := runCLI(t, args...)
+		if code == 0 {
+			t.Errorf("args %v: exit code 0, want non-zero", args)
+		}
+		if out != "" {
+			t.Errorf("args %v: error output leaked to stdout:\n%s", args, out)
+		}
+		if !strings.Contains(errOut, "scctrace:") {
+			t.Errorf("args %v: stderr missing the error:\n%s", args, errOut)
+		}
+	}
+}

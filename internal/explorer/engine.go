@@ -28,31 +28,35 @@ import (
 
 // Progress is one event from the sweep engine, delivered after each
 // completed design point. Events are serialized: Done increases by one
-// per event and reaches Total exactly once.
+// per event and reaches Total exactly once. The JSON field names are
+// part of the serve layer's NDJSON streaming contract.
 type Progress struct {
 	// Workload the engine is sweeping.
-	Workload Workload
+	Workload Workload `json:"workload"`
 	// Done and Total count completed and scheduled design points.
-	Done, Total int
+	Done  int `json:"done"`
+	Total int `json:"total"`
 	// Elapsed is wall-clock time since the engine started.
-	Elapsed time.Duration
+	Elapsed time.Duration `json:"elapsed_ns"`
 	// Config is the design point that just finished.
-	Config sysmodel.Config
+	Config sysmodel.Config `json:"config"`
 	// PointTime is how long that point's simulation took.
-	PointTime time.Duration
+	PointTime time.Duration `json:"point_ns"`
 	// QueueWait is how long the point sat scheduled before a worker
 	// picked it up.
-	QueueWait time.Duration
+	QueueWait time.Duration `json:"queue_wait_ns"`
 	// TraceHits and TraceMisses are the sweep's cumulative trace-cache
 	// counts at the time of the event: a miss resolves a workload trace
 	// (from disk or a generator), a hit reuses an in-memory one (the
 	// miss count for a whole sweep equals the number of distinct trace
 	// keys — each trace is resolved exactly once).
-	TraceHits, TraceMisses uint64
+	TraceHits   uint64 `json:"trace_hits"`
+	TraceMisses uint64 `json:"trace_misses"`
 	// TraceDiskHits counts misses satisfied by the persistent disk cache
 	// (EngineOptions.TraceCache); TraceGenerated counts misses that ran
 	// a workload generator. DiskHits + Generated == Misses.
-	TraceDiskHits, TraceGenerated uint64
+	TraceDiskHits  uint64 `json:"trace_disk_hits"`
+	TraceGenerated uint64 `json:"trace_generated"`
 }
 
 // SweepReport summarizes a completed sweep: wall-clock and per-point
@@ -61,28 +65,31 @@ type Progress struct {
 // diagnostics.
 type SweepReport struct {
 	// Workload the engine swept.
-	Workload Workload
+	Workload Workload `json:"workload"`
 	// Points is the number of design points run; Workers the pool size.
-	Points, Workers int
+	Points  int `json:"points"`
+	Workers int `json:"workers"`
 	// Wall is the whole sweep's wall-clock time.
-	Wall time.Duration
+	Wall time.Duration `json:"wall_ns"`
 	// PointWall[i] is design point i's simulation time, in job order
 	// (SCC-size-major, matching the serial sweep loops).
-	PointWall []time.Duration
+	PointWall []time.Duration `json:"point_wall_ns"`
 	// QueueWait[i] is how long point i waited for a worker.
-	QueueWait []time.Duration
+	QueueWait []time.Duration `json:"queue_wait_ns"`
 	// Busy is the sum of PointWall — total simulation work done.
-	Busy time.Duration
+	Busy time.Duration `json:"busy_ns"`
 	// Utilization is Busy / (Workers * Wall): 1.0 means every worker
 	// simulated for the whole sweep.
-	Utilization float64
+	Utilization float64 `json:"utilization"`
 	// TraceHits and TraceMisses count trace-cache lookups: each miss
 	// resolved a workload trace, each hit shared an in-memory one.
-	TraceHits, TraceMisses uint64
+	TraceHits   uint64 `json:"trace_hits"`
+	TraceMisses uint64 `json:"trace_misses"`
 	// TraceDiskHits counts misses satisfied by the persistent disk
 	// cache; TraceGenerated counts misses that ran a workload generator.
 	// A sweep against a warm disk cache reports TraceGenerated == 0.
-	TraceDiskHits, TraceGenerated uint64
+	TraceDiskHits  uint64 `json:"trace_disk_hits"`
+	TraceGenerated uint64 `json:"trace_generated"`
 }
 
 // EngineOptions tunes the concurrent sweep engine. The zero value runs
@@ -186,8 +193,9 @@ func (t *traceCounters) loads() (hits, misses, diskHits, generated uint64) {
 }
 
 // pointWallBucketsMS is the fixed bucket layout (milliseconds) of the
-// engine's per-point wall-time histogram.
-var pointWallBucketsMS = []uint64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 60000}
+// engine's per-point wall-time histogram — the canonical latency layout
+// shared with the HTTP middleware.
+var pointWallBucketsMS = obs.LatencyBucketsMS
 
 // runPoints executes the jobs on a bounded worker pool and returns their
 // results in job order. On the first job error the engine cancels the

@@ -34,6 +34,18 @@ var ParallelWorkloads = []Workload{BarnesHut, MP3D, Cholesky}
 // AllWorkloads includes the multiprogramming workload.
 var AllWorkloads = []Workload{BarnesHut, MP3D, Cholesky, Multiprog}
 
+// ParseWorkload maps a workload name to its Workload, validating it
+// against AllWorkloads — the boundary check for CLIs and servers that
+// receive workload names as strings.
+func ParseWorkload(name string) (Workload, error) {
+	for _, w := range AllWorkloads {
+		if string(w) == name {
+			return w, nil
+		}
+	}
+	return "", fmt.Errorf("explorer: unknown workload %q (want one of %v)", name, AllWorkloads)
+}
+
 // Scale sets the problem sizes. The zero value is the paper's
 // configuration (with the multiprogramming reference budget scaled as
 // documented in the multiprog package).

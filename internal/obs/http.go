@@ -1,0 +1,103 @@
+// HTTP instrumentation: a handler middleware that records request
+// counts, in-flight gauges, status classes, and latency histograms into
+// a Registry — the serve layer's bridge between net/http and the
+// nil-disabled metrics substrate. Like everything in obs, a nil
+// registry disables every site, so the same handler stack runs
+// uninstrumented for free.
+
+package obs
+
+import (
+	"net/http"
+	"strings"
+	"time"
+)
+
+// LatencyBucketsMS is the canonical fixed-bucket layout for wall-clock
+// latencies in milliseconds, spanning sub-millisecond handlers to
+// minute-long paper-scale sweeps. Shared by the engine's per-point
+// histogram and the HTTP middleware so dashboards can overlay them.
+var LatencyBucketsMS = []uint64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 60000}
+
+// statusWriter captures the response status code while preserving the
+// http.Flusher the NDJSON streaming path depends on.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer when it supports streaming.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// metricRoute flattens an http.ServeMux pattern ("POST /v1/sweep",
+// "GET /v1/sweep/{id}") into a metric-name segment ("v1_sweep",
+// "v1_sweep_id").
+func metricRoute(route string) string {
+	if i := strings.IndexByte(route, ' '); i >= 0 {
+		route = route[i+1:]
+	}
+	r := strings.NewReplacer("/", "_", "{", "", "}", "", ".", "_")
+	return strings.Trim(r.Replace(route), "_")
+}
+
+// InstrumentHandler wraps h so every request records, under the route's
+// flattened name:
+//
+//	http.<route>.requests       counter, one per request
+//	http.<route>.inflight       gauge, currently executing requests
+//	http.<route>.ms             latency histogram (LatencyBucketsMS)
+//	http.<route>.status_<c>xx   counter per status class (2xx/4xx/5xx...)
+//
+// plus process-wide http.requests. A nil registry returns h unchanged —
+// the uninstrumented server pays nothing.
+func InstrumentHandler(reg *Registry, route string, h http.Handler) http.Handler {
+	if reg == nil {
+		return h
+	}
+	name := "http." + metricRoute(route)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reg.Counter("http.requests").Inc()
+		reg.Counter(name + ".requests").Inc()
+		reg.Gauge(name + ".inflight").Add(1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			reg.Gauge(name + ".inflight").Add(-1)
+			reg.Histogram(name+".ms", LatencyBucketsMS).
+				Observe(uint64(time.Since(start).Milliseconds()))
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			switch {
+			case status >= 500:
+				reg.Counter(name + ".status_5xx").Inc()
+			case status >= 400:
+				reg.Counter(name + ".status_4xx").Inc()
+			case status >= 300:
+				reg.Counter(name + ".status_3xx").Inc()
+			default:
+				reg.Counter(name + ".status_2xx").Inc()
+			}
+		}()
+		h.ServeHTTP(sw, r)
+	})
+}

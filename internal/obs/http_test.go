@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestInstrumentHandlerCounts(t *testing.T) {
+	reg := NewRegistry()
+	h := InstrumentHandler(reg, "POST /v1/sweep", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("fail") != "" {
+			http.Error(w, "boom", http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(srv.URL + "?fail=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	if got := reg.Counter("http.requests").Value(); got != 4 {
+		t.Errorf("http.requests = %d, want 4", got)
+	}
+	if got := reg.Counter("http.v1_sweep.requests").Value(); got != 4 {
+		t.Errorf("route requests = %d, want 4", got)
+	}
+	if got := reg.Counter("http.v1_sweep.status_2xx").Value(); got != 3 {
+		t.Errorf("status_2xx = %d, want 3", got)
+	}
+	if got := reg.Counter("http.v1_sweep.status_4xx").Value(); got != 1 {
+		t.Errorf("status_4xx = %d, want 1", got)
+	}
+	if got := reg.Gauge("http.v1_sweep.inflight").Value(); got != 0 {
+		t.Errorf("inflight = %d, want 0 after requests return", got)
+	}
+	if got := reg.Histogram("http.v1_sweep.ms", LatencyBucketsMS).Snapshot().Count; got != 4 {
+		t.Errorf("latency samples = %d, want 4", got)
+	}
+}
+
+// TestInstrumentHandlerNilRegistry: the nil-disabled contract extends to
+// the middleware — a nil registry returns the handler unchanged.
+func TestInstrumentHandlerNilRegistry(t *testing.T) {
+	base := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	if got := InstrumentHandler(nil, "GET /x", base); got == nil {
+		t.Fatal("nil registry must still return a handler")
+	}
+	rec := httptest.NewRecorder()
+	InstrumentHandler(nil, "GET /x", base).ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	if rec.Code != 200 {
+		t.Errorf("code = %d", rec.Code)
+	}
+}
+
+// TestStatusWriterFlush: the middleware must not hide http.Flusher from
+// streaming handlers.
+func TestStatusWriterFlush(t *testing.T) {
+	reg := NewRegistry()
+	flushed := false
+	h := InstrumentHandler(reg, "POST /v1/sweep", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, ok := w.(http.Flusher); !ok {
+			t.Error("instrumented writer does not expose Flush")
+			return
+		}
+		w.(http.Flusher).Flush()
+		flushed = true
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !flushed {
+		t.Error("handler never flushed")
+	}
+}
+
+func TestMetricRoute(t *testing.T) {
+	cases := map[string]string{
+		"POST /v1/sweep":     "v1_sweep",
+		"GET /v1/sweep/{id}": "v1_sweep_id",
+		"GET /healthz":       "healthz",
+		"/metrics":           "metrics",
+	}
+	for in, want := range cases {
+		if got := metricRoute(in); got != want {
+			t.Errorf("metricRoute(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// The completed-result cache: a small LRU over finished jobs, keyed by
+// the same content digest the coalescing map uses. A hit serves a grid
+// without touching the queue — the service analogue of the engine's
+// in-memory trace cache one layer down.
+
+package serve
+
+import "container/list"
+
+// resultCache is an LRU of completed jobs keyed by content key. Not
+// safe for concurrent use; the Server guards it with its mutex.
+type resultCache struct {
+	cap int
+	ll  *list.List // front = most recently used; values are *job
+	m   map[string]*list.Element
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// get returns the cached job for key (nil on miss), refreshing its
+// recency.
+func (c *resultCache) get(key string) *job {
+	e, ok := c.m[key]
+	if !ok {
+		return nil
+	}
+	c.ll.MoveToFront(e)
+	return e.Value.(*job)
+}
+
+// put inserts or refreshes a completed job and returns the job evicted
+// to make room, if any.
+func (c *resultCache) put(key string, j *job) (evicted *job) {
+	if e, ok := c.m[key]; ok {
+		e.Value = j
+		c.ll.MoveToFront(e)
+		return nil
+	}
+	c.m[key] = c.ll.PushFront(j)
+	if c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		old := back.Value.(*job)
+		delete(c.m, old.key)
+		return old
+	}
+	return nil
+}
+
+// len returns the number of cached results.
+func (c *resultCache) len() int { return c.ll.Len() }

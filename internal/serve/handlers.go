@@ -1,0 +1,353 @@
+// HTTP handlers: decode, validate, admit, render. Handlers never touch
+// the engine directly — they only talk to the admission control and the
+// job they are handed, so every route automatically shares the queue,
+// the coalescing map and the result cache.
+
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"sccsim"
+	"sccsim/internal/obs"
+)
+
+// maxBodyBytes bounds request bodies; experiment specs are tiny.
+const maxBodyBytes = 1 << 20
+
+// Routes lists every registered route pattern (http.ServeMux syntax).
+// docs/API.md must document each one — the docs-check tool enforces it.
+func Routes() []string {
+	return []string{
+		"POST /v1/sweep",
+		"GET /v1/sweep/{id}",
+		"POST /v1/point",
+		"GET /healthz",
+		"GET /metrics",
+	}
+}
+
+// buildMux wires every Routes entry to its handler, instrumented
+// through the obs HTTP middleware. The switch panics on a pattern it
+// does not know, so Routes and the handler set cannot drift apart.
+func (s *Server) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	for _, route := range Routes() {
+		var h http.Handler
+		switch route {
+		case "POST /v1/sweep":
+			h = http.HandlerFunc(s.handleSweep)
+		case "GET /v1/sweep/{id}":
+			h = http.HandlerFunc(s.handleSweepStatus)
+		case "POST /v1/point":
+			h = http.HandlerFunc(s.handlePoint)
+		case "GET /healthz":
+			h = http.HandlerFunc(s.handleHealthz)
+		case "GET /metrics":
+			h = http.HandlerFunc(s.handleMetrics)
+		default:
+			panic("serve: route without a handler: " + route)
+		}
+		mux.Handle(route, obs.InstrumentHandler(s.reg, route, h))
+	}
+	return mux
+}
+
+// writeJSON renders one JSON response body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// writeError renders the uniform error envelope.
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorBody{Error: msg})
+}
+
+// writeAdmitError maps an admission failure, attaching the
+// backpressure hint on 429.
+func writeAdmitError(w http.ResponseWriter, err *httpError) {
+	if err.retryAfter > 0 {
+		secs := int(err.retryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprint(secs))
+	}
+	writeError(w, err.code, err.msg)
+}
+
+// decodeBody decodes a bounded JSON request body, rejecting unknown
+// fields so client typos fail loudly instead of silently running the
+// default experiment.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// handleSweep serves POST /v1/sweep: synchronous by default, 202+poll
+// with "wait": false, NDJSON progress streaming with "stream": true.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	workload, err := sccsim.ParseWorkload(req.Workload)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	scale, err := resolveScale(req.Scale, req.Seed, req.ScaleSpec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var sim sccsim.Options
+	verify := false
+	if req.Sim != nil {
+		sim = req.Sim.toOptions()
+		verify = req.Sim.Verify
+	}
+	spec := sccsim.Spec{
+		Scale: &scale, Parallelism: s.jobParallelism(req.Parallelism),
+		TraceCacheDir: s.opts.TraceCacheDir, Verify: verify,
+	}
+	if req.Sim != nil {
+		spec.Sim = &sim
+	}
+	key := sweepKey(workload, scale, sim, verify)
+	adm, aerr := s.admit(key, func(id string) *job {
+		return newJob(id, key, jobSweep, workload, spec, time.Duration(req.TimeoutMS)*time.Millisecond)
+	})
+	if aerr != nil {
+		writeAdmitError(w, aerr)
+		return
+	}
+	j := adm.j
+	switch {
+	case req.Stream:
+		s.streamSweep(w, r, j, adm.source)
+	case req.Wait != nil && !*req.Wait:
+		if adm.source == "hit" {
+			// The result cache already has the grid; no reason to make
+			// the client poll for it.
+			writeJSON(w, http.StatusOK, s.sweepResponse(j, adm.source, true))
+			return
+		}
+		writeJSON(w, http.StatusAccepted, s.sweepResponse(j, adm.source, false))
+	default:
+		select {
+		case <-j.done:
+			resp := s.sweepResponse(j, adm.source, true)
+			code := http.StatusOK
+			if resp.Error != "" {
+				code = http.StatusInternalServerError
+			}
+			writeJSON(w, code, resp)
+		case <-r.Context().Done():
+			// The client went away; the shared job keeps running for
+			// any coalesced waiters and the result cache.
+		}
+	}
+}
+
+// sweepResponse renders a job as the sweep envelope. includeResult is
+// false for 202 acknowledgements, which only need identity and state.
+func (s *Server) sweepResponse(j *job, source string, includeResult bool) *SweepResponse {
+	state, _, grid, _, report, err, _ := j.snapshot()
+	resp := &SweepResponse{
+		ID: j.id, Status: state.String(), Workload: string(j.workload), Cache: source,
+	}
+	if !includeResult {
+		return resp
+	}
+	resp.Grid = grid
+	resp.Report = report
+	if err != nil {
+		resp.Error = err.Error()
+	}
+	return resp
+}
+
+// streamSweep renders a sweep as NDJSON: progress events as the engine
+// completes design points, then one terminal result or error event.
+func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, j *job, source string) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flush := func() {
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+	enc := json.NewEncoder(w)
+	ch, detach := j.subscribe()
+	defer detach()
+	flush()
+	for {
+		select {
+		case p, ok := <-ch:
+			if !ok {
+				// Job finished (or was already finished): emit the
+				// terminal event.
+				resp := s.sweepResponse(j, source, true)
+				if resp.Error != "" {
+					_ = enc.Encode(StreamEvent{Event: "error", Error: resp.Error})
+				} else {
+					_ = enc.Encode(StreamEvent{Event: "result", Result: resp})
+				}
+				flush()
+				return
+			}
+			_ = enc.Encode(StreamEvent{Event: "progress", Progress: &p})
+			flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleSweepStatus serves GET /v1/sweep/{id} for async jobs.
+func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job "+id)
+		return
+	}
+	state, last, grid, _, report, err, coalesced := j.snapshot()
+	st := &JobStatus{
+		ID: j.id, Status: state.String(), Workload: string(j.workload),
+		Coalesced: coalesced,
+		AgeMS:     time.Since(j.created).Milliseconds(),
+	}
+	if last != nil {
+		st.Done, st.Total = last.Done, last.Total
+	}
+	if state == jobDone || state == jobFailed {
+		st.Grid = grid
+		st.Report = report
+		if last != nil {
+			st.Done, st.Total = last.Total, last.Total
+		}
+		if err != nil {
+			st.Error = err.Error()
+		}
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handlePoint serves POST /v1/point: one design point, synchronously,
+// through the same queue, coalescing and cache as sweeps.
+func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
+	var req PointRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	workload, err := sccsim.ParseWorkload(req.Workload)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	scale, err := resolveScale(req.Scale, req.Seed, req.ScaleSpec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var sim sccsim.Options
+	verify := false
+	if req.Sim != nil {
+		sim = req.Sim.toOptions()
+		verify = req.Sim.Verify
+	}
+	ppc, scc := req.ProcsPerCluster, req.SCCBytes
+	if ppc == 0 {
+		ppc = 1
+	}
+	if scc == 0 {
+		scc = 64 * 1024
+	}
+	spec := sccsim.Spec{
+		Scale: &scale, ProcsPerCluster: ppc, SCCBytes: scc,
+		Parallelism:   s.jobParallelism(0),
+		TraceCacheDir: s.opts.TraceCacheDir, Verify: verify,
+	}
+	if req.Sim != nil {
+		spec.Sim = &sim
+	}
+	key := pointKey(workload, ppc, scc, scale, sim, verify)
+	adm, aerr := s.admit(key, func(id string) *job {
+		return newJob(id, key, jobPoint, workload, spec, time.Duration(req.TimeoutMS)*time.Millisecond)
+	})
+	if aerr != nil {
+		writeAdmitError(w, aerr)
+		return
+	}
+	j := adm.j
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		return
+	}
+	state, _, _, point, _, jerr, _ := j.snapshot()
+	resp := &PointResponse{
+		ID: j.id, Status: state.String(), Workload: string(j.workload),
+		Cache: adm.source, Point: point,
+	}
+	code := http.StatusOK
+	if jerr != nil {
+		resp.Error = jerr.Error()
+		code = http.StatusInternalServerError
+	}
+	writeJSON(w, code, resp)
+}
+
+// jobParallelism resolves a request's engine parallelism against the
+// server default.
+func (s *Server) jobParallelism(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return s.opts.Parallelism
+}
+
+// handleHealthz serves GET /healthz: 200 while serving, 503 with
+// status "draining" once Shutdown has begun.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := &Health{
+		Status:        "ok",
+		UptimeMS:      time.Since(s.start).Milliseconds(),
+		Queued:        s.queued,
+		Running:       int(s.reg.Gauge("serve.jobs_running").Value()),
+		Workers:       s.opts.workers(),
+		QueueDepth:    s.opts.queueDepth(),
+		CachedResults: s.cache.len(),
+	}
+	draining := s.draining
+	s.mu.Unlock()
+	code := http.StatusOK
+	if draining {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+// handleMetrics serves GET /metrics: the obs registry snapshot as JSON
+// — counters and gauges as numbers, histograms with count/mean/
+// quantiles/buckets (see obs.Registry.Snapshot).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.Snapshot())
+}

@@ -1,0 +1,391 @@
+// End-to-end tests against the real engine: coalescing (N identical
+// concurrent sweeps share one execution), byte-identity of served grids
+// with the library API, NDJSON streaming, the async 202+poll flow, the
+// result cache, and the point endpoint. A tiny multiprog scale keeps
+// these fast; the queue/backpressure machinery is covered by the
+// stubbed tests in serve_test.go.
+
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"sccsim"
+)
+
+// tinyScale is the problem size the end-to-end tests run: unique sizes
+// so content keys never collide with other tests' sweeps.
+func tinyScale(seed int64) sccsim.Scale {
+	return sccsim.Scale{MultiprogRefs: 6000, Seed: seed}
+}
+
+func tinyBody(seed int64, extra string) string {
+	return fmt.Sprintf(`{"workload":"multiprog","scale_spec":{"multiprog_refs":6000,"seed":%d}%s}`, seed, extra)
+}
+
+// rawSweepEnvelope decodes a sweep response keeping the grid's raw
+// bytes for byte-identity checks.
+type rawSweepEnvelope struct {
+	ID     string              `json:"id"`
+	Status string              `json:"status"`
+	Cache  string              `json:"cache"`
+	Grid   json.RawMessage     `json:"grid"`
+	Report *sccsim.SweepReport `json:"report"`
+	Error  string              `json:"error"`
+}
+
+// TestSweepCoalescingAndByteIdentity: N identical concurrent sweeps are
+// admitted as one job (one engine execution), every response carries
+// the same grid, and that grid's JSON is byte-identical to what
+// sccsim.SweepCtx produces for the same experiment.
+func TestSweepCoalescingAndByteIdentity(t *testing.T) {
+	sccsim.ResetTraceCache()
+	t.Cleanup(sccsim.ResetTraceCache)
+
+	s := New(Options{Workers: 2})
+	// Gate the real runner so every request attaches before execution.
+	gate := make(chan struct{})
+	exec := s.runJob
+	s.runJob = func(ctx context.Context, j *job) error {
+		<-gate
+		return exec(ctx, j)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	const n = 4
+	body := tinyBody(11, "")
+	var wg sync.WaitGroup
+	envs := make([]rawSweepEnvelope, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			errs[i] = json.NewDecoder(resp.Body).Decode(&envs[i])
+		}(i)
+	}
+	// All later requests must coalesce onto the first job before the
+	// gate opens.
+	waitFor(t, func() bool { return s.reg.Counter("serve.coalesced").Value() == n-1 })
+	close(gate)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+
+	// Exactly one engine execution.
+	if got := s.reg.Counter("serve.jobs_done").Value(); got != 1 {
+		t.Errorf("serve.jobs_done = %d, want 1 (single coalesced execution)", got)
+	}
+	sources := map[string]int{}
+	for _, e := range envs {
+		sources[e.Cache]++
+		if e.ID != envs[0].ID {
+			t.Errorf("job ID %q differs from %q — requests did not share a job", e.ID, envs[0].ID)
+		}
+		if !bytes.Equal(e.Grid, envs[0].Grid) {
+			t.Error("coalesced responses returned different grids")
+		}
+	}
+	if sources["miss"] != 1 || sources["coalesced"] != n-1 {
+		t.Errorf("cache sources = %v, want 1 miss and %d coalesced", sources, n-1)
+	}
+	// The shared report proves the trace was generated once: a second
+	// execution would have reported a cache hit instead.
+	if envs[0].Report == nil || envs[0].Report.TraceGenerated != 1 {
+		t.Errorf("report = %+v, want TraceGenerated == 1", envs[0].Report)
+	}
+
+	// Byte-identity with the library: the same experiment through the
+	// facade marshals to exactly the bytes the server returned.
+	scale := tinyScale(11)
+	want, err := sccsim.SweepCtx(context.Background(), sccsim.Multiprog, sccsim.WithScale(scale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(envs[0].Grid, wantJSON) {
+		t.Error("served grid is not byte-identical to sccsim.SweepCtx output")
+	}
+	// And it is the full 32-point design space.
+	var g sccsim.Grid
+	if err := json.Unmarshal(envs[0].Grid, &g); err != nil {
+		t.Fatal(err)
+	}
+	points := 0
+	for _, row := range g.Points {
+		points += len(row)
+	}
+	if len(g.Points) != 8 || points != 32 {
+		t.Errorf("grid is %d rows / %d points, want 8 rows / 32 points", len(g.Points), points)
+	}
+}
+
+// TestSweepStreamNDJSON: a streaming request yields one NDJSON progress
+// line per design point followed by a terminal result event carrying
+// the grid.
+func TestSweepStreamNDJSON(t *testing.T) {
+	s := New(Options{Workers: 1})
+	gate := make(chan struct{})
+	exec := s.runJob
+	s.runJob = func(ctx context.Context, j *job) error {
+		<-gate
+		return exec(ctx, j)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json",
+		strings.NewReader(tinyBody(12, `,"stream":true`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	// Hold the job until the streaming handler has subscribed, so every
+	// engine progress event is observed.
+	waitFor(t, func() bool {
+		s.mu.Lock()
+		var j *job
+		for _, cand := range s.jobs {
+			j = cand
+		}
+		s.mu.Unlock()
+		if j == nil {
+			return false
+		}
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		return len(j.subs) == 1
+	})
+	close(gate)
+
+	var progress int
+	var last StreamEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<22)
+	for sc.Scan() {
+		var ev StreamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch ev.Event {
+		case "progress":
+			progress++
+			if ev.Progress == nil || ev.Progress.Total != 32 || ev.Progress.Done < 1 || ev.Progress.Done > 32 {
+				t.Fatalf("bad progress event: %+v", ev.Progress)
+			}
+		case "result", "error":
+		default:
+			t.Fatalf("unknown event %q", ev.Event)
+		}
+		last = ev
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if progress != 32 {
+		t.Errorf("saw %d progress events, want 32", progress)
+	}
+	if last.Event != "result" || last.Result == nil || last.Result.Grid == nil {
+		t.Errorf("terminal event = %+v, want a result with a grid", last)
+	}
+}
+
+// TestAsyncPollAndCacheHit: wait:false returns 202 immediately, the job
+// is pollable to completion, and repeated identical requests are served
+// from the result cache with the original job's ID.
+func TestAsyncPollAndCacheHit(t *testing.T) {
+	s := New(Options{Workers: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	body := tinyBody(13, `,"wait":false`)
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d, want 202", resp.StatusCode)
+	}
+	var ack SweepResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.ID == "" || ack.Cache != "miss" || ack.Grid != nil {
+		t.Fatalf("ack = %+v, want an ID, cache miss, and no grid yet", ack)
+	}
+
+	// Poll until done; the terminal status carries the grid and a
+	// saturated progress count.
+	var st JobStatus
+	waitFor(t, func() bool {
+		pr, err := http.Get(ts.URL + "/v1/sweep/" + ack.ID)
+		if err != nil {
+			return false
+		}
+		defer pr.Body.Close()
+		st = JobStatus{}
+		if err := json.NewDecoder(pr.Body).Decode(&st); err != nil {
+			return false
+		}
+		return st.Status == "done"
+	})
+	if st.Grid == nil || st.Report == nil {
+		t.Fatalf("done status missing grid/report: %+v", st)
+	}
+	if st.Done != 32 || st.Total != 32 {
+		t.Errorf("done/total = %d/%d, want 32/32", st.Done, st.Total)
+	}
+
+	// An identical synchronous request is a cache hit on the same job.
+	r2, err := http.Post(ts.URL+"/v1/sweep", "application/json",
+		strings.NewReader(tinyBody(13, "")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	var hit SweepResponse
+	if err := json.NewDecoder(r2.Body).Decode(&hit); err != nil {
+		t.Fatal(err)
+	}
+	if r2.StatusCode != http.StatusOK || hit.Cache != "hit" || hit.ID != ack.ID || hit.Grid == nil {
+		t.Errorf("cache hit = status %d, %+v; want 200, cache hit, ID %s, a grid", r2.StatusCode, hit, ack.ID)
+	}
+
+	// Even an async request gets the cached result immediately: 200 with
+	// the grid, not 202.
+	r3, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3.Body.Close()
+	var hit2 SweepResponse
+	if err := json.NewDecoder(r3.Body).Decode(&hit2); err != nil {
+		t.Fatal(err)
+	}
+	if r3.StatusCode != http.StatusOK || hit2.Cache != "hit" || hit2.Grid == nil {
+		t.Errorf("async cache hit = status %d, cache %q; want 200 with a grid", r3.StatusCode, hit2.Cache)
+	}
+	if got := s.reg.Counter("serve.cache_hits").Value(); got != 2 {
+		t.Errorf("serve.cache_hits = %d, want 2", got)
+	}
+	if got := s.reg.Counter("serve.jobs_done").Value(); got != 1 {
+		t.Errorf("serve.jobs_done = %d, want 1", got)
+	}
+}
+
+// TestPointEndpoint: POST /v1/point runs one design point and the
+// result matches the library's Do for the same experiment.
+func TestPointEndpoint(t *testing.T) {
+	s := New(Options{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/point", "application/json", strings.NewReader(
+		`{"workload":"multiprog","scale_spec":{"multiprog_refs":6000,"seed":14},"procs_per_cluster":2,"scc_bytes":131072}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	var pr PointResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Status != "done" || pr.Point == nil {
+		t.Fatalf("response %+v, want done with a point", pr)
+	}
+
+	scale := tinyScale(14)
+	want, err := sccsim.Do(context.Background(), sccsim.Multiprog,
+		sccsim.WithScale(scale), sccsim.WithPoint(2, 128*1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Point.Result.Cycles != want.Result.Cycles || pr.Point.Result.Refs != want.Result.Refs {
+		t.Errorf("served point cycles/refs = %d/%d, want %d/%d",
+			pr.Point.Result.Cycles, pr.Point.Result.Refs, want.Result.Cycles, want.Result.Refs)
+	}
+	if pr.Point.Config.SCCBytes != 128*1024 || pr.Point.Config.ProcsPerCluster != 2 {
+		t.Errorf("served config = %+v, want 2P/128KB", pr.Point.Config)
+	}
+}
+
+// TestHealthzAndMetrics: /healthz reports ok with the server's limits;
+// /metrics exposes the obs snapshot including the HTTP middleware and
+// job counters.
+func TestHealthzAndMetrics(t *testing.T) {
+	s := New(Options{Workers: 3, QueueDepth: 5})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// One real job so job metrics exist.
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json",
+		strings.NewReader(tinyBody(15, "")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d, want 200", hr.StatusCode)
+	}
+	var h Health
+	if err := json.NewDecoder(hr.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Workers != 3 || h.QueueDepth != 5 {
+		t.Errorf("health = %+v, want ok with workers 3, queue depth 5", h)
+	}
+
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Body.Close()
+	var snap map[string]any
+	if err := json.NewDecoder(mr.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"serve.jobs_done", "http.requests", "http.v1_sweep.requests"} {
+		if _, ok := snap[key]; !ok {
+			t.Errorf("metrics snapshot missing %q", key)
+		}
+	}
+}

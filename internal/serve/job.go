@@ -1,0 +1,175 @@
+// Jobs: the unit the queue, the coalescing map and the result cache all
+// share. A job is created by the first request for a content key,
+// executed once, and observed by any number of waiters — later
+// identical requests attach to it instead of spawning work.
+
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"sccsim"
+)
+
+// jobKind says what a job computes.
+type jobKind int
+
+const (
+	// jobSweep runs the full 28-point design-space sweep.
+	jobSweep jobKind = iota
+	// jobPoint runs a single design point.
+	jobPoint
+)
+
+// jobState is a job's lifecycle position.
+type jobState int
+
+const (
+	jobQueued jobState = iota
+	jobRunning
+	jobDone
+	jobFailed
+)
+
+func (s jobState) String() string {
+	switch s {
+	case jobQueued:
+		return "queued"
+	case jobRunning:
+		return "running"
+	case jobDone:
+		return "done"
+	default:
+		return "failed"
+	}
+}
+
+// job is one deduplicated unit of work. The identity fields are set at
+// creation and never change; the mutable state is guarded by mu. done
+// closes exactly once, after the terminal state is published, so
+// waiters can select on it.
+type job struct {
+	id       string
+	key      string // content digest (trace.KeyDigest of the canonical request)
+	kind     jobKind
+	workload sccsim.Workload
+	spec     sccsim.Spec
+	timeout  time.Duration // per-request cap; 0 means the server default
+	created  time.Time
+
+	done chan struct{}
+
+	mu        sync.Mutex
+	state     jobState
+	subs      map[chan sccsim.Progress]struct{}
+	last      *sccsim.Progress
+	grid      *sccsim.Grid
+	point     *sccsim.Point
+	report    *sccsim.SweepReport
+	err       error
+	coalesced int // requests that attached beyond the first
+}
+
+func newJob(id, key string, kind jobKind, w sccsim.Workload, spec sccsim.Spec, timeout time.Duration) *job {
+	return &job{
+		id: id, key: key, kind: kind, workload: w, spec: spec,
+		timeout: timeout, created: time.Now(),
+		done: make(chan struct{}),
+		subs: make(map[chan sccsim.Progress]struct{}),
+	}
+}
+
+func (j *job) setState(s jobState) {
+	j.mu.Lock()
+	j.state = s
+	j.mu.Unlock()
+}
+
+func (j *job) addCoalesced() {
+	j.mu.Lock()
+	j.coalesced++
+	j.mu.Unlock()
+}
+
+// broadcast fans one engine progress event out to every subscriber.
+// Channels are buffered and skipped when full — a slow streaming client
+// loses events rather than stalling the sweep engine.
+func (j *job) broadcast(p sccsim.Progress) {
+	j.mu.Lock()
+	j.last = &p
+	for ch := range j.subs {
+		select {
+		case ch <- p:
+		default:
+		}
+	}
+	j.mu.Unlock()
+}
+
+// subscribe registers a progress channel and returns it with a
+// detach function. Subscribing to a finished job returns a closed
+// channel, so range loops terminate immediately.
+func (j *job) subscribe() (<-chan sccsim.Progress, func()) {
+	ch := make(chan sccsim.Progress, 64)
+	j.mu.Lock()
+	if j.state == jobDone || j.state == jobFailed {
+		j.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	j.subs[ch] = struct{}{}
+	j.mu.Unlock()
+	return ch, func() {
+		j.mu.Lock()
+		if _, ok := j.subs[ch]; ok {
+			delete(j.subs, ch)
+			close(ch)
+		}
+		j.mu.Unlock()
+	}
+}
+
+func (j *job) setReport(r sccsim.SweepReport) {
+	j.mu.Lock()
+	j.report = &r
+	j.mu.Unlock()
+}
+
+func (j *job) setGrid(g *sccsim.Grid) {
+	j.mu.Lock()
+	j.grid = g
+	j.mu.Unlock()
+}
+
+func (j *job) setPoint(p *sccsim.Point) {
+	j.mu.Lock()
+	j.point = p
+	j.mu.Unlock()
+}
+
+// terminate publishes the terminal state and ends every progress
+// stream. The Server closes the done channel afterwards, once the job
+// is registered in the result cache, so a waiter woken by done — or a
+// cache hit — always sees a terminal snapshot.
+func (j *job) terminate(err error) {
+	j.mu.Lock()
+	j.err = err
+	if err != nil {
+		j.state = jobFailed
+	} else {
+		j.state = jobDone
+	}
+	for ch := range j.subs {
+		delete(j.subs, ch)
+		close(ch)
+	}
+	j.mu.Unlock()
+}
+
+// snapshot copies the mutable state for response rendering.
+func (j *job) snapshot() (state jobState, last *sccsim.Progress, grid *sccsim.Grid, point *sccsim.Point, report *sccsim.SweepReport, err error, coalesced int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.last, j.grid, j.point, j.report, j.err, j.coalesced
+}

@@ -1,0 +1,351 @@
+// Package serve is the sweep-as-a-service layer: an HTTP/JSON front end
+// over the sccsim facade that turns the one-shot design-space API into
+// a long-running service. POST /v1/sweep and /v1/point accept a
+// declarative experiment (workload, scale, simulator options) and
+// return the same grids and points the library produces — byte-
+// identical JSON — while the service adds what a CLI never needed:
+//
+//   - a bounded job queue with backpressure: admissions beyond the
+//     queue depth are shed with 429 and a Retry-After hint instead of
+//     piling up;
+//   - in-flight request coalescing: requests are content-keyed with the
+//     same SHA-256 digest scheme the trace disk cache uses
+//     (trace.KeyDigest), so two identical sweeps arriving together
+//     share one engine execution;
+//   - an LRU result cache over completed grids, so repeated requests
+//     for the same design points are served from memory;
+//   - per-job timeouts and cancellation propagated through SweepCtx,
+//     and graceful shutdown that drains admitted jobs;
+//   - NDJSON progress streaming backed by the engine's Progress hook,
+//     and /healthz + /metrics wired to the internal/obs registry.
+//
+// Simulation results are deterministic, which is what makes coalescing
+// and caching sound: any two requests with equal content keys would
+// compute identical grids, so sharing one execution is observationally
+// equivalent to running both.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"sccsim"
+	"sccsim/internal/obs"
+)
+
+// Options configures a Server. The zero value serves with two workers,
+// a queue of eight, a 32-entry result cache and a 15-minute job cap.
+type Options struct {
+	// Workers is the number of jobs executed concurrently (<= 0: 2).
+	// Each sweep job itself fans out over the engine's worker pool, so
+	// total CPU use is roughly Workers * Parallelism.
+	Workers int
+	// QueueDepth is the maximum number of admitted jobs waiting for a
+	// worker before the server sheds load with 429 (<= 0: 8).
+	QueueDepth int
+	// CacheEntries bounds the LRU cache of completed results (<= 0: 32).
+	CacheEntries int
+	// JobTimeout caps any single job's execution; requests may ask for
+	// less but never more (<= 0: 15 minutes).
+	JobTimeout time.Duration
+	// RetryAfter is the backpressure hint returned with 429 responses
+	// (<= 0: 1s).
+	RetryAfter time.Duration
+	// Parallelism is the engine worker-pool size per sweep
+	// (0: GOMAXPROCS). Results are identical for every value, which is
+	// why it is excluded from the coalescing key.
+	Parallelism int
+	// TraceCacheDir roots the persistent on-disk trace cache shared by
+	// all jobs ("": none).
+	TraceCacheDir string
+	// Metrics receives the server's HTTP and job metrics plus the
+	// engine and simulator counters of every job (nil: the server
+	// creates its own registry; /metrics serves it either way).
+	Metrics *obs.Registry
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return 2
+}
+
+func (o Options) queueDepth() int {
+	if o.QueueDepth > 0 {
+		return o.QueueDepth
+	}
+	return 8
+}
+
+func (o Options) cacheEntries() int {
+	if o.CacheEntries > 0 {
+		return o.CacheEntries
+	}
+	return 32
+}
+
+func (o Options) jobTimeout() time.Duration {
+	if o.JobTimeout > 0 {
+		return o.JobTimeout
+	}
+	return 15 * time.Minute
+}
+
+func (o Options) retryAfter() time.Duration {
+	if o.RetryAfter > 0 {
+		return o.RetryAfter
+	}
+	return time.Second
+}
+
+// Server is the HTTP simulation service. Create with New, mount as an
+// http.Handler, and stop with Shutdown. All exported methods are safe
+// for concurrent use.
+type Server struct {
+	opts    Options
+	reg     *obs.Registry
+	mux     *http.ServeMux
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	start   time.Time
+
+	sem chan struct{} // worker slots
+
+	mu       sync.Mutex
+	draining bool
+	jobs     map[string]*job // by id, all states
+	inflight map[string]*job // content key -> queued/running job
+	queued   int             // admitted jobs not yet holding a worker slot
+	cache    *resultCache
+	doneIDs  []string // finished job ids, oldest first, for pruning
+	seq      uint64
+
+	wg sync.WaitGroup // one per admitted job
+
+	// runJob executes one admitted job under its context, storing the
+	// result or error on the job. Tests substitute it to simulate slow
+	// or failing work; the default is (*Server).execute.
+	runJob func(ctx context.Context, j *job) error
+}
+
+// New builds a Server ready to mount.
+func New(opts Options) *Server {
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:     opts,
+		reg:      reg,
+		baseCtx:  ctx,
+		cancel:   cancel,
+		start:    time.Now(),
+		sem:      make(chan struct{}, opts.workers()),
+		jobs:     make(map[string]*job),
+		inflight: make(map[string]*job),
+		cache:    newResultCache(opts.cacheEntries()),
+	}
+	s.runJob = s.execute
+	s.mux = s.buildMux()
+	return s
+}
+
+// ServeHTTP dispatches to the service's routes (see Routes).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Metrics returns the registry behind /metrics — the server's HTTP and
+// job counters plus the engine and simulator metrics of every job.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// admitResult says how a submission resolved.
+type admitResult struct {
+	j *job
+	// source is "miss" (a new job was created), "coalesced" (attached
+	// to an identical in-flight job) or "hit" (served from the result
+	// cache).
+	source string
+}
+
+// httpError is an admission failure with its HTTP mapping.
+type httpError struct {
+	code       int
+	msg        string
+	retryAfter time.Duration
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// admit runs the service's admission control for one decoded request:
+// result-cache lookup, in-flight coalescing, queue-depth backpressure,
+// then job creation. newJob builds the job only when admission decides
+// to run one.
+func (s *Server) admit(key string, newJob func(id string) *job) (admitResult, *httpError) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return admitResult{}, &httpError{code: http.StatusServiceUnavailable, msg: "server is draining"}
+	}
+	if j := s.cache.get(key); j != nil {
+		s.reg.Counter("serve.cache_hits").Inc()
+		return admitResult{j: j, source: "hit"}, nil
+	}
+	if j := s.inflight[key]; j != nil {
+		j.addCoalesced()
+		s.reg.Counter("serve.coalesced").Inc()
+		return admitResult{j: j, source: "coalesced"}, nil
+	}
+	s.reg.Counter("serve.cache_misses").Inc()
+	if s.queued >= s.opts.queueDepth() {
+		s.reg.Counter("serve.queue_full").Inc()
+		return admitResult{}, &httpError{
+			code: http.StatusTooManyRequests, msg: "job queue is full",
+			retryAfter: s.opts.retryAfter(),
+		}
+	}
+	s.seq++
+	id := fmt.Sprintf("j%d-%.8s", s.seq, key)
+	j := newJob(id)
+	s.jobs[id] = j
+	s.inflight[key] = j
+	s.queued++
+	s.reg.Gauge("serve.jobs_queued").Set(int64(s.queued))
+	s.wg.Add(1)
+	go s.run(j)
+	return admitResult{j: j, source: "miss"}, nil
+}
+
+// run carries one admitted job through its lifecycle: wait for a worker
+// slot, execute under the job's deadline, finalize. It is the only
+// goroutine that mutates the job's terminal state.
+func (s *Server) run(j *job) {
+	defer s.wg.Done()
+	select {
+	case s.sem <- struct{}{}:
+	case <-s.baseCtx.Done():
+		// Server force-stopped before the job got a worker.
+		s.dequeue()
+		s.finish(j, s.baseCtx.Err())
+		return
+	}
+	defer func() { <-s.sem }()
+	s.dequeue()
+	j.setState(jobRunning)
+	s.reg.Gauge("serve.jobs_running").Add(1)
+	defer s.reg.Gauge("serve.jobs_running").Add(-1)
+
+	timeout := s.opts.jobTimeout()
+	if j.timeout > 0 && j.timeout < timeout {
+		timeout = j.timeout
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+	defer cancel()
+	start := time.Now()
+	err := s.runJob(ctx, j)
+	s.reg.Histogram("serve.job_ms", obs.LatencyBucketsMS).
+		Observe(uint64(time.Since(start).Milliseconds()))
+	s.finish(j, err)
+}
+
+// dequeue moves a job out of the queued count once it stops waiting.
+func (s *Server) dequeue() {
+	s.mu.Lock()
+	s.queued--
+	s.reg.Gauge("serve.jobs_queued").Set(int64(s.queued))
+	s.mu.Unlock()
+}
+
+// finish publishes a job's terminal state: detach it from the
+// coalescing map, cache successful results, prune old finished jobs,
+// then wake every waiter. The terminal state is made visible before
+// the job enters the result cache, so a cache hit never observes a
+// running job, and the done channel closes last.
+func (s *Server) finish(j *job, err error) {
+	j.terminate(err)
+	s.mu.Lock()
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	if err == nil {
+		if evicted := s.cache.put(j.key, j); evicted != nil && evicted != j {
+			// Drop evicted results from the id index too, so the jobs
+			// map cannot grow without bound under distinct requests.
+			delete(s.jobs, evicted.id)
+		}
+	}
+	s.doneIDs = append(s.doneIDs, j.id)
+	// Keep a bounded tail of finished jobs findable by id; results
+	// pinned by the LRU cache stay until the cache evicts them.
+	for len(s.doneIDs) > 4*s.opts.cacheEntries() {
+		old := s.doneIDs[0]
+		s.doneIDs = s.doneIDs[1:]
+		if oj := s.jobs[old]; oj != nil && s.cache.get(oj.key) != oj {
+			delete(s.jobs, old)
+		}
+	}
+	s.mu.Unlock()
+	if err != nil {
+		s.reg.Counter("serve.jobs_failed").Inc()
+	} else {
+		s.reg.Counter("serve.jobs_done").Inc()
+	}
+	close(j.done)
+}
+
+// execute is the production job runner: it bridges the job to the
+// sccsim facade, fanning engine progress out to the job's subscribers
+// and capturing the sweep report for the job's response.
+func (s *Server) execute(ctx context.Context, j *job) error {
+	opts := j.spec.Opts()
+	opts = append(opts, sccsim.WithMetrics(s.reg))
+	switch j.kind {
+	case jobSweep:
+		opts = append(opts,
+			sccsim.WithProgress(j.broadcast),
+			sccsim.WithSweepReport(j.setReport),
+		)
+		g, err := sccsim.SweepCtx(ctx, j.workload, opts...)
+		if err != nil {
+			return err
+		}
+		j.setGrid(g)
+	case jobPoint:
+		pt, err := sccsim.Do(ctx, j.workload, opts...)
+		if err != nil {
+			return err
+		}
+		j.setPoint(pt)
+	}
+	return nil
+}
+
+// Shutdown gracefully stops the server: new submissions are refused
+// with 503 and /healthz reports draining, while every already-admitted
+// job — queued or running — is drained to completion. If ctx expires
+// first, the remaining jobs are cancelled through their contexts and
+// Shutdown returns ctx.Err after they unwind.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.cancel()
+		return nil
+	case <-ctx.Done():
+		s.cancel()
+		<-done
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,268 @@
+// Wire types: the JSON request and response bodies of the v1 API, their
+// validation, and the canonical content key that coalescing and result
+// caching hang off. Everything that can change a simulation's outcome —
+// workload, resolved scale, simulator options, verification — goes into
+// the key; everything that cannot (parallelism, timeouts, wait/stream
+// mode) stays out, so requests that differ only in how they want to be
+// served still share one execution.
+
+package serve
+
+import (
+	"fmt"
+
+	"sccsim"
+	"sccsim/internal/trace"
+)
+
+// ScaleSpec is the wire form of sccsim.Scale: explicit problem sizes
+// for requests that need something other than the named "paper" and
+// "quick" scales. Zero fields keep the Go zero value (the paper's
+// configuration), matching the library.
+type ScaleSpec struct {
+	BarnesBodies  int   `json:"barnes_bodies,omitempty"`
+	BarnesSteps   int   `json:"barnes_steps,omitempty"`
+	MP3DParticles int   `json:"mp3d_particles,omitempty"`
+	MP3DSteps     int   `json:"mp3d_steps,omitempty"`
+	MultiprogRefs int   `json:"multiprog_refs,omitempty"`
+	CholeskyGridW int   `json:"cholesky_grid_w,omitempty"`
+	CholeskyGridH int   `json:"cholesky_grid_h,omitempty"`
+	Seed          int64 `json:"seed,omitempty"`
+}
+
+func (s *ScaleSpec) toScale() sccsim.Scale {
+	return sccsim.Scale{
+		BarnesBodies: s.BarnesBodies, BarnesSteps: s.BarnesSteps,
+		MP3DParticles: s.MP3DParticles, MP3DSteps: s.MP3DSteps,
+		MultiprogRefs: s.MultiprogRefs,
+		CholeskyGridW: s.CholeskyGridW, CholeskyGridH: s.CholeskyGridH,
+		Seed: s.Seed,
+	}
+}
+
+// SimSpec is the wire form of the simulator options — the data fields
+// of sccsim.Options plus the verification toggle. Zero fields mean the
+// paper's model, as in the library.
+type SimSpec struct {
+	WriteBufferDepth int    `json:"write_buffer_depth,omitempty"`
+	BusOccupancy     int    `json:"bus_occupancy,omitempty"`
+	SwitchPenalty    uint64 `json:"switch_penalty,omitempty"`
+	MemBanks         int    `json:"mem_banks,omitempty"`
+	MemBankOccupancy int    `json:"mem_bank_occupancy,omitempty"`
+	VictimEntries    int    `json:"victim_entries,omitempty"`
+	WarmupRefs       uint64 `json:"warmup_refs,omitempty"`
+	LegacyReplay     bool   `json:"legacy_replay,omitempty"`
+	// Verify attaches the coherence invariant checker to every run.
+	Verify bool `json:"verify,omitempty"`
+}
+
+func (s *SimSpec) toOptions() sccsim.Options {
+	return sccsim.Options{
+		WriteBufferDepth: s.WriteBufferDepth,
+		BusOccupancy:     s.BusOccupancy,
+		SwitchPenalty:    s.SwitchPenalty,
+		MemBanks:         s.MemBanks,
+		MemBankOccupancy: s.MemBankOccupancy,
+		VictimEntries:    s.VictimEntries,
+		WarmupRefs:       s.WarmupRefs,
+		LegacyReplay:     s.LegacyReplay,
+	}
+}
+
+// SweepRequest is the body of POST /v1/sweep.
+type SweepRequest struct {
+	// Workload is one of barnes-hut, mp3d, cholesky, multiprog.
+	Workload string `json:"workload"`
+	// Scale names a problem-size preset: "paper" (default) or "quick".
+	Scale string `json:"scale,omitempty"`
+	// Seed overrides the preset's generator seed (0: keep the preset's).
+	Seed int64 `json:"seed,omitempty"`
+	// ScaleSpec sets explicit problem sizes; when present it wins over
+	// Scale and Seed.
+	ScaleSpec *ScaleSpec `json:"scale_spec,omitempty"`
+	// Sim sets simulator options beyond the architecture (ablations,
+	// verification).
+	Sim *SimSpec `json:"sim,omitempty"`
+	// Parallelism bounds the engine worker pool for this job
+	// (0: the server's default). Results are identical for any value,
+	// so it is excluded from the coalescing key.
+	Parallelism int `json:"parallelism,omitempty"`
+	// Wait selects synchronous (true, the default) or asynchronous
+	// (false: 202 + poll GET /v1/sweep/{id}) handling.
+	Wait *bool `json:"wait,omitempty"`
+	// Stream makes the response an NDJSON stream of engine progress
+	// events followed by the result. Implies waiting.
+	Stream bool `json:"stream,omitempty"`
+	// TimeoutMS caps this job's execution in milliseconds; the server's
+	// job timeout is the ceiling (0: the server default). The first
+	// request to create a job sets its deadline; coalesced requests
+	// share it.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// PointRequest is the body of POST /v1/point: one design point instead
+// of the whole grid. Always synchronous.
+type PointRequest struct {
+	// Workload is one of barnes-hut, mp3d, cholesky, multiprog.
+	Workload string `json:"workload"`
+	// Scale names a problem-size preset: "paper" (default) or "quick".
+	Scale string `json:"scale,omitempty"`
+	// Seed overrides the preset's generator seed (0: keep the preset's).
+	Seed int64 `json:"seed,omitempty"`
+	// ScaleSpec sets explicit problem sizes; wins over Scale and Seed.
+	ScaleSpec *ScaleSpec `json:"scale_spec,omitempty"`
+	// ProcsPerCluster and SCCBytes name the design point on the paper's
+	// default system (zero fields: the 1P/64KB baseline).
+	ProcsPerCluster int `json:"procs_per_cluster,omitempty"`
+	SCCBytes        int `json:"scc_bytes,omitempty"`
+	// Sim sets simulator options beyond the architecture.
+	Sim *SimSpec `json:"sim,omitempty"`
+	// TimeoutMS caps this job's execution in milliseconds (0: server
+	// default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// resolveScale applies the preset/seed/spec precedence shared by both
+// request types.
+func resolveScale(preset string, seed int64, spec *ScaleSpec) (sccsim.Scale, error) {
+	if spec != nil {
+		return spec.toScale(), nil
+	}
+	var s sccsim.Scale
+	switch preset {
+	case "", "paper":
+		s = sccsim.PaperScale()
+	case "quick":
+		s = sccsim.QuickScale()
+	default:
+		return s, fmt.Errorf("unknown scale %q (want \"paper\" or \"quick\")", preset)
+	}
+	if seed != 0 {
+		s.Seed = seed
+	}
+	return s, nil
+}
+
+// scaleKeyPart canonicalizes a resolved scale for the content key.
+func scaleKeyPart(s sccsim.Scale) string {
+	return fmt.Sprintf("seed%d-bb%d-bs%d-mp%d-ms%d-mr%d-cw%d-ch%d",
+		s.Seed, s.BarnesBodies, s.BarnesSteps, s.MP3DParticles, s.MP3DSteps,
+		s.MultiprogRefs, s.CholeskyGridW, s.CholeskyGridH)
+}
+
+// simKeyPart canonicalizes the simulator options for the content key.
+func simKeyPart(o sccsim.Options, verify bool) string {
+	return fmt.Sprintf("wb%d-bo%d-sp%d-mb%d-mbo%d-ve%d-wr%d-lr%t-v%t",
+		o.WriteBufferDepth, o.BusOccupancy, o.SwitchPenalty, o.MemBanks,
+		o.MemBankOccupancy, o.VictimEntries, o.WarmupRefs, o.LegacyReplay, verify)
+}
+
+// sweepKey builds the sweep content digest: the same SHA-256 keying
+// scheme the trace disk cache uses (trace.KeyDigest), over everything
+// that determines the grid's content.
+func sweepKey(w sccsim.Workload, s sccsim.Scale, o sccsim.Options, verify bool) string {
+	return trace.KeyDigest(fmt.Sprintf("sweep-%s-%s-%s", w, scaleKeyPart(s), simKeyPart(o, verify)))
+}
+
+// pointKey builds the single-point content digest.
+func pointKey(w sccsim.Workload, ppc, scc int, s sccsim.Scale, o sccsim.Options, verify bool) string {
+	return trace.KeyDigest(fmt.Sprintf("point-%s-p%d-c%d-%s-%s", w, ppc, scc, scaleKeyPart(s), simKeyPart(o, verify)))
+}
+
+// SweepResponse is the terminal body of a sweep request: the full
+// design-space grid (the same JSON encoding sccsim.SweepCtx's Grid
+// marshals to, byte for byte) plus the engine's sweep report.
+type SweepResponse struct {
+	// ID names the job; coalesced requests share the executing job's ID.
+	ID string `json:"id"`
+	// Status is queued, running, done or failed.
+	Status string `json:"status"`
+	// Workload echoes the request.
+	Workload string `json:"workload"`
+	// Cache says how admission resolved: "miss" (this request created
+	// the job), "coalesced" (attached to an identical in-flight job) or
+	// "hit" (served from the result cache).
+	Cache string `json:"cache,omitempty"`
+	// Grid is the 8x4 design-space result (present when done).
+	Grid *sccsim.Grid `json:"grid,omitempty"`
+	// Report is the engine's sweep telemetry (present when done).
+	Report *sccsim.SweepReport `json:"report,omitempty"`
+	// Error describes the failure (present when failed).
+	Error string `json:"error,omitempty"`
+}
+
+// PointResponse is the body of POST /v1/point.
+type PointResponse struct {
+	// ID names the job; coalesced requests share the executing job's ID.
+	ID string `json:"id"`
+	// Status is done or failed.
+	Status string `json:"status"`
+	// Workload echoes the request.
+	Workload string `json:"workload"`
+	// Cache says how admission resolved (see SweepResponse.Cache).
+	Cache string `json:"cache,omitempty"`
+	// Point is the simulated design point (present when done).
+	Point *sccsim.Point `json:"point,omitempty"`
+	// Error describes the failure (present when failed).
+	Error string `json:"error,omitempty"`
+}
+
+// JobStatus is the body of GET /v1/sweep/{id}: an async job's state,
+// its latest engine progress, and — once finished — the same grid,
+// report and error fields a synchronous response carries.
+type JobStatus struct {
+	// ID names the job.
+	ID string `json:"id"`
+	// Status is queued, running, done or failed.
+	Status string `json:"status"`
+	// Workload the job runs.
+	Workload string `json:"workload"`
+	// Done and Total count completed and scheduled design points from
+	// the engine's latest progress event (0/0 before the first).
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Coalesced counts requests that attached beyond the first.
+	Coalesced int `json:"coalesced"`
+	// AgeMS is milliseconds since the job was admitted.
+	AgeMS int64 `json:"age_ms"`
+	// Grid, Report and Error mirror SweepResponse once the job ends.
+	Grid   *sccsim.Grid        `json:"grid,omitempty"`
+	Report *sccsim.SweepReport `json:"report,omitempty"`
+	Error  string              `json:"error,omitempty"`
+}
+
+// StreamEvent is one NDJSON line of a streaming sweep response: a
+// progress event while the sweep runs, then exactly one terminal
+// "result" or "error" event.
+type StreamEvent struct {
+	// Event is "progress", "result" or "error".
+	Event string `json:"event"`
+	// Progress carries the engine event (event == "progress").
+	Progress *sccsim.Progress `json:"progress,omitempty"`
+	// Result carries the terminal response (event == "result").
+	Result *SweepResponse `json:"result,omitempty"`
+	// Error describes the failure (event == "error").
+	Error string `json:"error,omitempty"`
+}
+
+// Health is the body of GET /healthz.
+type Health struct {
+	// Status is "ok" while serving and "draining" during shutdown (with
+	// a 503 status code).
+	Status string `json:"status"`
+	// UptimeMS is milliseconds since the server started.
+	UptimeMS int64 `json:"uptime_ms"`
+	// Queued and Running count admitted jobs by state; Workers and
+	// QueueDepth echo the server's limits.
+	Queued     int `json:"queued"`
+	Running    int `json:"running"`
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queue_depth"`
+	// CachedResults is the LRU result cache's population.
+	CachedResults int `json:"cached_results"`
+}
+
+// errorBody is the JSON envelope of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}

@@ -50,6 +50,15 @@ func NewDiskCache(dir string) (*DiskCache, error) {
 // Dir returns the cache's root directory.
 func (c *DiskCache) Dir() string { return c.dir }
 
+// KeyDigest returns the cache's content hash of a key: the hex SHA-256
+// digest of the key string. It is the same digest DiskCache embeds in
+// its file names, exported so other layers (e.g. the HTTP service's
+// request coalescing) can key on identical content the same way.
+func KeyDigest(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}
+
 // path maps a key to its file. The digest alone guarantees uniqueness;
 // the sanitized prefix exists so `ls` on the cache directory is
 // readable.

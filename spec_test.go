@@ -1,0 +1,60 @@
+package sccsim
+
+import (
+	"context"
+	"testing"
+)
+
+// TestSpecMatchesFunctionalOptions: a Spec-built run must be identical
+// to the same run composed from functional options — the bridge a
+// server depends on.
+func TestSpecMatchesFunctionalOptions(t *testing.T) {
+	scale := QuickScale()
+	spec := Spec{Scale: &scale, ProcsPerCluster: 2, SCCBytes: 32 * 1024, Parallelism: 2}
+
+	got, err := Do(context.Background(), Cholesky, spec.Opts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Do(context.Background(), Cholesky,
+		WithScale(scale), WithPoint(2, 32*1024), WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Result.Cycles != want.Result.Cycles || got.Result.Refs != want.Result.Refs {
+		t.Errorf("Spec run differs: %d/%d cycles/refs vs %d/%d",
+			got.Result.Cycles, got.Result.Refs, want.Result.Cycles, want.Result.Refs)
+	}
+	if got.Config != want.Config {
+		t.Errorf("Spec config %v != %v", got.Config, want.Config)
+	}
+}
+
+// TestSpecZeroValueDefaults: the zero Spec produces no options, hitting
+// the facade defaults (paper baseline point).
+func TestSpecZeroValueDefaults(t *testing.T) {
+	if opts := (Spec{}).Opts(); len(opts) != 0 {
+		t.Errorf("zero Spec produced %d options, want 0", len(opts))
+	}
+	// Partial point: the unset half keeps its default.
+	scale := QuickScale()
+	pt, err := Do(context.Background(), MP3D, Spec{Scale: &scale, ProcsPerCluster: 4}.Opts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Config.ProcsPerCluster != 4 || pt.Config.SCCBytes != 64*1024 {
+		t.Errorf("partial point resolved to %v, want 4P/64KB", pt.Config)
+	}
+}
+
+func TestParseWorkload(t *testing.T) {
+	for _, w := range AllWorkloads {
+		got, err := ParseWorkload(string(w))
+		if err != nil || got != w {
+			t.Errorf("ParseWorkload(%q) = %v, %v", w, got, err)
+		}
+	}
+	if _, err := ParseWorkload("fft"); err == nil {
+		t.Error("ParseWorkload accepted an unknown workload")
+	}
+}
