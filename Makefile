@@ -2,13 +2,14 @@
 
 GO ?= go
 
-.PHONY: all check build test test-race race-obs fuzz-smoke vet quick bench bench-quick bench-json bench-compare experiments cover clean docs-check serve
+.PHONY: all check build test test-race race-obs fuzz-smoke vet quick bench bench-quick bench-json bench-compare experiments cover clean docs-check serve verify-analytic
 
 all: build vet test
 
 # Tier-1 gate: compile, vet, full test suite, race-enabled observability
-# and engine packages, documentation contract.
-check: build vet test race-obs docs-check
+# and engine packages, documentation contract, analytic-backend accuracy
+# smoke.
+check: build vet test race-obs docs-check verify-analytic
 
 build:
 	$(GO) build ./...
@@ -50,6 +51,14 @@ docs-check:
 serve:
 	$(GO) run ./cmd/sccserve -addr :8347
 
+# Analytic-backend accuracy smoke: cross-validate the reuse-distance
+# model against the exact simulator on one workload's full grid at
+# quick scale. The full four-workload pass runs in `go test .`
+# (TestCrossValidateAllWorkloads); this one-workload gate is cheap
+# enough for `make check` and CI.
+verify-analytic:
+	$(GO) run ./cmd/sccexplore -crossval barnes-hut -scale quick -quiet
+
 # Seed-plus-30s coverage-guided fuzz of the two properties most worth
 # hammering: the verified simulator against the oracle model
 # (FuzzSimConfig) and the trace binary format round trip
@@ -59,20 +68,27 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzSimConfig$$' -fuzztime 30s ./internal/sim
 	$(GO) test -run '^$$' -fuzz '^FuzzTraceRoundTrip$$' -fuzztime 30s ./internal/trace
 
-# Machine-readable sweep benchmark: a quick-scale Barnes-Hut sweep whose
-# run manifest (timings, utilization, per-point stats) is committed as
-# BENCH_sweep.json to track the engine's performance across PRs.
+# Machine-readable sweep benchmark: quick-scale Barnes-Hut sweeps on
+# both backends, merged into one run manifest (timings, utilization,
+# per-point stats keyed by backend) committed as BENCH_sweep.json to
+# track the engine's — and the analytic model's — performance across
+# PRs.
 bench-json:
-	$(GO) run ./cmd/sccexplore -csv barnes-hut -scale quick -quiet -manifest BENCH_sweep.json > /dev/null
+	$(GO) run ./cmd/sccexplore -csv barnes-hut -scale quick -quiet -manifest /tmp/sccsim_bench_exact.json > /dev/null
+	$(GO) run ./cmd/sccexplore -csv barnes-hut -scale quick -quiet -backend analytic -manifest /tmp/sccsim_bench_analytic.json > /dev/null
+	$(GO) run ./cmd/benchcompare -merge BENCH_sweep.json /tmp/sccsim_bench_exact.json /tmp/sccsim_bench_analytic.json
 
-# Perf regression gate: rerun the benchmark sweep and diff it point by
-# point against the committed BENCH_sweep.json. Fails when the median
-# per-point sim_cycles_per_us ratio drops more than 10%, when any single
-# point drops more than 30%, or when results (cycles/refs) silently
-# change. Override the tolerance with THRESHOLD=0.15.
+# Perf regression gate: rerun the two-backend benchmark sweep and diff
+# it point by point against the committed BENCH_sweep.json. Fails when
+# the median per-point sim_cycles_per_us ratio drops more than 10%,
+# when any single point drops more than 30%, or when results
+# (cycles/refs) silently change. Override the tolerance with
+# THRESHOLD=0.15.
 THRESHOLD ?= 0.10
 bench-compare:
-	$(GO) run ./cmd/sccexplore -csv barnes-hut -scale quick -quiet -manifest /tmp/sccsim_bench_current.json > /dev/null
+	$(GO) run ./cmd/sccexplore -csv barnes-hut -scale quick -quiet -manifest /tmp/sccsim_bench_cur_exact.json > /dev/null
+	$(GO) run ./cmd/sccexplore -csv barnes-hut -scale quick -quiet -backend analytic -manifest /tmp/sccsim_bench_cur_analytic.json > /dev/null
+	$(GO) run ./cmd/benchcompare -merge /tmp/sccsim_bench_current.json /tmp/sccsim_bench_cur_exact.json /tmp/sccsim_bench_cur_analytic.json
 	$(GO) run ./cmd/benchcompare -threshold $(THRESHOLD) BENCH_sweep.json /tmp/sccsim_bench_current.json
 
 # Regenerate every paper table/figure at paper scale.

@@ -39,7 +39,7 @@ func writeManifest(t *testing.T, name string, points []obs.PointRecord) string {
 func pt(ppc, scc int, throughput float64) obs.PointRecord {
 	return obs.PointRecord{
 		ProcsPerCluster: ppc, SCCBytes: scc, Clusters: 4,
-		Cycles: 1000, Refs: 500, WallNanos: 1e6,
+		Cycles: 1000, Refs: 500, WallNanos: 1e7,
 		SimCyclesPerMicro: throughput,
 	}
 }
@@ -127,5 +127,117 @@ func TestMissingGridPointFails(t *testing.T) {
 func TestUsageError(t *testing.T) {
 	if code, _, errOut := run(t, "one.json"); code != 2 || !strings.Contains(errOut, "usage:") {
 		t.Fatalf("single argument exited %d (%q), want usage error", code, errOut)
+	}
+}
+
+func writeBackendManifest(t *testing.T, dir, name, backend string, points []obs.PointRecord) string {
+	t.Helper()
+	m := obs.Manifest{Version: 1, Tool: "test", Backend: backend, Points: points}
+	raw, err := json.Marshal(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestMergeCombinesBackends: -merge concatenates an exact and an
+// analytic sweep of the same grid into one manifest, stamping every
+// point with its source backend, and the merged file round-trips
+// through a self-comparison cleanly.
+func TestMergeCombinesBackends(t *testing.T) {
+	dir := t.TempDir()
+	exact := writeBackendManifest(t, dir, "exact.json", "exact",
+		[]obs.PointRecord{pt(1, 4096, 10), pt(2, 8192, 12)})
+	analytic := writeBackendManifest(t, dir, "analytic.json", "analytic",
+		[]obs.PointRecord{pt(1, 4096, 900), pt(2, 8192, 1100)})
+	out := filepath.Join(dir, "merged.json")
+	code, outStr, errOut := run(t, "-merge", out, exact, analytic)
+	if code != 0 {
+		t.Fatalf("merge exited %d, stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(outStr, "merged 4 points from 2 manifest(s)") {
+		t.Errorf("merge summary: %q", outStr)
+	}
+	var m obs.Manifest
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	backends := map[string]int{}
+	for _, p := range m.Points {
+		backends[p.Backend]++
+	}
+	if backends["exact"] != 2 || backends["analytic"] != 2 {
+		t.Errorf("merged backends = %v, want 2 exact + 2 analytic", backends)
+	}
+	if m.Aggregate.Points != 4 {
+		t.Errorf("merged aggregate points = %d, want 4", m.Aggregate.Points)
+	}
+	// The merged baseline compares clean against itself — the two
+	// backends' identical grid coordinates do not collide.
+	if code, cmpOut, _ := run(t, out, out); code != 0 {
+		t.Errorf("merged self-comparison exited %d:\n%s", code, cmpOut)
+	}
+}
+
+// TestMergeRejectsDuplicates: merging the same backend's sweep twice is
+// a hard error, not a silently doubled baseline.
+func TestMergeRejectsDuplicates(t *testing.T) {
+	dir := t.TempDir()
+	a := writeBackendManifest(t, dir, "a.json", "exact", []obs.PointRecord{pt(1, 4096, 10)})
+	b := writeBackendManifest(t, dir, "b.json", "exact", []obs.PointRecord{pt(1, 4096, 11)})
+	code, _, errOut := run(t, "-merge", filepath.Join(dir, "out.json"), a, b)
+	if code != 2 || !strings.Contains(errOut, "both contain") {
+		t.Fatalf("duplicate merge exited %d, stderr:\n%s", code, errOut)
+	}
+}
+
+// TestBackendKeysSeparatePoints: a candidate that dropped its analytic
+// half is MISSING those points even though the exact grid coordinates
+// all match, and an unstamped (pre-backend) manifest counts as exact.
+func TestBackendKeysSeparatePoints(t *testing.T) {
+	dir := t.TempDir()
+	exactPts := []obs.PointRecord{pt(1, 4096, 10)}
+	analyticPts := []obs.PointRecord{pt(1, 4096, 900)}
+	for i := range analyticPts {
+		analyticPts[i].Backend = "analytic"
+	}
+	base := writeBackendManifest(t, dir, "base.json", "", append(exactPts, analyticPts...))
+	cand := writeBackendManifest(t, dir, "cand.json", "", exactPts)
+	code, out, _ := run(t, base, cand)
+	if code != 1 || !strings.Contains(out, "MISSING  analytic") {
+		t.Fatalf("dropped analytic half exited %d:\n%s", code, out)
+	}
+
+	// Legacy manifest without any backend stamps still matches a new
+	// exact-stamped one.
+	legacy := writeBackendManifest(t, dir, "legacy.json", "", []obs.PointRecord{pt(1, 4096, 10)})
+	stamped := writeBackendManifest(t, dir, "stamped.json", "exact", []obs.PointRecord{pt(1, 4096, 10)})
+	if code, out, _ := run(t, legacy, stamped); code != 0 {
+		t.Fatalf("legacy-vs-stamped exited %d:\n%s", code, out)
+	}
+}
+
+// TestNoiseFloorExcludesMicroPoints: a point that ran for under 2ms on
+// either side carries no timing signal — a wild throughput swing there
+// must not trip the gate as long as stable points exist.
+func TestNoiseFloorExcludesMicroPoints(t *testing.T) {
+	micro := pt(1, 4096, 500)
+	micro.WallNanos = 5e5 // 0.5ms: below the floor
+	microSlow := micro
+	microSlow.SimCyclesPerMicro = 50 // "10x regression" of pure jitter
+	stable := pt(2, 8192, 10)
+	base := writeManifest(t, "base.json", []obs.PointRecord{micro, stable})
+	cand := writeManifest(t, "cand.json", []obs.PointRecord{microSlow, stable})
+	code, out, _ := run(t, base, cand)
+	if code != 0 {
+		t.Fatalf("sub-floor jitter tripped the gate (exit %d):\n%s", code, out)
 	}
 }

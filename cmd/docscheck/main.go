@@ -1,8 +1,10 @@
 // Command docscheck enforces the repository's documentation contract:
 // every listed package must carry a package comment and a doc comment
 // on each exported top-level identifier (consts, vars, funcs, types and
-// their exported methods), and docs/API.md must mention every HTTP
-// route the serve package registers.
+// their exported methods), every "Deprecated:" notice must point at the
+// replacement ("Deprecated: use X instead" — a deprecation that leaves
+// the reader stranded is a problem), and docs/API.md must mention every
+// HTTP route the serve package registers.
 //
 // Usage:
 //
@@ -99,20 +101,27 @@ func checkDir(dir string) ([]string, error) {
 		}
 		values := func(kind string, vs []*doc.Value) {
 			for _, v := range vs {
-				if strings.TrimSpace(v.Doc) != "" {
-					continue
-				}
 				for _, n := range v.Names {
-					if ast.IsExported(n) {
+					if !ast.IsExported(n) {
+						continue
+					}
+					if strings.TrimSpace(v.Doc) == "" {
 						add("exported %s %s has no doc comment", kind, n)
+					} else if deprecatedWithoutPointer(v.Doc) {
+						add("exported %s %s is deprecated without a replacement pointer (want \"Deprecated: use ...\")", kind, n)
 					}
 				}
 			}
 		}
 		funcs := func(prefix string, fns []*doc.Func) {
 			for _, f := range fns {
-				if ast.IsExported(f.Name) && strings.TrimSpace(f.Doc) == "" {
+				if !ast.IsExported(f.Name) {
+					continue
+				}
+				if strings.TrimSpace(f.Doc) == "" {
 					add("exported func %s%s has no doc comment", prefix, f.Name)
+				} else if deprecatedWithoutPointer(f.Doc) {
+					add("exported func %s%s is deprecated without a replacement pointer (want \"Deprecated: use ...\")", prefix, f.Name)
 				}
 			}
 		}
@@ -120,22 +129,43 @@ func checkDir(dir string) ([]string, error) {
 		values("var", d.Vars)
 		funcs("", d.Funcs)
 		for _, t := range d.Types {
-			if ast.IsExported(t.Name) && strings.TrimSpace(t.Doc) == "" {
-				add("exported type %s has no doc comment", t.Name)
+			if ast.IsExported(t.Name) {
+				if strings.TrimSpace(t.Doc) == "" {
+					add("exported type %s has no doc comment", t.Name)
+				} else if deprecatedWithoutPointer(t.Doc) {
+					add("exported type %s is deprecated without a replacement pointer (want \"Deprecated: use ...\")", t.Name)
+				}
 			}
 			values("const", t.Consts)
 			values("var", t.Vars)
 			funcs("", t.Funcs)
 			var methodPrefix = t.Name + "."
 			for _, m := range t.Methods {
-				if ast.IsExported(m.Name) && strings.TrimSpace(m.Doc) == "" {
-					problems = append(problems, dir+": "+fmt.Sprintf(
-						"exported method %s%s has no doc comment", methodPrefix, m.Name))
+				if !ast.IsExported(m.Name) {
+					continue
+				}
+				if strings.TrimSpace(m.Doc) == "" {
+					add("exported method %s%s has no doc comment", methodPrefix, m.Name)
+				} else if deprecatedWithoutPointer(m.Doc) {
+					add("exported method %s%s is deprecated without a replacement pointer (want \"Deprecated: use ...\")", methodPrefix, m.Name)
 				}
 			}
 		}
 	}
 	return problems, nil
+}
+
+// deprecatedWithoutPointer reports whether a doc comment carries a
+// "Deprecated:" notice that never tells the reader what to use instead.
+// The convention (and what godoc renders specially) is a paragraph
+// starting "Deprecated:"; the replacement pointer is any "use ..."
+// phrase after it.
+func deprecatedWithoutPointer(docText string) bool {
+	idx := strings.Index(docText, "Deprecated:")
+	if idx < 0 {
+		return false
+	}
+	return !strings.Contains(strings.ToLower(docText[idx:]), "use ")
 }
 
 // checkAPIDoc verifies every route pattern appears verbatim in the API

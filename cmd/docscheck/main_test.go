@@ -130,3 +130,58 @@ func TestRealPackagesPass(t *testing.T) {
 		t.Errorf("docs-check over the facade and serve failed:\n%s", errOut)
 	}
 }
+
+// TestDeprecatedNeedsReplacementPointer: a "Deprecated:" notice without
+// a "use ..." replacement pointer is a problem; one with the pointer
+// passes. The rule covers funcs, types, methods and values alike.
+func TestDeprecatedNeedsReplacementPointer(t *testing.T) {
+	dir := writePkg(t, `// Package p is documented.
+package p
+
+// F is old.
+//
+// Deprecated: F is going away.
+func F() {}
+
+// G is old.
+//
+// Deprecated: use H instead.
+func G() {}
+
+// H is documented.
+func H() {}
+
+// T is old.
+//
+// Deprecated: gone.
+type T struct{}
+
+// M is documented.
+//
+// Deprecated: use H.
+func (T) M() {}
+
+// C is old.
+//
+// Deprecated: obsolete.
+const C = 1
+`)
+	code, errOut := runCLI(t, dir)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1; stderr:\n%s", code, errOut)
+	}
+	for _, want := range []string{
+		"exported func F is deprecated without a replacement pointer",
+		"exported type T is deprecated without a replacement pointer",
+		"exported const C is deprecated without a replacement pointer",
+	} {
+		if !strings.Contains(errOut, want) {
+			t.Errorf("stderr missing %q:\n%s", want, errOut)
+		}
+	}
+	for _, clean := range []string{"func G", "method T.M"} {
+		if strings.Contains(errOut, clean) {
+			t.Errorf("%s has a replacement pointer but was reported:\n%s", clean, errOut)
+		}
+	}
+}

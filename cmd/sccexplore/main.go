@@ -22,6 +22,17 @@
 //	sccexplore -csv barnes-hut -trace run.trace    # Chrome trace (Perfetto)
 //	sccexplore -exp all -debug-addr :6060          # live pprof + expvar metrics
 //
+// Backends:
+//
+//	sccexplore -csv mp3d -backend analytic   # reuse-distance model, not the simulator
+//	sccexplore -crossval mp3d -scale quick   # analytic vs exact on the full grid
+//
+// -backend analytic answers the whole sweep from one reuse-distance
+// profile pass (orders of magnitude faster; miss ratios are model
+// estimates). -crossval runs both backends over a workload's full grid,
+// prints the per-point comparison, and exits 1 if the analytic error
+// exceeds the library's published bounds (sccsim.DefaultCrossBounds).
+//
 // Trace caching: -trace-cache DIR persists every generated workload
 // trace under DIR; later runs (any experiment, any process) load the
 // traces instead of regenerating them.
@@ -84,6 +95,8 @@ func cli(args []string) int {
 	seed := fs.Int64("seed", 1, "workload generator seed")
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	csvWorkload := fs.String("csv", "", "dump a workload's full design-space sweep as CSV and exit (barnes-hut|mp3d|cholesky|multiprog)")
+	backendName := fs.String("backend", "exact", `execution backend: "exact" (cycle simulator) or "analytic" (reuse-distance model)`)
+	crossWorkload := fs.String("crossval", "", "cross-validate the analytic backend against the exact simulator on this workload's full grid and exit (exit 1 on accuracy-bound violation)")
 	parallel := fs.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS); results are identical for any value")
 	quiet := fs.Bool("quiet", false, "suppress the live progress meter on stderr")
 	verifyRuns := fs.Bool("verify", false, "run every simulation with the coherence invariant checker attached (slower; a violation fails the experiment)")
@@ -114,6 +127,12 @@ func cli(args []string) int {
 	}
 	scale.Seed = *seed
 
+	backend, err := sccsim.ParseBackend(*backendName)
+	if err != nil {
+		fmt.Fprintf(stderr, "sccexplore: %v\n", err)
+		return 2
+	}
+
 	if (*manifestPath != "" || *tracePath != "") && *csvWorkload == "" {
 		fmt.Fprintln(stderr, "sccexplore: -manifest and -trace require -csv (they describe one sweep)")
 		return 2
@@ -142,7 +161,7 @@ func cli(args []string) int {
 	defer stop()
 
 	opts := func(label string) []sccsim.Opt {
-		o := []sccsim.Opt{sccsim.WithScale(scale), sccsim.WithParallelism(*parallel)}
+		o := []sccsim.Opt{sccsim.WithScale(scale), sccsim.WithParallelism(*parallel), sccsim.WithBackend(backend)}
 		if metrics != nil {
 			o = append(o, sccsim.WithMetrics(metrics))
 		}
@@ -158,6 +177,14 @@ func cli(args []string) int {
 		return o
 	}
 
+	if *crossWorkload != "" {
+		if err := runCrossval(ctx, *crossWorkload, opts); err != nil {
+			fmt.Fprintf(stderr, "sccexplore: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
 	if *csvWorkload != "" {
 		if err := runCSV(ctx, *csvWorkload, *manifestPath, *tracePath, opts); err != nil {
 			fmt.Fprintf(stderr, "sccexplore: %v\n", err)
@@ -171,6 +198,26 @@ func cli(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// runCrossval runs the analytic-vs-exact comparison over one
+// workload's full grid, prints the per-point report, and fails if the
+// analytic backend's published accuracy bounds are exceeded.
+func runCrossval(ctx context.Context, workload string, opts func(string) []sccsim.Opt) error {
+	w, err := sccsim.ParseWorkload(workload)
+	if err != nil {
+		return err
+	}
+	r, err := sccsim.CrossValidate(ctx, w, opts("crossval "+workload)...)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, r.String())
+	if err := r.Check(sccsim.DefaultCrossBounds(w)); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "sccexplore: %s within analytic accuracy bounds\n", w)
+	return nil
 }
 
 // runCSV sweeps one workload and prints its grid as CSV, optionally

@@ -170,3 +170,45 @@ func decodeJSONFile(path string, v any) error {
 	}
 	return json.Unmarshal(b, v)
 }
+
+// TestBackendFlag: -backend analytic produces the same CSV shape as the
+// simulator (header plus one row per design point), and an unknown
+// backend is a usage error naming the valid values.
+func TestBackendFlag(t *testing.T) {
+	code, out, errOut := runCLI(t, "-csv", "multiprog", "-scale", "quick", "-quiet", "-backend", "analytic")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errOut)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.HasPrefix(lines[0], "workload,") || len(lines) < 2 {
+		t.Fatalf("analytic CSV malformed:\n%s", out)
+	}
+
+	code, _, errOut = runCLI(t, "-csv", "multiprog", "-backend", "warp")
+	if code != 2 {
+		t.Fatalf("unknown backend: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "unknown backend") || !strings.Contains(errOut, "exact analytic") {
+		t.Errorf("unknown-backend error not actionable:\n%s", errOut)
+	}
+}
+
+// TestCrossvalFlag: -crossval prints the per-point comparison table on
+// stdout and exits 0 when the workload is within the published bounds.
+func TestCrossvalFlag(t *testing.T) {
+	code, out, errOut := runCLI(t, "-crossval", "mp3d", "-scale", "quick", "-quiet", "-parallel", "4")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s\nstdout:\n%s", code, errOut, out)
+	}
+	if !strings.Contains(out, "cross-validation: mp3d") || !strings.Contains(out, "max |err|") {
+		t.Errorf("crossval table missing from stdout:\n%s", out)
+	}
+	if !strings.Contains(errOut, "within analytic accuracy bounds") {
+		t.Errorf("verdict missing from stderr:\n%s", errOut)
+	}
+
+	code, _, errOut = runCLI(t, "-crossval", "fft")
+	if code != 1 || !strings.Contains(errOut, "unknown workload") {
+		t.Errorf("unknown crossval workload: exit %d, stderr:\n%s", code, errOut)
+	}
+}

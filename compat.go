@@ -1,0 +1,48 @@
+// Backward-compatibility shims. Every function here predates the
+// functional-options API and survives only so old callers keep
+// compiling: each is a one-line delegation to Do or SweepCtx with the
+// equivalent options, adds no behavior of its own, and is frozen — new
+// capabilities (backends, verification, observability) appear only as
+// options on the modern entry points. New code should not call
+// anything in this file.
+package sccsim
+
+import "context"
+
+// Run simulates one workload at one design point.
+//
+// Deprecated: use Do with WithPoint and WithScale.
+func Run(w Workload, procsPerCluster, sccBytes int, s Scale) (*Point, error) {
+	return Do(context.Background(), w, WithPoint(procsPerCluster, sccBytes), WithScale(s))
+}
+
+// RunWithOptions is Run with explicit simulator options.
+//
+// Deprecated: use Do with WithPoint, WithScale and WithSimOptions.
+func RunWithOptions(w Workload, procsPerCluster, sccBytes int, s Scale, opts Options) (*Point, error) {
+	return Do(context.Background(), w, WithPoint(procsPerCluster, sccBytes), WithScale(s), WithSimOptions(opts))
+}
+
+// RunConfig simulates a parallel workload on an arbitrary configuration
+// (cluster count, associativity, load latency all free).
+//
+// Deprecated: use Do with WithConfig.
+func RunConfig(w Workload, cfg Config, s Scale, opts Options) (*Point, error) {
+	return Do(context.Background(), w, WithConfig(cfg), WithScale(s), WithSimOptions(opts))
+}
+
+// Sweep runs a workload over the full processor-cache design space
+// (Figures 2-6 of the paper) on the concurrent sweep engine at the
+// default parallelism.
+//
+// Deprecated: use SweepCtx with WithScale.
+func Sweep(w Workload, s Scale) (*Grid, error) {
+	return SweepCtx(context.Background(), w, WithScale(s))
+}
+
+// SweepWithOptions is Sweep with explicit simulator options (ablations).
+//
+// Deprecated: use SweepCtx with WithScale and WithSimOptions.
+func SweepWithOptions(w Workload, s Scale, opts Options) (*Grid, error) {
+	return SweepCtx(context.Background(), w, WithScale(s), WithSimOptions(opts))
+}

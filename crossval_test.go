@@ -1,0 +1,118 @@
+package sccsim
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCrossValidateAllWorkloads is the analytic backend's acceptance
+// gate: the full design-space grid on every workload, both backends,
+// every point checked against the published accuracy contract. A model
+// regression that widens the error anywhere in the space fails here
+// with the offending point named.
+func TestCrossValidateAllWorkloads(t *testing.T) {
+	ctx := context.Background()
+	for _, w := range AllWorkloads {
+		w := w
+		t.Run(string(w), func(t *testing.T) {
+			t.Parallel()
+			r, err := CrossValidate(ctx, w, WithScale(QuickScale()), WithParallelism(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := len(r.Points); got != len(SCCSizes)*len(ProcsPerClusterSweep) {
+				t.Fatalf("cross-validation covered %d points, want the full %dx%d grid",
+					got, len(SCCSizes), len(ProcsPerClusterSweep))
+			}
+			if err := r.Check(DefaultCrossBounds(w)); err != nil {
+				t.Errorf("%v\n%s", err, r.String())
+			}
+			// The report is self-consistent: summary maxima match points.
+			var maxAbs float64
+			for _, p := range r.Points {
+				if p.AbsErr > maxAbs {
+					maxAbs = p.AbsErr
+				}
+			}
+			if maxAbs != r.MaxAbsErr {
+				t.Errorf("summary MaxAbsErr %.4f != pointwise max %.4f", r.MaxAbsErr, maxAbs)
+			}
+		})
+	}
+}
+
+// TestCrossValidateRejectsExactOnlyOptions: the comparison must run
+// both backends on the paper's default model, so exact-only options
+// fail up front instead of after an expensive sweep.
+func TestCrossValidateRejectsExactOnlyOptions(t *testing.T) {
+	_, err := CrossValidate(context.Background(), BarnesHut, WithScale(QuickScale()), WithVerify())
+	if err == nil || !strings.Contains(err.Error(), "exact backend") {
+		t.Errorf("CrossValidate with WithVerify: err %v, want exact-backend rejection", err)
+	}
+}
+
+// TestAnalyticSweepSpeedup is the performance half of the backend's
+// contract: with traces warm (the shared cost of both backends), a
+// full-grid analytic sweep must beat the exact simulator by at least
+// 10x. Profiles are cached per (workload, clusters, scale) just like
+// traces, so the analytic grid costs one profile pass plus 32 cheap
+// histogram walks.
+func TestAnalyticSweepSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	ctx := context.Background()
+	scale := QuickScale()
+	// Warm the trace and profile caches so the measured runs compare the
+	// backends, not trace generation.
+	if _, err := SweepCtx(ctx, BarnesHut, WithScale(scale)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SweepCtx(ctx, BarnesHut, WithScale(scale), WithBackend(BackendAnalytic)); err != nil {
+		t.Fatal(err)
+	}
+
+	best := func(opts ...Opt) time.Duration {
+		bestD := time.Duration(1<<63 - 1)
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			if _, err := SweepCtx(ctx, BarnesHut, append(opts, WithScale(scale))...); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); d < bestD {
+				bestD = d
+			}
+		}
+		return bestD
+	}
+	exact := best()
+	analytic := best(WithBackend(BackendAnalytic))
+	ratio := float64(exact) / float64(analytic)
+	t.Logf("warm full-grid sweep: exact %v, analytic %v, speedup %.1fx", exact, analytic, ratio)
+	if ratio < 10 {
+		t.Errorf("analytic speedup %.1fx < 10x (exact %v, analytic %v)", ratio, exact, analytic)
+	}
+}
+
+// BenchmarkSweepExact and BenchmarkSweepAnalytic measure the warm
+// full-grid sweep on each backend; their ratio is the speedup the
+// analytic backend exists to deliver (asserted ≥10x by
+// TestAnalyticSweepSpeedup).
+func BenchmarkSweepExact(b *testing.B)    { benchSweep(b, BackendExact) }
+func BenchmarkSweepAnalytic(b *testing.B) { benchSweep(b, BackendAnalytic) }
+
+func benchSweep(b *testing.B, backend Backend) {
+	ctx := context.Background()
+	scale := QuickScale()
+	if _, err := SweepCtx(ctx, BarnesHut, WithScale(scale), WithBackend(backend)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SweepCtx(ctx, BarnesHut, WithScale(scale), WithBackend(backend)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

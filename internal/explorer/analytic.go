@@ -1,0 +1,312 @@
+// The analytic backend: the same design-space sweeps as engine.go, but
+// each point is *predicted* from a reuse-distance profile
+// (internal/rdmodel) instead of simulated cycle by cycle. A profile is
+// built once per system shape — (workload, processors, clusters) for
+// parallel workloads, (trace, scheduling slots) for multiprogramming —
+// and answers every SCC size on the grid in microseconds, which is what
+// makes the analytic grid orders of magnitude faster than the exact
+// one. Profiles are content-keyed and cached alongside the traces they
+// were measured from, and the points flow through the same runPoints
+// pool, so Progress events, SweepReports and manifests work identically
+// for both backends.
+
+package explorer
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"sccsim/internal/cache"
+	"sccsim/internal/mem"
+	"sccsim/internal/rdmodel"
+	"sccsim/internal/scc"
+	"sccsim/internal/sim"
+	"sccsim/internal/snoop"
+	"sccsim/internal/sysmodel"
+	"sccsim/internal/trace"
+	"sccsim/internal/workload/multiprog"
+)
+
+// Backend names a result-producing strategy: the exact cycle simulator
+// or the analytic reuse-distance model. The zero value is not valid at
+// API boundaries; parse user input with ParseBackend.
+type Backend string
+
+const (
+	// BackendExact is the trace-driven cycle simulator (internal/sim) —
+	// the ground truth every paper table is generated from.
+	BackendExact Backend = "exact"
+	// BackendAnalytic is the reuse-distance model (internal/rdmodel):
+	// predicted miss ratios and estimated cycles, orders of magnitude
+	// faster, accurate within the bounds asserted by the verify
+	// cross-validator.
+	BackendAnalytic Backend = "analytic"
+)
+
+// AllBackends lists every backend.
+var AllBackends = []Backend{BackendExact, BackendAnalytic}
+
+// ParseBackend maps a backend name to its Backend, validating it
+// against AllBackends — the boundary check for callers that receive
+// backend names as strings.
+func ParseBackend(name string) (Backend, error) {
+	for _, b := range AllBackends {
+		if name == string(b) {
+			return b, nil
+		}
+	}
+	return "", fmt.Errorf("unknown backend %q (want one of %v)", name, AllBackends)
+}
+
+// ---- Profile cache ----
+//
+// A reuse-distance profile is immutable once built and depends only on
+// the trace content and the system shape, so — exactly like traces —
+// one profile backs every design point and every concurrent worker that
+// shares its key. Building a profile is the analytic backend's only
+// expensive step; the cache makes a full grid pay for it once per
+// distinct processor count.
+
+type profileKey struct {
+	w        Workload
+	procs    int
+	clusters int
+	scale    Scale
+}
+
+type scheduledProfileKey struct {
+	refs  int
+	seed  int64
+	slots int
+}
+
+type profileEntry struct {
+	once sync.Once
+	prof *rdmodel.Profile
+	err  error
+}
+
+var profileCache = struct {
+	sync.Mutex
+	parallel  map[profileKey]*profileEntry
+	scheduled map[scheduledProfileKey]*profileEntry
+}{
+	parallel:  make(map[profileKey]*profileEntry),
+	scheduled: make(map[scheduledProfileKey]*profileEntry),
+}
+
+// maxCachedProfiles bounds the profile cache the same way
+// maxCachedTraces bounds the trace cache.
+const maxCachedProfiles = 32
+
+func resetProfileCache() {
+	profileCache.Lock()
+	defer profileCache.Unlock()
+	profileCache.parallel = make(map[profileKey]*profileEntry)
+	profileCache.scheduled = make(map[scheduledProfileKey]*profileEntry)
+}
+
+// cachedParallelProfile returns the shared profile for a (workload,
+// procs, clusters, scale) key, building it from prog on first use.
+func cachedParallelProfile(w Workload, clusters int, s Scale, prog *trace.Program) (*rdmodel.Profile, error) {
+	comp, err := trace.Compile(prog)
+	if err != nil {
+		return nil, err
+	}
+	profileCache.Lock()
+	if len(profileCache.parallel) >= maxCachedProfiles {
+		profileCache.parallel = make(map[profileKey]*profileEntry)
+	}
+	key := profileKey{w, comp.Procs, clusters, s}
+	e, ok := profileCache.parallel[key]
+	if !ok {
+		e = &profileEntry{}
+		profileCache.parallel[key] = e
+	}
+	profileCache.Unlock()
+	e.once.Do(func() {
+		e.prof, e.err = rdmodel.BuildProfile(comp, clusters, rdmodel.DefaultCap())
+	})
+	return e.prof, e.err
+}
+
+// cachedScheduledProfile returns the shared multiprogramming profile
+// for a (refs, seed, slots) key.
+func cachedScheduledProfile(refs int, seed int64, slots int, quantum uint64, pset []sim.Process) (*rdmodel.Profile, error) {
+	profileCache.Lock()
+	if len(profileCache.scheduled) >= maxCachedProfiles {
+		profileCache.scheduled = make(map[scheduledProfileKey]*profileEntry)
+	}
+	key := scheduledProfileKey{refs, seed, slots}
+	e, ok := profileCache.scheduled[key]
+	if !ok {
+		e = &profileEntry{}
+		profileCache.scheduled[key] = e
+	}
+	profileCache.Unlock()
+	e.once.Do(func() {
+		streams := make([][]mem.Ref, len(pset))
+		for i := range pset {
+			streams[i] = pset[i].Refs
+		}
+		e.prof, e.err = rdmodel.BuildScheduledProfile("multiprog", streams, slots, quantum, rdmodel.DefaultCap())
+	})
+	return e.prof, e.err
+}
+
+// analyticResult shapes a prediction as a *sim.Result so grids, tables,
+// manifests and the serve layer handle both backends uniformly. Only
+// the fields the model predicts are populated: Cycles/PhaseCycles (the
+// issue+miss-stall estimate), Refs, per-cluster cache statistics
+// (expected counts, rounded), and per-processor read-stall estimates.
+// Contention, coherence and scheduling statistics the model does not
+// cover (bank stalls, snoop traffic, lock spins, switches) are zero —
+// present, so consumers need no nil checks, but not claims.
+func analyticResult(cfg sysmodel.Config, prof *rdmodel.Profile, pred *rdmodel.Prediction) *sim.Result {
+	procs := cfg.Procs()
+	res := &sim.Result{
+		Config:      cfg,
+		Cycles:      pred.EstCycles,
+		Refs:        prof.Refs,
+		ProcFinish:  make([]uint64, procs),
+		ReadStall:   make([]uint64, procs),
+		WriteStall:  make([]uint64, procs),
+		BankStall:   make([]uint64, procs),
+		BarrierWait: make([]uint64, procs),
+		LockStall:   make([]uint64, procs),
+		PhaseCycles: append([]uint64(nil), pred.EstPhaseCycles...),
+		SCC:         make([]*cache.Stats, cfg.Clusters),
+		SCCBank:     make([]*scc.Stats, cfg.Clusters),
+		Snoop:       &snoop.Stats{},
+	}
+	ppc := procs / cfg.Clusters
+	for p := 0; p < procs; p++ {
+		res.ProcFinish[p] = pred.EstCycles
+	}
+	// Per-processor read-stall estimate: the processor's share of its
+	// cluster's predicted misses, at full memory latency each.
+	for i := range prof.ReadRefs {
+		for p := 0; p < len(prof.ReadRefs[i]) && p < procs; p++ {
+			rate := pred.Cluster[p/ppc].ReadMissRate()
+			res.ReadStall[p] += uint64(math.Round(
+				rate * float64(prof.ReadRefs[i][p]) * float64(sysmodel.MemLatency)))
+		}
+	}
+	for cl := 0; cl < cfg.Clusters; cl++ {
+		cp := pred.Cluster[cl]
+		cs := &cache.Stats{}
+		cs.Accesses[mem.Read] = uint64(math.Round(cp.Reads))
+		cs.Accesses[mem.Write] = uint64(math.Round(cp.Writes))
+		cs.Misses[mem.Read] = uint64(math.Round(cp.ReadMisses))
+		cs.Misses[mem.Write] = uint64(math.Round(cp.WriteMisses))
+		res.SCC[cl] = cs
+		res.SCCBank[cl] = &scc.Stats{}
+	}
+	return res
+}
+
+// analyticParallelPoint resolves the trace, profile and prediction for
+// one parallel design point.
+func analyticParallelPoint(w Workload, cfg sysmodel.Config, s Scale, tc *traceCounters, dc *trace.DiskCache) (*Point, error) {
+	prog, src, err := cachedParallelProgram(w, cfg.Procs(), s, dc)
+	if err != nil {
+		return nil, err
+	}
+	tc.record(src)
+	prof, err := cachedParallelProfile(w, cfg.Clusters, s, prog)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := prof.Predict(cfg.SCCBytes, cfg.Assoc)
+	if err != nil {
+		return nil, fmt.Errorf("explorer: %s at %v: %w", w, cfg, err)
+	}
+	return &Point{Config: cfg, Result: analyticResult(cfg, prof, pred)}, nil
+}
+
+// analyticMultiprogPoint resolves the process set, scheduled profile
+// and prediction for one multiprogramming design point.
+func analyticMultiprogPoint(cfg sysmodel.Config, s Scale, tc *traceCounters, dc *trace.DiskCache) (*Point, error) {
+	refs := multiprogRefs(s)
+	pset, src, err := cachedMultiprogProcesses(refs, s.Seed, dc)
+	if err != nil {
+		return nil, err
+	}
+	tc.record(src)
+	prof, err := cachedScheduledProfile(refs, s.Seed, cfg.Procs(), multiprog.Quantum(refs), pset)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := prof.Predict(cfg.SCCBytes, cfg.Assoc)
+	if err != nil {
+		return nil, fmt.Errorf("explorer: multiprog at %v: %w", cfg, err)
+	}
+	return &Point{Config: cfg, Result: analyticResult(cfg, prof, pred)}, nil
+}
+
+// analyticJobFor builds the engine job for one analytic design point,
+// sharing the exact path's configuration rules.
+func analyticJobFor(w Workload, cfg sysmodel.Config, s Scale, tc *traceCounters, dc *trace.DiskCache) pointJob {
+	return pointJob{cfg: cfg, run: func(ctx context.Context, _ sim.Tracer) (*Point, error) {
+		if w == Multiprog {
+			return analyticMultiprogPoint(cfg, s, tc, dc)
+		}
+		return analyticParallelPoint(w, cfg, s, tc, dc)
+	}}
+}
+
+// SweepAnalyticCtx runs the full design-space sweep on the analytic
+// backend: the same grid, worker pool, progress events and report as
+// SweepCtx, with every point predicted from a cached reuse-distance
+// profile. Simulator options do not apply to the model and are not
+// accepted; the paper's default system model is assumed throughout.
+func SweepAnalyticCtx(ctx context.Context, w Workload, s Scale, eng EngineOptions) (*Grid, error) {
+	eng.Backend = BackendAnalytic
+	tc := &traceCounters{reg: eng.Metrics}
+	jobs := make([]pointJob, 0, len(sysmodel.SCCSizes)*len(sysmodel.ProcsPerClusterSweep))
+	for _, size := range sysmodel.SCCSizes {
+		for _, ppc := range sysmodel.ProcsPerClusterSweep {
+			var cfg sysmodel.Config
+			if w == Multiprog {
+				cfg = sysmodel.Config{
+					Clusters: 1, ProcsPerCluster: ppc, SCCBytes: size,
+					LoadLatency: sysmodel.ImpliedLoadLatency(ppc), Assoc: 1,
+				}
+			} else {
+				cfg = sysmodel.Default(ppc, size)
+			}
+			jobs = append(jobs, analyticJobFor(w, cfg, s, tc, eng.TraceCache))
+		}
+	}
+	points, err := runPoints(ctx, w, jobs, eng, tc)
+	if err != nil {
+		return nil, err
+	}
+	return assembleGrid(w, points), nil
+}
+
+// RunPointAnalyticCtx predicts one RunPoint-style design point on the
+// analytic backend, sharing RunPoint's configuration rules
+// (multiprogramming runs on a single cluster).
+func RunPointAnalyticCtx(ctx context.Context, w Workload, ppc, sccBytes int, s Scale) (*Point, error) {
+	cfg := sysmodel.Default(ppc, sccBytes)
+	if w == Multiprog {
+		cfg.Clusters = 1
+	}
+	return RunConfigAnalyticCtx(ctx, w, cfg, s)
+}
+
+// RunConfigAnalyticCtx predicts an arbitrary configuration on the
+// analytic backend.
+func RunConfigAnalyticCtx(ctx context.Context, w Workload, cfg sysmodel.Config, s Scale) (*Point, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	tc := (*traceCounters)(nil)
+	if w == Multiprog {
+		return analyticMultiprogPoint(cfg, s, tc, nil)
+	}
+	return analyticParallelPoint(w, cfg, s, tc, nil)
+}

@@ -66,6 +66,10 @@ type Progress struct {
 type SweepReport struct {
 	// Workload the engine swept.
 	Workload Workload `json:"workload"`
+	// Backend that produced the points: "exact" (the cycle simulator)
+	// or "analytic" (the reuse-distance model) — stamped so a report is
+	// never ambiguous about what kind of numbers it summarizes.
+	Backend Backend `json:"backend"`
 	// Points is the number of design points run; Workers the pool size.
 	Points  int `json:"points"`
 	Workers int `json:"workers"`
@@ -99,6 +103,11 @@ type EngineOptions struct {
 	// Parallelism is the worker-pool size; <= 0 means GOMAXPROCS.
 	// Results are deterministic for every value.
 	Parallelism int
+	// Backend labels the sweep's result-producing strategy in reports
+	// and progress accounting; empty means BackendExact. The analytic
+	// entry points set it themselves — it is informational, not a
+	// dispatch switch.
+	Backend Backend
 	// Progress, when non-nil, is called (serially, from engine
 	// goroutines) after every completed design point.
 	Progress func(Progress)
@@ -304,9 +313,13 @@ func runPoints(ctx context.Context, w Workload, jobs []pointJob, eng EngineOptio
 			util = float64(busy) / (float64(workers) * float64(wall))
 		}
 		hits, misses, diskHits, generated := tc.loads()
+		backend := eng.Backend
+		if backend == "" {
+			backend = BackendExact
+		}
 		eng.Report(SweepReport{
-			Workload: w,
-			Points:   len(jobs), Workers: workers,
+			Workload: w, Backend: backend,
+			Points: len(jobs), Workers: workers,
 			Wall:      wall,
 			PointWall: pointWall,
 			QueueWait: queueWait,
@@ -363,13 +376,15 @@ var traceCache = struct {
 // pointers the callers hold).
 const maxCachedTraces = 32
 
-// ResetTraceCache drops every cached trace program. Useful to release
-// memory after paper-scale sweeps.
+// ResetTraceCache drops every cached trace program and every cached
+// reuse-distance profile (profiles are derived from traces and sized
+// like them). Useful to release memory after paper-scale sweeps.
 func ResetTraceCache() {
 	traceCache.Lock()
-	defer traceCache.Unlock()
 	traceCache.parallel = make(map[parallelKey]*cacheEntry)
 	traceCache.multiprog = make(map[multiprogKey]*cacheEntry)
+	traceCache.Unlock()
+	resetProfileCache()
 }
 
 // parallelDiskKey is the persistent-cache key for a parallel workload

@@ -24,7 +24,11 @@ type Manifest struct {
 	CreatedAt string `json:"created_at,omitempty"`
 	Host      Host   `json:"host"`
 
-	Workload    string `json:"workload"`
+	Workload string `json:"workload"`
+	// Backend that produced the points ("exact" or "analytic"); empty
+	// in manifests written before backends existed, which readers treat
+	// as exact.
+	Backend     string `json:"backend,omitempty"`
 	Scale       any    `json:"scale"`
 	Parallelism int    `json:"parallelism"`
 
@@ -56,6 +60,10 @@ type PointRecord struct {
 	ProcsPerCluster int `json:"procs_per_cluster"`
 	SCCBytes        int `json:"scc_bytes"`
 	Clusters        int `json:"clusters"`
+	// Backend that produced this point; empty means exact (pre-backend
+	// manifests). Benchmark baselines key on it so exact and analytic
+	// throughput entries coexist in one file.
+	Backend string `json:"backend,omitempty"`
 
 	Cycles            uint64  `json:"cycles"`
 	Refs              uint64  `json:"refs"`

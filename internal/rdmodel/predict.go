@@ -1,0 +1,128 @@
+package rdmodel
+
+import (
+	"fmt"
+	"math"
+
+	"sccsim/internal/sysmodel"
+)
+
+// CacheCounts is one cluster's predicted access and miss counts.
+// Counts are expectations (fractional): the direct-mapped model sums
+// per-access miss probabilities rather than simulating placements.
+type CacheCounts struct {
+	Reads, Writes           float64
+	ReadMisses, WriteMisses float64
+}
+
+// ReadMissRate returns the cluster's predicted read miss ratio.
+func (c CacheCounts) ReadMissRate() float64 {
+	if c.Reads == 0 {
+		return 0
+	}
+	return c.ReadMisses / c.Reads
+}
+
+// Prediction is the model's answer for one (profile, SCC size) point:
+// per-cluster expected miss counts, the system-wide read miss ratio
+// (the paper's Table 4 statistic), and a derived execution-time
+// estimate.
+type Prediction struct {
+	SCCBytes, Assoc int
+	// Cluster[i] is cluster i's predicted counts.
+	Cluster []CacheCounts
+	// Reads/ReadMisses aggregate the clusters; ReadMissRate is their
+	// ratio.
+	Reads, ReadMisses float64
+	ReadMissRate      float64
+	// EstPhaseCycles[i] estimates phase i's duration; EstCycles their
+	// sum (the makespan estimate).
+	EstPhaseCycles []uint64
+	EstCycles      uint64
+}
+
+// Predict estimates the miss ratio and execution time of one SCC size
+// from the profile, in O(cap) per cluster — every grid size reuses the
+// same single profile pass.
+//
+// Miss model: a compulsory (cold) access always misses. For a
+// direct-mapped cache of C lines (assoc 1, the paper's SCC), an access
+// at reuse distance d hits iff none of the d intervening distinct lines
+// displaced it, which under uniform index hashing has probability
+// (1-1/C)^d — the statistical conflict-miss model from the
+// reuse-distance literature. Distances at or above the tracker cap are
+// taken as certain misses. For assoc > 1 the model falls back to the
+// fully-associative LRU threshold (miss iff d >= C) — a documented
+// approximation, adequate because the paper's design space is entirely
+// direct-mapped.
+//
+// Time model: per phase, each processor issues its stall-free cycles
+// plus sysmodel.MemLatency per predicted read miss (its share of the
+// cluster's misses, in proportion to its reads); the phase estimate is
+// the slowest processor's total, and the makespan the sum over phases.
+// Write misses are assumed absorbed by the write buffer, and bank and
+// bus contention are not modeled.
+func (p *Profile) Predict(sccBytes, assoc int) (*Prediction, error) {
+	lines := sccBytes / sysmodel.LineSize
+	if lines < 1 {
+		return nil, fmt.Errorf("rdmodel: SCC size %d below one %d-byte line", sccBytes, sysmodel.LineSize)
+	}
+	if lines > p.Cap {
+		// Distances in [cap, lines) were not tracked exactly; clamping
+		// keeps the prediction defined (and conservative) but a profile
+		// built with a larger cap would be exact.
+		lines = p.Cap
+	}
+	pred := &Prediction{
+		SCCBytes: sccBytes, Assoc: assoc,
+		Cluster: make([]CacheCounts, len(p.Cluster)),
+	}
+	for i := range p.Cluster {
+		h := &p.Cluster[i]
+		c := CacheCounts{Reads: float64(h.Reads()), Writes: float64(h.Writes())}
+		c.ReadMisses = float64(h.ColdReads + h.FarReads)
+		c.WriteMisses = float64(h.ColdWrites + h.FarWrites)
+		if assoc == 1 {
+			surv := 1.0
+			decay := 1 - 1/float64(lines)
+			for d := 0; d < p.Cap; d++ {
+				pMiss := 1 - surv
+				if h.Read[d] != 0 {
+					c.ReadMisses += pMiss * float64(h.Read[d])
+				}
+				if h.Write[d] != 0 {
+					c.WriteMisses += pMiss * float64(h.Write[d])
+				}
+				surv *= decay
+			}
+		} else {
+			for d := lines; d < p.Cap; d++ {
+				c.ReadMisses += float64(h.Read[d])
+				c.WriteMisses += float64(h.Write[d])
+			}
+		}
+		pred.Cluster[i] = c
+		pred.Reads += c.Reads
+		pred.ReadMisses += c.ReadMisses
+	}
+	if pred.Reads > 0 {
+		pred.ReadMissRate = pred.ReadMisses / pred.Reads
+	}
+
+	ppc := p.Procs / len(p.Cluster)
+	pred.EstPhaseCycles = make([]uint64, len(p.Issue))
+	for i := range p.Issue {
+		var worst float64
+		for pr := 0; pr < p.Procs; pr++ {
+			rate := pred.Cluster[pr/ppc].ReadMissRate()
+			est := float64(p.Issue[i][pr]) +
+				rate*float64(p.ReadRefs[i][pr])*float64(sysmodel.MemLatency)
+			if est > worst {
+				worst = est
+			}
+		}
+		pred.EstPhaseCycles[i] = uint64(math.Round(worst))
+		pred.EstCycles += pred.EstPhaseCycles[i]
+	}
+	return pred, nil
+}

@@ -1,0 +1,359 @@
+// Package rdmodel is the analytic reuse-distance cache model behind the
+// facade's "analytic" backend: one pass over a workload's compiled
+// reference trace produces per-cluster (and per-processor)
+// reuse-distance histograms, from which the predicted SCC miss ratio —
+// and a derived execution-time estimate — of *every* cache size on the
+// paper's grid follows in microseconds (see Predict). The approach is
+// the shared-cache reuse-distance model of Barai, Chapman et al.
+// ("Modeling Shared Cache Performance of OpenMP Programs using Reuse
+// Distance"): the processors of a cluster share one SCC, so the model
+// measures stack distances over the cluster's *merged* reference
+// stream, interleaving the per-processor streams in the same
+// virtual-time order the exact simulator replays them in.
+//
+// The package deliberately depends only on the trace substrate (mem,
+// trace, sysmodel) — not on the simulator — so the exact and analytic
+// backends share inputs but no machinery, which is what makes the
+// verify cross-validator (internal/verify) a meaningful check.
+//
+// Model accuracy contract: distances below the tracker cap are exact;
+// the model's error against the exact simulator comes from (a) the
+// statistical direct-mapped conflict model, (b) ignoring coherence
+// invalidations and lock spins, and (c) the stall-free interleaving
+// approximation. The measured error bounds live in the facade's
+// cross-validation defaults (sccsim.DefaultCrossBounds) and are
+// asserted by `make verify-analytic`.
+package rdmodel
+
+import (
+	"fmt"
+
+	"sccsim/internal/mem"
+	"sccsim/internal/sysmodel"
+	"sccsim/internal/trace"
+)
+
+// DefaultCap returns the tracker cap used for the paper's grid: the
+// line count of the largest SCC in the sweep. Distances at or above it
+// are certain misses at every swept size, so nothing larger needs exact
+// tracking.
+func DefaultCap() int {
+	return sysmodel.SCCSizes[len(sysmodel.SCCSizes)-1] / sysmodel.LineSize
+}
+
+// Hist is a reuse-distance histogram at cache-line granularity, split
+// by access kind. Read[d] / Write[d] count accesses whose distance is
+// exactly d (d < Cap); FarReads/FarWrites count accesses with distance
+// >= Cap; ColdReads/ColdWrites count first-ever touches (compulsory
+// misses at any size).
+type Hist struct {
+	Cap        int
+	Read       []uint64
+	Write      []uint64
+	FarReads   uint64
+	FarWrites  uint64
+	ColdReads  uint64
+	ColdWrites uint64
+}
+
+func newHist(capLines int) Hist {
+	return Hist{Cap: capLines, Read: make([]uint64, capLines), Write: make([]uint64, capLines)}
+}
+
+// Reads returns the total read-kind accesses in the histogram.
+func (h *Hist) Reads() uint64 {
+	var n uint64
+	for _, v := range h.Read {
+		n += v
+	}
+	return n + h.FarReads + h.ColdReads
+}
+
+// Writes returns the total write-kind accesses in the histogram.
+func (h *Hist) Writes() uint64 {
+	var n uint64
+	for _, v := range h.Write {
+		n += v
+	}
+	return n + h.FarWrites + h.ColdWrites
+}
+
+func (h *Hist) add(d int, write bool) {
+	switch {
+	case d == distCold && write:
+		h.ColdWrites++
+	case d == distCold:
+		h.ColdReads++
+	case d == distFar && write:
+		h.FarWrites++
+	case d == distFar:
+		h.FarReads++
+	case write:
+		h.Write[d]++
+	default:
+		h.Read[d]++
+	}
+}
+
+// Profile is one workload trace's complete reuse-distance profile for a
+// fixed system shape (processor count and cluster count): everything
+// Predict needs to estimate any SCC size's miss ratio and execution
+// time. Building it is the expensive step — O(refs · log cap) — and is
+// done exactly once per (workload, procs, clusters, scale) by the
+// explorer's profile cache.
+type Profile struct {
+	// Name mirrors the source trace; Procs and Clusters fix the system
+	// shape the profile was measured for (histograms depend on how
+	// streams merge, so a profile is not reusable across shapes).
+	Name     string
+	Procs    int
+	Clusters int
+	// Cap is the tracker cap shared by every histogram.
+	Cap int
+	// Refs is the total memory references (excluding Idle), matching the
+	// exact simulator's Result.Refs accounting.
+	Refs uint64
+	// Cluster[i] is cluster i's histogram over its merged stream — the
+	// shared-SCC view the miss prediction uses.
+	Cluster []Hist
+	// PerProc[p] is processor p's (or, for scheduled profiles, process
+	// p's) private-stream histogram — the per-processor locality view,
+	// exposed for diagnostics and model studies.
+	PerProc []Hist
+	// PhaseNames, Issue and ReadRefs feed the execution-time estimate:
+	// Issue[i][p] is processor p's stall-free issue cycles in phase i
+	// (compute gaps plus one cycle per cache access), ReadRefs[i][p] its
+	// read-kind accesses there.
+	PhaseNames []string
+	Issue      [][]uint64
+	ReadRefs   [][]uint64
+}
+
+// accessesOf maps a trace record to its cache accesses, mirroring the
+// exact simulator: a Lock is an acquire read followed by the lock
+// write, an Unlock a single write. (Lock spin re-reads depend on
+// contention timing and are deliberately not modeled.)
+func accessesOf(k mem.Kind) (reads, writes int) {
+	switch k {
+	case mem.Read:
+		return 1, 0
+	case mem.Write:
+		return 0, 1
+	case mem.Lock:
+		return 1, 1
+	case mem.Unlock:
+		return 0, 1
+	}
+	return 0, 0
+}
+
+// BuildProfile measures a parallel workload's reuse-distance profile
+// for a clusters-way system: processors are assigned to clusters in
+// contiguous blocks (processor p to cluster p/(procs/clusters), exactly
+// as the simulator wires them) and each cluster's histogram is taken
+// over its processors' streams merged in per-processor virtual-time
+// order — the stall-free approximation of the simulator's replay
+// interleaving. capLines caps tracked distances (see DefaultCap).
+func BuildProfile(c *trace.Compiled, clusters, capLines int) (*Profile, error) {
+	if clusters < 1 || c.Procs%clusters != 0 {
+		return nil, fmt.Errorf("rdmodel: %d processors not divisible into %d clusters", c.Procs, clusters)
+	}
+	ppc := c.Procs / clusters
+	p := &Profile{
+		Name: c.Name, Procs: c.Procs, Clusters: clusters, Cap: capLines,
+		Refs:       c.Refs(),
+		Cluster:    make([]Hist, clusters),
+		PerProc:    make([]Hist, c.Procs),
+		PhaseNames: append([]string(nil), c.PhaseNames...),
+		Issue:      make([][]uint64, len(c.Streams)),
+		ReadRefs:   make([][]uint64, len(c.Streams)),
+	}
+	clTrack := make([]*tracker, clusters)
+	for i := range clTrack {
+		clTrack[i] = newTracker(capLines)
+		p.Cluster[i] = newHist(capLines)
+	}
+	prTrack := make([]*tracker, c.Procs)
+	for i := range prTrack {
+		prTrack[i] = newTracker(capLines)
+		p.PerProc[i] = newHist(capLines)
+	}
+
+	pos := make([]int, c.Procs)
+	clk := make([]uint64, c.Procs)
+	for phase, streams := range c.Streams {
+		p.Issue[phase] = make([]uint64, c.Procs)
+		p.ReadRefs[phase] = make([]uint64, c.Procs)
+		// Phase barriers align the processors, so each phase merges from
+		// a common origin.
+		for pr := range pos {
+			pos[pr], clk[pr] = 0, 0
+		}
+		for {
+			// Next reference in virtual-time order: the unfinished
+			// processor with the smallest clock (ties to the lowest id),
+			// mirroring the replay scheduler's ordering.
+			pr := -1
+			for q := 0; q < c.Procs; q++ {
+				if pos[q] < len(streams[q]) && (pr < 0 || clk[q] < clk[pr]) {
+					pr = q
+				}
+			}
+			if pr < 0 {
+				break
+			}
+			r := streams[pr][pos[pr]]
+			pos[pr]++
+			clk[pr] += uint64(r.Gap)
+			reads, writes := accessesOf(r.Kind)
+			if reads+writes == 0 {
+				continue
+			}
+			line := sysmodel.LineIndex(r.Addr)
+			cl := pr / ppc
+			for i := 0; i < reads+writes; i++ {
+				write := i >= reads
+				p.Cluster[cl].add(clTrack[cl].access(line), write)
+				p.PerProc[pr].add(prTrack[pr].access(line), write)
+			}
+			clk[pr] += uint64(reads + writes)
+			p.ReadRefs[phase][pr] += uint64(reads)
+		}
+		copy(p.Issue[phase], clk)
+	}
+	return p, nil
+}
+
+// BuildScheduledProfile measures the multiprogramming workload's
+// profile: the processes' streams are interleaved by a replica of the
+// simulator's round-robin scheduler (initial assignment in process
+// order, a global FIFO ready queue, preemption every quantum issue
+// cycles, idle slots picking up preempted processes immediately)
+// running in stall-free issue time, and the single shared SCC sees the
+// merged stream. PerProc holds one histogram per *process* — the
+// private locality view is per program, not per time-sliced processor.
+func BuildScheduledProfile(name string, processes [][]mem.Ref, slots int, quantum uint64, capLines int) (*Profile, error) {
+	if slots < 1 || len(processes) == 0 || quantum == 0 {
+		return nil, fmt.Errorf("rdmodel: bad schedule shape (%d slots, %d processes, quantum %d)",
+			slots, len(processes), quantum)
+	}
+	p := &Profile{
+		Name: name, Procs: slots, Clusters: 1, Cap: capLines,
+		Cluster:    []Hist{newHist(capLines)},
+		PerProc:    make([]Hist, len(processes)),
+		PhaseNames: []string{"scheduled"},
+		Issue:      [][]uint64{make([]uint64, slots)},
+		ReadRefs:   [][]uint64{make([]uint64, slots)},
+	}
+	shared := newTracker(capLines)
+	prTrack := make([]*tracker, len(processes))
+	for i := range prTrack {
+		prTrack[i] = newTracker(capLines)
+		p.PerProc[i] = newHist(capLines)
+	}
+
+	pos := make([]int, len(processes))
+	queue := make([]int, 0, len(processes))
+	current := make([]int, slots)
+	quantumEnd := make([]uint64, slots)
+	clk := make([]uint64, slots)
+	idle := make([]bool, slots)
+	for s := 0; s < slots; s++ {
+		if s < len(processes) {
+			current[s] = s
+			quantumEnd[s] = quantum
+		} else {
+			current[s] = -1
+			idle[s] = true
+		}
+	}
+	for i := slots; i < len(processes); i++ {
+		queue = append(queue, i)
+	}
+
+	wake := func(t uint64) {
+		for len(queue) > 0 {
+			victim := -1
+			for s := 0; s < slots; s++ {
+				if idle[s] && (victim < 0 || clk[s] < clk[victim]) {
+					victim = s
+				}
+			}
+			if victim < 0 {
+				return
+			}
+			pid := queue[0]
+			queue = queue[1:]
+			idle[victim] = false
+			if clk[victim] < t {
+				clk[victim] = t
+			}
+			current[victim] = pid
+			quantumEnd[victim] = clk[victim] + quantum
+		}
+	}
+
+	for {
+		s := -1
+		for q := 0; q < slots; q++ {
+			if current[q] >= 0 && (s < 0 || clk[q] < clk[s]) {
+				s = q
+			}
+		}
+		if s < 0 {
+			break
+		}
+		pid := current[s]
+		st := processes[pid]
+		if pos[pid] >= len(st) {
+			if len(queue) > 0 {
+				current[s] = queue[0]
+				queue = queue[1:]
+				quantumEnd[s] = clk[s] + quantum
+			} else {
+				current[s] = -1
+				idle[s] = true
+			}
+			continue
+		}
+		if clk[s] >= quantumEnd[s] && (len(queue) > 0 || anyIdle(idle)) {
+			queue = append(queue, pid)
+			current[s] = queue[0]
+			queue = queue[1:]
+			quantumEnd[s] = clk[s] + quantum
+			wake(clk[s])
+			continue
+		}
+		if clk[s] >= quantumEnd[s] {
+			quantumEnd[s] = clk[s] + quantum
+		}
+
+		r := st[pos[pid]]
+		pos[pid]++
+		clk[s] += uint64(r.Gap)
+		reads, writes := accessesOf(r.Kind)
+		if reads+writes == 0 {
+			continue
+		}
+		p.Refs++
+		line := sysmodel.LineIndex(r.Addr)
+		for i := 0; i < reads+writes; i++ {
+			write := i >= reads
+			p.Cluster[0].add(shared.access(line), write)
+			p.PerProc[pid].add(prTrack[pid].access(line), write)
+		}
+		clk[s] += uint64(reads + writes)
+		p.ReadRefs[0][s] += uint64(reads)
+	}
+	copy(p.Issue[0], clk)
+	return p, nil
+}
+
+func anyIdle(idle []bool) bool {
+	for _, b := range idle {
+		if b {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,338 @@
+package rdmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sccsim/internal/mem"
+	"sccsim/internal/sysmodel"
+	"sccsim/internal/trace"
+)
+
+// refStack is the naive O(N·M) reuse-distance reference: a plain LRU
+// stack of lines.
+type refStack struct{ stack []uint32 }
+
+// access returns the exact reuse distance, or distCold.
+func (s *refStack) access(line uint32) int {
+	for i, ln := range s.stack {
+		if ln == line {
+			copy(s.stack[1:], s.stack[:i])
+			s.stack[0] = line
+			return i
+		}
+	}
+	s.stack = append([]uint32{line}, s.stack...)
+	return distCold
+}
+
+// TestTrackerMatchesNaive: the Fenwick-tree tracker must agree with the
+// naive LRU stack on every access — exact distances below the cap,
+// far/cold classification otherwise — across enough accesses to force
+// several compactions.
+func TestTrackerMatchesNaive(t *testing.T) {
+	const cap = 16
+	tk := newTracker(cap)
+	ref := &refStack{}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20*4*cap; i++ {
+		// A universe a few times the cap exercises cold, exact and far.
+		line := uint32(rng.Intn(3 * cap))
+		want := ref.access(line)
+		if want >= cap {
+			want = distFar
+		}
+		if got := tk.access(line); got != want {
+			t.Fatalf("access %d (line %d): tracker says %d, naive says %d", i, line, got, want)
+		}
+	}
+}
+
+// TestTrackerSequential: a strided cold scan then a re-scan has fully
+// predictable distances.
+func TestTrackerSequential(t *testing.T) {
+	tk := newTracker(8)
+	for i := 0; i < 6; i++ {
+		if d := tk.access(uint32(i)); d != distCold {
+			t.Fatalf("first touch of line %d: distance %d, want cold", i, d)
+		}
+	}
+	// Re-scanning in the same order: each line has 5 distinct lines
+	// between its two accesses.
+	for i := 0; i < 6; i++ {
+		if d := tk.access(uint32(i)); d != 5 {
+			t.Fatalf("second touch of line %d: distance %d, want 5", i, d)
+		}
+	}
+}
+
+// naiveDirectMapped counts read misses of a direct-mapped cache of
+// `lines` lines over a single merged stream.
+func naiveDirectMapped(refs []mem.Ref, lines int) (reads, readMisses uint64) {
+	tags := make(map[uint32]uint32) // set -> line
+	for _, r := range refs {
+		rd, wr := accessesOf(r.Kind)
+		if rd+wr == 0 {
+			continue
+		}
+		line := sysmodel.LineIndex(r.Addr)
+		for i := 0; i < rd+wr; i++ {
+			set := line % uint32(lines)
+			hit := tags[set] == line
+			tags[set] = line
+			if i < rd {
+				reads++
+				if !hit {
+					readMisses++
+				}
+			}
+		}
+	}
+	return reads, readMisses
+}
+
+// syntheticProgram builds a small deterministic parallel program. The
+// line universe is *sparse* — universeLines distinct random line
+// indices spread over a wide range — so the simulator's modulo set
+// indexing behaves like the uniform hashing the statistical
+// direct-mapped model assumes (a dense sequential footprint would be
+// nearly conflict-free under modulo indexing and the model would
+// overpredict its conflicts; see Predict's doc).
+func syntheticProgram(t *testing.T, procs, refsPerProc int, universeLines int) *trace.Program {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	universe := make([]uint32, universeLines)
+	for i := range universe {
+		universe[i] = uint32(1 + rng.Intn(1<<22))
+	}
+	p := &trace.Program{Name: "synth", Procs: procs, Phases: []trace.Phase{{Name: "main"}}}
+	for pr := 0; pr < procs; pr++ {
+		st := make([]mem.Ref, 0, refsPerProc)
+		for i := 0; i < refsPerProc; i++ {
+			// Clustered reuse: mostly a small hot set, a tail over the
+			// whole universe, so the histogram has real shape.
+			var line uint32
+			if rng.Intn(4) > 0 {
+				line = universe[rng.Intn(universeLines/8)]
+			} else {
+				line = universe[rng.Intn(universeLines)]
+			}
+			addr := line * sysmodel.LineSize
+			kind := mem.Read
+			if rng.Intn(4) == 0 {
+				kind = mem.Write
+			}
+			st = append(st, mem.Ref{Addr: addr, Gap: uint16(rng.Intn(4)), Kind: kind})
+		}
+		p.Phases[0].Streams = append(p.Phases[0].Streams, st)
+	}
+	return p
+}
+
+// TestPredictDirectMappedCloseToNaive: on a single-processor stream the
+// merged-stream interleaving is exact, so the only model error is the
+// statistical conflict term — the prediction must land within a few
+// percent of a real direct-mapped cache simulation.
+func TestPredictDirectMappedCloseToNaive(t *testing.T) {
+	prog := syntheticProgram(t, 1, 60_000, 4096)
+	comp, err := trace.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := BuildProfile(comp, 1, DefaultCap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lines := range []int{256, 1024, 4096} {
+		pred, err := prof.Predict(lines*sysmodel.LineSize, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reads, misses := naiveDirectMapped(prog.Phases[0].Streams[0], lines)
+		got := pred.ReadMissRate
+		want := float64(misses) / float64(reads)
+		if pred.Reads != float64(reads) {
+			t.Errorf("lines=%d: predicted %v reads, naive saw %d", lines, pred.Reads, reads)
+		}
+		if diff := math.Abs(got - want); diff > 0.03 {
+			t.Errorf("lines=%d: predicted read miss rate %.4f, naive %.4f (|diff| %.4f > 0.03)",
+				lines, got, want, diff)
+		}
+	}
+}
+
+// naiveLRU counts misses of a fully-associative LRU cache — the exact
+// ground truth for the assoc>1 threshold model on a single stream.
+func naiveLRU(refs []mem.Ref, lines int) (accesses, misses uint64) {
+	s := &refStack{}
+	for _, r := range refs {
+		rd, wr := accessesOf(r.Kind)
+		line := sysmodel.LineIndex(r.Addr)
+		for i := 0; i < rd+wr; i++ {
+			accesses++
+			if d := s.access(line); d == distCold || d >= lines {
+				misses++
+			}
+			if len(s.stack) > lines {
+				s.stack = s.stack[:lines]
+			}
+		}
+	}
+	return accesses, misses
+}
+
+// TestPredictLRUThresholdExact: for assoc > 1 the model is a
+// fully-associative LRU threshold, which on a single stream must
+// reproduce a real LRU simulation exactly (for sizes within the cap).
+func TestPredictLRUThresholdExact(t *testing.T) {
+	prog := syntheticProgram(t, 1, 20_000, 2048)
+	comp, err := trace.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := BuildProfile(comp, 1, DefaultCap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lines := range []int{64, 512, 2048} {
+		pred, err := prof.Predict(lines*sysmodel.LineSize, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, misses := naiveLRU(prog.Phases[0].Streams[0], lines)
+		got := pred.Cluster[0].ReadMisses + pred.Cluster[0].WriteMisses
+		if got != float64(misses) {
+			t.Errorf("lines=%d: threshold model predicts %.0f misses, LRU simulation has %d",
+				lines, got, misses)
+		}
+	}
+}
+
+// TestBuildProfileShape: totals, cold counts and per-cluster splits
+// must be self-consistent.
+func TestBuildProfileShape(t *testing.T) {
+	prog := syntheticProgram(t, 4, 5_000, 1024)
+	comp, err := trace.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := BuildProfile(comp, 2, DefaultCap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Refs != comp.Refs() {
+		t.Errorf("profile Refs %d != trace refs %d", prof.Refs, comp.Refs())
+	}
+	if len(prof.Cluster) != 2 || len(prof.PerProc) != 4 {
+		t.Fatalf("profile shape: %d clusters, %d procs", len(prof.Cluster), len(prof.PerProc))
+	}
+	var clTotal, prTotal uint64
+	for i := range prof.Cluster {
+		clTotal += prof.Cluster[i].Reads() + prof.Cluster[i].Writes()
+	}
+	for i := range prof.PerProc {
+		prTotal += prof.PerProc[i].Reads() + prof.PerProc[i].Writes()
+	}
+	if clTotal != prTotal {
+		t.Errorf("cluster access total %d != per-proc total %d", clTotal, prTotal)
+	}
+	// One cluster merging both processors' streams sees at least as many
+	// non-cold long distances; basic monotonicity: merged cold count is
+	// the distinct-footprint count per cluster, <= sum of per-proc colds.
+	for cl := 0; cl < 2; cl++ {
+		merged := prof.Cluster[cl].ColdReads + prof.Cluster[cl].ColdWrites
+		var split uint64
+		for pr := cl * 2; pr < cl*2+2; pr++ {
+			split += prof.PerProc[pr].ColdReads + prof.PerProc[pr].ColdWrites
+		}
+		if merged > split {
+			t.Errorf("cluster %d: merged cold %d > per-proc cold sum %d", cl, merged, split)
+		}
+	}
+	// BuildProfile must reject a non-divisible shape.
+	if _, err := BuildProfile(comp, 3, DefaultCap()); err == nil {
+		t.Error("BuildProfile accepted 4 procs / 3 clusters")
+	}
+}
+
+// TestBuildScheduledProfile: the scheduled merge must conserve
+// accesses, finish every process, and be deterministic.
+func TestBuildScheduledProfile(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var processes [][]mem.Ref
+	var wantRefs uint64
+	for pid := 0; pid < 5; pid++ {
+		n := 2_000 + rng.Intn(1_000)
+		st := make([]mem.Ref, 0, n)
+		for i := 0; i < n; i++ {
+			// Disjoint address spaces, like the real generator.
+			addr := uint32((pid*4096 + rng.Intn(512) + 1) * sysmodel.LineSize)
+			st = append(st, mem.Ref{Addr: addr, Gap: uint16(rng.Intn(3)), Kind: mem.Read})
+		}
+		processes = append(processes, st)
+		wantRefs += uint64(n)
+	}
+	prof, err := BuildScheduledProfile("mp", processes, 2, 1_000, DefaultCap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Refs != wantRefs {
+		t.Errorf("scheduled profile saw %d refs, want %d", prof.Refs, wantRefs)
+	}
+	if got := prof.Cluster[0].Reads() + prof.Cluster[0].Writes(); got != wantRefs {
+		t.Errorf("shared histogram holds %d accesses, want %d", got, wantRefs)
+	}
+	// Per-process cold counts equal each process's distinct footprint
+	// (disjoint address spaces: the shared cache sees the same lines).
+	var perProcCold, sharedCold uint64
+	for i := range prof.PerProc {
+		perProcCold += prof.PerProc[i].ColdReads
+	}
+	sharedCold = prof.Cluster[0].ColdReads
+	if perProcCold != sharedCold {
+		t.Errorf("disjoint processes: shared cold %d != per-process cold sum %d", sharedCold, perProcCold)
+	}
+	prof2, err := BuildScheduledProfile("mp", processes, 2, 1_000, DefaultCap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof2.Cluster[0].FarReads != prof.Cluster[0].FarReads ||
+		prof2.Issue[0][0] != prof.Issue[0][0] || prof2.Issue[0][1] != prof.Issue[0][1] {
+		t.Error("scheduled profile is not deterministic")
+	}
+	if _, err := BuildScheduledProfile("mp", processes, 0, 1_000, 8); err == nil {
+		t.Error("BuildScheduledProfile accepted zero slots")
+	}
+}
+
+// TestPredictMonotonicInSize: bigger caches cannot predict more misses.
+func TestPredictMonotonicInSize(t *testing.T) {
+	prog := syntheticProgram(t, 2, 10_000, 2048)
+	comp, err := trace.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := BuildProfile(comp, 1, DefaultCap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	prevCycles := uint64(math.MaxUint64)
+	for _, size := range sysmodel.SCCSizes {
+		pred, err := prof.Predict(size, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred.ReadMissRate > prev+1e-12 {
+			t.Errorf("miss rate rose from %.5f to %.5f at %d bytes", prev, pred.ReadMissRate, size)
+		}
+		if pred.EstCycles > prevCycles {
+			t.Errorf("estimated cycles rose from %d to %d at %d bytes", prevCycles, pred.EstCycles, size)
+		}
+		prev, prevCycles = pred.ReadMissRate, pred.EstCycles
+	}
+	if _, err := prof.Predict(1, 1); err == nil {
+		t.Error("Predict accepted a sub-line cache size")
+	}
+}

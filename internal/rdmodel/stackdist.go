@@ -1,0 +1,131 @@
+package rdmodel
+
+import "sort"
+
+// tracker computes LRU stack distances (reuse distances) over a stream
+// of cache-line indices, capped at cap: an access's distance is the
+// number of *distinct* other lines touched since the previous access to
+// the same line, or distFar when that count is at least cap, or
+// distCold on the first-ever access. Distances below the cap are exact.
+//
+// The classic algorithm (Bennett & Kruskal): keep each line's
+// last-access time and a Fenwick tree with one set bit per live line at
+// its last-access slot; the distance is then a prefix-sum difference in
+// O(log n). Time slots grow without bound, so the tracker compacts
+// periodically — it keeps only the cap most-recently-used lines (any
+// older line would report distFar anyway), reassigns their slots
+// densely, and rebuilds the tree. With slots = 4*cap the compaction
+// cost is amortized over at least 3*cap accesses, keeping the whole
+// pass O(N log cap).
+type tracker struct {
+	cap   int
+	slots int
+	// bit is the Fenwick tree (1-indexed) over time slots; bit position
+	// s+1 covers slot s. Each tracked line contributes one set slot (its
+	// last access).
+	bit []int32
+	// t is the next time slot to assign.
+	t int
+	// last maps a tracked line to its last-access slot. Lines evicted by
+	// compaction leave the map; a later access to one reports distFar.
+	last map[uint32]int32
+	// seen holds every line ever accessed, distinguishing cold (first
+	// touch) from far (tracked once, since aged out).
+	seen map[uint32]struct{}
+}
+
+// Sentinel distances returned by access alongside the exact ones.
+const (
+	// distFar: the reuse distance is >= cap (exact value not tracked).
+	distFar = -1
+	// distCold: first-ever access to the line (a compulsory miss at any
+	// cache size).
+	distCold = -2
+)
+
+func newTracker(capLines int) *tracker {
+	if capLines < 1 {
+		capLines = 1
+	}
+	return &tracker{
+		cap:   capLines,
+		slots: 4 * capLines,
+		bit:   make([]int32, 4*capLines+1),
+		last:  make(map[uint32]int32),
+		seen:  make(map[uint32]struct{}),
+	}
+}
+
+// access records a reference to line and returns its reuse distance:
+// an exact value in [0, cap), or distFar, or distCold.
+func (tk *tracker) access(line uint32) int {
+	if tk.t == tk.slots {
+		tk.compact()
+	}
+	d := distCold
+	if lt, ok := tk.last[line]; ok {
+		// Lines touched after slot lt each hold one set slot in (lt, t).
+		d = int(tk.prefix(tk.t-1) - tk.prefix(int(lt)))
+		if d >= tk.cap {
+			d = distFar
+		}
+		tk.clearSlot(int(lt))
+	} else if _, ok := tk.seen[line]; ok {
+		d = distFar
+	} else {
+		tk.seen[line] = struct{}{}
+	}
+	tk.setSlot(tk.t)
+	tk.last[line] = int32(tk.t)
+	tk.t++
+	return d
+}
+
+// compact drops all but the cap most-recently-used lines and renumbers
+// the survivors' slots densely from zero.
+func (tk *tracker) compact() {
+	type lineAt struct {
+		line uint32
+		at   int32
+	}
+	live := make([]lineAt, 0, len(tk.last))
+	for ln, at := range tk.last {
+		live = append(live, lineAt{ln, at})
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].at < live[j].at })
+	if len(live) > tk.cap {
+		for _, e := range live[:len(live)-tk.cap] {
+			delete(tk.last, e.line)
+		}
+		live = live[len(live)-tk.cap:]
+	}
+	for i := range tk.bit {
+		tk.bit[i] = 0
+	}
+	for i, e := range live {
+		tk.last[e.line] = int32(i)
+		tk.setSlot(i)
+	}
+	tk.t = len(live)
+}
+
+// prefix returns the number of set slots in [0, s]; s may be -1.
+func (tk *tracker) prefix(s int) int32 {
+	var sum int32
+	for i := s + 1; i > 0; i -= i & -i {
+		sum += tk.bit[i]
+	}
+	return sum
+}
+
+func (tk *tracker) setSlot(s int) {
+	for i := s + 1; i <= tk.slots; i += i & -i {
+		tk.bit[i]++
+	}
+}
+
+func (tk *tracker) clearSlot(s int) {
+	for i := s + 1; i <= tk.slots; i += i & -i {
+		tk.bit[i]--
+	}
+}

@@ -107,6 +107,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	backend, err := resolveBackend(req.Backend)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	scale, err := resolveScale(req.Scale, req.Seed, req.ScaleSpec)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -121,11 +126,18 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	spec := sccsim.Spec{
 		Scale: &scale, Parallelism: s.jobParallelism(req.Parallelism),
 		TraceCacheDir: s.opts.TraceCacheDir, Verify: verify,
+		Backend: string(backend),
 	}
 	if req.Sim != nil {
 		spec.Sim = &sim
 	}
-	key := sweepKey(workload, scale, sim, verify)
+	// Contradictory specs — verification or simulator ablations on the
+	// analytic backend — are client errors, not server faults.
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := sweepKey(workload, backend, scale, sim, verify)
 	adm, aerr := s.admit(key, func(id string) *job {
 		return newJob(id, key, jobSweep, workload, spec, time.Duration(req.TimeoutMS)*time.Millisecond)
 	})
@@ -166,7 +178,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 func (s *Server) sweepResponse(j *job, source string, includeResult bool) *SweepResponse {
 	state, _, grid, _, report, err, _ := j.snapshot()
 	resp := &SweepResponse{
-		ID: j.id, Status: state.String(), Workload: string(j.workload), Cache: source,
+		ID: j.id, Status: state.String(), Workload: string(j.workload),
+		Backend: j.spec.Backend, Cache: source,
 	}
 	if !includeResult {
 		return resp
@@ -229,6 +242,7 @@ func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
 	state, last, grid, _, report, err, coalesced := j.snapshot()
 	st := &JobStatus{
 		ID: j.id, Status: state.String(), Workload: string(j.workload),
+		Backend:   j.spec.Backend,
 		Coalesced: coalesced,
 		AgeMS:     time.Since(j.created).Milliseconds(),
 	}
@@ -260,6 +274,11 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	backend, err := resolveBackend(req.Backend)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	scale, err := resolveScale(req.Scale, req.Seed, req.ScaleSpec)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -282,11 +301,16 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 		Scale: &scale, ProcsPerCluster: ppc, SCCBytes: scc,
 		Parallelism:   s.jobParallelism(0),
 		TraceCacheDir: s.opts.TraceCacheDir, Verify: verify,
+		Backend:       string(backend),
 	}
 	if req.Sim != nil {
 		spec.Sim = &sim
 	}
-	key := pointKey(workload, ppc, scc, scale, sim, verify)
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := pointKey(workload, backend, ppc, scc, scale, sim, verify)
 	adm, aerr := s.admit(key, func(id string) *job {
 		return newJob(id, key, jobPoint, workload, spec, time.Duration(req.TimeoutMS)*time.Millisecond)
 	})
@@ -303,7 +327,7 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 	state, _, _, point, _, jerr, _ := j.snapshot()
 	resp := &PointResponse{
 		ID: j.id, Status: state.String(), Workload: string(j.workload),
-		Cache: adm.source, Point: point,
+		Backend: j.spec.Backend, Cache: adm.source, Point: point,
 	}
 	code := http.StatusOK
 	if jerr != nil {

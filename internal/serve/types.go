@@ -73,6 +73,13 @@ func (s *SimSpec) toOptions() sccsim.Options {
 type SweepRequest struct {
 	// Workload is one of barnes-hut, mp3d, cholesky, multiprog.
 	Workload string `json:"workload"`
+	// Backend selects the execution engine: "exact" (default, the
+	// cycle simulator) or "analytic" (the reuse-distance model — the
+	// full grid from one profile pass, orders of magnitude faster, with
+	// the accuracy contract documented in docs/API.md). The backend
+	// changes the numbers, so it is part of the content key: exact and
+	// analytic requests never coalesce or share cache entries.
+	Backend string `json:"backend,omitempty"`
 	// Scale names a problem-size preset: "paper" (default) or "quick".
 	Scale string `json:"scale,omitempty"`
 	// Seed overrides the preset's generator seed (0: keep the preset's).
@@ -105,6 +112,9 @@ type SweepRequest struct {
 type PointRequest struct {
 	// Workload is one of barnes-hut, mp3d, cholesky, multiprog.
 	Workload string `json:"workload"`
+	// Backend selects the execution engine: "exact" (default) or
+	// "analytic" (see SweepRequest.Backend).
+	Backend string `json:"backend,omitempty"`
 	// Scale names a problem-size preset: "paper" (default) or "quick".
 	Scale string `json:"scale,omitempty"`
 	// Seed overrides the preset's generator seed (0: keep the preset's).
@@ -143,6 +153,15 @@ func resolveScale(preset string, seed int64, spec *ScaleSpec) (sccsim.Scale, err
 	return s, nil
 }
 
+// resolveBackend normalizes a request's backend: empty means exact,
+// anything else must parse against the library's backend list.
+func resolveBackend(name string) (sccsim.Backend, error) {
+	if name == "" {
+		return sccsim.BackendExact, nil
+	}
+	return sccsim.ParseBackend(name)
+}
+
 // scaleKeyPart canonicalizes a resolved scale for the content key.
 func scaleKeyPart(s sccsim.Scale) string {
 	return fmt.Sprintf("seed%d-bb%d-bs%d-mp%d-ms%d-mr%d-cw%d-ch%d",
@@ -159,14 +178,15 @@ func simKeyPart(o sccsim.Options, verify bool) string {
 
 // sweepKey builds the sweep content digest: the same SHA-256 keying
 // scheme the trace disk cache uses (trace.KeyDigest), over everything
-// that determines the grid's content.
-func sweepKey(w sccsim.Workload, s sccsim.Scale, o sccsim.Options, verify bool) string {
-	return trace.KeyDigest(fmt.Sprintf("sweep-%s-%s-%s", w, scaleKeyPart(s), simKeyPart(o, verify)))
+// that determines the grid's content — including the backend, since
+// the two backends compute different numbers for the same experiment.
+func sweepKey(w sccsim.Workload, b sccsim.Backend, s sccsim.Scale, o sccsim.Options, verify bool) string {
+	return trace.KeyDigest(fmt.Sprintf("sweep-%s-%s-%s-%s", w, b, scaleKeyPart(s), simKeyPart(o, verify)))
 }
 
 // pointKey builds the single-point content digest.
-func pointKey(w sccsim.Workload, ppc, scc int, s sccsim.Scale, o sccsim.Options, verify bool) string {
-	return trace.KeyDigest(fmt.Sprintf("point-%s-p%d-c%d-%s-%s", w, ppc, scc, scaleKeyPart(s), simKeyPart(o, verify)))
+func pointKey(w sccsim.Workload, b sccsim.Backend, ppc, scc int, s sccsim.Scale, o sccsim.Options, verify bool) string {
+	return trace.KeyDigest(fmt.Sprintf("point-%s-%s-p%d-c%d-%s-%s", w, b, ppc, scc, scaleKeyPart(s), simKeyPart(o, verify)))
 }
 
 // SweepResponse is the terminal body of a sweep request: the full
@@ -179,6 +199,10 @@ type SweepResponse struct {
 	Status string `json:"status"`
 	// Workload echoes the request.
 	Workload string `json:"workload"`
+	// Backend is the resolved execution backend ("exact" or
+	// "analytic"), echoed so clients see which engine produced the grid
+	// even when they relied on the default.
+	Backend string `json:"backend"`
 	// Cache says how admission resolved: "miss" (this request created
 	// the job), "coalesced" (attached to an identical in-flight job) or
 	// "hit" (served from the result cache).
@@ -199,6 +223,9 @@ type PointResponse struct {
 	Status string `json:"status"`
 	// Workload echoes the request.
 	Workload string `json:"workload"`
+	// Backend is the resolved execution backend (see
+	// SweepResponse.Backend).
+	Backend string `json:"backend"`
 	// Cache says how admission resolved (see SweepResponse.Cache).
 	Cache string `json:"cache,omitempty"`
 	// Point is the simulated design point (present when done).
@@ -217,6 +244,9 @@ type JobStatus struct {
 	Status string `json:"status"`
 	// Workload the job runs.
 	Workload string `json:"workload"`
+	// Backend is the job's resolved execution backend (see
+	// SweepResponse.Backend).
+	Backend string `json:"backend"`
 	// Done and Total count completed and scheduled design points from
 	// the engine's latest progress event (0/0 before the first).
 	Done  int `json:"done"`

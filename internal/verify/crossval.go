@@ -1,0 +1,152 @@
+// Cross-validation of the analytic backend against the exact
+// simulator: the data model and bounds checking for comparing two
+// full-grid sweeps point by point. Like the rest of this package it is
+// deliberately simulator-free — it sees only numbers (miss ratios and
+// cycle counts per design point), so it cannot inherit a bug from
+// either backend's machinery. The facade (sccsim.CrossValidate) runs
+// the two sweeps and hands the paired results here.
+package verify
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RelFloor is the miss-ratio floor used in relative-error denominators:
+// below it, a workload barely misses and tiny absolute differences
+// would explode into meaningless relative ones, so errors are compared
+// against the floor instead. (The paper's interesting miss ratios run
+// from a few percent to ~65%.)
+const RelFloor = 0.05
+
+// CrossPoint pairs one design point's exact and analytic results.
+type CrossPoint struct {
+	Clusters        int `json:"clusters"`
+	ProcsPerCluster int `json:"procs_per_cluster"`
+	SCCBytes        int `json:"scc_bytes"`
+
+	ExactMissRate    float64 `json:"exact_miss_rate"`
+	AnalyticMissRate float64 `json:"analytic_miss_rate"`
+	ExactCycles      uint64  `json:"exact_cycles"`
+	AnalyticCycles   uint64  `json:"analytic_cycles"`
+
+	// AbsErr is |exact - analytic| read miss ratio. RelErr is AbsErr
+	// relative to max(ExactMissRate, RelFloor). CycleRelErr is the
+	// cycle estimate's relative error against the exact makespan.
+	AbsErr      float64 `json:"abs_err"`
+	RelErr      float64 `json:"rel_err"`
+	CycleRelErr float64 `json:"cycle_rel_err"`
+}
+
+// CrossBounds is one workload's accuracy contract: the ceilings a
+// cross-validation report must stay under. A zero field disables that
+// check.
+type CrossBounds struct {
+	// MaxAbsErr bounds every point's absolute miss-ratio error.
+	MaxAbsErr float64 `json:"max_abs_err"`
+	// MeanAbsErr bounds the grid's mean absolute miss-ratio error.
+	MeanAbsErr float64 `json:"mean_abs_err"`
+	// MaxRelErr bounds every point's relative miss-ratio error (see
+	// RelFloor).
+	MaxRelErr float64 `json:"max_rel_err"`
+	// MaxCycleRelErr bounds every point's relative cycle-estimate error.
+	MaxCycleRelErr float64 `json:"max_cycle_rel_err"`
+}
+
+// CrossReport is a completed cross-validation: the paired points and
+// their error summary.
+type CrossReport struct {
+	Workload string       `json:"workload"`
+	Points   []CrossPoint `json:"points"`
+
+	MaxAbsErr      float64 `json:"max_abs_err"`
+	MeanAbsErr     float64 `json:"mean_abs_err"`
+	MaxRelErr      float64 `json:"max_rel_err"`
+	MaxCycleRelErr float64 `json:"max_cycle_rel_err"`
+}
+
+// NewCrossReport computes each pair's errors and the grid summary.
+// The error fields of the input points are overwritten.
+func NewCrossReport(workload string, points []CrossPoint) *CrossReport {
+	r := &CrossReport{Workload: workload, Points: points}
+	var sum float64
+	for i := range r.Points {
+		p := &r.Points[i]
+		p.AbsErr = abs(p.ExactMissRate - p.AnalyticMissRate)
+		den := p.ExactMissRate
+		if den < RelFloor {
+			den = RelFloor
+		}
+		p.RelErr = p.AbsErr / den
+		if p.ExactCycles > 0 {
+			p.CycleRelErr = abs(float64(p.AnalyticCycles)-float64(p.ExactCycles)) / float64(p.ExactCycles)
+		}
+		sum += p.AbsErr
+		if p.AbsErr > r.MaxAbsErr {
+			r.MaxAbsErr = p.AbsErr
+		}
+		if p.RelErr > r.MaxRelErr {
+			r.MaxRelErr = p.RelErr
+		}
+		if p.CycleRelErr > r.MaxCycleRelErr {
+			r.MaxCycleRelErr = p.CycleRelErr
+		}
+	}
+	if len(r.Points) > 0 {
+		r.MeanAbsErr = sum / float64(len(r.Points))
+	}
+	return r
+}
+
+// Check asserts the report against the bounds, returning a descriptive
+// error naming the first offending point (or summary statistic) on
+// violation.
+func (r *CrossReport) Check(b CrossBounds) error {
+	if len(r.Points) == 0 {
+		return fmt.Errorf("verify: cross-validation of %s has no points", r.Workload)
+	}
+	for i := range r.Points {
+		p := &r.Points[i]
+		if b.MaxAbsErr > 0 && p.AbsErr > b.MaxAbsErr {
+			return fmt.Errorf("verify: %s %dx%dP/%dKB: miss-ratio error %.4f (exact %.4f, analytic %.4f) exceeds bound %.4f",
+				r.Workload, p.Clusters, p.ProcsPerCluster, p.SCCBytes/1024, p.AbsErr, p.ExactMissRate, p.AnalyticMissRate, b.MaxAbsErr)
+		}
+		if b.MaxRelErr > 0 && p.RelErr > b.MaxRelErr {
+			return fmt.Errorf("verify: %s %dx%dP/%dKB: relative miss-ratio error %.3f exceeds bound %.3f",
+				r.Workload, p.Clusters, p.ProcsPerCluster, p.SCCBytes/1024, p.RelErr, b.MaxRelErr)
+		}
+		if b.MaxCycleRelErr > 0 && p.CycleRelErr > b.MaxCycleRelErr {
+			return fmt.Errorf("verify: %s %dx%dP/%dKB: cycle-estimate error %.3f (exact %d, analytic %d) exceeds bound %.3f",
+				r.Workload, p.Clusters, p.ProcsPerCluster, p.SCCBytes/1024, p.CycleRelErr, p.ExactCycles, p.AnalyticCycles, b.MaxCycleRelErr)
+		}
+	}
+	if b.MeanAbsErr > 0 && r.MeanAbsErr > b.MeanAbsErr {
+		return fmt.Errorf("verify: %s: mean miss-ratio error %.4f over %d points exceeds bound %.4f",
+			r.Workload, r.MeanAbsErr, len(r.Points), b.MeanAbsErr)
+	}
+	return nil
+}
+
+// String renders the report as a fixed-width table (one row per point)
+// with the summary line the CLI prints.
+func (r *CrossReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cross-validation: %s (%d points)\n", r.Workload, len(r.Points))
+	sb.WriteString("  cfg            exact    analytic  |err|   rel     cyc-rel\n")
+	for i := range r.Points {
+		p := &r.Points[i]
+		fmt.Fprintf(&sb, "  %dx%dP/%4dKB  %.4f   %.4f    %.4f  %5.1f%%  %5.1f%%\n",
+			p.Clusters, p.ProcsPerCluster, p.SCCBytes/1024,
+			p.ExactMissRate, p.AnalyticMissRate, p.AbsErr, 100*p.RelErr, 100*p.CycleRelErr)
+	}
+	fmt.Fprintf(&sb, "  max |err| %.4f  mean |err| %.4f  max rel %.1f%%  max cyc-rel %.1f%%\n",
+		r.MaxAbsErr, r.MeanAbsErr, 100*r.MaxRelErr, 100*r.MaxCycleRelErr)
+	return sb.String()
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

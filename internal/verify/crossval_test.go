@@ -1,0 +1,72 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewCrossReportComputesErrors(t *testing.T) {
+	r := NewCrossReport("test", []CrossPoint{
+		{Clusters: 4, ProcsPerCluster: 1, SCCBytes: 4096,
+			ExactMissRate: 0.40, AnalyticMissRate: 0.44, ExactCycles: 1000, AnalyticCycles: 1100},
+		{Clusters: 4, ProcsPerCluster: 2, SCCBytes: 4096,
+			ExactMissRate: 0.02, AnalyticMissRate: 0.03, ExactCycles: 2000, AnalyticCycles: 1800},
+	})
+	p0, p1 := r.Points[0], r.Points[1]
+	if !close(p0.AbsErr, 0.04) || !close(p0.RelErr, 0.10) || !close(p0.CycleRelErr, 0.10) {
+		t.Errorf("point 0 errors: %+v", p0)
+	}
+	// Point 1 sits below RelFloor: the relative error is taken against
+	// the floor, not the 0.02 exact rate.
+	if !close(p1.AbsErr, 0.01) || !close(p1.RelErr, 0.01/RelFloor) || !close(p1.CycleRelErr, 0.10) {
+		t.Errorf("point 1 errors: %+v", p1)
+	}
+	if !close(r.MaxAbsErr, 0.04) || !close(r.MeanAbsErr, 0.025) || !close(r.MaxRelErr, 0.20) {
+		t.Errorf("summary: %+v", r)
+	}
+}
+
+func TestCrossReportCheck(t *testing.T) {
+	r := NewCrossReport("mp3d", []CrossPoint{
+		{Clusters: 4, ProcsPerCluster: 8, SCCBytes: 4096,
+			ExactMissRate: 0.76, AnalyticMissRate: 0.52, ExactCycles: 1000, AnalyticCycles: 700},
+	})
+	if err := r.Check(CrossBounds{MaxAbsErr: 0.30, MaxRelErr: 0.40, MaxCycleRelErr: 0.40}); err != nil {
+		t.Errorf("within bounds but Check failed: %v", err)
+	}
+	err := r.Check(CrossBounds{MaxAbsErr: 0.10})
+	if err == nil || !strings.Contains(err.Error(), "4x8P/4KB") {
+		t.Errorf("abs-bound violation should name the point: %v", err)
+	}
+	if err := r.Check(CrossBounds{MaxCycleRelErr: 0.10}); err == nil ||
+		!strings.Contains(err.Error(), "cycle-estimate") {
+		t.Errorf("cycle-bound violation: %v", err)
+	}
+	// Zero fields disable their checks entirely.
+	if err := r.Check(CrossBounds{}); err != nil {
+		t.Errorf("zero bounds should pass: %v", err)
+	}
+	if err := r.Check(CrossBounds{MeanAbsErr: 0.01}); err == nil ||
+		!strings.Contains(err.Error(), "mean") {
+		t.Errorf("mean-bound violation: %v", err)
+	}
+	empty := NewCrossReport("empty", nil)
+	if err := empty.Check(CrossBounds{}); err == nil || !strings.Contains(err.Error(), "no points") {
+		t.Errorf("empty report must fail Check: %v", err)
+	}
+}
+
+func TestCrossReportString(t *testing.T) {
+	r := NewCrossReport("cholesky", []CrossPoint{
+		{Clusters: 4, ProcsPerCluster: 4, SCCBytes: 32768,
+			ExactMissRate: 0.53, AnalyticMissRate: 0.50, ExactCycles: 10, AnalyticCycles: 11},
+	})
+	s := r.String()
+	for _, want := range []string{"cholesky", "4x4P/  32KB", "0.5300", "max |err|"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func close(a, b float64) bool { return abs(a-b) < 1e-9 }

@@ -105,6 +105,7 @@ func buildManifest(w Workload, c expCfg, g *Grid, rep *SweepReport) *RunManifest
 			CPUs: runtime.NumCPU(), GoVersion: runtime.Version(),
 		},
 		Workload:    string(w),
+		Backend:     string(c.backend),
 		Scale:       c.scale,
 		Parallelism: c.parallelism,
 		Grid: obs.GridAxes{
@@ -121,6 +122,7 @@ func buildManifest(w Workload, c expCfg, g *Grid, rep *SweepReport) *RunManifest
 				ProcsPerCluster: pt.Config.ProcsPerCluster,
 				SCCBytes:        pt.Config.SCCBytes,
 				Clusters:        pt.Config.Clusters,
+				Backend:         string(c.backend),
 				Cycles:          r.Cycles,
 				Refs:            r.Refs,
 				ReadMissRate:    r.ReadMissRate(),

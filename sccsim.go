@@ -35,6 +35,7 @@ package sccsim
 
 import (
 	"context"
+	"fmt"
 	"io"
 
 	"sccsim/internal/area"
@@ -113,8 +114,13 @@ type Progress = explorer.Progress
 
 // expCfg is the resolved configuration of one Do/SweepCtx experiment.
 type expCfg struct {
-	scale       Scale
-	sim         Options
+	scale Scale
+	sim   Options
+	// simSet records that WithSimOptions was used (the zero Options is
+	// also the default, so presence needs its own bit — the analytic
+	// backend rejects simulator tuning).
+	simSet      bool
+	backend     Backend
 	cfg         *Config
 	ppc, scc    int
 	parallelism int
@@ -143,8 +149,8 @@ func WithScale(s Scale) Opt { return func(c *expCfg) { c.scale = s } }
 
 // WithSimOptions sets simulator options beyond the architectural
 // configuration (write-buffer depth, ablations; default: the paper's
-// model).
-func WithSimOptions(o Options) Opt { return func(c *expCfg) { c.sim = o } }
+// model). Exact backend only.
+func WithSimOptions(o Options) Opt { return func(c *expCfg) { c.sim, c.simSet = o, true } }
 
 // WithConfig pins Do to an arbitrary design point (cluster count,
 // associativity, load latency all free). Overrides WithPoint. Only
@@ -187,23 +193,30 @@ func WithTraceCache(dir string) Opt { return func(c *expCfg) { c.traceCacheDir =
 // WithSimOptions in either order.
 func WithVerify() Opt { return func(c *expCfg) { c.verify = true } }
 
-func resolve(opts []Opt) expCfg {
-	c := expCfg{scale: PaperScale(), ppc: 1, scc: 64 * 1024}
+func resolve(opts []Opt) (expCfg, error) {
+	c := expCfg{scale: PaperScale(), ppc: 1, scc: 64 * 1024, backend: BackendExact}
 	for _, o := range opts {
 		o(&c)
+	}
+	if c.backend == "" {
+		c.backend = BackendExact
+	}
+	if err := c.validate(); err != nil {
+		return c, err
 	}
 	// Applied after all opts so a later WithSimOptions cannot silently
 	// drop an earlier WithVerify.
 	if c.verify && c.sim.Verify == nil {
 		c.sim.Verify = &verify.Options{}
 	}
-	return c
+	return c, nil
 }
 
 func (c expCfg) engine() (explorer.EngineOptions, error) {
 	eng := explorer.EngineOptions{
 		Parallelism: c.parallelism, Progress: c.progress,
 		Report: c.reportFn, Metrics: c.metrics,
+		Backend: c.backend,
 	}
 	if c.traceCacheDir != "" {
 		dc, err := trace.NewDiskCache(c.traceCacheDir)
@@ -215,14 +228,26 @@ func (c expCfg) engine() (explorer.EngineOptions, error) {
 	return eng, nil
 }
 
-// Do simulates one workload at one design point — the single entry point
-// behind Run/RunWithOptions/RunConfig. The design point comes from
-// WithConfig or WithPoint (default: the paper's 1P/64KB baseline);
-// problem sizes from WithScale (default: PaperScale). Workload traces
-// are generated once per (workload, processors, scale) and cached, so
-// repeated experiments over the same trace pay for generation once.
+// Do evaluates one workload at one design point — the single entry
+// point behind the legacy Run wrappers (see compat.go). The design
+// point comes from WithConfig or WithPoint (default: the paper's
+// 1P/64KB baseline); problem sizes from WithScale (default:
+// PaperScale); the backend from WithBackend (default: the exact
+// simulator). Workload traces are generated once per (workload,
+// processors, scale) and cached, so repeated experiments over the same
+// trace pay for generation once; the analytic backend likewise shares
+// one reuse-distance profile per system shape.
 func Do(ctx context.Context, w Workload, opts ...Opt) (*Point, error) {
-	c := resolve(opts)
+	c, err := resolve(opts)
+	if err != nil {
+		return nil, err
+	}
+	if c.backend == BackendAnalytic {
+		if c.cfg != nil {
+			return explorer.RunConfigAnalyticCtx(ctx, w, *c.cfg, c.scale)
+		}
+		return explorer.RunPointAnalyticCtx(ctx, w, c.ppc, c.scc, c.scale)
+	}
 	var ts *obs.TraceSet
 	if c.traceW != nil {
 		// Single-run trace: one collector, wired straight into the
@@ -239,7 +264,6 @@ func Do(ctx context.Context, w Workload, opts ...Opt) (*Point, error) {
 	}
 	c.sim.Metrics = c.metrics
 	var pt *Point
-	var err error
 	if c.cfg != nil {
 		pt, err = explorer.RunConfigCtx(ctx, w, *c.cfg, c.scale, c.sim)
 	} else {
@@ -268,8 +292,15 @@ func Do(ctx context.Context, w Workload, opts ...Opt) (*Point, error) {
 // additionally records per-run timelines (one bounded collector per
 // design point) and writes the trace and the versioned run manifest
 // after the sweep completes; see manifest.go.
+// With WithBackend(BackendAnalytic) every point is predicted from a
+// cached reuse-distance profile instead of simulated — same grid, same
+// engine, same manifests (stamped with the backend), a fraction of the
+// wall time.
 func SweepCtx(ctx context.Context, w Workload, opts ...Opt) (*Grid, error) {
-	c := resolve(opts)
+	c, err := resolve(opts)
+	if err != nil {
+		return nil, err
+	}
 	c.sim.Metrics = c.metrics
 	eng, err := c.engine()
 	if err != nil {
@@ -291,7 +322,12 @@ func SweepCtx(ctx context.Context, w Workload, opts ...Opt) (*Grid, error) {
 		}
 	}
 
-	g, err := explorer.SweepCtx(ctx, w, c.scale, c.sim, eng)
+	var g *Grid
+	if c.backend == BackendAnalytic {
+		g, err = explorer.SweepAnalyticCtx(ctx, w, c.scale, eng)
+	} else {
+		g, err = explorer.SweepCtx(ctx, w, c.scale, c.sim, eng)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -310,9 +346,17 @@ func SweepCtx(ctx context.Context, w Workload, opts ...Opt) (*Grid, error) {
 
 // BuildCostPerfEntryCtx simulates a workload on the four Section 4
 // implementations (1P/64KB, 2P/32KB, 4P/64KB, 8P/128KB) on the
-// concurrent sweep engine.
+// concurrent sweep engine. The cost/performance tables are the paper's
+// headline numbers, so this path is exact-only: selecting the analytic
+// backend is an error.
 func BuildCostPerfEntryCtx(ctx context.Context, w Workload, opts ...Opt) (*CostPerfEntry, error) {
-	c := resolve(opts)
+	c, err := resolve(opts)
+	if err != nil {
+		return nil, err
+	}
+	if c.backend == BackendAnalytic {
+		return nil, fmt.Errorf("sccsim: cost/performance entries require the exact backend")
+	}
 	eng, err := c.engine()
 	if err != nil {
 		return nil, err
@@ -323,28 +367,6 @@ func BuildCostPerfEntryCtx(ctx context.Context, w Workload, opts ...Opt) (*CostP
 // ResetTraceCache drops every cached workload trace, releasing memory
 // after paper-scale experiments.
 func ResetTraceCache() { explorer.ResetTraceCache() }
-
-// Run simulates one workload at one design point.
-//
-// Deprecated: use Do with WithPoint and WithScale.
-func Run(w Workload, procsPerCluster, sccBytes int, s Scale) (*Point, error) {
-	return Do(context.Background(), w, WithPoint(procsPerCluster, sccBytes), WithScale(s))
-}
-
-// RunWithOptions is Run with explicit simulator options.
-//
-// Deprecated: use Do with WithPoint, WithScale and WithSimOptions.
-func RunWithOptions(w Workload, procsPerCluster, sccBytes int, s Scale, opts Options) (*Point, error) {
-	return Do(context.Background(), w, WithPoint(procsPerCluster, sccBytes), WithScale(s), WithSimOptions(opts))
-}
-
-// RunConfig simulates a parallel workload on an arbitrary configuration
-// (cluster count, associativity, load latency all free).
-//
-// Deprecated: use Do with WithConfig.
-func RunConfig(w Workload, cfg Config, s Scale, opts Options) (*Point, error) {
-	return Do(context.Background(), w, WithConfig(cfg), WithScale(s), WithSimOptions(opts))
-}
 
 // RunPrivateCaches simulates a parallel workload on the paper's
 // alternative cluster organization (Section 2.1): private per-processor
@@ -384,22 +406,6 @@ func RunFlat(w Workload, totalProcs, cacheBytes int, s Scale) (*Point, error) {
 		return nil, err
 	}
 	return &Point{Config: cfg, Result: res}, nil
-}
-
-// Sweep runs a workload over the full processor-cache design space
-// (Figures 2-6 of the paper) on the concurrent sweep engine at the
-// default parallelism.
-//
-// Deprecated: use SweepCtx with WithScale.
-func Sweep(w Workload, s Scale) (*Grid, error) {
-	return SweepCtx(context.Background(), w, WithScale(s))
-}
-
-// SweepWithOptions is Sweep with explicit simulator options (ablations).
-//
-// Deprecated: use SweepCtx with WithScale and WithSimOptions.
-func SweepWithOptions(w Workload, s Scale, opts Options) (*Grid, error) {
-	return SweepCtx(context.Background(), w, WithScale(s), WithSimOptions(opts))
 }
 
 // GenerateTrace builds the raw per-processor reference trace for a

@@ -33,7 +33,23 @@ type Spec struct {
 	// TraceCacheDir roots the persistent on-disk trace cache ("" : none).
 	TraceCacheDir string
 	// Verify attaches the coherence invariant checker to every run.
+	// Exact backend only.
 	Verify bool
+	// Backend selects the result-producing strategy: "exact" (the cycle
+	// simulator), "analytic" (the reuse-distance model), or "" for the
+	// default (exact). Unknown values fail with an error listing the
+	// valid names — at Validate, or at run time through Opts.
+	Backend string
+}
+
+// Validate checks the spec's data-borne fields without running
+// anything: an unknown Backend, or a combination the chosen backend
+// cannot honor (simulator options or Verify with the analytic model),
+// returns an actionable error. Servers call this before admitting a
+// request so bad input fails their 4xx path, not the run.
+func (s Spec) Validate() error {
+	_, err := resolve(s.Opts())
+	return err
 }
 
 // Opts converts the spec to the equivalent functional options.
@@ -66,6 +82,12 @@ func (s Spec) Opts() []Opt {
 	}
 	if s.Verify {
 		o = append(o, WithVerify())
+	}
+	if s.Backend != "" {
+		// The raw string converts unchecked; resolve validates it with
+		// the same error ParseBackend gives, so data-driven callers see
+		// the actionable message wherever the spec is first used.
+		o = append(o, WithBackend(Backend(s.Backend)))
 	}
 	return o
 }
