@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all check build test test-race race-obs fuzz-smoke vet quick bench bench-quick bench-json bench-compare experiments cover clean docs-check serve verify-analytic
+.PHONY: all check build test test-race race-obs obs-overhead obs-overhead-run fuzz-smoke vet quick bench bench-quick bench-json bench-compare experiments cover clean docs-check serve verify-analytic
 
 all: build vet test
 
 # Tier-1 gate: compile, vet, full test suite, race-enabled observability
 # and engine packages, documentation contract, analytic-backend accuracy
 # smoke.
-check: build vet test race-obs docs-check verify-analytic
+check: build vet test race-obs docs-check verify-analytic obs-overhead
 
 build:
 	$(GO) build ./...
@@ -58,6 +58,29 @@ serve:
 # enough for `make check` and CI.
 verify-analytic:
 	$(GO) run ./cmd/sccexplore -crossval barnes-hut -scale quick -quiet
+
+# Zero-overhead contract smoke: run the same quick-scale sweep with
+# observability fully disabled and fully enabled (metrics registry,
+# structured logging, manifest capture) and fail when the enabled run's
+# median per-point throughput drops more than OBS_THRESHOLD below the
+# disabled one. This is the executable form of the nil-disabled
+# contract: instrumentation must stay in the noise. Points run
+# sequentially (-parallel 1) so the timing compares simulator work, not
+# scheduler contention; the median is the contract, and the per-point
+# outlier floor is loosened (-severe-mult) because individual
+# quick-scale points run ~10-30ms and jitter by double-digit
+# percentages on a loaded machine.
+# A failed measurement is retried once: a transient load burst on a
+# shared machine can skew one whole sweep, and a real instrumentation
+# regression fails both attempts.
+OBS_THRESHOLD ?= 0.05
+obs-overhead:
+	@$(MAKE) --no-print-directory obs-overhead-run || { 		echo "obs-overhead: retrying once to rule out transient machine load"; 		$(MAKE) --no-print-directory obs-overhead-run; }
+
+obs-overhead-run:
+	$(GO) run ./cmd/sccexplore -csv barnes-hut -scale quick -quiet -parallel 1 -obs off -manifest /tmp/sccsim_obs_off.json > /dev/null
+	$(GO) run ./cmd/sccexplore -csv barnes-hut -scale quick -quiet -parallel 1 -obs on -manifest /tmp/sccsim_obs_on.json > /dev/null
+	$(GO) run ./cmd/benchcompare -threshold $(OBS_THRESHOLD) -severe-mult 10 /tmp/sccsim_obs_off.json /tmp/sccsim_obs_on.json
 
 # Seed-plus-30s coverage-guided fuzz of the two properties most worth
 # hammering: the verified simulator against the oracle model

@@ -11,7 +11,8 @@
 // wall times at quick scale jitter by tens of percent on a loaded
 // machine): the gate trips when the MEDIAN per-point throughput ratio
 // drops more than -threshold, or when any single point drops more than
-// three times the threshold, or when grid points are missing. Points
+// -severe-mult times the threshold (default three), or when grid points
+// are missing. Points
 // whose wall time is under 2ms on either side are excluded from the
 // throughput ratios entirely — at that duration the "measurement" is
 // scheduler jitter (analytic-backend points run in microseconds); their
@@ -215,7 +216,9 @@ func cli(args []string) int {
 	fs := flag.NewFlagSet("benchcompare", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	threshold := fs.Float64("threshold", 0.10,
-		"tolerated median throughput regression (0.10 = 10%); any single point may lose up to 3x this")
+		"tolerated median throughput regression (0.10 = 10%); any single point may lose up to -severe-mult times this")
+	severeMult := fs.Float64("severe-mult", 3,
+		"single-point failure multiplier: one point regressing more than severe-mult*threshold fails the gate (raise it when individual points are short enough to jitter)")
 	mergeOut := fs.String("merge", "",
 		"merge the input manifests' points into one manifest written to this file, then exit")
 	fs.Usage = func() {
@@ -263,7 +266,7 @@ func cli(args []string) int {
 		return a.clusters < b.clusters
 	})
 
-	severeFloor := 1 - 3*(*threshold)
+	severeFloor := 1 - *severeMult*(*threshold)
 	failures, warnings := 0, 0
 	var ratios []float64
 	for _, k := range keys {

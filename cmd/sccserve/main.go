@@ -9,11 +9,19 @@
 //
 // Routes:
 //
-//	POST /v1/sweep      full design-space sweep (sync, async or NDJSON stream)
-//	GET  /v1/sweep/{id} async job status and result
-//	POST /v1/point      one design point
-//	GET  /healthz       liveness and queue state
-//	GET  /metrics       metrics registry snapshot (JSON)
+//	POST /v1/sweep        full design-space sweep (sync, async or NDJSON stream)
+//	GET  /v1/sweep/{id}   async job status and result
+//	POST /v1/point        one design point
+//	GET  /healthz         liveness and queue state
+//	GET  /metrics         metrics registry (JSON, or Prometheus text via Accept)
+//	GET  /debug/requests  ring buffer of recent requests with span timings
+//
+// Observability: every request carries an X-Request-ID (generated when
+// the caller sends none) that appears in the response header, the
+// structured JSON logs on stderr (-log-level debug|info|warn|error),
+// the job record, and — with -manifest-dir — the run manifest written
+// for each sweep job. -debug-addr serves net/http/pprof and expvar on a
+// side listener, mirroring sccexplore.
 //
 // The process exits cleanly on SIGINT/SIGTERM: new submissions are
 // refused while admitted jobs drain, bounded by -drain-timeout.
@@ -23,16 +31,19 @@ package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"sccsim/internal/obs"
 	"sccsim/internal/serve"
 )
 
@@ -69,8 +80,22 @@ func cli(args []string) int {
 	parallel := fs.Int("parallel", 0, "engine worker-pool size per sweep (0 = GOMAXPROCS); results are identical for any value")
 	traceCacheDir := fs.String("trace-cache", "", "persist generated workload traces in this directory, shared by all jobs")
 	drainTimeout := fs.Duration("drain-timeout", time.Minute, "how long shutdown waits for running jobs before cancelling them")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)")
+	manifestDir := fs.String("manifest-dir", "", "write each sweep job's run manifest to <dir>/<job-id>.json, stamped with its request ID")
+	logLevel := fs.String("log-level", "info", "structured log level on stderr: debug, info, warn or error")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(stderr, "sccserve: %v\n", err)
+		return 2
+	}
+	if *manifestDir != "" {
+		if err := os.MkdirAll(*manifestDir, 0o755); err != nil {
+			fmt.Fprintf(stderr, "sccserve: manifest dir: %v\n", err)
+			return 1
+		}
 	}
 
 	svc := serve.New(serve.Options{
@@ -80,7 +105,24 @@ func cli(args []string) int {
 		JobTimeout:    *jobTimeout,
 		Parallelism:   *parallel,
 		TraceCacheDir: *traceCacheDir,
+		Logger:        obs.NewJSONLogger(stderr, level),
+		ManifestDir:   *manifestDir,
 	})
+	if *debugAddr != "" {
+		// Guard against re-registration when tests run cli repeatedly —
+		// expvar.Publish panics on duplicate names.
+		if expvar.Get("sccsim") == nil {
+			expvar.Publish("sccsim", expvar.Func(func() any { return svc.Metrics().Snapshot() }))
+		}
+		go func() {
+			// DefaultServeMux carries both the pprof handlers (via the
+			// package import) and expvar's /debug/vars.
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintf(stderr, "sccserve: debug server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(stderr, "sccserve: pprof and expvar on http://%s/debug/\n", *debugAddr)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(stderr, "sccserve: %v\n", err)

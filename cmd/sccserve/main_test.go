@@ -63,6 +63,27 @@ func TestServeSmoke(t *testing.T) {
 	if env.Status != "done" || len(env.Grid) == 0 {
 		t.Fatalf("sweep response status %q with %d grid bytes, want done with a grid", env.Status, len(env.Grid))
 	}
+	reqID := resp.Header.Get("X-Request-ID")
+	if reqID == "" {
+		t.Error("sweep response missing X-Request-ID header")
+	}
+
+	// The Prometheus rendering of /metrics is a content-negotiation away.
+	mreq, _ := http.NewRequest("GET", base+"/metrics", nil)
+	mreq.Header.Set("Accept", "text/plain")
+	mr, err := http.DefaultClient.Do(mreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prom bytes.Buffer
+	_, _ = prom.ReadFrom(mr.Body)
+	mr.Body.Close()
+	if ct := mr.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("prometheus content type = %q", ct)
+	}
+	if !strings.Contains(prom.String(), "# TYPE serve_jobs_done counter") {
+		t.Errorf("prometheus exposition missing serve_jobs_done:\n%s", prom.String())
+	}
 
 	close(testHookShutdown)
 	defer func() { testHookShutdown = make(chan struct{}) }()

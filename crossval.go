@@ -98,5 +98,24 @@ func CrossValidate(ctx context.Context, w Workload, opts ...Opt) (*CrossReport, 
 			})
 		}
 	}
-	return verify.NewCrossReport(string(w), pts), nil
+	rep := verify.NewCrossReport(string(w), pts)
+	publishCrossMetrics(opts, w, rep)
+	return rep, nil
+}
+
+// publishCrossMetrics exports a cross-validation's error summary as
+// float gauges (crossval.<workload>.*) when the caller attached a
+// metrics registry — the analytic backend's accuracy contract as a live
+// scrapeable surface rather than a test-only assertion.
+func publishCrossMetrics(opts []Opt, w Workload, rep *CrossReport) {
+	c, err := resolve(opts)
+	if err != nil || c.metrics == nil {
+		return
+	}
+	name := "crossval." + string(w)
+	c.metrics.FGauge(name + ".max_abs_err").Set(rep.MaxAbsErr)
+	c.metrics.FGauge(name + ".mean_abs_err").Set(rep.MeanAbsErr)
+	c.metrics.FGauge(name + ".max_rel_err").Set(rep.MaxRelErr)
+	c.metrics.FGauge(name + ".max_cycle_rel_err").Set(rep.MaxCycleRelErr)
+	c.metrics.Counter("crossval.runs").Inc()
 }

@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync"
@@ -130,6 +131,10 @@ type EngineOptions struct {
 	// The in-memory cache still fronts it, so a warm process touches
 	// disk once per distinct trace key.
 	TraceCache *trace.DiskCache
+	// Logger, when non-nil, receives a debug-level record per completed
+	// design point. The facade stamps it with the request ID, so engine
+	// logs are joinable to the request that ran the sweep.
+	Logger *slog.Logger
 }
 
 func (o EngineOptions) workers() int {
@@ -255,6 +260,14 @@ func runPoints(ctx context.Context, w Workload, jobs []pointJob, eng EngineOptio
 					m.Counter("explorer.points_done").Inc()
 					m.Histogram("explorer.point_ms", pointWallBucketsMS).
 						Observe(uint64(pointWall[idx].Milliseconds()))
+				}
+				if eng.Logger != nil {
+					eng.Logger.Debug("point done",
+						"workload", string(w),
+						"clusters", pt.Config.Clusters,
+						"procs_per_cluster", pt.Config.ProcsPerCluster,
+						"scc_bytes", pt.Config.SCCBytes,
+						"wall_ms", pointWall[idx].Milliseconds())
 				}
 				if eng.Progress != nil {
 					hits, misses, diskHits, generated := tc.loads()

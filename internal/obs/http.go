@@ -19,21 +19,44 @@ import (
 // histogram and the HTTP middleware so dashboards can overlay them.
 var LatencyBucketsMS = []uint64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 60000}
 
-// statusWriter captures the response status code while preserving the
-// http.Flusher the NDJSON streaming path depends on.
-type statusWriter struct {
+// StatusRecorder captures the response status code while preserving the
+// http.Flusher the NDJSON streaming path depends on. The serve layer's
+// request middleware shares it so the instrumentation and the request
+// log agree on what status a handler produced.
+type StatusRecorder struct {
 	http.ResponseWriter
 	status int
 }
 
-func (w *statusWriter) WriteHeader(code int) {
+// NewStatusRecorder wraps w.
+func NewStatusRecorder(w http.ResponseWriter) *StatusRecorder {
+	return &StatusRecorder{ResponseWriter: w}
+}
+
+// Status returns the recorded status code; an untouched response is
+// reported as 200, matching net/http's implicit WriteHeader.
+func (w *StatusRecorder) Status() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+// Wrote reports whether the handler has committed a status (explicitly
+// via WriteHeader or implicitly via Write) — after that, recovery paths
+// must not attempt to write a fresh error response.
+func (w *StatusRecorder) Wrote() bool { return w.status != 0 }
+
+// WriteHeader records the first status code and forwards it.
+func (w *StatusRecorder) WriteHeader(code int) {
 	if w.status == 0 {
 		w.status = code
 	}
 	w.ResponseWriter.WriteHeader(code)
 }
 
-func (w *statusWriter) Write(b []byte) (int, error) {
+// Write records an implicit 200 on first write and forwards the bytes.
+func (w *StatusRecorder) Write(b []byte) (int, error) {
 	if w.status == 0 {
 		w.status = http.StatusOK
 	}
@@ -41,7 +64,7 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 }
 
 // Flush forwards to the underlying writer when it supports streaming.
-func (w *statusWriter) Flush() {
+func (w *StatusRecorder) Flush() {
 	if f, ok := w.ResponseWriter.(http.Flusher); ok {
 		f.Flush()
 	}
@@ -78,15 +101,15 @@ func InstrumentHandler(reg *Registry, route string, h http.Handler) http.Handler
 		reg.Counter(name + ".requests").Inc()
 		reg.Gauge(name + ".inflight").Add(1)
 		start := time.Now()
-		sw := &statusWriter{ResponseWriter: w}
+		sw, reused := w.(*StatusRecorder)
+		if !reused {
+			sw = NewStatusRecorder(w)
+		}
 		defer func() {
 			reg.Gauge(name + ".inflight").Add(-1)
 			reg.Histogram(name+".ms", LatencyBucketsMS).
 				Observe(uint64(time.Since(start).Milliseconds()))
-			status := sw.status
-			if status == 0 {
-				status = http.StatusOK
-			}
+			status := sw.Status()
 			switch {
 			case status >= 500:
 				reg.Counter(name + ".status_5xx").Inc()

@@ -90,6 +90,80 @@ func TestStatusWriterFlush(t *testing.T) {
 	}
 }
 
+// TestInstrumentHandlerStreamedStatus: a streaming handler (the NDJSON
+// path) never calls WriteHeader explicitly — it writes, flushes, writes
+// more. The implicit 200 from the first Write must land in status_2xx,
+// and an explicit pre-stream status must win over later writes.
+func TestInstrumentHandlerStreamedStatus(t *testing.T) {
+	reg := NewRegistry()
+	h := InstrumentHandler(reg, "POST /v1/sweep", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("explicit") != "" {
+			w.WriteHeader(http.StatusAccepted)
+		}
+		f := w.(http.Flusher)
+		for i := 0; i < 3; i++ {
+			w.Write([]byte(`{"event":"progress"}` + "\n"))
+			f.Flush()
+		}
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	for _, q := range []string{"", "?explicit=1"} {
+		resp, err := http.Get(srv.URL + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if got := reg.Counter("http.v1_sweep.status_2xx").Value(); got != 2 {
+		t.Errorf("status_2xx = %d, want 2 (implicit and explicit streamed statuses)", got)
+	}
+	if got := reg.Counter("http.v1_sweep.status_5xx").Value(); got != 0 {
+		t.Errorf("status_5xx = %d, want 0", got)
+	}
+}
+
+// TestInstrumentHandlerReusesRecorder: when the writer is already a
+// *StatusRecorder (the serve request shell shares one), the middleware
+// must not re-wrap it — both layers have to agree on the status, even
+// one set by an inner recovery path after the handler returns.
+func TestInstrumentHandlerReusesRecorder(t *testing.T) {
+	reg := NewRegistry()
+	var inner http.ResponseWriter
+	h := InstrumentHandler(reg, "GET /x", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inner = w
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	rec := httptest.NewRecorder()
+	outer := NewStatusRecorder(rec)
+	h.ServeHTTP(outer, httptest.NewRequest("GET", "/x", nil))
+	if inner != outer {
+		t.Error("middleware re-wrapped an existing StatusRecorder")
+	}
+	if got := reg.Counter("http.x.status_5xx").Value(); got != 1 {
+		t.Errorf("status_5xx = %d, want 1", got)
+	}
+	if outer.Status() != http.StatusInternalServerError || !outer.Wrote() {
+		t.Errorf("recorder status = %d wrote = %v", outer.Status(), outer.Wrote())
+	}
+}
+
+// TestStatusRecorderDefaults: an untouched recorder reports the
+// implicit 200 but knows nothing was written.
+func TestStatusRecorderDefaults(t *testing.T) {
+	sr := NewStatusRecorder(httptest.NewRecorder())
+	if sr.Status() != 200 {
+		t.Errorf("Status = %d, want 200", sr.Status())
+	}
+	if sr.Wrote() {
+		t.Error("Wrote = true before any write")
+	}
+	sr.Write([]byte("x"))
+	if !sr.Wrote() || sr.Status() != 200 {
+		t.Errorf("after Write: status = %d wrote = %v", sr.Status(), sr.Wrote())
+	}
+}
+
 func TestMetricRoute(t *testing.T) {
 	cases := map[string]string{
 		"POST /v1/sweep":     "v1_sweep",

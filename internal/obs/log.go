@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewJSONLogger returns a slog.Logger writing one JSON object per line
+// to w at the given level. This is the one logger construction the repo
+// uses, so every layer emits the same shape (slog's standard time /
+// level / msg keys plus whatever attrs the site adds — request_id being
+// the load-bearing one for the serve path).
+func NewJSONLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// ParseLogLevel maps the usual level names (debug, info, warn, error,
+// case-insensitive) to slog levels, for -log-level flags.
+func ParseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", s)
+}

@@ -28,7 +28,10 @@ type Manifest struct {
 	// Backend that produced the points ("exact" or "analytic"); empty
 	// in manifests written before backends existed, which readers treat
 	// as exact.
-	Backend     string `json:"backend,omitempty"`
+	Backend string `json:"backend,omitempty"`
+	// RequestID joins this manifest to the HTTP request (and its
+	// structured log lines) that produced it; empty for CLI runs.
+	RequestID   string `json:"request_id,omitempty"`
 	Scale       any    `json:"scale"`
 	Parallelism int    `json:"parallelism"`
 

@@ -18,6 +18,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -79,6 +80,29 @@ func (g *Gauge) Value() int64 {
 	return g.v.Load()
 }
 
+// FGauge is a settable float64 metric for quantities that are not
+// naturally integral — error ratios, utilizations. The value is stored
+// as IEEE-754 bits in one atomic word, so Set and Value are lock-free,
+// safe for concurrent use, and no-ops / zero on a nil receiver.
+type FGauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *FGauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *FGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
 // Histogram is a fixed-bucket histogram of uint64 samples. Bounds are
 // inclusive upper bounds in ascending order; an implicit overflow bucket
 // catches samples above the last bound. Observations are lock-free
@@ -122,6 +146,68 @@ func (h *Histogram) Observe(v uint64) {
 	h.buckets[i].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
+}
+
+// LocalHistogram is a single-goroutine staging buffer in front of a
+// shared Histogram. Hot loops that observe per simulated event (the
+// simulator's stall histograms) would otherwise hammer the shared
+// histogram's atomics from every engine worker at once — cross-core
+// cacheline contention that costs double-digit percentages of sweep
+// throughput. Observing into a LocalHistogram is plain arithmetic with
+// no atomics; Flush merges the batch into the shared histogram in one
+// pass, typically once per simulated design point. Not safe for
+// concurrent use; nil receivers no-op like the rest of the package.
+type LocalHistogram struct {
+	h       *Histogram
+	bounds  []uint64 // h.bounds, lifted out for the scan in Observe
+	buckets []uint64
+	count   uint64
+	sum     uint64
+}
+
+// Local returns a staging buffer for this histogram (nil on nil, which
+// disables the downstream Observe/Flush sites for free).
+func (h *Histogram) Local() *LocalHistogram {
+	if h == nil {
+		return nil
+	}
+	return &LocalHistogram{h: h, bounds: h.bounds, buckets: make([]uint64, len(h.buckets))}
+}
+
+// Observe records one sample into the local batch. The bucket search is
+// a plain linear scan, not sort.Search: bucket layouts are a dozen
+// entries and typical samples land in the first few, so the scan beats
+// the closure-calling binary search by a wide margin in the simulator's
+// per-event hot path.
+func (l *LocalHistogram) Observe(v uint64) {
+	if l == nil {
+		return
+	}
+	b := l.bounds
+	i := 0
+	for i < len(b) && b[i] < v {
+		i++
+	}
+	l.buckets[i]++
+	l.count++
+	l.sum += v
+}
+
+// Flush merges the batch into the shared histogram and resets the
+// buffer, so a LocalHistogram can be flushed more than once.
+func (l *LocalHistogram) Flush() {
+	if l == nil || l.count == 0 {
+		return
+	}
+	for i, n := range l.buckets {
+		if n != 0 {
+			l.h.buckets[i].Add(n)
+			l.buckets[i] = 0
+		}
+	}
+	l.h.count.Add(l.count)
+	l.h.sum.Add(l.sum)
+	l.count, l.sum = 0, 0
 }
 
 // HistogramSnapshot is a point-in-time copy of a histogram's state.
@@ -205,6 +291,7 @@ type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	fgauges  map[string]*FGauge
 	hists    map[string]*Histogram
 }
 
@@ -213,6 +300,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
+		fgauges:  make(map[string]*FGauge),
 		hists:    make(map[string]*Histogram),
 	}
 }
@@ -249,6 +337,22 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// FGauge returns the named float gauge, creating it on first use (nil
+// on a nil registry).
+func (r *Registry) FGauge(name string) *FGauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.fgauges[name]
+	if !ok {
+		g = &FGauge{}
+		r.fgauges[name] = g
+	}
+	return g
+}
+
 // Histogram returns the named histogram, creating it with the given
 // bounds on first use; an existing histogram keeps its original bounds.
 // Returns nil on a nil registry.
@@ -275,11 +379,14 @@ func (r *Registry) Snapshot() map[string]any {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists))
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.fgauges)+len(r.hists))
 	for name, c := range r.counters {
 		out[name] = c.Value()
 	}
 	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, g := range r.fgauges {
 		out[name] = g.Value()
 	}
 	for name, h := range r.hists {

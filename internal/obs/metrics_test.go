@@ -199,3 +199,39 @@ func TestTraceSetPIDs(t *testing.T) {
 		t.Error("kindName resolution wrong")
 	}
 }
+
+// TestLocalHistogram: the staging buffer observes without atomics and
+// Flush merges the batch into the shared histogram, repeatably.
+func TestLocalHistogram(t *testing.T) {
+	var nilH *Histogram
+	if nilH.Local() != nil {
+		t.Fatal("nil histogram must hand out a nil local buffer")
+	}
+	var nilL *LocalHistogram
+	nilL.Observe(1) // no-op
+	nilL.Flush()
+
+	h := NewHistogram([]uint64{10, 100})
+	l := h.Local()
+	l.Observe(5)
+	l.Observe(50)
+	l.Observe(500)
+	if got := h.Snapshot().Count; got != 0 {
+		t.Errorf("shared histogram saw %d samples before Flush", got)
+	}
+	l.Flush()
+	s := h.Snapshot()
+	if s.Count != 3 || s.Sum != 555 {
+		t.Errorf("after flush: count=%d sum=%d, want 3/555", s.Count, s.Sum)
+	}
+	if s.Counts[0] != 1 || s.Counts[1] != 1 || s.Counts[2] != 1 {
+		t.Errorf("bucket counts = %v", s.Counts)
+	}
+	// Flush resets: a second batch adds, not doubles.
+	l.Observe(7)
+	l.Flush()
+	l.Flush() // empty flush no-ops
+	if got := h.Snapshot().Count; got != 4 {
+		t.Errorf("after second flush: count=%d, want 4", got)
+	}
+}

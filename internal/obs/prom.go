@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+)
+
+// PrometheusContentType is the Content-Type of the text exposition
+// format version 0.0.4 that WritePrometheus emits.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromName sanitizes a registry metric name into a legal Prometheus
+// metric name: the registry's dot- and dash-separated names become
+// underscore-separated ("http.v1_sweep.ms" -> "http_v1_sweep_ms"), any
+// other illegal character is replaced by an underscore, and a leading
+// digit is prefixed with one.
+func PromName(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			out = append(out, c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				out = append(out, '_')
+			}
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// WritePrometheus renders every metric in the registry in the
+// Prometheus text exposition format (version 0.0.4): counters and
+// gauges as single samples with a # TYPE line, histograms as the
+// conventional cumulative _bucket{le="..."} series plus _sum and
+// _count. Families are emitted in sorted name order so the output is
+// deterministic and diffable. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	type family struct {
+		name string
+		kind string // "counter", "gauge", "histogram"
+		emit func(io.Writer, string) error
+	}
+	fams := make([]family, 0, len(r.counters)+len(r.gauges)+len(r.fgauges)+len(r.hists))
+	for name, c := range r.counters {
+		v := c.Value()
+		fams = append(fams, family{name, "counter", func(w io.Writer, n string) error {
+			_, err := fmt.Fprintf(w, "%s %d\n", n, v)
+			return err
+		}})
+	}
+	for name, g := range r.gauges {
+		v := g.Value()
+		fams = append(fams, family{name, "gauge", func(w io.Writer, n string) error {
+			_, err := fmt.Fprintf(w, "%s %d\n", n, v)
+			return err
+		}})
+	}
+	for name, g := range r.fgauges {
+		v := g.Value()
+		fams = append(fams, family{name, "gauge", func(w io.Writer, n string) error {
+			_, err := fmt.Fprintf(w, "%s %g\n", n, v)
+			return err
+		}})
+	}
+	for name, h := range r.hists {
+		s := h.Snapshot()
+		fams = append(fams, family{name, "histogram", func(w io.Writer, n string) error {
+			var cum uint64
+			for i, bound := range s.Bounds {
+				cum += s.Counts[i]
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", n, bound, cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, s.Count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %d\n", n, s.Sum); err != nil {
+				return err
+			}
+			_, err := fmt.Fprintf(w, "%s_count %d\n", n, s.Count)
+			return err
+		}})
+	}
+	r.mu.Unlock()
+
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		n := PromName(f.name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", n, f.kind); err != nil {
+			return err
+		}
+		if err := f.emit(w, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CaptureRuntimeMetrics refreshes the registry's Go-runtime gauges —
+// goroutine count, heap occupancy, GC activity — under the go.* prefix
+// (exposed as the conventional go_* names in Prometheus form). Call it
+// at scrape time; it is a point-in-time sample, not a background
+// collector. No-op on a nil registry.
+func CaptureRuntimeMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge("go.goroutines").Set(int64(runtime.NumGoroutine()))
+	r.Gauge("go.heap_alloc_bytes").Set(int64(ms.HeapAlloc))
+	r.Gauge("go.heap_objects").Set(int64(ms.HeapObjects))
+	r.Gauge("go.next_gc_bytes").Set(int64(ms.NextGC))
+	r.Gauge("go.gc_cycles").Set(int64(ms.NumGC))
+	r.Gauge("go.gc_pause_total_ns").Set(int64(ms.PauseTotalNs))
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"go.goroutines":      "go_goroutines",
+		"http.v1_sweep.ms":   "http_v1_sweep_ms",
+		"serve.jobs-running": "serve_jobs_running",
+		"crossval.mp3d.max":  "crossval_mp3d_max",
+		"9lives":             "_9lives",
+		"already_legal:name": "already_legal:name",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// promLine matches one sample line of the text exposition format: a
+// legal metric name (with optional {le="..."} labels) and a number.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? [0-9eE.+-]+$|^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]*` +
+	` (counter|gauge|histogram)$`)
+
+// TestWritePrometheusFormat: every line of the exposition is either a
+// # TYPE line or a sample, histogram buckets are cumulative and end in
+// +Inf, and the families come out in sorted order.
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.jobs_done").Add(7)
+	r.Gauge("go.goroutines").Set(12)
+	r.FGauge("crossval.mp3d.max_abs_err").Set(0.25)
+	h := r.Histogram("serve.job_ms", []uint64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	for _, ln := range lines {
+		if !promLine.MatchString(ln) {
+			t.Errorf("malformed exposition line: %q", ln)
+		}
+	}
+	for _, want := range []string{
+		"# TYPE serve_jobs_done counter\nserve_jobs_done 7\n",
+		"# TYPE go_goroutines gauge\ngo_goroutines 12\n",
+		"# TYPE crossval_mp3d_max_abs_err gauge\ncrossval_mp3d_max_abs_err 0.25\n",
+		"# TYPE serve_job_ms histogram\n",
+		`serve_job_ms_bucket{le="10"} 1`,
+		`serve_job_ms_bucket{le="100"} 2`,
+		`serve_job_ms_bucket{le="+Inf"} 3`,
+		"serve_job_ms_sum 555\n",
+		"serve_job_ms_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Families sorted by name: crossval < go < serve.
+	ci := strings.Index(out, "crossval_")
+	gi := strings.Index(out, "go_goroutines")
+	si := strings.Index(out, "serve_job")
+	if !(ci < gi && gi < si) {
+		t.Errorf("families not sorted: crossval@%d go@%d serve@%d", ci, gi, si)
+	}
+	// Deterministic: a second render is byte-identical.
+	var buf2 bytes.Buffer
+	if err := r.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != out {
+		t.Error("two renders of the same registry differ")
+	}
+}
+
+func TestWritePrometheusNil(t *testing.T) {
+	var r *Registry
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("nil registry wrote %q", buf.String())
+	}
+}
+
+func TestCaptureRuntimeMetrics(t *testing.T) {
+	CaptureRuntimeMetrics(nil) // nil-disabled
+	r := NewRegistry()
+	CaptureRuntimeMetrics(r)
+	if got := r.Gauge("go.goroutines").Value(); got < 1 {
+		t.Errorf("go.goroutines = %d, want >= 1", got)
+	}
+	if got := r.Gauge("go.heap_alloc_bytes").Value(); got <= 0 {
+		t.Errorf("go.heap_alloc_bytes = %d, want > 0", got)
+	}
+	if got := r.Gauge("go.next_gc_bytes").Value(); got <= 0 {
+		t.Errorf("go.next_gc_bytes = %d, want > 0", got)
+	}
+}
+
+func TestFGauge(t *testing.T) {
+	var nilG *FGauge
+	nilG.Set(1.5) // nil-disabled
+	if nilG.Value() != 0 {
+		t.Error("nil FGauge Value should be 0")
+	}
+	r := NewRegistry()
+	g := r.FGauge("x.err")
+	g.Set(0.125)
+	if got := g.Value(); got != 0.125 {
+		t.Errorf("FGauge = %v, want 0.125", got)
+	}
+	if r.FGauge("x.err") != g {
+		t.Error("same name must return the same FGauge")
+	}
+	snap := r.Snapshot()
+	if got, ok := snap["x.err"].(float64); !ok || got != 0.125 {
+		t.Errorf("snapshot[x.err] = %v (%T)", snap["x.err"], snap["x.err"])
+	}
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// RequestRecord is one completed HTTP request as retained by the
+// RequestLog ring: identity, route, outcome, and the per-span timing
+// breakdown captured by the request's Trace.
+type RequestRecord struct {
+	ID     string         `json:"id"`
+	Method string         `json:"method"`
+	Route  string         `json:"route"`
+	Status int            `json:"status"`
+	Start  time.Time      `json:"start"`
+	DurNS  int64          `json:"dur_ns"`
+	Spans  []SpanSnapshot `json:"spans,omitempty"`
+}
+
+// RequestLog is a fixed-size ring buffer of recent requests, in the
+// spirit of x/net/trace's request log: cheap enough to leave on, bounded
+// no matter the traffic. A nil *RequestLog drops records and snapshots
+// to nil, keeping the package's nil-disabled contract.
+type RequestLog struct {
+	mu   sync.Mutex
+	ring []RequestRecord
+	next int
+	full bool
+}
+
+// NewRequestLog returns a ring that retains the last n requests
+// (n <= 0 defaults to 64).
+func NewRequestLog(n int) *RequestLog {
+	if n <= 0 {
+		n = 64
+	}
+	return &RequestLog{ring: make([]RequestRecord, n)}
+}
+
+// Record appends one completed request, evicting the oldest when full.
+func (l *RequestLog) Record(r RequestRecord) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.ring[l.next] = r
+	l.next++
+	if l.next == len(l.ring) {
+		l.next = 0
+		l.full = true
+	}
+	l.mu.Unlock()
+}
+
+// Snapshot returns the retained requests, newest first.
+func (l *RequestLog) Snapshot() []RequestRecord {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.next
+	if l.full {
+		n = len(l.ring)
+	}
+	out := make([]RequestRecord, 0, n)
+	// Walk backwards from the most recent write, wrapping once.
+	for i := 0; i < n; i++ {
+		idx := l.next - 1 - i
+		if idx < 0 {
+			idx += len(l.ring)
+		}
+		out = append(out, l.ring[idx])
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// NewRequestID returns a fresh 16-hex-character request identifier.
+// IDs only need to be unique enough to correlate one request's log
+// lines, job record and manifest; 64 random bits are plenty.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; fall back to a
+		// recognizable constant rather than propagating an error through
+		// every instrumentation site.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+type ctxKey int
+
+const (
+	requestIDKey ctxKey = iota
+	traceKey
+)
+
+// ContextWithRequestID returns a context carrying the request ID.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestIDFrom returns the request ID carried by ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// ContextWithTrace returns a context carrying the trace. A nil trace is
+// fine — downstream StartSpan calls no-op.
+func ContextWithTrace(ctx context.Context, tr *Trace) context.Context {
+	return context.WithValue(ctx, traceKey, tr)
+}
+
+// TraceFrom returns the trace carried by ctx, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(traceKey).(*Trace)
+	return tr
+}
+
+// Trace is a request-scoped collection of named spans, identified by a
+// request ID. Like the rest of the package it is nil-disabled: a nil
+// *Trace hands out nil *Spans whose methods no-op, so instrumented code
+// never branches on "is tracing on".
+type Trace struct {
+	id    string
+	start time.Time
+
+	mu    sync.Mutex
+	spans []*Span
+}
+
+// NewTrace starts a trace for the given request ID.
+func NewTrace(id string) *Trace {
+	return &Trace{id: id, start: time.Now()}
+}
+
+// ID returns the request ID this trace belongs to ("" on nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// StartSpan opens a named span. Call End on the returned span to record
+// its duration; an un-Ended span snapshots with the duration it had at
+// snapshot time. Nil traces return nil spans.
+func (t *Trace) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{trace: t, name: name, start: time.Now()}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Snapshot copies the trace's spans in start order (nil on a nil
+// trace). Span start times are reported relative to the trace start.
+func (t *Trace) Snapshot() []SpanSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanSnapshot, 0, len(t.spans))
+	for _, s := range t.spans {
+		out = append(out, s.snapshot(t.start))
+	}
+	return out
+}
+
+// Span is one named, timed region inside a Trace. All methods no-op on
+// a nil receiver and are safe for concurrent use.
+type Span struct {
+	trace *Trace
+	name  string
+	start time.Time
+
+	mu    sync.Mutex
+	end   time.Time
+	attrs map[string]string
+}
+
+// SetAttr attaches a key/value annotation to the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string)
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// End closes the span; the first call wins, later calls no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+func (s *Span) snapshot(traceStart time.Time) SpanSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	end := s.end
+	if end.IsZero() {
+		end = time.Now()
+	}
+	snap := SpanSnapshot{
+		Name:    s.name,
+		StartNS: s.start.Sub(traceStart).Nanoseconds(),
+		DurNS:   end.Sub(s.start).Nanoseconds(),
+	}
+	if len(s.attrs) > 0 {
+		snap.Attrs = make(map[string]string, len(s.attrs))
+		for k, v := range s.attrs {
+			snap.Attrs[k] = v
+		}
+	}
+	return snap
+}
+
+// SpanSnapshot is the JSON-ready copy of one span: start offset within
+// the request, duration, and any annotations.
+type SpanSnapshot struct {
+	Name    string            `json:"name"`
+	StartNS int64             `json:"start_ns"`
+	DurNS   int64             `json:"dur_ns"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}

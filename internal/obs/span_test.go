@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"regexp"
+	"testing"
+	"time"
+)
+
+func TestNewRequestID(t *testing.T) {
+	hex16 := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	a, b := NewRequestID(), NewRequestID()
+	if !hex16.MatchString(a) || !hex16.MatchString(b) {
+		t.Fatalf("ids not 16 hex chars: %q %q", a, b)
+	}
+	if a == b {
+		t.Errorf("two ids collided: %q", a)
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	ctx := context.Background()
+	if RequestIDFrom(ctx) != "" {
+		t.Error("empty context must carry no request id")
+	}
+	if TraceFrom(ctx) != nil {
+		t.Error("empty context must carry no trace")
+	}
+	tr := NewTrace("abc")
+	ctx = ContextWithRequestID(ctx, "abc")
+	ctx = ContextWithTrace(ctx, tr)
+	if got := RequestIDFrom(ctx); got != "abc" {
+		t.Errorf("RequestIDFrom = %q, want abc", got)
+	}
+	if got := TraceFrom(ctx); got != tr {
+		t.Errorf("TraceFrom = %p, want %p", got, tr)
+	}
+}
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace("req1")
+	if tr.ID() != "req1" {
+		t.Errorf("ID = %q", tr.ID())
+	}
+	s1 := tr.StartSpan("decode")
+	s1.SetAttr("bytes", "120")
+	s1.End()
+	s1.End() // second End must not move the end time
+	_ = tr.StartSpan("simulate")
+	time.Sleep(time.Millisecond)
+	// s2 left un-Ended on purpose: it must still snapshot with the
+	// duration it has accrued so far.
+	snaps := tr.Snapshot()
+	if len(snaps) != 2 {
+		t.Fatalf("got %d spans, want 2", len(snaps))
+	}
+	if snaps[0].Name != "decode" || snaps[1].Name != "simulate" {
+		t.Errorf("span order: %q, %q", snaps[0].Name, snaps[1].Name)
+	}
+	if snaps[0].Attrs["bytes"] != "120" {
+		t.Errorf("attrs = %v", snaps[0].Attrs)
+	}
+	if snaps[0].StartNS < 0 || snaps[0].DurNS < 0 {
+		t.Errorf("negative timing: start=%d dur=%d", snaps[0].StartNS, snaps[0].DurNS)
+	}
+	if snaps[1].DurNS < int64(time.Millisecond) {
+		t.Errorf("un-ended span duration = %dns, want >= 1ms", snaps[1].DurNS)
+	}
+	// The second snapshot of an Ended span must agree with the first.
+	again := tr.Snapshot()
+	if again[0].DurNS != snaps[0].DurNS {
+		t.Errorf("ended span duration moved: %d -> %d", snaps[0].DurNS, again[0].DurNS)
+	}
+}
+
+// TestNilTraceNoOp: the nil-disabled contract — nil traces hand out nil
+// spans and every method no-ops without branching at the call site.
+func TestNilTraceNoOp(t *testing.T) {
+	var tr *Trace
+	if tr.ID() != "" {
+		t.Error("nil trace ID should be empty")
+	}
+	sp := tr.StartSpan("x")
+	if sp != nil {
+		t.Fatal("nil trace must return a nil span")
+	}
+	sp.SetAttr("k", "v")
+	sp.End()
+	if got := tr.Snapshot(); got != nil {
+		t.Errorf("nil trace Snapshot = %v, want nil", got)
+	}
+}
+
+func TestRequestLogRing(t *testing.T) {
+	l := NewRequestLog(3)
+	for i := 1; i <= 5; i++ {
+		l.Record(RequestRecord{ID: string(rune('a' + i - 1)), Status: 200})
+	}
+	got := l.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("ring retained %d, want 3", len(got))
+	}
+	// Newest first: e, d, c (a and b evicted).
+	for i, want := range []string{"e", "d", "c"} {
+		if got[i].ID != want {
+			t.Errorf("snapshot[%d].ID = %q, want %q", i, got[i].ID, want)
+		}
+	}
+}
+
+func TestRequestLogPartial(t *testing.T) {
+	l := NewRequestLog(8)
+	l.Record(RequestRecord{ID: "x"})
+	l.Record(RequestRecord{ID: "y"})
+	got := l.Snapshot()
+	if len(got) != 2 || got[0].ID != "y" || got[1].ID != "x" {
+		t.Errorf("partial ring snapshot = %+v", got)
+	}
+}
+
+func TestRequestLogNil(t *testing.T) {
+	var l *RequestLog
+	l.Record(RequestRecord{ID: "dropped"}) // must not panic
+	if got := l.Snapshot(); got != nil {
+		t.Errorf("nil log Snapshot = %v, want nil", got)
+	}
+}
+
+func TestParseLogLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug":   slog.LevelDebug,
+		"info":    slog.LevelInfo,
+		"":        slog.LevelInfo,
+		"WARN":    slog.LevelWarn,
+		"warning": slog.LevelWarn,
+		"Error":   slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLogLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLogLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLogLevel("loud"); err == nil {
+		t.Error("ParseLogLevel(loud) should fail")
+	}
+}

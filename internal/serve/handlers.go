@@ -8,7 +8,9 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"strings"
 	"time"
 
 	"sccsim"
@@ -27,6 +29,7 @@ func Routes() []string {
 		"POST /v1/point",
 		"GET /healthz",
 		"GET /metrics",
+		"GET /debug/requests",
 	}
 }
 
@@ -48,10 +51,14 @@ func (s *Server) buildMux() *http.ServeMux {
 			h = http.HandlerFunc(s.handleHealthz)
 		case "GET /metrics":
 			h = http.HandlerFunc(s.handleMetrics)
+		case "GET /debug/requests":
+			h = http.HandlerFunc(s.handleDebugRequests)
 		default:
 			panic("serve: route without a handler: " + route)
 		}
-		mux.Handle(route, obs.InstrumentHandler(s.reg, route, h))
+		// The request shell (IDs, logs, panic recovery) sits inside the
+		// metrics middleware so a recovered panic's 500 is still counted.
+		mux.Handle(route, obs.InstrumentHandler(s.reg, route, s.withRequest(route, h)))
 	}
 	return mux
 }
@@ -70,14 +77,21 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 }
 
 // writeAdmitError maps an admission failure, attaching the
-// backpressure hint on 429.
-func writeAdmitError(w http.ResponseWriter, err *httpError) {
+// backpressure hint on 429 and logging the shed/drain decision with the
+// request's ID.
+func (s *Server) writeAdmitError(w http.ResponseWriter, r *http.Request, err *httpError) {
 	if err.retryAfter > 0 {
 		secs := int(err.retryAfter.Round(time.Second) / time.Second)
 		if secs < 1 {
 			secs = 1
 		}
 		w.Header().Set("Retry-After", fmt.Sprint(secs))
+	}
+	switch err.code {
+	case http.StatusTooManyRequests:
+		s.log(r.Context(), slog.LevelWarn, "request shed", "reason", err.msg)
+	case http.StatusServiceUnavailable:
+		s.log(r.Context(), slog.LevelWarn, "request refused while draining", "reason", err.msg)
 	}
 	writeError(w, err.code, err.msg)
 }
@@ -98,8 +112,12 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 // handleSweep serves POST /v1/sweep: synchronous by default, 202+poll
 // with "wait": false, NDJSON progress streaming with "stream": true.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	tr := obs.TraceFrom(r.Context())
 	var req SweepRequest
-	if !decodeBody(w, r, &req) {
+	dsp := tr.StartSpan("decode")
+	ok := decodeBody(w, r, &req)
+	dsp.End()
+	if !ok {
 		return
 	}
 	workload, err := sccsim.ParseWorkload(req.Workload)
@@ -138,11 +156,28 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := sweepKey(workload, backend, scale, sim, verify)
+	// The same experiment on the other backend — only meaningful for
+	// untuned specs, since tuned or verified runs are exact-only and
+	// could never have an analytic twin.
+	twinKey := ""
+	if req.Sim == nil {
+		other := sccsim.BackendAnalytic
+		if backend == sccsim.BackendAnalytic {
+			other = sccsim.BackendExact
+		}
+		twinKey = sweepKey(workload, other, scale, sim, verify)
+	}
+	asp := tr.StartSpan("admit")
 	adm, aerr := s.admit(key, func(id string) *job {
-		return newJob(id, key, jobSweep, workload, spec, time.Duration(req.TimeoutMS)*time.Millisecond)
+		nj := newJob(id, key, jobSweep, workload, spec, time.Duration(req.TimeoutMS)*time.Millisecond)
+		nj.requestID = obs.RequestIDFrom(r.Context())
+		nj.trace = tr
+		nj.twinKey = twinKey
+		return nj
 	})
+	asp.End()
 	if aerr != nil {
-		writeAdmitError(w, aerr)
+		s.writeAdmitError(w, r, aerr)
 		return
 	}
 	j := adm.j
@@ -158,15 +193,20 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusAccepted, s.sweepResponse(j, adm.source, false))
 	default:
+		wsp := tr.StartSpan("wait")
 		select {
 		case <-j.done:
+			wsp.End()
 			resp := s.sweepResponse(j, adm.source, true)
 			code := http.StatusOK
 			if resp.Error != "" {
 				code = http.StatusInternalServerError
 			}
+			esp := tr.StartSpan("encode")
 			writeJSON(w, code, resp)
+			esp.End()
 		case <-r.Context().Done():
+			wsp.End()
 			// The client went away; the shared job keeps running for
 			// any coalesced waiters and the result cache.
 		}
@@ -179,7 +219,7 @@ func (s *Server) sweepResponse(j *job, source string, includeResult bool) *Sweep
 	state, _, grid, _, report, err, _ := j.snapshot()
 	resp := &SweepResponse{
 		ID: j.id, Status: state.String(), Workload: string(j.workload),
-		Backend: j.spec.Backend, Cache: source,
+		Backend: j.spec.Backend, Cache: source, RequestID: j.requestID,
 	}
 	if !includeResult {
 		return resp
@@ -243,6 +283,7 @@ func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
 	st := &JobStatus{
 		ID: j.id, Status: state.String(), Workload: string(j.workload),
 		Backend:   j.spec.Backend,
+		RequestID: j.requestID,
 		Coalesced: coalesced,
 		AgeMS:     time.Since(j.created).Milliseconds(),
 	}
@@ -265,8 +306,12 @@ func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
 // handlePoint serves POST /v1/point: one design point, synchronously,
 // through the same queue, coalescing and cache as sweeps.
 func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
+	tr := obs.TraceFrom(r.Context())
 	var req PointRequest
-	if !decodeBody(w, r, &req) {
+	dsp := tr.StartSpan("decode")
+	ok := decodeBody(w, r, &req)
+	dsp.End()
+	if !ok {
 		return
 	}
 	workload, err := sccsim.ParseWorkload(req.Workload)
@@ -311,30 +356,41 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := pointKey(workload, backend, ppc, scc, scale, sim, verify)
+	asp := tr.StartSpan("admit")
 	adm, aerr := s.admit(key, func(id string) *job {
-		return newJob(id, key, jobPoint, workload, spec, time.Duration(req.TimeoutMS)*time.Millisecond)
+		nj := newJob(id, key, jobPoint, workload, spec, time.Duration(req.TimeoutMS)*time.Millisecond)
+		nj.requestID = obs.RequestIDFrom(r.Context())
+		nj.trace = tr
+		return nj
 	})
+	asp.End()
 	if aerr != nil {
-		writeAdmitError(w, aerr)
+		s.writeAdmitError(w, r, aerr)
 		return
 	}
 	j := adm.j
+	wsp := tr.StartSpan("wait")
 	select {
 	case <-j.done:
+		wsp.End()
 	case <-r.Context().Done():
+		wsp.End()
 		return
 	}
 	state, _, _, point, _, jerr, _ := j.snapshot()
 	resp := &PointResponse{
 		ID: j.id, Status: state.String(), Workload: string(j.workload),
 		Backend: j.spec.Backend, Cache: adm.source, Point: point,
+		RequestID: j.requestID,
 	}
 	code := http.StatusOK
 	if jerr != nil {
 		resp.Error = jerr.Error()
 		code = http.StatusInternalServerError
 	}
+	esp := tr.StartSpan("encode")
 	writeJSON(w, code, resp)
+	esp.End()
 }
 
 // jobParallelism resolves a request's engine parallelism against the
@@ -369,9 +425,31 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, h)
 }
 
-// handleMetrics serves GET /metrics: the obs registry snapshot as JSON
-// — counters and gauges as numbers, histograms with count/mean/
-// quantiles/buckets (see obs.Registry.Snapshot).
+// handleMetrics serves GET /metrics with content negotiation: the
+// default is the obs registry snapshot as one JSON object (counters and
+// gauges as numbers, histograms with count/mean/quantiles/buckets — see
+// obs.Registry.Snapshot); an Accept header naming text/plain or
+// OpenMetrics switches to the Prometheus text exposition format. Either
+// way the scrape first refreshes the Go-runtime gauges (go.*) and the
+// in-flight coalesced-group gauge, so point-in-time state is current.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	obs.CaptureRuntimeMetrics(s.reg)
+	s.mu.Lock()
+	s.reg.Gauge("serve.inflight_groups").Set(int64(len(s.inflight)))
+	s.mu.Unlock()
+	accept := r.Header.Get("Accept")
+	if strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics") {
+		w.Header().Set("Content-Type", obs.PrometheusContentType)
+		w.WriteHeader(http.StatusOK)
+		_ = s.reg.WritePrometheus(w)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.reg.Snapshot())
+}
+
+// handleDebugRequests serves GET /debug/requests: the ring buffer of
+// recent requests, newest first, each with its per-span timing
+// breakdown — the poor man's x/net/trace page, as JSON.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, &DebugRequestsResponse{Requests: s.reqs.Snapshot()})
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"sccsim"
+	"sccsim/internal/obs"
 )
 
 // jobKind says what a job computes.
@@ -57,6 +58,17 @@ type job struct {
 	spec     sccsim.Spec
 	timeout  time.Duration // per-request cap; 0 means the server default
 	created  time.Time
+	// requestID is the X-Request-ID of the request that created the job;
+	// coalesced requests keep their own IDs in their own log lines but
+	// share this job record. Set once, before the job goroutine starts.
+	requestID string
+	// trace is the creating request's span trace: the job's queue-wait
+	// and simulate spans land there so /debug/requests shows them.
+	trace *obs.Trace
+	// twinKey, when non-empty, is the content key of the same experiment
+	// on the other backend — the pairing the live cross-validation
+	// gauges hang off (sweeps with untuned simulator options only).
+	twinKey string
 
 	done chan struct{}
 

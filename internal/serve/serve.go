@@ -28,7 +28,10 @@ package serve
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -65,6 +68,18 @@ type Options struct {
 	// engine and simulator counters of every job (nil: the server
 	// creates its own registry; /metrics serves it either way).
 	Metrics *obs.Registry
+	// Logger receives the server's structured request and job log lines,
+	// every one stamped with the request ID (nil: no logging — the
+	// handlers pay one branch per site).
+	Logger *slog.Logger
+	// ManifestDir, when set, makes every sweep job that creates new work
+	// write its versioned run manifest to <ManifestDir>/<job-id>.json,
+	// stamped with the request ID that created the job ("": no
+	// manifests). The directory is created on server construction.
+	ManifestDir string
+	// DebugRequests bounds the GET /debug/requests ring buffer of recent
+	// requests (<= 0: 64).
+	DebugRequests int
 }
 
 func (o Options) workers() int {
@@ -108,6 +123,8 @@ func (o Options) retryAfter() time.Duration {
 type Server struct {
 	opts    Options
 	reg     *obs.Registry
+	logger  *slog.Logger
+	reqs    *obs.RequestLog
 	mux     *http.ServeMux
 	baseCtx context.Context
 	cancel  context.CancelFunc
@@ -138,10 +155,19 @@ func New(opts Options) *Server {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	if opts.ManifestDir != "" {
+		// Fail early and visibly: an unusable manifest directory would
+		// otherwise fail every sweep job at execution time.
+		if err := os.MkdirAll(opts.ManifestDir, 0o755); err != nil {
+			panic("serve: manifest dir: " + err.Error())
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opts:     opts,
 		reg:      reg,
+		logger:   opts.Logger,
+		reqs:     obs.NewRequestLog(opts.DebugRequests),
 		baseCtx:  ctx,
 		cancel:   cancel,
 		start:    time.Now(),
@@ -216,6 +242,7 @@ func (s *Server) admit(key string, newJob func(id string) *job) (admitResult, *h
 	s.inflight[key] = j
 	s.queued++
 	s.reg.Gauge("serve.jobs_queued").Set(int64(s.queued))
+	s.reg.Gauge("serve.inflight_groups").Set(int64(len(s.inflight)))
 	s.wg.Add(1)
 	go s.run(j)
 	return admitResult{j: j, source: "miss"}, nil
@@ -226,14 +253,17 @@ func (s *Server) admit(key string, newJob func(id string) *job) (admitResult, *h
 // goroutine that mutates the job's terminal state.
 func (s *Server) run(j *job) {
 	defer s.wg.Done()
+	qs := j.trace.StartSpan("queue_wait")
 	select {
 	case s.sem <- struct{}{}:
 	case <-s.baseCtx.Done():
 		// Server force-stopped before the job got a worker.
+		qs.End()
 		s.dequeue()
 		s.finish(j, s.baseCtx.Err())
 		return
 	}
+	qs.End()
 	defer func() { <-s.sem }()
 	s.dequeue()
 	j.setState(jobRunning)
@@ -246,10 +276,20 @@ func (s *Server) run(j *job) {
 	}
 	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
 	defer cancel()
+	s.jobLog(j, slog.LevelInfo, "job start")
 	start := time.Now()
+	sp := j.trace.StartSpan("simulate")
 	err := s.runJob(ctx, j)
+	sp.End()
 	s.reg.Histogram("serve.job_ms", obs.LatencyBucketsMS).
 		Observe(uint64(time.Since(start).Milliseconds()))
+	if err != nil {
+		s.jobLog(j, slog.LevelWarn, "job failed",
+			"err", err.Error(), "dur_ms", time.Since(start).Milliseconds())
+	} else {
+		s.jobLog(j, slog.LevelInfo, "job done",
+			"dur_ms", time.Since(start).Milliseconds())
+	}
 	s.finish(j, err)
 }
 
@@ -272,6 +312,7 @@ func (s *Server) finish(j *job, err error) {
 	if s.inflight[j.key] == j {
 		delete(s.inflight, j.key)
 	}
+	s.reg.Gauge("serve.inflight_groups").Set(int64(len(s.inflight)))
 	if err == nil {
 		if evicted := s.cache.put(j.key, j); evicted != nil && evicted != j {
 			// Drop evicted results from the id index too, so the jobs
@@ -289,11 +330,21 @@ func (s *Server) finish(j *job, err error) {
 			delete(s.jobs, old)
 		}
 	}
+	// Twin lookup for the live cross-validation gauges: if the other
+	// backend's grid for the same experiment is already cached, compare
+	// them once this lock is released.
+	var twin *job
+	if err == nil && j.kind == jobSweep && j.twinKey != "" {
+		twin = s.cache.get(j.twinKey)
+	}
 	s.mu.Unlock()
 	if err != nil {
 		s.reg.Counter("serve.jobs_failed").Inc()
 	} else {
 		s.reg.Counter("serve.jobs_done").Inc()
+	}
+	if twin != nil {
+		s.publishCrossval(j, twin)
 	}
 	close(j.done)
 }
@@ -304,12 +355,26 @@ func (s *Server) finish(j *job, err error) {
 func (s *Server) execute(ctx context.Context, j *job) error {
 	opts := j.spec.Opts()
 	opts = append(opts, sccsim.WithMetrics(s.reg))
+	if j.requestID != "" {
+		opts = append(opts, sccsim.WithRequestID(j.requestID))
+	}
+	if s.logger != nil {
+		opts = append(opts, sccsim.WithLogger(s.logger.With("job", j.id)))
+	}
 	switch j.kind {
 	case jobSweep:
 		opts = append(opts,
 			sccsim.WithProgress(j.broadcast),
 			sccsim.WithSweepReport(j.setReport),
 		)
+		if s.opts.ManifestDir != "" {
+			f, err := os.Create(filepath.Join(s.opts.ManifestDir, j.id+".json"))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			opts = append(opts, sccsim.WithManifest(f))
+		}
 		g, err := sccsim.SweepCtx(ctx, j.workload, opts...)
 		if err != nil {
 			return err

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"sccsim"
+	"sccsim/internal/obs"
 	"sccsim/internal/trace"
 )
 
@@ -207,6 +208,11 @@ type SweepResponse struct {
 	// the job), "coalesced" (attached to an identical in-flight job) or
 	// "hit" (served from the result cache).
 	Cache string `json:"cache,omitempty"`
+	// RequestID is the X-Request-ID of the request that created the job
+	// — the join key to its structured log lines and run manifest. A
+	// coalesced or cache-hit response reports the creator's ID (its own
+	// ID is in the response header).
+	RequestID string `json:"request_id,omitempty"`
 	// Grid is the 8x4 design-space result (present when done).
 	Grid *sccsim.Grid `json:"grid,omitempty"`
 	// Report is the engine's sweep telemetry (present when done).
@@ -228,6 +234,9 @@ type PointResponse struct {
 	Backend string `json:"backend"`
 	// Cache says how admission resolved (see SweepResponse.Cache).
 	Cache string `json:"cache,omitempty"`
+	// RequestID identifies the creating request (see
+	// SweepResponse.RequestID).
+	RequestID string `json:"request_id,omitempty"`
 	// Point is the simulated design point (present when done).
 	Point *sccsim.Point `json:"point,omitempty"`
 	// Error describes the failure (present when failed).
@@ -247,6 +256,9 @@ type JobStatus struct {
 	// Backend is the job's resolved execution backend (see
 	// SweepResponse.Backend).
 	Backend string `json:"backend"`
+	// RequestID identifies the creating request (see
+	// SweepResponse.RequestID).
+	RequestID string `json:"request_id,omitempty"`
 	// Done and Total count completed and scheduled design points from
 	// the engine's latest progress event (0/0 before the first).
 	Done  int `json:"done"`
@@ -290,6 +302,15 @@ type Health struct {
 	QueueDepth int `json:"queue_depth"`
 	// CachedResults is the LRU result cache's population.
 	CachedResults int `json:"cached_results"`
+}
+
+// DebugRequestsResponse is the body of GET /debug/requests: the ring
+// buffer of recently completed requests, newest first, each with its
+// per-span timing breakdown.
+type DebugRequestsResponse struct {
+	// Requests holds the retained requests (bounded by the server's
+	// DebugRequests option).
+	Requests []obs.RequestRecord `json:"requests"`
 }
 
 // errorBody is the JSON envelope of every non-2xx response.

@@ -210,6 +210,7 @@ func RunMultiprog(cfg sysmodel.Config, opts Options, processes []Process, quantu
 		}
 	}
 	s.finish(clock)
+	s.flushMetrics()
 	if s.ck != nil {
 		if err := s.verifyFinish(expRefs); err != nil {
 			return nil, err

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"sccsim/internal/mem"
+	"sccsim/internal/obs"
 	"sccsim/internal/sysmodel"
 	"sccsim/internal/trace"
 )
@@ -235,5 +236,27 @@ func TestProcessesFromProgram(t *testing.T) {
 	p.Procs = 2
 	if _, err := ProcessesFromProgram(p); err == nil {
 		t.Error("accepted a multi-processor program")
+	}
+}
+
+// TestMultiprogFlushesMetrics pins the staged-histogram contract on the
+// multiprogramming entry point: RunMultiprog stages stall observations
+// in per-run local histograms and must merge them into the shared
+// registry before returning. A missing Flush leaves the registry at
+// zero while the run itself still succeeds, which is exactly the
+// silent failure this guards against.
+func TestMultiprogFlushesMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	ps := []Process{mkProcess("a", 0x10000, 16, 2, 2)}
+	if _, err := RunMultiprog(mpCfg(1, 64*1024), Options{Metrics: reg}, ps, 1000); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Histogram("sim.read_miss_cycles", obs.CycleBuckets).Snapshot()
+	// 16 cold read misses (see TestMultiprogSingleProcessSingleProc).
+	if snap.Count != 16 {
+		t.Errorf("sim.read_miss_cycles count = %d after run, want 16 (flush missing?)", snap.Count)
+	}
+	if snap.Sum == 0 {
+		t.Error("sim.read_miss_cycles sum = 0 after run with misses")
 	}
 }

@@ -233,9 +233,9 @@ type system struct {
 	// Instrumentation (all nil when disabled; every use is behind a
 	// nil check so the uninstrumented hot path pays only the branch).
 	tr           Tracer
-	histBankWait *obs.Histogram
-	histReadMiss *obs.Histogram
-	histWBStall  *obs.Histogram
+	histBankWait *obs.LocalHistogram
+	histReadMiss *obs.LocalHistogram
+	histWBStall  *obs.LocalHistogram
 	ck           *verify.Checker
 }
 
@@ -302,9 +302,13 @@ func newSystem(cfg sysmodel.Config, opts Options, procs int) (*system, error) {
 		}
 	}
 	if m := opts.Metrics; m != nil {
-		s.histBankWait = m.Histogram("sim.bank_wait_cycles", obs.CycleBuckets)
-		s.histReadMiss = m.Histogram("sim.read_miss_cycles", obs.CycleBuckets)
-		s.histWBStall = m.Histogram("sim.wb_stall_cycles", obs.CycleBuckets)
+		// Local staging buffers: per-event observations stay plain
+		// arithmetic in this run's goroutine, merged into the shared
+		// registry once at the end of the run (see flushMetrics), so
+		// parallel sweep workers never contend on the histogram atomics.
+		s.histBankWait = m.Histogram("sim.bank_wait_cycles", obs.CycleBuckets).Local()
+		s.histReadMiss = m.Histogram("sim.read_miss_cycles", obs.CycleBuckets).Local()
+		s.histWBStall = m.Histogram("sim.wb_stall_cycles", obs.CycleBuckets).Local()
 	}
 
 	s.res = &Result{
@@ -800,6 +804,7 @@ func Run(cfg sysmodel.Config, opts Options, prog *trace.Program) (*Result, error
 	}
 	clock := replay(phases, procs, s.res, s.tr, opts.WarmupRefs, s.warmupReset, s.access)
 	s.finish(clock)
+	s.flushMetrics()
 	if s.ck != nil {
 		var exp uint64
 		if comp != nil {
@@ -812,6 +817,14 @@ func Run(cfg sysmodel.Config, opts Options, prog *trace.Program) (*Result, error
 		}
 	}
 	return s.res, nil
+}
+
+// flushMetrics merges the run's staged histogram batches into the
+// shared registry.
+func (s *system) flushMetrics() {
+	s.histBankWait.Flush()
+	s.histReadMiss.Flush()
+	s.histWBStall.Flush()
 }
 
 // countRefs counts the non-idle references of a stream table — the

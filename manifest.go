@@ -6,6 +6,7 @@ package sccsim
 
 import (
 	"io"
+	"log/slog"
 	"runtime"
 	"time"
 
@@ -38,6 +39,20 @@ type RunManifest = obs.Manifest
 // and simulator record counters and timing histograms into it. Nil (the
 // default) disables all metric sites.
 func WithMetrics(m *Metrics) Opt { return func(c *expCfg) { c.metrics = m } }
+
+// WithLogger attaches a structured logger to the experiment: sweep
+// start/finish and per-point completion become slog records on it, each
+// stamped with the request ID when WithRequestID is also set. Nil (the
+// default) disables every log site at the cost of one branch, matching
+// the metrics registry's zero-overhead contract.
+func WithLogger(l *slog.Logger) Opt { return func(c *expCfg) { c.logger = l } }
+
+// WithRequestID tags the experiment with the request that caused it:
+// the ID is appended to every WithLogger record and stamped into the
+// run manifest (RunManifest.RequestID), making a sweep's artifacts
+// joinable to the HTTP request — and its log lines — that produced
+// them. Empty (the default) leaves both untouched.
+func WithRequestID(id string) Opt { return func(c *expCfg) { c.requestID = id } }
 
 // WithSweepReport installs a telemetry hook called once after a sweep
 // completes successfully.
@@ -106,6 +121,7 @@ func buildManifest(w Workload, c expCfg, g *Grid, rep *SweepReport) *RunManifest
 		},
 		Workload:    string(w),
 		Backend:     string(c.backend),
+		RequestID:   c.requestID,
 		Scale:       c.scale,
 		Parallelism: c.parallelism,
 		Grid: obs.GridAxes{

@@ -37,6 +37,8 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
+	"time"
 
 	"sccsim/internal/area"
 	"sccsim/internal/costperf"
@@ -138,6 +140,11 @@ type expCfg struct {
 	reportFn  func(SweepReport)
 	manifestW io.Writer
 	traceW    io.Writer
+	// logger receives structured experiment logs; requestID correlates
+	// this experiment's artifacts (log lines, manifest) with the HTTP
+	// request that caused it (see WithLogger / WithRequestID).
+	logger    *slog.Logger
+	requestID string
 }
 
 // Opt configures an experiment run by Do, SweepCtx or
@@ -209,6 +216,11 @@ func resolve(opts []Opt) (expCfg, error) {
 	if c.verify && c.sim.Verify == nil {
 		c.sim.Verify = &verify.Options{}
 	}
+	// Stamp the request ID onto every log line the experiment emits, so
+	// callers never have to remember to do it per site.
+	if c.logger != nil && c.requestID != "" {
+		c.logger = c.logger.With("request_id", c.requestID)
+	}
 	return c, nil
 }
 
@@ -216,7 +228,7 @@ func (c expCfg) engine() (explorer.EngineOptions, error) {
 	eng := explorer.EngineOptions{
 		Parallelism: c.parallelism, Progress: c.progress,
 		Report: c.reportFn, Metrics: c.metrics,
-		Backend: c.backend,
+		Backend: c.backend, Logger: c.logger,
 	}
 	if c.traceCacheDir != "" {
 		dc, err := trace.NewDiskCache(c.traceCacheDir)
@@ -241,6 +253,10 @@ func Do(ctx context.Context, w Workload, opts ...Opt) (*Point, error) {
 	c, err := resolve(opts)
 	if err != nil {
 		return nil, err
+	}
+	if c.logger != nil {
+		c.logger.Debug("point start",
+			"workload", string(w), "backend", string(c.backend))
 	}
 	if c.backend == BackendAnalytic {
 		if c.cfg != nil {
@@ -306,6 +322,21 @@ func SweepCtx(ctx context.Context, w Workload, opts ...Opt) (*Grid, error) {
 	if err != nil {
 		return nil, err
 	}
+	if c.logger != nil {
+		c.logger.Info("sweep start",
+			"workload", string(w), "backend", string(c.backend))
+		defer func(begin time.Time) {
+			if err != nil {
+				c.logger.Error("sweep failed", "workload", string(w),
+					"backend", string(c.backend), "err", err.Error(),
+					"dur_ms", time.Since(begin).Milliseconds())
+			} else {
+				c.logger.Info("sweep done", "workload", string(w),
+					"backend", string(c.backend),
+					"dur_ms", time.Since(begin).Milliseconds())
+			}
+		}(time.Now())
+	}
 
 	var ts *obs.TraceSet
 	if c.traceW != nil {
@@ -332,13 +363,13 @@ func SweepCtx(ctx context.Context, w Workload, opts ...Opt) (*Grid, error) {
 		return nil, err
 	}
 	if ts != nil {
-		if werr := ts.WriteChrome(c.traceW); werr != nil {
-			return nil, werr
+		if err = ts.WriteChrome(c.traceW); err != nil {
+			return nil, err
 		}
 	}
 	if c.manifestW != nil {
-		if werr := obs.WriteManifest(c.manifestW, buildManifest(w, c, g, rep)); werr != nil {
-			return nil, werr
+		if err = obs.WriteManifest(c.manifestW, buildManifest(w, c, g, rep)); err != nil {
+			return nil, err
 		}
 	}
 	return g, nil
