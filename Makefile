@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-race race-obs obs-overhead obs-overhead-run fuzz-smoke vet quick bench bench-quick bench-json bench-compare experiments cover clean docs-check serve verify-analytic
+.PHONY: all check build test test-race race-obs obs-overhead obs-overhead-run fuzz-smoke vet quick bench bench-quick bench-json bench-compare bench-search bench-search-run bench-search-write experiments cover clean docs-check serve verify-analytic
 
 all: build vet test
 
@@ -113,6 +113,24 @@ bench-compare:
 	$(GO) run ./cmd/sccexplore -csv barnes-hut -scale quick -quiet -backend analytic -manifest /tmp/sccsim_bench_cur_analytic.json > /dev/null
 	$(GO) run ./cmd/benchcompare -merge /tmp/sccsim_bench_current.json /tmp/sccsim_bench_cur_exact.json /tmp/sccsim_bench_cur_analytic.json
 	$(GO) run ./cmd/benchcompare -threshold $(THRESHOLD) BENCH_sweep.json /tmp/sccsim_bench_current.json
+
+# Search-efficiency regression gate: run the fixed ~16k-point adaptive
+# search benchmark and diff it against the committed BENCH_search.json
+# (see cmd/benchsearch). The frontier and work counts are deterministic
+# and gated at SEARCH_THRESHOLD; the calibration-normalized wall time is
+# gated loosely (it jitters with machine load) and, like obs-overhead,
+# a failed run is retried once before it counts.
+SEARCH_THRESHOLD ?= 0.10
+bench-search:
+	@$(MAKE) --no-print-directory bench-search-run || { 		echo "bench-search: retrying once to rule out transient machine load"; 		$(MAKE) --no-print-directory bench-search-run; }
+
+bench-search-run:
+	$(GO) run ./cmd/benchsearch -threshold $(SEARCH_THRESHOLD)
+
+# Regenerate the committed search baseline after an intentional change
+# to the search pipeline or the benchmark experiment.
+bench-search-write:
+	$(GO) run ./cmd/benchsearch -write
 
 # Regenerate every paper table/figure at paper scale.
 bench:

@@ -1,0 +1,290 @@
+// Command benchsearch is the search-efficiency regression gate: it runs
+// a fixed adaptive search over a ~16k-point synthetic design space and
+// compares the run against the committed BENCH_search.json baseline —
+// the enforcement half of the PR claim "same exact-backend frontier, a
+// fraction of the exact simulations". `make bench-search` runs it in CI.
+//
+// The benchmark is one fixed experiment: Barnes-Hut at quick scale over
+// the SCC size range 4K..512K in 128-byte steps crossed with the
+// paper's processors-per-cluster axis (16260 candidates), adaptive
+// strategy, exact-simulation budget 64, seed 1. The run must stay
+// deterministic, so the gate checks three things against the baseline:
+//
+//   - results: the space size and the exact-confirmed frontier (points
+//     and cycle counts) must match exactly — a drift means the search
+//     or the simulator changed behavior;
+//   - work: the exact-simulation and analytic-evaluation counts may not
+//     regress more than -threshold (default 10%), and the exact count
+//     must stay within 5% of the space — the PR's acceptance bound;
+//   - time: the search's wall time, normalized by an exhaustive
+//     calibration sweep measured in the same process (which also warms
+//     the shared trace cache), may not regress more than
+//     -wall-threshold. The normalization makes the committed number
+//     transferable across machines — both numerator and denominator
+//     scale with the host — and both are the minimum of three repeats
+//     to damp scheduler noise; even so the ratio jitters, so its
+//     threshold is looser than the count thresholds.
+//
+// Usage:
+//
+//	benchsearch -baseline BENCH_search.json          # compare (exit 1 on regression)
+//	benchsearch -baseline BENCH_search.json -write   # regenerate the baseline
+//
+// Exit status: 0 within threshold, 1 on regression or drift, 2 on
+// usage or read errors.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sccsim"
+)
+
+// The fixed benchmark experiment. Changing any of these constants
+// invalidates the committed baseline — regenerate with -write.
+const (
+	benchWorkload = sccsim.BarnesHut
+	benchSizeMin  = 4 * 1024
+	benchSizeMax  = 512 * 1024
+	benchSizeStep = 128
+	benchBudget   = 64
+	benchSeed     = 1
+
+	// benchRepeats is how many times each timed phase runs; the minimum
+	// wall time is kept. Repeats of the search must also agree exactly
+	// on stats and frontier — a free determinism check.
+	benchRepeats = 3
+)
+
+// benchSpec declares the benchmark search.
+func benchSpec() sccsim.SearchSpec {
+	return sccsim.SearchSpec{
+		Space: sccsim.SearchSpace{
+			SCCBytesMin:  benchSizeMin,
+			SCCBytesMax:  benchSizeMax,
+			SCCBytesStep: benchSizeStep,
+		},
+		Strategy: sccsim.SearchAdaptive,
+		Budget:   benchBudget,
+		Seed:     benchSeed,
+	}
+}
+
+// frontierPoint is one baseline frontier entry.
+type frontierPoint struct {
+	PPC      int    `json:"procs_per_cluster"`
+	SCCBytes int    `json:"scc_bytes"`
+	Cycles   uint64 `json:"cycles"`
+}
+
+// baseline is the committed BENCH_search.json document.
+type baseline struct {
+	Version       int             `json:"version"`
+	Workload      string          `json:"workload"`
+	SpaceSize     int             `json:"space_size"`
+	StaticPruned  int             `json:"static_pruned"`
+	TriagePruned  int             `json:"triage_pruned"`
+	AnalyticEvals int             `json:"analytic_evals"`
+	ExactSims     int             `json:"exact_sims"`
+	Rounds        int             `json:"rounds"`
+	WallMS        int64           `json:"wall_ms"`
+	CalibWallMS   int64           `json:"calib_wall_ms"`
+	Frontier      []frontierPoint `json:"frontier"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("benchsearch", flag.ContinueOnError)
+	baselinePath := fs.String("baseline", "BENCH_search.json", "baseline file to compare against (or write)")
+	write := fs.Bool("write", false, "write the measured run as the new baseline instead of comparing")
+	threshold := fs.Float64("threshold", 0.10, "allowed relative regression in work counts")
+	wallThreshold := fs.Float64("wall-threshold", 0.75, "allowed relative regression in normalized wall time")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 2
+	}
+
+	cur, err := measure(context.Background())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsearch: %v\n", err)
+		return 2
+	}
+	report(cur)
+
+	if *write {
+		data, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsearch: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(*baselinePath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsearch: %v\n", err)
+			return 2
+		}
+		fmt.Printf("benchsearch: wrote %s\n", *baselinePath)
+		return 0
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsearch: reading baseline: %v (regenerate with -write)\n", err)
+		return 2
+	}
+	var base baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsearch: parsing baseline: %v (regenerate with -write)\n", err)
+		return 2
+	}
+	if errs := compare(&base, cur, *threshold, *wallThreshold); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "benchsearch: FAIL: %v\n", e)
+		}
+		return 1
+	}
+	fmt.Println("benchsearch: within threshold")
+	return 0
+}
+
+// measure runs the calibration sweeps and then the benchmark searches,
+// in that order: the first sweep warms the in-process trace cache, so
+// the measured search wall time is search work, not trace generation.
+// Both phases keep the minimum wall time over benchRepeats runs.
+func measure(ctx context.Context) (*baseline, error) {
+	scale := sccsim.QuickScale()
+	scale.Seed = benchSeed
+
+	var calibWall time.Duration
+	for i := 0; i < benchRepeats; i++ {
+		start := time.Now()
+		if _, err := sccsim.SweepCtx(ctx, benchWorkload, sccsim.WithScale(scale)); err != nil {
+			return nil, fmt.Errorf("calibration sweep: %w", err)
+		}
+		if d := time.Since(start); i == 0 || d < calibWall {
+			calibWall = d
+		}
+	}
+
+	var wall time.Duration
+	var res *sccsim.SearchResult
+	for i := 0; i < benchRepeats; i++ {
+		start := time.Now()
+		r, err := sccsim.SearchCtx(ctx, benchWorkload, benchSpec(), sccsim.WithScale(scale))
+		if err != nil {
+			return nil, fmt.Errorf("benchmark search: %w", err)
+		}
+		if d := time.Since(start); i == 0 || d < wall {
+			wall = d
+		}
+		if i == 0 {
+			res = r
+		} else if err := sameRun(res, r); err != nil {
+			return nil, fmt.Errorf("repeat %d diverged from repeat 1: %w", i+1, err)
+		}
+	}
+
+	st := res.Stats
+	b := &baseline{
+		Version:       1,
+		Workload:      string(benchWorkload),
+		SpaceSize:     st.SpaceSize,
+		StaticPruned:  st.StaticPruned,
+		TriagePruned:  st.TriagePruned,
+		AnalyticEvals: st.AnalyticEvals,
+		ExactSims:     st.ExactSims,
+		Rounds:        st.Rounds,
+		WallMS:        wall.Milliseconds(),
+		CalibWallMS:   calibWall.Milliseconds(),
+	}
+	for _, p := range res.Frontier {
+		b.Frontier = append(b.Frontier, frontierPoint{PPC: p.PPC, SCCBytes: p.SCCBytes, Cycles: p.Cycles})
+	}
+	return b, nil
+}
+
+func report(b *baseline) {
+	fmt.Printf("benchsearch: %s space %d  static-pruned %d  triage-pruned %d  analytic evals %d  exact sims %d  rounds %d  frontier %d\n",
+		b.Workload, b.SpaceSize, b.StaticPruned, b.TriagePruned, b.AnalyticEvals, b.ExactSims, b.Rounds, len(b.Frontier))
+	fmt.Printf("benchsearch: search wall %dms  calibration sweep wall %dms  normalized %.3f\n",
+		b.WallMS, b.CalibWallMS, normalized(b))
+}
+
+// normalized is the machine-transferable time metric: search wall over
+// calibration-sweep wall, both measured in the same process.
+func normalized(b *baseline) float64 {
+	if b.CalibWallMS <= 0 {
+		return 0
+	}
+	return float64(b.WallMS) / float64(b.CalibWallMS)
+}
+
+// sameRun reports whether two search runs of the same spec agree on
+// stats and frontier — the determinism the committed baseline depends
+// on.
+func sameRun(a, b *sccsim.SearchResult) error {
+	if a.Stats != b.Stats {
+		return fmt.Errorf("stats %+v vs %+v", a.Stats, b.Stats)
+	}
+	if len(a.Frontier) != len(b.Frontier) {
+		return fmt.Errorf("frontier sizes %d vs %d", len(a.Frontier), len(b.Frontier))
+	}
+	for i := range a.Frontier {
+		p, q := a.Frontier[i], b.Frontier[i]
+		if p.PPC != q.PPC || p.SCCBytes != q.SCCBytes || p.Cycles != q.Cycles {
+			return fmt.Errorf("frontier point %d: %+v vs %+v", i, p.Candidate, q.Candidate)
+		}
+	}
+	return nil
+}
+
+// compare checks the current run against the baseline, returning every
+// violated criterion.
+func compare(base, cur *baseline, threshold, wallThreshold float64) []error {
+	var errs []error
+	if cur.SpaceSize != base.SpaceSize {
+		errs = append(errs, fmt.Errorf("space size %d, baseline %d — the benchmark space drifted (regenerate with -write if intentional)",
+			cur.SpaceSize, base.SpaceSize))
+	}
+	if len(cur.Frontier) != len(base.Frontier) {
+		errs = append(errs, fmt.Errorf("frontier has %d points, baseline %d", len(cur.Frontier), len(base.Frontier)))
+	} else {
+		for i, p := range cur.Frontier {
+			if p != base.Frontier[i] {
+				errs = append(errs, fmt.Errorf("frontier point %d = %+v, baseline %+v — search results changed", i, p, base.Frontier[i]))
+			}
+		}
+	}
+	// The acceptance bound is absolute, not relative: the budgeted
+	// search must touch at most 5% of the space with the exact backend.
+	if 20*cur.ExactSims > cur.SpaceSize {
+		errs = append(errs, fmt.Errorf("%d exact sims on a %d-point space — above the 5%% acceptance bound",
+			cur.ExactSims, cur.SpaceSize))
+	}
+	if grew(cur.ExactSims, base.ExactSims, threshold) {
+		errs = append(errs, fmt.Errorf("exact sims %d, baseline %d — above the %.0f%% regression threshold",
+			cur.ExactSims, base.ExactSims, threshold*100))
+	}
+	if grew(cur.AnalyticEvals, base.AnalyticEvals, threshold) {
+		errs = append(errs, fmt.Errorf("analytic evals %d, baseline %d — above the %.0f%% regression threshold",
+			cur.AnalyticEvals, base.AnalyticEvals, threshold*100))
+	}
+	bn, cn := normalized(base), normalized(cur)
+	if bn > 0 && cn > bn*(1+wallThreshold) {
+		errs = append(errs, fmt.Errorf("normalized wall %.3f, baseline %.3f — above the %.0f%% regression threshold",
+			cn, bn, wallThreshold*100))
+	}
+	return errs
+}
+
+// grew reports whether cur exceeds base by more than the threshold
+// fraction (with a one-unit absolute allowance so tiny counts don't
+// trip on rounding).
+func grew(cur, base int, threshold float64) bool {
+	return float64(cur) > float64(base)*(1+threshold)+1
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"sccsim"
+)
+
+func benchBase() *baseline {
+	return &baseline{
+		Version:       1,
+		Workload:      "barnes-hut",
+		SpaceSize:     16260,
+		AnalyticEvals: 1500,
+		ExactSims:     64,
+		WallMS:        2000,
+		CalibWallMS:   500,
+		Frontier:      []frontierPoint{{PPC: 4, SCCBytes: 65536, Cycles: 100}},
+	}
+}
+
+func TestCompareIdenticalPasses(t *testing.T) {
+	b := benchBase()
+	if errs := compare(b, benchBase(), 0.10, 0.75); len(errs) != 0 {
+		t.Errorf("identical runs flagged: %v", errs)
+	}
+}
+
+func TestCompareFlagsEachRegression(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*baseline)
+		want string
+	}{
+		{"space drift", func(b *baseline) { b.SpaceSize = 16000 }, "space"},
+		{"frontier size", func(b *baseline) { b.Frontier = nil }, "frontier"},
+		{"frontier point", func(b *baseline) { b.Frontier[0].Cycles = 101 }, "frontier"},
+		{"exact sims", func(b *baseline) { b.ExactSims = 80 }, "exact sims"},
+		{"five percent bound", func(b *baseline) { b.ExactSims = 900 }, "5%"},
+		{"analytic evals", func(b *baseline) { b.AnalyticEvals = 2000 }, "analytic"},
+		{"normalized wall", func(b *baseline) { b.WallMS = 8000 }, "wall"},
+	}
+	for _, tc := range cases {
+		cur := benchBase()
+		tc.mut(cur)
+		errs := compare(benchBase(), cur, 0.10, 0.75)
+		found := false
+		for _, e := range errs {
+			if strings.Contains(e.Error(), tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no error mentioning %q in %v", tc.name, tc.want, errs)
+		}
+	}
+}
+
+func TestGrew(t *testing.T) {
+	// One-unit absolute allowance: 11 vs 10 at 0% is not growth.
+	if grew(11, 10, 0) {
+		t.Error("grew(11, 10, 0) = true")
+	}
+	if !grew(12, 10, 0) {
+		t.Error("grew(12, 10, 0) = false")
+	}
+	if grew(71, 64, 0.10) {
+		t.Error("grew(71, 64, 0.10) = true, 71 <= 64*1.1+1")
+	}
+	if !grew(100, 64, 0.10) {
+		t.Error("grew(100, 64, 0.10) = false")
+	}
+}
+
+func TestSameRun(t *testing.T) {
+	a := &sccsim.SearchResult{
+		Stats:    sccsim.SearchStats{ExactSims: 3},
+		Frontier: []sccsim.SearchPoint{{Candidate: sccsim.SearchCandidate{PPC: 2, SCCBytes: 8192}, Cycles: 10}},
+	}
+	b := &sccsim.SearchResult{
+		Stats:    sccsim.SearchStats{ExactSims: 3},
+		Frontier: []sccsim.SearchPoint{{Candidate: sccsim.SearchCandidate{PPC: 2, SCCBytes: 8192}, Cycles: 10}},
+	}
+	if err := sameRun(a, b); err != nil {
+		t.Errorf("identical runs differ: %v", err)
+	}
+	b.Frontier[0].Cycles = 11
+	if sameRun(a, b) == nil {
+		t.Error("cycle drift not detected")
+	}
+	b.Frontier[0].Cycles = 10
+	b.Stats.ExactSims = 4
+	if sameRun(a, b) == nil {
+		t.Error("stats drift not detected")
+	}
+}
+
+// TestBenchSpecValid pins that the committed benchmark experiment is an
+// accepted spec with a >= 10^4-point space.
+func TestBenchSpecValid(t *testing.T) {
+	spec := benchSpec()
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("benchmark spec invalid: %v", err)
+	}
+	sizes := (benchSizeMax-benchSizeMin)/benchSizeStep + 1
+	if pts := sizes * 4; pts < 10_000 {
+		t.Errorf("benchmark space has %d points, want >= 10^4", pts)
+	}
+}

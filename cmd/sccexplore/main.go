@@ -41,6 +41,21 @@
 // prints the per-point comparison, and exits 1 if the analytic error
 // exceeds the library's published bounds (sccsim.DefaultCrossBounds).
 //
+// Search:
+//
+//	sccexplore -search mp3d -scale quick           # adaptive frontier search
+//	sccexplore -search mp3d -space 4K:512K:4K      # 10^4+-point size range
+//	sccexplore -search mp3d -strategy random -budget 64
+//	sccexplore -pareto mp3d -scale quick           # frontier from a plain sweep
+//
+// -search runs the adaptive pipeline (static constraint pruning,
+// analytic triage, exact confirmation by successive halving) and prints
+// the exact-confirmed Pareto frontier with a live stage meter on
+// stderr; the per-stage accounting footer is a diagnostic. -pareto
+// extracts the same frontier from an exhaustive sweep — the reference
+// -search is measured against. -budget, -margin, -strategy and -space
+// tune the search; -manifest works with -search too.
+//
 // Trace caching: -trace-cache DIR persists every generated workload
 // trace under DIR; later runs (any experiment, any process) load the
 // traces instead of regenerating them.
@@ -60,6 +75,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"sccsim"
@@ -105,6 +121,12 @@ func cli(args []string) int {
 	seed := fs.Int64("seed", 1, "workload generator seed")
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	csvWorkload := fs.String("csv", "", "dump a workload's full design-space sweep as CSV and exit (barnes-hut|mp3d|cholesky|multiprog)")
+	searchWorkload := fs.String("search", "", "run the adaptive design-space search on this workload and print the exact-confirmed Pareto frontier (barnes-hut|mp3d|cholesky|multiprog)")
+	paretoWorkload := fs.String("pareto", "", "sweep this workload exhaustively and print its cycles-vs-area Pareto frontier")
+	strategy := fs.String("strategy", "auto", `-search strategy: "auto", "exhaustive", "adaptive" or "random"`)
+	budget := fs.Int("budget", 0, "-search exact-simulation budget (0 = confirm every plausible candidate)")
+	margin := fs.Float64("margin", 0, "-search analytic triage margin as a relative error (0 = the workload's calibrated default)")
+	space := fs.String("space", "", `-search SCC size range as MIN:MAX:STEP with K/M suffixes (e.g. "4K:512K:4K"; empty = the paper's sizes)`)
 	backendName := fs.String("backend", "exact", `execution backend: "exact" (cycle simulator) or "analytic" (reuse-distance model)`)
 	crossWorkload := fs.String("crossval", "", "cross-validate the analytic backend against the exact simulator on this workload's full grid and exit (exit 1 on accuracy-bound violation)")
 	parallel := fs.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS); results are identical for any value")
@@ -144,8 +166,12 @@ func cli(args []string) int {
 		return 2
 	}
 
-	if (*manifestPath != "" || *tracePath != "") && *csvWorkload == "" {
-		fmt.Fprintln(stderr, "sccexplore: -manifest and -trace require -csv (they describe one sweep)")
+	if *manifestPath != "" && *csvWorkload == "" && *searchWorkload == "" {
+		fmt.Fprintln(stderr, "sccexplore: -manifest requires -csv or -search (it describes one run)")
+		return 2
+	}
+	if *tracePath != "" && *csvWorkload == "" {
+		fmt.Fprintln(stderr, "sccexplore: -trace requires -csv (it describes one sweep)")
 		return 2
 	}
 
@@ -209,7 +235,9 @@ func cli(args []string) int {
 		if *verifyRuns {
 			o = append(o, sccsim.WithVerify())
 		}
-		if !*quiet {
+		// Search mode has its own stage meter (WithSearchProgress); the
+		// per-point sweep meter would interleave with it on one line.
+		if !*quiet && !strings.HasPrefix(label, "search ") {
 			o = append(o, sccsim.WithProgress(progressMeter(label)))
 		}
 		return o
@@ -217,6 +245,40 @@ func cli(args []string) int {
 
 	if *crossWorkload != "" {
 		if err := runCrossval(ctx, *crossWorkload, opts); err != nil {
+			fmt.Fprintf(stderr, "sccexplore: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	if *searchWorkload != "" {
+		spec := sccsim.SearchSpec{
+			Strategy: sccsim.SearchStrategy(*strategy),
+			Budget:   *budget,
+			Margin:   *margin,
+			Seed:     *seed,
+		}
+		if *space != "" {
+			min, max, step, err := parseSpace(*space)
+			if err != nil {
+				fmt.Fprintf(stderr, "sccexplore: %v\n", err)
+				return 2
+			}
+			spec.Space.SCCBytesMin, spec.Space.SCCBytesMax, spec.Space.SCCBytesStep = min, max, step
+		}
+		if err := spec.Validate(); err != nil {
+			fmt.Fprintf(stderr, "sccexplore: %v\n", err)
+			return 2
+		}
+		if err := runSearch(ctx, *searchWorkload, *manifestPath, spec, *quiet, opts); err != nil {
+			fmt.Fprintf(stderr, "sccexplore: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	if *paretoWorkload != "" {
+		if err := runPareto(ctx, *paretoWorkload, opts); err != nil {
 			fmt.Fprintf(stderr, "sccexplore: %v\n", err)
 			return 1
 		}

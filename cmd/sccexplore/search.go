@@ -1,0 +1,164 @@
+// The adaptive-search and Pareto-frontier modes: -search runs the
+// sccsim.SearchCtx pipeline (static pruning, analytic triage, exact
+// confirmation) with a live stage meter, -pareto extracts the
+// cycles-vs-area frontier from a plain exhaustive sweep. Both print the
+// same frontier shape, sharing sccsim.ParetoFront, so their outputs are
+// directly comparable.
+
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sccsim"
+)
+
+// parseSpace parses the -space flag: "MIN:MAX:STEP" SCC byte sizes,
+// each accepting K/M suffixes (e.g. "4K:512K:4K").
+func parseSpace(s string) (min, max, step int, err error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("-space wants MIN:MAX:STEP, got %q", s)
+	}
+	vals := make([]int, 3)
+	for i, p := range parts {
+		mult := 1
+		switch {
+		case strings.HasSuffix(p, "K"), strings.HasSuffix(p, "k"):
+			mult, p = 1024, p[:len(p)-1]
+		case strings.HasSuffix(p, "M"), strings.HasSuffix(p, "m"):
+			mult, p = 1024*1024, p[:len(p)-1]
+		}
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("-space element %q: %v", parts[i], err)
+		}
+		vals[i] = n * mult
+	}
+	return vals[0], vals[1], vals[2], nil
+}
+
+// searchMeter renders the search pipeline's live progress on stderr:
+// the stage, its counters, and the running exact-simulation total.
+func searchMeter(label string) func(sccsim.SearchProgress) {
+	return func(p sccsim.SearchProgress) {
+		round := ""
+		if p.Round > 0 {
+			round = fmt.Sprintf(" round %d", p.Round)
+		}
+		fmt.Fprintf(stderr, "\r%-18s %-8s%s  %d/%d  exact sims %d        ",
+			label, p.Phase, round, p.Done, p.Total, p.ExactSims)
+	}
+}
+
+// frontierTable renders search frontier points as the mode's stdout
+// payload.
+func frontierTable(points []sccsim.SearchPoint, best *sccsim.SearchPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-9s %-7s %12s %12s %12s %10s\n",
+		"procs/cl", "scc", "cycles", "adj cycles", "system mm2", "cost/perf")
+	for _, p := range points {
+		mark := ""
+		if best != nil && p.PPC == best.PPC && p.SCCBytes == best.SCCBytes {
+			mark = "  best"
+		}
+		fmt.Fprintf(&b, "%-9d %-7s %12d %12.0f %12.1f %10.2f%s\n",
+			p.PPC, sizeLabel(p.SCCBytes), p.Cycles, p.AdjCycles, p.SystemMM2, p.CostPerf, mark)
+	}
+	return b.String()
+}
+
+func sizeLabel(bytes int) string {
+	if bytes >= 1024 && bytes%1024 == 0 {
+		return fmt.Sprintf("%dK", bytes/1024)
+	}
+	return fmt.Sprint(bytes)
+}
+
+// runSearch runs the adaptive search on one workload and prints the
+// exact-confirmed frontier; the per-stage accounting goes to stderr as
+// a diagnostic footer.
+func runSearch(ctx context.Context, workload, manifestPath string, spec sccsim.SearchSpec, quiet bool, opts func(string) []sccsim.Opt) error {
+	w, err := sccsim.ParseWorkload(workload)
+	if err != nil {
+		return err
+	}
+	o := opts("search " + workload)
+	if !quiet {
+		o = append(o, sccsim.WithSearchProgress(searchMeter("search "+workload)))
+	}
+	var mf *os.File
+	if manifestPath != "" {
+		mf, err = os.Create(manifestPath)
+		if err != nil {
+			return err
+		}
+		defer mf.Close()
+		o = append(o, sccsim.WithManifest(mf))
+	}
+	res, err := sccsim.SearchCtx(ctx, w, spec, o...)
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Fprintln(stderr)
+	}
+	fmt.Fprintf(stdout, "%s search frontier (%s strategy)\n", w, res.Stats.Strategy)
+	fmt.Fprint(stdout, frontierTable(res.Frontier, res.Best))
+	st := res.Stats
+	fmt.Fprintf(stderr, "sccexplore: space %d  static-pruned %d  triage-pruned %d  analytic evals %d  exact sims %d  abandoned %d  rounds %d\n",
+		st.SpaceSize, st.StaticPruned, st.TriagePruned, st.AnalyticEvals, st.ExactSims, st.Abandoned, st.Rounds)
+	if mf != nil {
+		if err := mf.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "sccexplore: wrote %s\n", mf.Name())
+	}
+	return nil
+}
+
+// runPareto sweeps one workload exhaustively and prints the
+// cycles-vs-area Pareto frontier — the same extraction
+// (sccsim.ParetoFront) the search pipeline confirms adaptively.
+func runPareto(ctx context.Context, workload string, opts func(string) []sccsim.Opt) error {
+	w, err := sccsim.ParseWorkload(workload)
+	if err != nil {
+		return err
+	}
+	g, err := sccsim.SweepCtx(ctx, w, opts("pareto "+workload)...)
+	if err != nil {
+		return err
+	}
+	points := sccsim.Frontier(g)
+	front := sccsim.ParetoFront(points)
+	fmt.Fprintf(stdout, "%s Pareto frontier (cycles vs area, %d of %d priced points)\n",
+		w, len(front), len(points))
+	search := make([]sccsim.SearchPoint, len(front))
+	for i, p := range front {
+		pt := g.At(p.SCCBytes, p.ProcsPerCluster)
+		search[i] = sccsim.SearchPoint{
+			Candidate:  sccsim.SearchCandidate{PPC: p.ProcsPerCluster, SCCBytes: p.SCCBytes},
+			Clusters:   pt.Config.Clusters,
+			Cycles:     pt.Result.Cycles,
+			AdjCycles:  p.AdjCycles,
+			ClusterMM2: p.ClusterMM2,
+			SystemMM2:  p.SystemMM2,
+			Perf:       p.Perf,
+			CostPerf:   p.CostPerf,
+		}
+	}
+	var best *sccsim.SearchPoint
+	if b := sccsim.BestDesign(points); b != nil {
+		for i := range search {
+			if search[i].PPC == b.ProcsPerCluster && search[i].SCCBytes == b.SCCBytes {
+				best = &search[i]
+			}
+		}
+	}
+	fmt.Fprint(stdout, frontierTable(search, best))
+	return nil
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSearchMatchesPareto is the CLI view of the headline contract: the
+// adaptive -search frontier table is identical to the -pareto table
+// extracted from an exhaustive sweep, with diagnostics confined to
+// stderr in both modes.
+func TestSearchMatchesPareto(t *testing.T) {
+	code, searchOut, errOut := runCLI(t, "-search", "multiprog", "-scale", "quick", "-quiet", "-parallel", "4")
+	if code != 0 {
+		t.Fatalf("-search exit %d, stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "exact sims") {
+		t.Errorf("stage accounting footer missing from stderr:\n%s", errOut)
+	}
+	if strings.Contains(searchOut, "exact sims") {
+		t.Errorf("diagnostics leaked into stdout:\n%s", searchOut)
+	}
+	code, paretoOut, errOut := runCLI(t, "-pareto", "multiprog", "-scale", "quick", "-quiet", "-parallel", "4")
+	if code != 0 {
+		t.Fatalf("-pareto exit %d, stderr:\n%s", code, errOut)
+	}
+	// Drop each mode's one-line heading; the frontier tables underneath
+	// must agree point for point.
+	searchTable := searchOut[strings.Index(searchOut, "\n")+1:]
+	paretoTable := paretoOut[strings.Index(paretoOut, "\n")+1:]
+	if searchTable != paretoTable {
+		t.Errorf("-search and -pareto frontiers differ:\n-search:\n%s\n-pareto:\n%s", searchTable, paretoTable)
+	}
+	if !strings.Contains(searchTable, "best") {
+		t.Errorf("best-design marker missing:\n%s", searchTable)
+	}
+}
+
+// TestSearchManifest: -manifest composes with -search, producing a
+// backend "search" manifest with the strategy stamp.
+func TestSearchManifest(t *testing.T) {
+	manifest := filepath.Join(t.TempDir(), "search.json")
+	code, _, errOut := runCLI(t, "-search", "multiprog", "-scale", "quick", "-quiet",
+		"-strategy", "adaptive", "-manifest", manifest)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errOut)
+	}
+	var doc struct {
+		Version  int    `json:"version"`
+		Backend  string `json:"backend"`
+		Workload string `json:"workload"`
+		Search   *struct {
+			Strategy  string `json:"strategy"`
+			ExactSims int    `json:"exact_sims"`
+		} `json:"search"`
+	}
+	if err := decodeJSONFile(manifest, &doc); err != nil {
+		t.Fatalf("manifest: %v", err)
+	}
+	if doc.Version != 1 || doc.Backend != "search" || doc.Workload != "multiprog" {
+		t.Errorf("manifest header = %+v", doc)
+	}
+	if doc.Search == nil || doc.Search.Strategy != "adaptive" || doc.Search.ExactSims == 0 {
+		t.Errorf("search stamp = %+v", doc.Search)
+	}
+}
+
+// TestParseSpace covers the -space grammar.
+func TestParseSpace(t *testing.T) {
+	min, max, step, err := parseSpace("4K:1M:64K")
+	if err != nil || min != 4096 || max != 1<<20 || step != 64*1024 {
+		t.Errorf("parseSpace(4K:1M:64K) = %d,%d,%d,%v", min, max, step, err)
+	}
+	if _, _, _, err := parseSpace("4096:8192"); err == nil {
+		t.Error("two-element -space accepted")
+	}
+	if _, _, _, err := parseSpace("a:b:c"); err == nil {
+		t.Error("non-numeric -space accepted")
+	}
+}
+
+// TestSearchUsageErrors: bad search flags are usage errors (exit 2)
+// that never start a simulation.
+func TestSearchUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-search", "multiprog", "-strategy", "genetic"},
+		{"-search", "multiprog", "-space", "nope"},
+		{"-search", "multiprog", "-space", "100:200:50"}, // not line-aligned
+		{"-search", "multiprog", "-margin", "2"},
+	}
+	for _, args := range cases {
+		code, _, errOut := runCLI(t, args...)
+		if code != 2 {
+			t.Errorf("%v: exit %d, want 2; stderr:\n%s", args, code, errOut)
+		}
+	}
+	// An unknown workload surfaces from the run itself.
+	code, _, errOut := runCLI(t, "-search", "fft", "-scale", "quick", "-quiet")
+	if code != 1 || !strings.Contains(errOut, "unknown workload") {
+		t.Errorf("unknown workload: exit %d, stderr:\n%s", code, errOut)
+	}
+}

@@ -92,14 +92,18 @@ type Cache struct {
 	sets    []line // len = nsets*assoc, laid out set-major
 	nsets   uint32
 	assoc   uint32
-	setMask uint32
+	setMask uint32 // nsets-1 when nsets is a power of two
+	pow2    bool   // whether setMask indexing applies
 	clock   uint32 // LRU timestamp source
 	stats   Stats
 }
 
-// New builds a cache of size bytes with the given associativity. Size must
-// be a multiple of assoc*LineSize and the resulting set count must be a
-// power of two (true for every configuration in the paper's sweep).
+// New builds a cache of size bytes with the given associativity. Size
+// must be a multiple of assoc*LineSize; any resulting set count is
+// accepted. Power-of-two set counts (every configuration in the paper's
+// sweep) index by mask; other counts — reachable through the search
+// API's generalized size axis — index by modulo, which agrees with the
+// mask wherever both apply.
 func New(size, assoc int) (*Cache, error) {
 	if assoc < 1 {
 		return nil, fmt.Errorf("cache: associativity %d, want >= 1", assoc)
@@ -110,19 +114,31 @@ func New(size, assoc int) (*Cache, error) {
 			size, assoc, sysmodel.LineSize)
 	}
 	nsets := lines / assoc
-	if nsets&(nsets-1) != 0 {
-		return nil, fmt.Errorf("cache: set count %d is not a power of two", nsets)
+	if lines%assoc != 0 {
+		return nil, fmt.Errorf("cache: %d lines not divisible into %d-way sets", lines, assoc)
 	}
 	c := &Cache{
 		sets:    make([]line, lines),
 		nsets:   uint32(nsets),
 		assoc:   uint32(assoc),
 		setMask: uint32(nsets - 1),
+		pow2:    nsets&(nsets-1) == 0,
 	}
 	for i := range c.sets {
 		c.sets[i].tag = tagInvalid
 	}
 	return c, nil
+}
+
+// set maps a line address to its set index: mask for power-of-two set
+// counts, modulo otherwise. For power-of-two n the two agree
+// (tag & (n-1) == tag % n), so every paper-sweep configuration behaves
+// bit-identically to the mask-only implementation.
+func (c *Cache) set(tag uint32) uint32 {
+	if c.pow2 {
+		return tag & c.setMask
+	}
+	return tag % c.nsets
 }
 
 // MustNew is New but panics on error; for configurations known valid.
@@ -170,7 +186,7 @@ func (c *Cache) Access(addr uint32, kind mem.Kind) Result {
 		return c.MissDM(addr, kind)
 	}
 	tag := addr / sysmodel.LineSize
-	set := tag & c.setMask
+	set := c.set(tag)
 	base := set * c.assoc
 	c.stats.Accesses[kind]++
 
@@ -229,7 +245,7 @@ func (c *Cache) Access(addr uint32, kind mem.Kind) Result {
 // Access delegates automatically.
 func (c *Cache) HitDM(addr uint32, kind mem.Kind) bool {
 	tag := addr / sysmodel.LineSize
-	w := &c.sets[tag&c.setMask]
+	w := &c.sets[c.set(tag)]
 	c.stats.Accesses[kind]++
 	if w.tag != tag {
 		return false
@@ -244,7 +260,7 @@ func (c *Cache) HitDM(addr uint32, kind mem.Kind) bool {
 // eviction accounting and line install. See HitDM for the contract.
 func (c *Cache) MissDM(addr uint32, kind mem.Kind) Result {
 	tag := addr / sysmodel.LineSize
-	w := &c.sets[tag&c.setMask]
+	w := &c.sets[c.set(tag)]
 	c.stats.Misses[kind]++
 	res := Result{Evicted: EvictedNone}
 	if w.tag != tagInvalid {
@@ -267,7 +283,7 @@ func (c *Cache) MissDM(addr uint32, kind mem.Kind) Result {
 // that must not masquerade as program references.
 func (c *Cache) MarkDirty(addr uint32) bool {
 	tag := addr / sysmodel.LineSize
-	base := (tag & c.setMask) * c.assoc
+	base := c.set(tag) * c.assoc
 	ways := c.sets[base : base+c.assoc]
 	for i := range ways {
 		if ways[i].tag == tag {
@@ -281,7 +297,7 @@ func (c *Cache) MarkDirty(addr uint32) bool {
 // Probe reports whether addr is present without updating LRU or stats.
 func (c *Cache) Probe(addr uint32) bool {
 	tag := addr / sysmodel.LineSize
-	base := (tag & c.setMask) * c.assoc
+	base := c.set(tag) * c.assoc
 	for _, w := range c.sets[base : base+c.assoc] {
 		if w.tag == tag {
 			return true
@@ -295,7 +311,7 @@ func (c *Cache) Probe(addr uint32) bool {
 // inter-cluster invalidation protocol.
 func (c *Cache) Invalidate(addr uint32) (present, dirty bool) {
 	tag := addr / sysmodel.LineSize
-	base := (tag & c.setMask) * c.assoc
+	base := c.set(tag) * c.assoc
 	ways := c.sets[base : base+c.assoc]
 	for i := range ways {
 		w := &ways[i]

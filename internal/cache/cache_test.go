@@ -11,18 +11,58 @@ import (
 
 func TestNewRejectsBadGeometry(t *testing.T) {
 	cases := []struct{ size, assoc int }{
-		{0, 1},        // empty
-		{100, 1},      // not a line multiple
-		{48, 1},       // 3 sets: not a power of two
-		{16, 2},       // fewer lines than ways
-		{4096, 0},     // zero associativity
-		{4096, 3},     // 4096/16/3 not integral
-		{48 * 16, 16}, // 3 sets again
+		{0, 1},    // empty
+		{100, 1},  // not a line multiple
+		{16, 2},   // fewer lines than ways
+		{4096, 0}, // zero associativity
+		{4096, 3}, // 4096/16/3 not integral
 	}
 	for _, c := range cases {
 		if _, err := New(c.size, c.assoc); err == nil {
 			t.Errorf("New(%d, %d) succeeded, want error", c.size, c.assoc)
 		}
+	}
+}
+
+// TestNonPowerOfTwoSets: the search API's generalized size axis produces
+// set counts that are not powers of two; New accepts them and the
+// modulo-indexed sets behave like any other direct-mapped cache.
+func TestNonPowerOfTwoSets(t *testing.T) {
+	c, err := New(48, 1) // 3 sets
+	if err != nil {
+		t.Fatalf("New(48, 1): %v", err)
+	}
+	if c.Sets() != 3 {
+		t.Fatalf("Sets() = %d, want 3", c.Sets())
+	}
+	a := uint32(0)
+	b := a + 3*sysmodel.LineSize // same set (tag 3 % 3 == 0), different tag
+	if c.Access(a, mem.Read).Hit {
+		t.Error("cold access hit")
+	}
+	if !c.Access(a, mem.Read).Hit {
+		t.Error("re-access missed")
+	}
+	r := c.Access(b, mem.Read)
+	if r.Hit || r.Evicted != a/sysmodel.LineSize {
+		t.Errorf("conflict access = %+v, want miss evicting line %#x", r, a/sysmodel.LineSize)
+	}
+}
+
+// TestSetIndexMaskModuloAgree pins the compatibility claim behind the
+// modulo fallback: for power-of-two set counts the mask fast path and
+// the modulo form select the same set for every tag.
+func TestSetIndexMaskModuloAgree(t *testing.T) {
+	f := func(tag uint32, sizeSel uint8) bool {
+		nsets := uint32(1) << (sizeSel % 17)
+		c := MustNew(int(nsets)*sysmodel.LineSize, 1)
+		if !c.pow2 {
+			return false
+		}
+		return c.set(tag) == tag%nsets
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
 	}
 }
 

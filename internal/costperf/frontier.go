@@ -6,6 +6,7 @@ import (
 	"sccsim/internal/area"
 	"sccsim/internal/explorer"
 	"sccsim/internal/pipeline"
+	"sccsim/internal/search"
 	"sccsim/internal/sysmodel"
 )
 
@@ -84,7 +85,10 @@ func Best(points []FrontierPoint) *FrontierPoint {
 
 // ParetoFront returns the feasible points not dominated in (performance,
 // silicon): a point is on the front if no other feasible point is both
-// faster and no larger. Sorted by area.
+// faster and no larger. Sorted by area. Extraction is shared with the
+// adaptive search (search.ParetoIndices) — one dominance definition
+// serves the exhaustive tables, the CLI's -pareto view and the search
+// frontier.
 func ParetoFront(points []FrontierPoint) []FrontierPoint {
 	var feas []FrontierPoint
 	for _, p := range points {
@@ -92,18 +96,13 @@ func ParetoFront(points []FrontierPoint) []FrontierPoint {
 			feas = append(feas, p)
 		}
 	}
+	vecs := make([][]float64, len(feas))
+	for i, p := range feas {
+		vecs[i] = []float64{p.AdjCycles, p.SystemMM2}
+	}
 	var front []FrontierPoint
-	for _, p := range feas {
-		dominated := false
-		for _, q := range feas {
-			if q.Perf > p.Perf && q.SystemMM2 <= p.SystemMM2 {
-				dominated = true
-				break
-			}
-		}
-		if !dominated {
-			front = append(front, p)
-		}
+	for _, i := range search.ParetoIndices(vecs) {
+		front = append(front, feas[i])
 	}
 	sort.Slice(front, func(a, b int) bool { return front[a].SystemMM2 < front[b].SystemMM2 })
 	return front

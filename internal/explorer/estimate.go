@@ -1,0 +1,72 @@
+// The search triage path: batch analytic cycle estimates through the
+// reuse-distance curve (rdmodel.Curve). Where the analytic *backend*
+// (analytic.go) produces full grid points — complete results, engine
+// workers, progress events — this path answers only "roughly how many
+// cycles would this point cost?" for thousands of candidates at once,
+// which is what the adaptive search's pre-triage stage needs. Profiles
+// are shared with the analytic backend through the same cache; each
+// distinct processor count folds its profile into a curve once and then
+// answers every size in constant time.
+
+package explorer
+
+import (
+	"context"
+
+	"sccsim/internal/rdmodel"
+	"sccsim/internal/sysmodel"
+	"sccsim/internal/trace"
+	"sccsim/internal/workload/multiprog"
+)
+
+// EstimatePoints returns the analytic estimated cycle count for each
+// design point, positionally. It resolves one trace and reuse-distance
+// profile per distinct processor count (through the shared caches and
+// the optional disk cache) and evaluates every size off the profile's
+// suffix-sum curve, so estimating a 10^4-point space costs a few
+// profile builds plus microseconds per point. Multiprogramming points
+// follow the sweep's rules (single cluster, ppc scheduling slots).
+func EstimatePoints(ctx context.Context, w Workload, specs []PointSpec, s Scale, dc *trace.DiskCache) ([]uint64, error) {
+	curves := make(map[int]*rdmodel.Curve)
+	out := make([]uint64, len(specs))
+	for i, spec := range specs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		curve, ok := curves[spec.PPC]
+		if !ok {
+			prof, err := profileFor(w, spec.PPC, s, dc)
+			if err != nil {
+				return nil, err
+			}
+			curve = prof.Curve()
+			curves[spec.PPC] = curve
+		}
+		pt, err := curve.At(spec.SCCBytes)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = pt.EstCycles
+	}
+	return out, nil
+}
+
+// profileFor resolves the shared reuse-distance profile for one
+// processors-per-cluster value, mirroring the analytic backend's
+// configuration rules.
+func profileFor(w Workload, ppc int, s Scale, dc *trace.DiskCache) (*rdmodel.Profile, error) {
+	if w == Multiprog {
+		refs := multiprogRefs(s)
+		pset, _, err := cachedMultiprogProcesses(refs, s.Seed, dc)
+		if err != nil {
+			return nil, err
+		}
+		return cachedScheduledProfile(refs, s.Seed, ppc, multiprog.Quantum(refs), pset)
+	}
+	cfg := sysmodel.Default(ppc, sysmodel.SCCSizes[0])
+	prog, _, err := cachedParallelProgram(w, cfg.Procs(), s, dc)
+	if err != nil {
+		return nil, err
+	}
+	return cachedParallelProfile(w, cfg.Clusters, s, prog)
+}

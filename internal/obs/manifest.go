@@ -40,6 +40,12 @@ type Manifest struct {
 	Aggregate Aggregate     `json:"aggregate"`
 	Sweep     SweepStats    `json:"sweep"`
 
+	// Search is the adaptive-search stamp: strategy, budget, seed and
+	// per-stage accounting. Present only in manifests written by a
+	// search run (Backend "search"), where Points lists the confirmed
+	// frontier rather than a full grid.
+	Search *SearchStamp `json:"search,omitempty"`
+
 	// Metrics is an optional registry snapshot (see Registry.Snapshot).
 	Metrics map[string]any `json:"metrics,omitempty"`
 }
@@ -106,6 +112,35 @@ type SweepStats struct {
 	// workload generator. DiskHits + Generated == Misses.
 	TraceDiskHits  uint64 `json:"trace_disk_hits"`
 	TraceGenerated uint64 `json:"trace_generated"`
+}
+
+// SearchStamp records how an adaptive design-space search produced its
+// frontier: the resolved strategy and inputs, and how many candidates
+// each pipeline stage handled. The exact-simulation count against the
+// space size is the search's efficiency claim in numbers, tracked
+// across PRs by `make bench-search`.
+type SearchStamp struct {
+	// Strategy is the resolved strategy ("exhaustive", "adaptive",
+	// "random"); Budget, Seed and Margin echo the resolved spec.
+	Strategy string  `json:"strategy"`
+	Budget   int     `json:"budget,omitempty"`
+	Seed     int64   `json:"seed,omitempty"`
+	Margin   float64 `json:"margin"`
+	// SpaceSize is the enumerated candidate count; StaticPruned,
+	// TriagePruned, Plausible, Sampled, AnalyticEvals, ExactSims,
+	// Abandoned and Rounds are the per-stage accounting (see
+	// search.Stats for the stage semantics).
+	SpaceSize     int `json:"space_size"`
+	StaticPruned  int `json:"static_pruned"`
+	TriagePruned  int `json:"triage_pruned"`
+	Plausible     int `json:"plausible"`
+	Sampled       int `json:"sampled,omitempty"`
+	AnalyticEvals int `json:"analytic_evals"`
+	ExactSims     int `json:"exact_sims"`
+	Abandoned     int `json:"abandoned"`
+	Rounds        int `json:"rounds"`
+	// FrontierSize is the confirmed Pareto-frontier point count.
+	FrontierSize int `json:"frontier_size"`
 }
 
 // WriteManifest validates and writes the manifest as indented JSON.

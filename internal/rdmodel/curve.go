@@ -1,0 +1,129 @@
+package rdmodel
+
+import (
+	"fmt"
+	"math"
+
+	"sccsim/internal/sysmodel"
+)
+
+// Curve is a Profile prepared for the search triage stage: one profile
+// pass answers every SCC size. Each query replays Predict's
+// direct-mapped (assoc 1) statistical conflict model — the model the
+// paper's entire design space runs under — producing numerically
+// identical estimates to Predict(size, 1), so the search pipeline's
+// calibrated pruning margins transfer directly from the analytic
+// backend's cross-validation. The miss-probability table (1-(1-1/C)^d
+// for each distance d) is built once per size and shared across the
+// clusters, which keeps a query at O(cap + clusters x nonzero
+// distances + phases x procs) — microseconds against the exact
+// simulator's seconds.
+//
+// A Curve is not safe for concurrent use: the miss-probability scratch
+// table is reused across At calls. The search triage stage queries it
+// from a single goroutine.
+type Curve struct {
+	prof *Profile
+	// baseReadMisses[c] counts cluster c's cold and far reads — misses
+	// at every size; reads[c] is its total read count.
+	baseReadMisses []float64
+	reads          []float64
+	// pmiss is the per-At scratch table: pmiss[d] = 1-(1-1/C)^d for the
+	// last queried line count, built with Predict's exact recurrence.
+	pmiss []float64
+}
+
+// Curve folds the profile's cluster histograms into the per-size query
+// form. The returned Curve shares the profile's histogram and
+// Issue/ReadRefs tables and must not outlive mutations to them
+// (profiles are immutable once built, so in practice any Curve is safe
+// forever).
+func (p *Profile) Curve() *Curve {
+	c := &Curve{
+		prof:           p,
+		baseReadMisses: make([]float64, len(p.Cluster)),
+		reads:          make([]float64, len(p.Cluster)),
+		pmiss:          make([]float64, p.Cap),
+	}
+	for i := range p.Cluster {
+		h := &p.Cluster[i]
+		c.baseReadMisses[i] = float64(h.ColdReads + h.FarReads)
+		c.reads[i] = float64(h.Reads())
+	}
+	return c
+}
+
+// CurvePoint is one size's answer off a Curve: the system-wide
+// predicted read miss ratio and the derived execution-time estimate,
+// numerically identical to Predict's direct-mapped (assoc 1)
+// prediction for the same profile and size.
+type CurvePoint struct {
+	SCCBytes     int
+	ReadMissRate float64
+	EstCycles    uint64
+}
+
+// At evaluates the curve at one SCC size. Sizes whose line count
+// exceeds the profile's tracker cap clamp to the cap, exactly as
+// Predict does; sizes below one line are an error.
+func (c *Curve) At(sccBytes int) (CurvePoint, error) {
+	lines := sccBytes / sysmodel.LineSize
+	if lines < 1 {
+		return CurvePoint{}, fmt.Errorf("rdmodel: SCC size %d below one %d-byte line", sccBytes, sysmodel.LineSize)
+	}
+	p := c.prof
+	if lines > p.Cap {
+		lines = p.Cap
+	}
+	pt := CurvePoint{SCCBytes: sccBytes}
+
+	// Miss probabilities by reuse distance, Predict's assoc==1
+	// recurrence verbatim: the survival chance of a line across d
+	// intervening distinct lines is (1-1/C)^d under uniform index
+	// hashing. The same iterated product yields bit-identical floats,
+	// and the table is shared by every cluster (Predict recomputes the
+	// identical sequence per cluster).
+	surv := 1.0
+	decay := 1 - 1/float64(lines)
+	for d := 0; d < p.Cap; d++ {
+		c.pmiss[d] = 1 - surv
+		surv *= decay
+	}
+
+	rates := make([]float64, len(p.Cluster))
+	var reads, misses float64
+	for i := range p.Cluster {
+		h := &p.Cluster[i]
+		m := c.baseReadMisses[i]
+		for d := 0; d < p.Cap; d++ {
+			if h.Read[d] != 0 {
+				m += c.pmiss[d] * float64(h.Read[d])
+			}
+		}
+		if c.reads[i] > 0 {
+			rates[i] = m / c.reads[i]
+		}
+		reads += c.reads[i]
+		misses += m
+	}
+	if reads > 0 {
+		pt.ReadMissRate = misses / reads
+	}
+
+	// Timing model copied from Predict: per phase, the slowest
+	// processor's stall-free issue cycles plus MemLatency per predicted
+	// read miss; the makespan is the sum over phases.
+	ppc := p.Procs / len(p.Cluster)
+	for i := range p.Issue {
+		var worst float64
+		for pr := 0; pr < p.Procs; pr++ {
+			est := float64(p.Issue[i][pr]) +
+				rates[pr/ppc]*float64(p.ReadRefs[i][pr])*float64(sysmodel.MemLatency)
+			if est > worst {
+				worst = est
+			}
+		}
+		pt.EstCycles += uint64(math.Round(worst))
+	}
+	return pt, nil
+}

@@ -1,0 +1,91 @@
+package rdmodel
+
+import (
+	"testing"
+
+	"sccsim/internal/sysmodel"
+	"sccsim/internal/trace"
+)
+
+// TestCurveMatchesPredictDirectMapped: a Curve replays Predict's
+// direct-mapped (assoc 1) conflict model with a shared
+// miss-probability table — the two must agree exactly (the same
+// float64 recurrence in the same order) at every size, including sizes
+// beyond the tracker cap, across multi-cluster shapes.
+func TestCurveMatchesPredictDirectMapped(t *testing.T) {
+	prog := syntheticProgram(t, 8, 20_000, 2048)
+	comp, err := trace.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, clusters := range []int{1, 2, 4} {
+		prof, err := BuildProfile(comp, clusters, DefaultCap())
+		if err != nil {
+			t.Fatal(err)
+		}
+		curve := prof.Curve()
+		sizes := append([]int(nil), sysmodel.SCCSizes...)
+		sizes = append(sizes, 5120, 2*sysmodel.SCCSizes[len(sysmodel.SCCSizes)-1])
+		for _, size := range sizes {
+			pred, err := prof.Predict(size, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := curve.At(size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.ReadMissRate != pred.ReadMissRate {
+				t.Errorf("clusters=%d size=%d: curve miss rate %v, predict %v",
+					clusters, size, got.ReadMissRate, pred.ReadMissRate)
+			}
+			if got.EstCycles != pred.EstCycles {
+				t.Errorf("clusters=%d size=%d: curve est cycles %d, predict %d",
+					clusters, size, got.EstCycles, pred.EstCycles)
+			}
+		}
+	}
+}
+
+// TestCurveMonotonicInSize: a line's survival chance only improves as
+// the cache grows, so the curve's miss rate must be non-increasing in
+// size.
+func TestCurveMonotonicInSize(t *testing.T) {
+	prog := syntheticProgram(t, 4, 15_000, 1024)
+	comp, err := trace.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := BuildProfile(comp, 2, DefaultCap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := prof.Curve()
+	prev := 2.0
+	for lines := 16; lines <= prof.Cap; lines *= 2 {
+		pt, err := curve.At(lines * sysmodel.LineSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt.ReadMissRate > prev {
+			t.Errorf("lines=%d: miss rate %v rose above %v", lines, pt.ReadMissRate, prev)
+		}
+		prev = pt.ReadMissRate
+	}
+}
+
+// TestCurveRejectsSubLineSize mirrors Predict's size validation.
+func TestCurveRejectsSubLineSize(t *testing.T) {
+	prog := syntheticProgram(t, 1, 1_000, 256)
+	comp, err := trace.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := BuildProfile(comp, 1, DefaultCap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prof.Curve().At(sysmodel.LineSize - 1); err == nil {
+		t.Error("Curve.At accepted a size below one line")
+	}
+}

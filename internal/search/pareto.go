@@ -1,0 +1,93 @@
+package search
+
+import "sort"
+
+// ParetoIndices returns the indices of the non-dominated rows of pts,
+// ascending. Every row is one point's objective vector under
+// minimization: q dominates p when q is no worse in every component and
+// strictly better in at least one. Identical vectors do not dominate
+// each other, so exact ties all stay on the frontier. Rows must share a
+// length; a nil or empty input returns nil.
+//
+// This is the one Pareto implementation in the tree: the search runner,
+// costperf.ParetoFront and the CLI's -pareto all extract through it.
+func ParetoIndices(pts [][]float64) []int {
+	switch {
+	case len(pts) == 0:
+		return nil
+	case len(pts[0]) == 2:
+		return pareto2D(pts)
+	}
+	var out []int
+	for i, p := range pts {
+		dominated := false
+		for j, q := range pts {
+			if i != j && dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// dominates reports whether q dominates p under minimization.
+func dominates(q, p []float64) bool {
+	strict := false
+	for k := range q {
+		if q[k] > p[k] {
+			return false
+		}
+		if q[k] < p[k] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// pareto2D is the O(n log n) two-objective fast path: sort by the first
+// component and sweep the best second component seen so far. Points are
+// processed in groups of equal first component so that equal-x points
+// only dominate each other through a strictly better y.
+func pareto2D(pts [][]float64) []int {
+	order := make([]int, len(pts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := pts[order[a]], pts[order[b]]
+		if pa[0] != pb[0] {
+			return pa[0] < pb[0]
+		}
+		return pa[1] < pb[1]
+	})
+	var out []int
+	prevBest := false // whether bestY is meaningful yet
+	var bestY float64 // best second component among strictly smaller x
+	for g := 0; g < len(order); {
+		h := g
+		x := pts[order[g]][0]
+		for h < len(order) && pts[order[h]][0] == x {
+			h++
+		}
+		groupMinY := pts[order[g]][1] // group sorted by y ascending
+		for _, i := range order[g:h] {
+			y := pts[i][1]
+			// Dominated by a strictly-smaller-x point with y <= ours, or
+			// by an equal-x point with strictly smaller y.
+			if (prevBest && bestY <= y) || y > groupMinY {
+				continue
+			}
+			out = append(out, i)
+		}
+		if !prevBest || groupMinY < bestY {
+			prevBest, bestY = true, groupMinY
+		}
+		g = h
+	}
+	sort.Ints(out)
+	return out
+}

@@ -27,6 +27,7 @@ func Routes() []string {
 		"POST /v1/sweep",
 		"GET /v1/sweep/{id}",
 		"POST /v1/point",
+		"POST /v1/search",
 		"GET /healthz",
 		"GET /metrics",
 		"GET /debug/requests",
@@ -47,6 +48,8 @@ func (s *Server) buildMux() *http.ServeMux {
 			h = http.HandlerFunc(s.handleSweepStatus)
 		case "POST /v1/point":
 			h = http.HandlerFunc(s.handlePoint)
+		case "POST /v1/search":
+			h = http.HandlerFunc(s.handleSearch)
 		case "GET /healthz":
 			h = http.HandlerFunc(s.handleHealthz)
 		case "GET /metrics":
@@ -382,6 +385,83 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 		ID: j.id, Status: state.String(), Workload: string(j.workload),
 		Backend: j.spec.Backend, Cache: adm.source, Point: point,
 		RequestID: j.requestID,
+	}
+	code := http.StatusOK
+	if jerr != nil {
+		resp.Error = jerr.Error()
+		code = http.StatusInternalServerError
+	}
+	esp := tr.StartSpan("encode")
+	writeJSON(w, code, resp)
+	esp.End()
+}
+
+// handleSearch serves POST /v1/search: an adaptive design-space search
+// (analytic triage, exact confirmation — sccsim.SearchCtx),
+// synchronously, through the same queue, coalescing and cache as
+// sweeps. The content key digests the workload, the resolved scale and
+// the canonical JSON of the search spec, so identical searches share
+// one execution and repeated ones are served from memory.
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	tr := obs.TraceFrom(r.Context())
+	var req SearchRequest
+	dsp := tr.StartSpan("decode")
+	ok := decodeBody(w, r, &req)
+	dsp.End()
+	if !ok {
+		return
+	}
+	workload, err := sccsim.ParseWorkload(req.Workload)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	scale, err := resolveScale(req.Scale, req.Seed, req.ScaleSpec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// A malformed space or unknown objective/strategy/constraint is a
+	// client error; catching it here keeps it off the job queue.
+	if err := req.Search.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	spec := sccsim.Spec{
+		Scale: &scale, Parallelism: s.jobParallelism(req.Parallelism),
+		TraceCacheDir: s.opts.TraceCacheDir,
+	}
+	key, err := searchKey(workload, scale, req.Search)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	asp := tr.StartSpan("admit")
+	adm, aerr := s.admit(key, func(id string) *job {
+		nj := newJob(id, key, jobSearch, workload, spec, time.Duration(req.TimeoutMS)*time.Millisecond)
+		nj.searchSpec = req.Search
+		nj.requestID = obs.RequestIDFrom(r.Context())
+		nj.trace = tr
+		return nj
+	})
+	asp.End()
+	if aerr != nil {
+		s.writeAdmitError(w, r, aerr)
+		return
+	}
+	j := adm.j
+	wsp := tr.StartSpan("wait")
+	select {
+	case <-j.done:
+		wsp.End()
+	case <-r.Context().Done():
+		wsp.End()
+		return
+	}
+	state, res, jerr := j.searchSnapshot()
+	resp := &SearchResponse{
+		ID: j.id, Status: state.String(), Workload: string(j.workload),
+		Cache: adm.source, RequestID: j.requestID, Result: res,
 	}
 	code := http.StatusOK
 	if jerr != nil {

@@ -21,6 +21,8 @@ const (
 	jobSweep jobKind = iota
 	// jobPoint runs a single design point.
 	jobPoint
+	// jobSearch runs an adaptive design-space search.
+	jobSearch
 )
 
 // jobState is a job's lifecycle position.
@@ -56,7 +58,10 @@ type job struct {
 	kind     jobKind
 	workload sccsim.Workload
 	spec     sccsim.Spec
-	timeout  time.Duration // per-request cap; 0 means the server default
+	// searchSpec is the search declaration (jobSearch only); it is part
+	// of the job's identity, digested into the content key.
+	searchSpec sccsim.SearchSpec
+	timeout    time.Duration // per-request cap; 0 means the server default
 	created  time.Time
 	// requestID is the X-Request-ID of the request that created the job;
 	// coalesced requests keep their own IDs in their own log lines but
@@ -78,6 +83,7 @@ type job struct {
 	last      *sccsim.Progress
 	grid      *sccsim.Grid
 	point     *sccsim.Point
+	search    *sccsim.SearchResult
 	report    *sccsim.SweepReport
 	err       error
 	coalesced int // requests that attached beyond the first
@@ -158,6 +164,19 @@ func (j *job) setPoint(p *sccsim.Point) {
 	j.mu.Lock()
 	j.point = p
 	j.mu.Unlock()
+}
+
+func (j *job) setSearch(r *sccsim.SearchResult) {
+	j.mu.Lock()
+	j.search = r
+	j.mu.Unlock()
+}
+
+// searchSnapshot copies the terminal state a search response renders.
+func (j *job) searchSnapshot() (state jobState, res *sccsim.SearchResult, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.search, j.err
 }
 
 // terminate publishes the terminal state and ends every progress

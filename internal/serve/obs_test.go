@@ -220,8 +220,9 @@ func TestMetricsPrometheus(t *testing.T) {
 
 // TestMetricsNameSetGolden pins the full Prometheus family-name set a
 // scripted traffic pattern produces — sweeps on both backends (so the
-// crossval gauges fire), a point, a client error, and every read-only
-// route. New metrics must show up here deliberately, via -update.
+// crossval gauges fire), a point, a search (so the search.* pipeline
+// counters fire), a client error, and every read-only route. New
+// metrics must show up here deliberately, via -update.
 func TestMetricsNameSetGolden(t *testing.T) {
 	sccsim.ResetTraceCache()
 	t.Cleanup(sccsim.ResetTraceCache)
@@ -242,6 +243,9 @@ func TestMetricsNameSetGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	pr.Body.Close()
+	// A search publishes the search.* pipeline counters.
+	sr := postSearch(t, ts.URL, tinySearchBody(16, tinySearchSpace))
+	sr.Body.Close()
 	br := postSweep(t, ts.URL, `{"not":"a sweep"}`) // 400 -> status_4xx
 	br.Body.Close()
 	for _, path := range []string{"/healthz", "/debug/requests", "/v1/sweep/missing"} {

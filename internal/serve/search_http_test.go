@@ -1,0 +1,206 @@
+// End-to-end tests of POST /v1/search against the real engine: the
+// happy path (an adaptive search on a small space), result-cache reuse,
+// coalescing of identical concurrent searches, and the 400 paths. The
+// tiny multiprog scale keeps the exact confirmations fast.
+
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"sccsim"
+)
+
+// tinySearchBody builds a search request on the tiny multiprog scale
+// over a small explicit space.
+func tinySearchBody(seed int64, search string) string {
+	return fmt.Sprintf(`{"workload":"multiprog","scale_spec":{"multiprog_refs":6000,"seed":%d},"search":%s}`, seed, search)
+}
+
+const tinySearchSpace = `{"space":{"procs_per_cluster":[1,2],"scc_bytes":[8192,16384]}}`
+
+func postSearch(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/search", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestSearchEndpoint: a search runs to completion, returns the
+// exact-confirmed frontier with its stage accounting, and an identical
+// repeat is served from the result cache with the same payload.
+func TestSearchEndpoint(t *testing.T) {
+	sccsim.ResetTraceCache()
+	t.Cleanup(sccsim.ResetTraceCache)
+
+	s := New(Options{Workers: 2})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	body := tinySearchBody(21, tinySearchSpace)
+	resp := postSearch(t, ts.URL, body)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var env SearchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Status != "done" || env.Cache != "miss" || env.Error != "" {
+		t.Fatalf("envelope %+v, want done/miss with no error", env)
+	}
+	if env.Result == nil || len(env.Result.Frontier) == 0 {
+		t.Fatalf("result %+v, want a non-empty frontier", env.Result)
+	}
+	st := env.Result.Stats
+	if st.SpaceSize != 4 {
+		t.Errorf("space size %d, want 4", st.SpaceSize)
+	}
+	if st.ExactSims == 0 || st.ExactSims > 4 {
+		t.Errorf("exact sims %d, want within (0, 4]", st.ExactSims)
+	}
+	for _, p := range env.Result.Frontier {
+		if p.Cycles == 0 {
+			t.Errorf("frontier point %+v has no exact cycles", p)
+		}
+	}
+
+	// The identical request again: served from the result cache, same
+	// job, same result.
+	r2 := postSearch(t, ts.URL, body)
+	defer r2.Body.Close()
+	var env2 SearchResponse
+	if err := json.NewDecoder(r2.Body).Decode(&env2); err != nil {
+		t.Fatal(err)
+	}
+	if env2.Cache != "hit" || env2.ID != env.ID {
+		t.Errorf("repeat = %s/%s, want hit on job %s", env2.Cache, env2.ID, env.ID)
+	}
+	if env2.Result == nil || len(env2.Result.Frontier) != len(env.Result.Frontier) {
+		t.Errorf("cached result differs: %+v vs %+v", env2.Result, env.Result)
+	}
+
+	// A different search spec over the same workload/scale must not
+	// share the cache entry.
+	r3 := postSearch(t, ts.URL, tinySearchBody(21, `{"space":{"procs_per_cluster":[1],"scc_bytes":[8192,16384]}}`))
+	defer r3.Body.Close()
+	var env3 SearchResponse
+	if err := json.NewDecoder(r3.Body).Decode(&env3); err != nil {
+		t.Fatal(err)
+	}
+	if env3.Cache != "miss" {
+		t.Errorf("different spec resolved %q, want miss", env3.Cache)
+	}
+}
+
+// TestSearchCoalescing: identical concurrent searches share one
+// execution, like sweeps.
+func TestSearchCoalescing(t *testing.T) {
+	sccsim.ResetTraceCache()
+	t.Cleanup(sccsim.ResetTraceCache)
+
+	s := New(Options{Workers: 2})
+	gate := make(chan struct{})
+	exec := s.runJob
+	s.runJob = func(ctx context.Context, j *job) error {
+		<-gate
+		return exec(ctx, j)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	const n = 3
+	body := tinySearchBody(22, tinySearchSpace)
+	var wg sync.WaitGroup
+	envs := make([]SearchResponse, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/search", "application/json", strings.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			errs[i] = json.NewDecoder(resp.Body).Decode(&envs[i])
+		}(i)
+	}
+	waitFor(t, func() bool { return s.reg.Counter("serve.coalesced").Value() == n-1 })
+	close(gate)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if got := s.reg.Counter("serve.jobs_done").Value(); got != 1 {
+		t.Errorf("serve.jobs_done = %d, want 1 (single coalesced execution)", got)
+	}
+	sources := map[string]int{}
+	for _, e := range envs {
+		sources[e.Cache]++
+		if e.ID != envs[0].ID {
+			t.Errorf("job ID %q differs from %q", e.ID, envs[0].ID)
+		}
+		if e.Result == nil || len(e.Result.Frontier) != len(envs[0].Result.Frontier) {
+			t.Error("coalesced responses returned different frontiers")
+		}
+	}
+	if sources["miss"] != 1 || sources["coalesced"] != n-1 {
+		t.Errorf("cache sources = %v, want 1 miss and %d coalesced", sources, n-1)
+	}
+}
+
+// TestSearchBadRequests: malformed searches fail on the 400 path,
+// before touching the job queue.
+func TestSearchBadRequests(t *testing.T) {
+	s := New(Options{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	cases := []struct {
+		name, body, want string
+	}{
+		{"unknown workload", `{"workload":"spice","search":{}}`, "workload"},
+		{"unknown scale", `{"workload":"mp3d","scale":"huge","search":{}}`, "scale"},
+		{"misaligned size", `{"workload":"mp3d","search":{"space":{"scc_bytes":[100]}}}`, "multiple"},
+		{"unknown strategy", `{"workload":"mp3d","search":{"strategy":"genetic"}}`, "strategy"},
+		{"unknown objective", `{"workload":"mp3d","search":{"objectives":["latency"]}}`, "objective"},
+		{"unknown field", `{"workload":"mp3d","search":{},"backend":"exact"}`, "unknown field"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := postSearch(t, ts.URL, tc.body)
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", resp.StatusCode)
+			}
+			var eb errorBody
+			if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(eb.Error, tc.want) {
+				t.Errorf("error %q lacks %q", eb.Error, tc.want)
+			}
+		})
+	}
+	if got := s.reg.Counter("serve.jobs_done").Value() + s.reg.Counter("serve.jobs_failed").Value(); got != 0 {
+		t.Errorf("bad requests reached the job queue: %d jobs ran", got)
+	}
+}

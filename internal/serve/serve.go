@@ -72,8 +72,9 @@ type Options struct {
 	// every one stamped with the request ID (nil: no logging — the
 	// handlers pay one branch per site).
 	Logger *slog.Logger
-	// ManifestDir, when set, makes every sweep job that creates new work
-	// write its versioned run manifest to <ManifestDir>/<job-id>.json,
+	// ManifestDir, when set, makes every sweep and search job that
+	// creates new work write its versioned run manifest to
+	// <ManifestDir>/<job-id>.json,
 	// stamped with the request ID that created the job ("": no
 	// manifests). The directory is created on server construction.
 	ManifestDir string
@@ -386,6 +387,20 @@ func (s *Server) execute(ctx context.Context, j *job) error {
 			return err
 		}
 		j.setPoint(pt)
+	case jobSearch:
+		if s.opts.ManifestDir != "" {
+			f, err := os.Create(filepath.Join(s.opts.ManifestDir, j.id+".json"))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			opts = append(opts, sccsim.WithManifest(f))
+		}
+		res, err := sccsim.SearchCtx(ctx, j.workload, j.searchSpec, opts...)
+		if err != nil {
+			return err
+		}
+		j.setSearch(res)
 	}
 	return nil
 }

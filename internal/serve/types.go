@@ -9,6 +9,7 @@
 package serve
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"sccsim"
@@ -133,6 +134,54 @@ type PointRequest struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
+// SearchRequest is the body of POST /v1/search: an adaptive
+// design-space search (sccsim.SearchCtx) instead of an exhaustive
+// sweep. Always synchronous. There is no backend field — the search
+// drives both backends itself (analytic triage, exact confirmation).
+type SearchRequest struct {
+	// Workload is one of barnes-hut, mp3d, cholesky, multiprog.
+	Workload string `json:"workload"`
+	// Scale names a problem-size preset: "paper" (default) or "quick".
+	Scale string `json:"scale,omitempty"`
+	// Seed overrides the preset's generator seed (0: keep the preset's).
+	// Distinct from Search.Seed, which seeds the random strategy.
+	Seed int64 `json:"seed,omitempty"`
+	// ScaleSpec sets explicit problem sizes; wins over Scale and Seed.
+	ScaleSpec *ScaleSpec `json:"scale_spec,omitempty"`
+	// Search declares the space, objectives, constraints and
+	// strategy/budget knobs; the zero value searches the paper grid for
+	// the cycles-vs-area frontier adaptively.
+	Search sccsim.SearchSpec `json:"search"`
+	// Parallelism bounds the exact-confirmation worker pool (0: the
+	// server's default). Results are identical for any value, so it is
+	// excluded from the coalescing key.
+	Parallelism int `json:"parallelism,omitempty"`
+	// TimeoutMS caps this job's execution in milliseconds (0: server
+	// default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// SearchResponse is the body of POST /v1/search.
+type SearchResponse struct {
+	// ID names the job; coalesced requests share the executing job's ID.
+	ID string `json:"id"`
+	// Status is done or failed.
+	Status string `json:"status"`
+	// Workload echoes the request.
+	Workload string `json:"workload"`
+	// Cache says how admission resolved (see SweepResponse.Cache).
+	Cache string `json:"cache,omitempty"`
+	// RequestID identifies the creating request (see
+	// SweepResponse.RequestID).
+	RequestID string `json:"request_id,omitempty"`
+	// Result is the completed search: the exact-confirmed frontier, the
+	// best cost/performance point, all simulated points, and the
+	// per-stage accounting (present when done).
+	Result *sccsim.SearchResult `json:"result,omitempty"`
+	// Error describes the failure (present when failed).
+	Error string `json:"error,omitempty"`
+}
+
 // resolveScale applies the preset/seed/spec precedence shared by both
 // request types.
 func resolveScale(preset string, seed int64, spec *ScaleSpec) (sccsim.Scale, error) {
@@ -183,6 +232,21 @@ func simKeyPart(o sccsim.Options, verify bool) string {
 // the two backends compute different numbers for the same experiment.
 func sweepKey(w sccsim.Workload, b sccsim.Backend, s sccsim.Scale, o sccsim.Options, verify bool) string {
 	return trace.KeyDigest(fmt.Sprintf("sweep-%s-%s-%s-%s", w, b, scaleKeyPart(s), simKeyPart(o, verify)))
+}
+
+// searchKey builds the search content digest: the workload, the
+// resolved scale, and the full search spec in its canonical JSON form
+// (SearchSpec round-trips losslessly — the facade's spec test pins
+// that), so identical searches coalesce and cached results are reused
+// while any change to the space, objectives, constraints or knobs
+// yields a fresh key. Search runs have no backend dimension: the
+// pipeline always triages analytically and confirms exactly.
+func searchKey(w sccsim.Workload, s sccsim.Scale, spec sccsim.SearchSpec) (string, error) {
+	canon, err := json.Marshal(spec)
+	if err != nil {
+		return "", fmt.Errorf("canonicalize search spec: %w", err)
+	}
+	return trace.KeyDigest(fmt.Sprintf("search-%s-%s-%s", w, scaleKeyPart(s), canon)), nil
 }
 
 // pointKey builds the single-point content digest.

@@ -169,9 +169,6 @@ func newOracleCache(size, assoc int) (*oracleCache, error) {
 		return nil, fmt.Errorf("verify: oracle cache: size %d not a whole number of %d-way line sets", size, assoc)
 	}
 	nsets := lines / assoc
-	if nsets&(nsets-1) != 0 {
-		return nil, fmt.Errorf("verify: oracle cache: set count %d is not a power of two", nsets)
-	}
 	return &oracleCache{nsets: uint32(nsets), assoc: assoc, sets: make(map[uint32][]oway)}, nil
 }
 

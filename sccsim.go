@@ -127,6 +127,9 @@ type expCfg struct {
 	ppc, scc    int
 	parallelism int
 	progress    func(Progress)
+	// searchProgress receives live stage updates from SearchCtx (see
+	// WithSearchProgress); sweeps ignore it.
+	searchProgress func(SearchProgress)
 	// verify, when set, attaches the coherence invariant checker to
 	// every simulation the experiment runs (see WithVerify).
 	verify bool

@@ -1,0 +1,272 @@
+package sccsim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sccsim/internal/obs"
+)
+
+// searchKey identifies a design point across the search and sweep
+// result shapes.
+type searchKey struct {
+	PPC, SCC int
+	Cycles   uint64
+}
+
+// TestSearchRecoversExhaustiveFrontier is the headline property and
+// the PR's acceptance criterion, asserted for every workload on the
+// paper grid at quick scale:
+//
+//  1. the adaptive search's cycles-vs-area frontier equals the
+//     exhaustive exact-backend frontier (SweepCtx + Frontier +
+//     ParetoFront — the shared extraction), point for point including
+//     the exact cycle counts, while simulating strictly fewer points
+//     than the feasible space;
+//  2. with the cost/performance objective — the paper's closing
+//     question — the search finds the exhaustive sweep's best design
+//     with at least 60% fewer exact simulations than the full-grid
+//     sweep.
+func TestSearchRecoversExhaustiveFrontier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-workload searches")
+	}
+	ctx := context.Background()
+	for _, w := range AllWorkloads {
+		w := w
+		t.Run(string(w), func(t *testing.T) {
+			grid, err := SweepCtx(ctx, w, WithScale(QuickScale()))
+			if err != nil {
+				t.Fatalf("sweep: %v", err)
+			}
+			exhaustive := ParetoFront(Frontier(grid))
+			want := make([]searchKey, 0, len(exhaustive))
+			for _, p := range exhaustive {
+				pt := grid.At(p.SCCBytes, p.ProcsPerCluster)
+				want = append(want, searchKey{p.ProcsPerCluster, p.SCCBytes, pt.Result.Cycles})
+			}
+
+			res, err := SearchCtx(ctx, w, SearchSpec{}, WithScale(QuickScale()))
+			if err != nil {
+				t.Fatalf("search: %v", err)
+			}
+			got := make([]searchKey, 0, len(res.Frontier))
+			for _, p := range res.Frontier {
+				got = append(got, searchKey{p.PPC, p.SCCBytes, p.Cycles})
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("adaptive frontier %v\nexhaustive frontier %v", got, want)
+			}
+			feasible := res.Stats.SpaceSize - res.Stats.StaticPruned
+			if res.Stats.ExactSims >= feasible {
+				t.Errorf("adaptive simulated %d of %d feasible points — no savings",
+					res.Stats.ExactSims, feasible)
+			}
+
+			cp, err := SearchCtx(ctx, w,
+				SearchSpec{Objectives: []SearchObjective{SearchObjectiveCostPerf}},
+				WithScale(QuickScale()))
+			if err != nil {
+				t.Fatalf("cost/perf search: %v", err)
+			}
+			best := BestDesign(Frontier(grid))
+			if best == nil || cp.Best == nil {
+				t.Fatal("no best design")
+			}
+			if cp.Best.PPC != best.ProcsPerCluster || cp.Best.SCCBytes != best.SCCBytes {
+				t.Errorf("cost/perf best %d/%d, exhaustive best %d/%d",
+					cp.Best.PPC, cp.Best.SCCBytes, best.ProcsPerCluster, best.SCCBytes)
+			}
+			// The acceptance bound: >= 60% fewer exact simulations than
+			// the full-grid exhaustive sweep.
+			if 5*cp.Stats.ExactSims > 2*cp.Stats.SpaceSize {
+				t.Errorf("cost/perf search ran %d exact sims of a %d-point grid; want <= 40%%",
+					cp.Stats.ExactSims, cp.Stats.SpaceSize)
+			}
+		})
+	}
+}
+
+// TestSearchSeedDeterminism: a fixed seed makes the random strategy's
+// result — and its manifest — identical across runs and parallelism
+// levels.
+func TestSearchSeedDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs exact simulations")
+	}
+	ctx := context.Background()
+	spec := SearchSpec{
+		Strategy:   SearchRandom,
+		Seed:       7,
+		SampleSize: 10,
+		Budget:     12,
+	}
+	run := func(parallel int) (*SearchResult, *obs.Manifest) {
+		var buf bytes.Buffer
+		res, err := SearchCtx(ctx, MP3D, spec,
+			WithScale(QuickScale()), WithParallelism(parallel), WithManifest(&buf))
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		var m obs.Manifest
+		if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+			t.Fatalf("parallel=%d manifest: %v", parallel, err)
+		}
+		return res, &m
+	}
+	res1, m1 := run(1)
+	res8, m8 := run(8)
+	if !reflect.DeepEqual(res1, res8) {
+		t.Errorf("results differ across parallelism:\n p=1: %+v\n p=8: %+v", res1, res8)
+	}
+	// The manifests must agree on everything the run determines;
+	// CreatedAt (wall clock) and Parallelism (the knob under test) are
+	// the only legitimate differences.
+	m1.CreatedAt, m8.CreatedAt = "", ""
+	m1.Parallelism, m8.Parallelism = 0, 0
+	if !reflect.DeepEqual(m1, m8) {
+		t.Errorf("manifests differ across parallelism:\n p=1: %+v\n p=8: %+v", m1, m8)
+	}
+
+	if m1.Backend != "search" {
+		t.Errorf("manifest backend %q, want %q", m1.Backend, "search")
+	}
+	if m1.Search == nil {
+		t.Fatal("manifest has no search stamp")
+	}
+	if m1.Search.Strategy != string(SearchRandom) || m1.Search.Seed != 7 ||
+		m1.Search.Budget != 12 || m1.Search.FrontierSize != len(res1.Frontier) {
+		t.Errorf("search stamp %+v does not echo the spec/result", m1.Search)
+	}
+	if len(m1.Points) != len(res1.Frontier) {
+		t.Errorf("manifest has %d points, frontier has %d", len(m1.Points), len(res1.Frontier))
+	}
+	for i, p := range res1.Frontier {
+		rec := m1.Points[i]
+		if rec.ProcsPerCluster != p.PPC || rec.SCCBytes != p.SCCBytes || rec.Cycles != p.Cycles {
+			t.Errorf("manifest point %d = %+v, frontier point %+v", i, rec, p)
+		}
+		if rec.WallNanos != 0 {
+			t.Errorf("manifest point %d has wall time %d; search manifests are deterministic", i, rec.WallNanos)
+		}
+	}
+	if res1.Stats.ExactSims > 12 {
+		t.Errorf("budget 12 exceeded: %d exact sims", res1.Stats.ExactSims)
+	}
+}
+
+// TestSearchSpecRoundTripEveryField: a fully-populated SearchSpec
+// survives JSON round-tripping — the serve layer's digest and request
+// decoding depend on it.
+func TestSearchSpecRoundTripEveryField(t *testing.T) {
+	spec := SearchSpec{
+		Space: SearchSpace{
+			ProcsPerCluster: []int{2, 4},
+			SCCBytes:        []int{8192, 32768},
+		},
+		Objectives:  []SearchObjective{SearchObjectiveCycles, SearchObjectiveArea, SearchObjectiveCostPerf},
+		Constraints: []SearchConstraint{{Metric: "area_mm2", Max: 900}, {Metric: "cycles", Min: 1, Max: 1e12}},
+		Strategy:    SearchAdaptive,
+		Budget:      64,
+		Margin:      0.25,
+		Seed:        42,
+		SampleSize:  128,
+		LocalRounds: 2,
+	}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SearchSpec
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec, back) {
+		t.Errorf("round trip changed the spec:\n sent %+v\n got  %+v", spec, back)
+	}
+	for _, key := range []string{`"space"`, `"objectives"`, `"constraints"`, `"strategy"`,
+		`"budget"`, `"margin"`, `"seed"`, `"sample_size"`, `"local_rounds"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("marshalled spec lacks %s: %s", key, data)
+		}
+	}
+
+	// The range form round-trips too.
+	rng := SearchSpec{Space: SearchSpace{SCCBytesMin: 4096, SCCBytesMax: 65536, SCCBytesStep: 4096}}
+	data, err = json.Marshal(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back = SearchSpec{}
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rng, back) {
+		t.Errorf("range spec round trip changed: sent %+v got %+v", rng, back)
+	}
+}
+
+// TestSearchOptionValidation: options the batched search pipeline
+// cannot honor fail fast with actionable errors, before any
+// simulation.
+func TestSearchOptionValidation(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		name    string
+		opts    []Opt
+		wantErr string
+	}{
+		{"analytic backend", []Opt{WithBackend(BackendAnalytic)}, "both backends"},
+		{"sim options", []Opt{WithSimOptions(Options{})}, "WithSimOptions"},
+		{"trace export", []Opt{WithTraceExport(&bytes.Buffer{})}, "WithTraceExport"},
+		{"pinned config", []Opt{WithConfig(DefaultConfig(2, 32768))}, "WithConfig"},
+		{"unknown backend", []Opt{WithBackend("fast")}, "unknown backend"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := SearchCtx(ctx, BarnesHut, SearchSpec{}, tc.opts...)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("SearchCtx: err %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+	// A bad spec fails before any backend work too.
+	_, err := SearchCtx(ctx, BarnesHut, SearchSpec{Space: SearchSpace{SCCBytes: []int{100}}})
+	if err == nil || !strings.Contains(err.Error(), "multiple") {
+		t.Errorf("bad space: err %v, want line-alignment error", err)
+	}
+}
+
+// TestSearchProgressMeter: the live progress hook sees the triage
+// stage and monotone exact-simulation counts.
+func TestSearchProgressMeter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs exact simulations")
+	}
+	var events []SearchProgress
+	_, err := SearchCtx(context.Background(), MP3D, SearchSpec{},
+		WithScale(QuickScale()),
+		WithSearchProgress(func(p SearchProgress) { events = append(events, p) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no progress events")
+	}
+	phases := map[string]bool{}
+	last := 0
+	for _, e := range events {
+		phases[e.Phase] = true
+		if e.ExactSims < last {
+			t.Errorf("exact sim count went backwards: %v", events)
+		}
+		last = e.ExactSims
+	}
+	if !phases["triage"] || !phases["exact"] {
+		t.Errorf("progress phases %v, want triage and exact", phases)
+	}
+}
