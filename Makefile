@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-race race-obs obs-overhead obs-overhead-run fuzz-smoke vet quick bench bench-quick bench-json bench-compare bench-search bench-search-run bench-search-write experiments cover clean docs-check serve verify-analytic
+.PHONY: all check build test test-race race-obs obs-overhead obs-overhead-run fuzz-smoke vet quick bench bench-quick bench-json bench-compare bench-search bench-search-run bench-search-write experiments cover clean docs-check serve verify-analytic load-check
 
 all: build vet test
 
@@ -50,6 +50,16 @@ docs-check:
 # Run the HTTP simulation service locally (see docs/API.md).
 serve:
 	$(GO) run ./cmd/sccserve -addr :8347
+
+# Load/chaos gate for the distributed path: boot an in-process
+# coordinator with 3 workers, fire 1200 concurrent mixed
+# sweep/point/search requests while killing/restarting workers and
+# injecting latency, and gate p99 latency, shed rate, availability and
+# sweep byte-identity against the committed BENCH_load.json bounds
+# (see cmd/sccload). The bounds are deliberately generous — this
+# catches lost availability and identity violations, not perf drift.
+load-check:
+	$(GO) run ./cmd/sccload -baseline BENCH_load.json
 
 # Analytic-backend accuracy smoke: cross-validate the reuse-distance
 # model against the exact simulator on one workload's full grid at

@@ -1,0 +1,399 @@
+// Command sccload is the load and chaos harness for the sccserve
+// cluster: it boots an in-process coordinator with N workers (the
+// clustertest fixture — real serve.Servers behind real HTTP listeners),
+// fires a mixed stream of concurrent sweep, point and search requests
+// at the coordinator while killing/restarting workers and injecting
+// network latency, and gates the result against committed bounds.
+//
+// Usage:
+//
+//	sccload                                   # defaults: 3 workers, 1200 requests
+//	sccload -requests 2000 -concurrency 128 -chaos=false
+//	sccload -baseline BENCH_load.json         # exit 1 when a bound is violated
+//
+// What it asserts:
+//
+//   - Availability: every request is answered — success, or an orderly
+//     shed (429). Transport errors and 5xx responses are failures.
+//   - Latency: p99 over successful requests stays under the baseline's
+//     max_p99_ms.
+//   - Shed rate: the fraction of 429s stays under max_shed_rate, and
+//     the success rate stays over min_success_rate.
+//   - Byte identity: every successful sweep response for the same
+//     request key carries byte-identical grid JSON — under concurrency,
+//     coalescing, result-cache reuse, worker kills and retries alike.
+//
+// The summary is printed as JSON on stdout; diagnostics go to stderr.
+// Exit status: 0 when all bounds hold, 1 on a violation or harness
+// failure, 2 on usage errors.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sccsim/internal/serve"
+	"sccsim/internal/serve/clustertest"
+)
+
+var (
+	stdout io.Writer = os.Stdout
+	stderr io.Writer = os.Stderr
+)
+
+// Bounds are the committed acceptance thresholds (BENCH_load.json).
+// Generous by design: this gate catches order-of-magnitude regressions
+// — lost availability, unbounded latency, identity violations — on
+// shared CI machines, not small perf drifts.
+type Bounds struct {
+	// MaxP99MS caps the p99 latency of successful requests.
+	MaxP99MS float64 `json:"max_p99_ms"`
+	// MaxShedRate caps the fraction of requests shed with 429.
+	MaxShedRate float64 `json:"max_shed_rate"`
+	// MinSuccessRate floors the fraction of requests answered 2xx.
+	MinSuccessRate float64 `json:"min_success_rate"`
+}
+
+// Summary is the run's result, printed as JSON.
+type Summary struct {
+	Requests    int     `json:"requests"`
+	Sweeps      int     `json:"sweeps"`
+	Points      int     `json:"points"`
+	Searches    int     `json:"searches"`
+	Succeeded   int     `json:"succeeded"`
+	Shed        int     `json:"shed"`
+	Failed      int     `json:"failed"`
+	SuccessRate float64 `json:"success_rate"`
+	ShedRate    float64 `json:"shed_rate"`
+	P50MS       float64 `json:"p50_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	MaxMS       float64 `json:"max_ms"`
+	WallMS      float64 `json:"wall_ms"`
+	Kills       int     `json:"kills"`
+	Restarts    int     `json:"restarts"`
+	SlowFaults  int     `json:"slow_faults"`
+	// IdentityKeys counts distinct sweep keys that completed more than
+	// once; IdentityViolations counts keys whose grids disagreed.
+	IdentityKeys       int      `json:"identity_keys"`
+	IdentityViolations int      `json:"identity_violations"`
+	Violations         []string `json:"violations,omitempty"`
+}
+
+func main() {
+	os.Exit(cli(os.Args[1:]))
+}
+
+// cli runs the whole harness and returns the process exit code.
+func cli(args []string) int {
+	fs := flag.NewFlagSet("sccload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	workers := fs.Int("workers", 3, "in-process worker nodes behind the coordinator")
+	requests := fs.Int("requests", 1200, "total requests to issue")
+	concurrency := fs.Int("concurrency", 64, "concurrent in-flight requests")
+	chaos := fs.Bool("chaos", true, "kill/restart workers and inject latency during the run")
+	seed := fs.Int64("seed", 1, "workload-mix seed")
+	baseline := fs.String("baseline", "", "bounds file (BENCH_load.json); empty skips the gate")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *requests <= 0 || *concurrency <= 0 || *workers <= 0 {
+		fmt.Fprintln(stderr, "sccload: -requests, -concurrency and -workers must be positive")
+		return 2
+	}
+	var bounds *Bounds
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(stderr, "sccload: baseline: %v\n", err)
+			return 1
+		}
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		bounds = new(Bounds)
+		if err := dec.Decode(bounds); err != nil {
+			fmt.Fprintf(stderr, "sccload: baseline %s: %v\n", *baseline, err)
+			return 1
+		}
+	}
+
+	sum, err := run(*workers, *requests, *concurrency, *chaos, *seed)
+	if err != nil {
+		fmt.Fprintf(stderr, "sccload: %v\n", err)
+		return 1
+	}
+	if bounds != nil {
+		sum.Violations = check(sum, bounds)
+	}
+	if sum.IdentityViolations > 0 {
+		sum.Violations = append(sum.Violations, fmt.Sprintf(
+			"byte identity: %d sweep key(s) returned differing grids", sum.IdentityViolations))
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		fmt.Fprintf(stderr, "sccload: %v\n", err)
+		return 1
+	}
+	if len(sum.Violations) > 0 {
+		for _, v := range sum.Violations {
+			fmt.Fprintf(stderr, "sccload: VIOLATION: %s\n", v)
+		}
+		return 1
+	}
+	fmt.Fprintln(stderr, "sccload: all bounds hold")
+	return 0
+}
+
+// check compares a summary against bounds and names every violation.
+func check(s *Summary, b *Bounds) []string {
+	var v []string
+	if b.MaxP99MS > 0 && s.P99MS > b.MaxP99MS {
+		v = append(v, fmt.Sprintf("p99 %.1fms exceeds max_p99_ms %.1f", s.P99MS, b.MaxP99MS))
+	}
+	if s.ShedRate > b.MaxShedRate {
+		v = append(v, fmt.Sprintf("shed rate %.3f exceeds max_shed_rate %.3f", s.ShedRate, b.MaxShedRate))
+	}
+	if s.SuccessRate < b.MinSuccessRate {
+		v = append(v, fmt.Sprintf("success rate %.3f below min_success_rate %.3f", s.SuccessRate, b.MinSuccessRate))
+	}
+	if s.Failed > 0 {
+		v = append(v, fmt.Sprintf("%d request(s) failed outright (transport error or 5xx)", s.Failed))
+	}
+	return v
+}
+
+// reqKind is one entry of the workload mix.
+type reqKind int
+
+const (
+	kindPoint reqKind = iota
+	kindSweep
+	kindSearch
+)
+
+// mix returns the request kind for slot i: mostly cheap points, with
+// sweeps and searches mixed in. Sweeps and searches reuse a small seed
+// set so coalescing, the result cache and the identity check all
+// engage under concurrency.
+func mix(i int) reqKind {
+	switch {
+	case i%10 == 3 || i%10 == 7:
+		return kindSweep
+	case i%20 == 11:
+		return kindSearch
+	default:
+		return kindPoint
+	}
+}
+
+// body builds the request body and key for slot i of the mix.
+func body(rng *rand.Rand, kind reqKind, i int) (path, payload, key string) {
+	switch kind {
+	case kindSweep:
+		// Four distinct sweep experiments: enough concurrency per key
+		// for coalescing and identity checks, few enough that jobs
+		// repeat.
+		seed := 100 + i%4
+		return "/v1/sweep",
+			fmt.Sprintf(`{"workload":"multiprog","scale_spec":{"multiprog_refs":6000,"seed":%d}}`, seed),
+			fmt.Sprintf("sweep-%d", seed)
+	case kindSearch:
+		seed := 200 + i%2
+		return "/v1/search",
+			fmt.Sprintf(`{"workload":"multiprog","scale_spec":{"multiprog_refs":6000,"seed":%d},`+
+				`"search":{"space":{"procs_per_cluster":[1,2],"scc_bytes":[8192,16384]}}}`, seed),
+			fmt.Sprintf("search-%d", seed)
+	default:
+		// Points are the bulk: random design points on a tiny scale.
+		procs := []int{1, 2, 4, 8}[rng.Intn(4)]
+		bytes := []int{8192, 16384, 32768}[rng.Intn(3)]
+		seed := 300 + rng.Intn(8)
+		return "/v1/point",
+			fmt.Sprintf(`{"workload":"multiprog","scale_spec":{"multiprog_refs":6000,"seed":%d},`+
+				`"procs_per_cluster":%d,"scc_bytes":%d}`, seed, procs, bytes),
+			""
+	}
+}
+
+// run boots the cluster, fires the load, and aggregates the summary.
+func run(workers, requests, concurrency int, chaos bool, seed int64) (*Summary, error) {
+	cluster, stop, err := clustertest.New(clustertest.Options{
+		Workers:        workers,
+		PointTimeoutMS: 10_000,
+		Coordinator: serve.Options{
+			Workers:    4,
+			QueueDepth: 256,
+			// Chaos retries must be fast: a killed worker costs one
+			// connection error, then cooldown keeps it out of rotation.
+			Cluster: serve.ClusterOptions{Retries: 1, BackoffMS: 5},
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("booting cluster: %w", err)
+	}
+	defer stop()
+	fmt.Fprintf(stderr, "sccload: cluster up: coordinator %s, %d workers\n", cluster.URL, workers)
+
+	sum := &Summary{Requests: requests}
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		grids     = map[string][]byte{} // sweep key -> first grid seen
+	)
+	client := &http.Client{Timeout: 2 * time.Minute}
+
+	// Chaos: a background loop that kills a worker, restarts it a beat
+	// later, and moves a slow-network fault around the fleet.
+	chaosDone := make(chan struct{})
+	var chaosStop atomic.Bool
+	if chaos && workers > 0 {
+		go func() {
+			defer close(chaosDone)
+			rng := rand.New(rand.NewSource(seed ^ 0x5cc10ad))
+			for !chaosStop.Load() {
+				w := cluster.Workers[rng.Intn(len(cluster.Workers))]
+				switch rng.Intn(3) {
+				case 0:
+					w.Kill()
+					mu.Lock()
+					sum.Kills++
+					mu.Unlock()
+					time.Sleep(150 * time.Millisecond)
+					w.Restart()
+					mu.Lock()
+					sum.Restarts++
+					mu.Unlock()
+				case 1:
+					w.SetDelay(50 * time.Millisecond)
+					mu.Lock()
+					sum.SlowFaults++
+					mu.Unlock()
+					time.Sleep(200 * time.Millisecond)
+					w.SetDelay(0)
+				default:
+					time.Sleep(100 * time.Millisecond)
+				}
+			}
+			for _, w := range cluster.Workers {
+				w.Restart()
+				w.SetDelay(0)
+			}
+		}()
+	} else {
+		close(chaosDone)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	slots := make(chan int)
+	for c := 0; c < concurrency; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(c)))
+			for i := range slots {
+				kind := mix(i)
+				path, payload, key := body(rng, kind, i)
+				t0 := time.Now()
+				resp, err := client.Post(cluster.URL+path, "application/json", strings.NewReader(payload))
+				elapsed := time.Since(t0)
+				mu.Lock()
+				switch kind {
+				case kindSweep:
+					sum.Sweeps++
+				case kindSearch:
+					sum.Searches++
+				default:
+					sum.Points++
+				}
+				mu.Unlock()
+				if err != nil {
+					mu.Lock()
+					sum.Failed++
+					mu.Unlock()
+					continue
+				}
+				raw, _ := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+				resp.Body.Close()
+				mu.Lock()
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					sum.Succeeded++
+					latencies = append(latencies, float64(elapsed.Milliseconds()))
+					if kind == kindSweep && key != "" {
+						var env struct {
+							Grid json.RawMessage `json:"grid"`
+						}
+						if json.Unmarshal(raw, &env) == nil && len(env.Grid) > 0 {
+							if prev, ok := grids[key]; !ok {
+								grids[key] = append([]byte(nil), env.Grid...)
+							} else {
+								sum.IdentityKeys++
+								if !bytes.Equal(prev, env.Grid) {
+									sum.IdentityViolations++
+								}
+							}
+						}
+					}
+				case resp.StatusCode == http.StatusTooManyRequests:
+					sum.Shed++
+				default:
+					sum.Failed++
+					fmt.Fprintf(stderr, "sccload: %s: status %d: %s\n",
+						path, resp.StatusCode, firstLine(raw))
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	for i := 0; i < requests; i++ {
+		slots <- i
+	}
+	close(slots)
+	wg.Wait()
+	chaosStop.Store(true)
+	<-chaosDone
+	sum.WallMS = float64(time.Since(start).Milliseconds())
+
+	sort.Float64s(latencies)
+	sum.P50MS = percentile(latencies, 0.50)
+	sum.P99MS = percentile(latencies, 0.99)
+	if n := len(latencies); n > 0 {
+		sum.MaxMS = latencies[n-1]
+	}
+	sum.SuccessRate = float64(sum.Succeeded) / float64(requests)
+	sum.ShedRate = float64(sum.Shed) / float64(requests)
+	return sum, nil
+}
+
+// percentile reads p from sorted values (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// firstLine trims an error payload to one log-friendly line.
+func firstLine(raw []byte) string {
+	s := strings.TrimSpace(string(raw))
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 200 {
+		s = s[:200]
+	}
+	return s
+}

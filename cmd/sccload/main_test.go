@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadSmoke runs a scaled-down chaos load against the committed
+// baseline and asserts a clean exit with a well-formed summary. This is
+// the same path `make load-check` takes, at 1/10 the request count.
+func TestLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load harness in -short mode")
+	}
+	var outBuf, errBuf bytes.Buffer
+	stdout, stderr = &outBuf, &errBuf
+	defer func() { stdout, stderr = os.Stdout, os.Stderr }()
+
+	code := cli([]string{"-requests", "120", "-concurrency", "16", "-workers", "2",
+		"-baseline", "../../BENCH_load.json"})
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstderr:\n%s", code, errBuf.String())
+	}
+	var sum Summary
+	if err := json.Unmarshal(outBuf.Bytes(), &sum); err != nil {
+		t.Fatalf("summary not JSON: %v\n%s", err, outBuf.String())
+	}
+	if sum.Requests != 120 || sum.Succeeded+sum.Shed+sum.Failed != 120 {
+		t.Errorf("summary does not account for every request: %+v", sum)
+	}
+	if sum.Sweeps == 0 || sum.Points == 0 || sum.Searches == 0 {
+		t.Errorf("mix missing a request kind: %+v", sum)
+	}
+	if sum.IdentityViolations != 0 {
+		t.Errorf("%d identity violations", sum.IdentityViolations)
+	}
+}
+
+// TestBoundsGate: an impossible baseline makes the run exit 1 and name
+// the violated bound; a malformed baseline is rejected up front.
+func TestBoundsGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load harness in -short mode")
+	}
+	var outBuf, errBuf bytes.Buffer
+	stdout, stderr = &outBuf, &errBuf
+	defer func() { stdout, stderr = os.Stdout, os.Stderr }()
+
+	dir := t.TempDir()
+	impossible := filepath.Join(dir, "impossible.json")
+	if err := os.WriteFile(impossible,
+		[]byte(`{"max_p99_ms":0.001,"max_shed_rate":1,"min_success_rate":0}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code := cli([]string{"-requests", "40", "-concurrency", "8", "-workers", "1",
+		"-chaos=false", "-baseline", impossible})
+	if code != 1 {
+		t.Fatalf("impossible bounds: exit %d, want 1\nstderr:\n%s", code, errBuf.String())
+	}
+	if !bytes.Contains(errBuf.Bytes(), []byte("VIOLATION")) ||
+		!bytes.Contains(errBuf.Bytes(), []byte("max_p99_ms")) {
+		t.Errorf("violation not named:\n%s", errBuf.String())
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"max_p99_ms":1,"unknown":2}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	errBuf.Reset()
+	if code := cli([]string{"-baseline", bad}); code != 1 {
+		t.Errorf("malformed baseline: exit %d, want 1", code)
+	}
+}
+
+// TestUsageErrors: bad flags are usage errors (exit 2), not failures.
+func TestUsageErrors(t *testing.T) {
+	var outBuf, errBuf bytes.Buffer
+	stdout, stderr = &outBuf, &errBuf
+	defer func() { stdout, stderr = os.Stdout, os.Stderr }()
+	for _, args := range [][]string{
+		{"-requests", "0"},
+		{"-concurrency", "-1"},
+		{"-nosuchflag"},
+	} {
+		if code := cli(args); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}

@@ -7,14 +7,25 @@
 //	sccserve -addr :8347
 //	sccserve -addr :8347 -workers 4 -queue 16 -trace-cache /var/cache/scc
 //
+// Cluster mode (see docs/API.md §Cluster): any node accepts worker
+// registrations and shards its sweeps across them; a node becomes a
+// worker of another with -join/-advertise:
+//
+//	sccserve -addr :8347 -trace-cache /var/cache/scc                # coordinator
+//	sccserve -addr :8348 -join http://coord:8347 \
+//	         -advertise http://worker-a:8348                        # worker
+//
 // Routes:
 //
-//	POST /v1/sweep        full design-space sweep (sync, async or NDJSON stream)
-//	GET  /v1/sweep/{id}   async job status and result
-//	POST /v1/point        one design point
-//	GET  /healthz         liveness and queue state
-//	GET  /metrics         metrics registry (JSON, or Prometheus text via Accept)
-//	GET  /debug/requests  ring buffer of recent requests with span timings
+//	POST /v1/sweep             full design-space sweep (sync, async or NDJSON stream)
+//	GET  /v1/sweep/{id}        async job status and result
+//	POST /v1/point             one design point
+//	POST /v1/cluster/register  worker registration and heartbeat
+//	GET  /v1/cluster           registered workers
+//	GET  /v1/trace/{digest}    content-addressed trace cache entry
+//	GET  /healthz              liveness and queue state
+//	GET  /metrics              metrics registry (JSON, or Prometheus text via Accept)
+//	GET  /debug/requests       ring buffer of recent requests with span timings
 //
 // Observability: every request carries an X-Request-ID (generated when
 // the caller sends none) that appears in the response header, the
@@ -83,7 +94,15 @@ func cli(args []string) int {
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)")
 	manifestDir := fs.String("manifest-dir", "", "write each sweep job's run manifest to <dir>/<job-id>.json, stamped with its request ID")
 	logLevel := fs.String("log-level", "info", "structured log level on stderr: debug, info, warn or error")
+	join := fs.String("join", "", "run as a worker of the coordinator at this base URL: register, heartbeat, and fetch missing traces from it")
+	advertise := fs.String("advertise", "", "base URL the coordinator should reach this node at (required with -join)")
+	heartbeatTTL := fs.Duration("heartbeat-ttl", 0, "drop workers not heard from for this long (0 = default of 15s)")
+	pointTimeout := fs.Duration("point-timeout", 0, "cap on each remote point attempt when sharding sweeps (0 = default of 2m)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *join != "" && *advertise == "" {
+		fmt.Fprintln(stderr, "sccserve: -join requires -advertise (the URL the coordinator reaches this node at)")
 		return 2
 	}
 	level, err := obs.ParseLogLevel(*logLevel)
@@ -107,6 +126,11 @@ func cli(args []string) int {
 		TraceCacheDir: *traceCacheDir,
 		Logger:        obs.NewJSONLogger(stderr, level),
 		ManifestDir:   *manifestDir,
+		Cluster: serve.ClusterOptions{
+			HeartbeatTTL:   *heartbeatTTL,
+			PointTimeoutMS: pointTimeout.Milliseconds(),
+			PeerTraceURL:   *join,
+		},
 	})
 	if *debugAddr != "" {
 		// Guard against re-registration when tests run cli repeatedly —
@@ -136,6 +160,15 @@ func cli(args []string) int {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 	fmt.Fprintf(stderr, "sccserve: listening on http://%s\n", ln.Addr())
+	if *join != "" {
+		ttl, err := serve.RegisterWorker(ctx, *join, *advertise)
+		if err != nil {
+			fmt.Fprintf(stderr, "sccserve: joining %s: %v\n", *join, err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "sccserve: joined %s as %s (heartbeat TTL %v)\n", *join, *advertise, ttl)
+		go serve.HeartbeatLoop(ctx, *join, *advertise)
+	}
 	testHookReady(ln.Addr())
 
 	select {

@@ -5,9 +5,12 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
+
+	"sccsim/internal/serve"
 )
 
 // TestServeSmoke boots the real command on an ephemeral port, runs one
@@ -102,5 +105,84 @@ func TestServeSmoke(t *testing.T) {
 	es := errBuf.String()
 	if !strings.Contains(es, "listening on") || !strings.Contains(es, "drained cleanly") {
 		t.Errorf("stderr missing lifecycle diagnostics:\n%s", es)
+	}
+}
+
+// TestServeJoinRegistersWithCoordinator boots a coordinator and a
+// -join worker, and asserts the worker appears in the coordinator's
+// registry and advertises the URL it was told to.
+func TestServeJoinRegistersWithCoordinator(t *testing.T) {
+	var outBuf, errBuf bytes.Buffer
+	stdout, stderr = &outBuf, &errBuf
+	defer func() { stdout, stderr = nil, nil }()
+
+	coord := httptest.NewServer(serve.New(serve.Options{}))
+	defer coord.Close()
+
+	ready := make(chan net.Addr, 1)
+	testHookReady = func(addr net.Addr) { ready <- addr }
+	defer func() { testHookReady = func(net.Addr) {} }()
+
+	exit := make(chan int, 1)
+	go func() {
+		exit <- cli([]string{"-addr", "127.0.0.1:0", "-workers", "1",
+			"-join", coord.URL, "-advertise", "http://worker-under-test:1"})
+	}()
+	select {
+	case <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not start")
+	}
+
+	cr, err := http.Get(coord.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cr.Body.Close()
+	var st serve.ClusterStatus
+	if err := json.NewDecoder(cr.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Workers) != 1 || st.Workers[0].URL != "http://worker-under-test:1" {
+		t.Fatalf("coordinator registry %+v, want the advertised worker", st.Workers)
+	}
+
+	close(testHookShutdown)
+	defer func() { testHookShutdown = make(chan struct{}) }()
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Errorf("exit code %d, want 0 (stderr: %s)", code, errBuf.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not shut down")
+	}
+	if !strings.Contains(errBuf.String(), "joined "+coord.URL) {
+		t.Errorf("stderr missing join diagnostic:\n%s", errBuf.String())
+	}
+}
+
+// TestServeJoinFlagValidation: -join without -advertise is a usage
+// error, and an unreachable coordinator is a startup failure.
+func TestServeJoinFlagValidation(t *testing.T) {
+	var outBuf, errBuf bytes.Buffer
+	stdout, stderr = &outBuf, &errBuf
+	defer func() { stdout, stderr = nil, nil }()
+
+	if code := cli([]string{"-join", "http://coord:1"}); code != 2 {
+		t.Errorf("-join without -advertise: exit %d, want 2", code)
+	}
+	if !strings.Contains(errBuf.String(), "-advertise") {
+		t.Errorf("usage error does not mention -advertise:\n%s", errBuf.String())
+	}
+
+	errBuf.Reset()
+	code := cli([]string{"-addr", "127.0.0.1:0",
+		"-join", "http://127.0.0.1:1", "-advertise", "http://self:1"})
+	if code != 1 {
+		t.Errorf("unreachable coordinator: exit %d, want 1", code)
+	}
+	if !strings.Contains(errBuf.String(), "joining") {
+		t.Errorf("stderr missing join failure:\n%s", errBuf.String())
 	}
 }

@@ -209,7 +209,7 @@ func analyticResult(cfg sysmodel.Config, prof *rdmodel.Profile, pred *rdmodel.Pr
 
 // analyticParallelPoint resolves the trace, profile and prediction for
 // one parallel design point.
-func analyticParallelPoint(w Workload, cfg sysmodel.Config, s Scale, tc *traceCounters, dc *trace.DiskCache) (*Point, error) {
+func analyticParallelPoint(w Workload, cfg sysmodel.Config, s Scale, tc *traceCounters, dc trace.Store) (*Point, error) {
 	prog, src, err := cachedParallelProgram(w, cfg.Procs(), s, dc)
 	if err != nil {
 		return nil, err
@@ -228,7 +228,7 @@ func analyticParallelPoint(w Workload, cfg sysmodel.Config, s Scale, tc *traceCo
 
 // analyticMultiprogPoint resolves the process set, scheduled profile
 // and prediction for one multiprogramming design point.
-func analyticMultiprogPoint(cfg sysmodel.Config, s Scale, tc *traceCounters, dc *trace.DiskCache) (*Point, error) {
+func analyticMultiprogPoint(cfg sysmodel.Config, s Scale, tc *traceCounters, dc trace.Store) (*Point, error) {
 	refs := multiprogRefs(s)
 	pset, src, err := cachedMultiprogProcesses(refs, s.Seed, dc)
 	if err != nil {
@@ -248,7 +248,7 @@ func analyticMultiprogPoint(cfg sysmodel.Config, s Scale, tc *traceCounters, dc 
 
 // analyticJobFor builds the engine job for one analytic design point,
 // sharing the exact path's configuration rules.
-func analyticJobFor(w Workload, cfg sysmodel.Config, s Scale, tc *traceCounters, dc *trace.DiskCache) pointJob {
+func analyticJobFor(w Workload, cfg sysmodel.Config, s Scale, tc *traceCounters, dc trace.Store) pointJob {
 	return pointJob{cfg: cfg, run: func(ctx context.Context, _ sim.Tracer) (*Point, error) {
 		if w == Multiprog {
 			return analyticMultiprogPoint(cfg, s, tc, dc)

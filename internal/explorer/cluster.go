@@ -1,0 +1,216 @@
+// The cluster sweep path: a coordinator splits the design-space grid
+// into per-point jobs, offers each to a remote executor (worker nodes
+// reached over the service's HTTP/JSON protocol), falls back to local
+// simulation when a worker fails, and merges the partial results into a
+// grid byte-identical to the single-node engine's. The merge is not a
+// blind append: every partial result passes through an Assembler that
+// rejects unknown slots, duplicates, and configuration mismatches, so a
+// confused or malicious worker can fail a point but never corrupt a
+// grid (FuzzShardMerge hammers exactly this property).
+
+package explorer
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"sccsim/internal/sim"
+	"sccsim/internal/sysmodel"
+)
+
+// RemotePointFunc executes one design point somewhere else — on a
+// worker node, over whatever transport the caller speaks — and returns
+// the simulated point. Implementations own retries and worker
+// selection; the engine only distinguishes success (the point is
+// merged) from failure (the point is simulated locally instead).
+type RemotePointFunc func(ctx context.Context, w Workload, spec PointSpec) (*Point, error)
+
+// GridSpecs returns the design-space grid's point list in job order
+// (SCC-size-major, the order the serial sweep loops and assembleGrid
+// both use) — the shard plan a coordinator fans out.
+func GridSpecs() []PointSpec {
+	specs := make([]PointSpec, 0, len(sysmodel.SCCSizes)*len(sysmodel.ProcsPerClusterSweep))
+	for _, size := range sysmodel.SCCSizes {
+		for _, ppc := range sysmodel.ProcsPerClusterSweep {
+			specs = append(specs, PointSpec{PPC: ppc, SCCBytes: size})
+		}
+	}
+	return specs
+}
+
+// expectedConfig is the exact configuration a point for spec must carry:
+// the paper's default system, single-cluster for multiprogramming —
+// identical to what the local sweep paths construct, which is what makes
+// a merged grid byte-identical to a single-node one.
+func expectedConfig(w Workload, spec PointSpec) sysmodel.Config {
+	cfg := sysmodel.Default(spec.PPC, spec.SCCBytes)
+	if w == Multiprog {
+		cfg.Clusters = 1
+	}
+	return cfg
+}
+
+// Assembler accumulates per-point partial results into a design-space
+// grid. It is the coordinator's merge point: Put validates each partial
+// result against the shard plan — the slot must exist, be empty, and
+// the point's configuration must match it exactly — so malformed,
+// duplicated or misdirected results are rejected as errors instead of
+// corrupting the grid. Not safe for concurrent use; the engine calls it
+// from one goroutine.
+type Assembler struct {
+	w      Workload
+	specs  []PointSpec
+	index  map[PointSpec]int
+	points []*Point
+	filled int
+}
+
+// NewAssembler builds an assembler over the full design-space grid for
+// one workload.
+func NewAssembler(w Workload) *Assembler {
+	specs := GridSpecs()
+	idx := make(map[PointSpec]int, len(specs))
+	for i, sp := range specs {
+		idx[sp] = i
+	}
+	return &Assembler{
+		w: w, specs: specs, index: idx,
+		points: make([]*Point, len(specs)),
+	}
+}
+
+// Specs returns the shard plan: every grid point in job order.
+func (a *Assembler) Specs() []PointSpec {
+	return append([]PointSpec(nil), a.specs...)
+}
+
+// Check validates a partial result against its slot without merging it:
+// nil or incomplete points, unknown slots, and configuration mismatches
+// are errors. The cluster path calls it on every remote result before
+// accepting it, so a bad worker response triggers local fallback rather
+// than a failed sweep.
+func (a *Assembler) Check(spec PointSpec, pt *Point) error {
+	if _, ok := a.index[spec]; !ok {
+		return fmt.Errorf("explorer: point %dP/%dB is not in the sweep grid", spec.PPC, spec.SCCBytes)
+	}
+	if pt == nil || pt.Result == nil {
+		return fmt.Errorf("explorer: partial result for %dP/%dB has no simulation result", spec.PPC, spec.SCCBytes)
+	}
+	if want := expectedConfig(a.w, spec); pt.Config != want {
+		return fmt.Errorf("explorer: partial result for %dP/%dB carries config %+v, want %+v",
+			spec.PPC, spec.SCCBytes, pt.Config, want)
+	}
+	return nil
+}
+
+// Put merges one partial result into its slot. Everything Check rejects
+// is rejected here too, plus duplicates: a slot accepts exactly one
+// result, so replayed or double-delivered partials fail loudly.
+func (a *Assembler) Put(spec PointSpec, pt *Point) error {
+	if err := a.Check(spec, pt); err != nil {
+		return err
+	}
+	i := a.index[spec]
+	if a.points[i] != nil {
+		return fmt.Errorf("explorer: duplicate partial result for %dP/%dB", spec.PPC, spec.SCCBytes)
+	}
+	a.points[i] = pt
+	a.filled++
+	return nil
+}
+
+// Grid returns the merged grid, failing if any slot is still empty — a
+// partial merge is never presented as a complete sweep.
+func (a *Assembler) Grid() (*Grid, error) {
+	if a.filled != len(a.specs) {
+		return nil, fmt.Errorf("explorer: merged grid is incomplete: %d of %d points", a.filled, len(a.specs))
+	}
+	return assembleGrid(a.w, a.points), nil
+}
+
+// pointEnvelope mirrors the fields of the service's point response that
+// the coordinator consumes. Decoding is deliberately permissive about
+// extra fields (the envelope also carries ids and cache provenance) and
+// strict about the ones that matter.
+type pointEnvelope struct {
+	Status string `json:"status"`
+	Point  *Point `json:"point"`
+	Error  string `json:"error"`
+}
+
+// DecodePointEnvelope parses a worker's `POST /v1/point` response body
+// into the simulated point. Malformed JSON, non-done statuses, worker
+// errors and missing results all return an error — the caller retries
+// or falls back, it never merges a suspect payload.
+func DecodePointEnvelope(raw []byte) (*Point, error) {
+	var env pointEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return nil, fmt.Errorf("explorer: malformed point envelope: %w", err)
+	}
+	if env.Error != "" {
+		return nil, fmt.Errorf("explorer: worker reported: %s", env.Error)
+	}
+	if env.Status != "done" {
+		return nil, fmt.Errorf("explorer: point envelope status %q, want done", env.Status)
+	}
+	if env.Point == nil || env.Point.Result == nil {
+		return nil, fmt.Errorf("explorer: point envelope carries no result")
+	}
+	return env.Point, nil
+}
+
+// SweepClusterCtx runs the full design-space sweep with remote
+// execution: each grid point is offered to eng.Remote (with the local
+// worker pool providing concurrency, progress events and the sweep
+// report exactly as in a single-node sweep) and simulated locally when
+// the remote path fails — a dead, draining or lying worker costs one
+// retry round, never a failed or incorrect sweep. Accepted results are
+// merged through an Assembler, so the returned grid is byte-identical
+// to SweepCtx's for the same experiment. Metrics (when enabled) count
+// the split: explorer.cluster_remote_points ran remotely,
+// explorer.cluster_local_points ran here (including fallbacks).
+func SweepClusterCtx(ctx context.Context, w Workload, s Scale, opts sim.Options, eng EngineOptions) (*Grid, error) {
+	remote := eng.Remote
+	if remote == nil {
+		return SweepCtx(ctx, w, s, opts, eng)
+	}
+	asm := NewAssembler(w)
+	specs := asm.Specs()
+	tc := &traceCounters{reg: eng.Metrics}
+	jobs := make([]pointJob, len(specs))
+	for i, spec := range specs {
+		local := pointJobFor(w, spec, s, opts, tc, eng.TraceCache)
+		jobs[i] = pointJob{cfg: local.cfg, run: func(ctx context.Context, tr sim.Tracer) (*Point, error) {
+			pt, err := remote(ctx, w, spec)
+			if err == nil {
+				if cerr := asm.Check(spec, pt); cerr == nil {
+					if m := eng.Metrics; m != nil {
+						m.Counter("explorer.cluster_remote_points").Inc()
+					}
+					return pt, nil
+				}
+			}
+			// Remote failure (or a result that fails validation): fall
+			// back to local simulation — unless the sweep itself is
+			// being cancelled, which must propagate, not degrade.
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			if m := eng.Metrics; m != nil {
+				m.Counter("explorer.cluster_local_points").Inc()
+			}
+			return local.run(ctx, tr)
+		}}
+	}
+	points, err := runPoints(ctx, w, jobs, eng, tc)
+	if err != nil {
+		return nil, err
+	}
+	for i, pt := range points {
+		if err := asm.Put(specs[i], pt); err != nil {
+			return nil, err
+		}
+	}
+	return asm.Grid()
+}

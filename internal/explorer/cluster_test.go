@@ -1,0 +1,268 @@
+package explorer
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"sccsim/internal/sim"
+)
+
+func TestGridSpecsCoverTheGrid(t *testing.T) {
+	specs := GridSpecs()
+	asm := NewAssembler(BarnesHut)
+	if len(specs) == 0 {
+		t.Fatal("empty shard plan")
+	}
+	seen := make(map[PointSpec]bool, len(specs))
+	for _, sp := range specs {
+		if seen[sp] {
+			t.Fatalf("duplicate spec %+v in shard plan", sp)
+		}
+		seen[sp] = true
+	}
+	if got := asm.Specs(); len(got) != len(specs) {
+		t.Fatalf("assembler plan has %d specs, GridSpecs %d", len(got), len(specs))
+	}
+}
+
+func TestAssemblerRejectsBadPartials(t *testing.T) {
+	asm := NewAssembler(BarnesHut)
+	spec := asm.Specs()[0]
+	good := &Point{Config: expectedConfig(BarnesHut, spec), Result: &sim.Result{Cycles: 1}}
+
+	if err := asm.Put(spec, nil); err == nil {
+		t.Error("nil point accepted")
+	}
+	if err := asm.Put(spec, &Point{Config: good.Config}); err == nil {
+		t.Error("point without result accepted")
+	}
+	if err := asm.Put(PointSpec{PPC: 3, SCCBytes: 12345}, good); err == nil {
+		t.Error("out-of-grid spec accepted")
+	}
+	wrong := *good
+	wrong.Config.SCCBytes *= 2
+	if err := asm.Put(spec, &wrong); err == nil {
+		t.Error("config-mismatched point accepted")
+	}
+	mp := *good
+	mp.Config.Clusters = 1 // a multiprog-shaped config in a parallel sweep
+	if err := asm.Put(spec, &mp); err == nil {
+		t.Error("cluster-count-mismatched point accepted")
+	}
+
+	if err := asm.Put(spec, good); err != nil {
+		t.Fatalf("valid point rejected: %v", err)
+	}
+	if err := asm.Put(spec, good); err == nil {
+		t.Error("duplicate partial accepted")
+	}
+	if _, err := asm.Grid(); err == nil {
+		t.Error("incomplete merge produced a grid")
+	}
+}
+
+func TestDecodePointEnvelope(t *testing.T) {
+	spec := PointSpec{PPC: 1, SCCBytes: 64 * 1024}
+	pt := &Point{Config: expectedConfig(BarnesHut, spec), Result: &sim.Result{Cycles: 42, Refs: 7}}
+	raw, err := json.Marshal(map[string]any{"status": "done", "point": pt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePointEnvelope(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Result.Cycles != 42 || got.Result.Refs != 7 {
+		t.Fatalf("decoded point %+v", got.Result)
+	}
+	for name, bad := range map[string]string{
+		"malformed":  "{not json",
+		"truncated":  string(raw[:len(raw)/2]),
+		"failed":     `{"status":"failed","error":"boom"}`,
+		"running":    `{"status":"running"}`,
+		"no point":   `{"status":"done"}`,
+		"null point": `{"status":"done","point":null}`,
+		"no result":  `{"status":"done","point":{"Config":{}}}`,
+	} {
+		if _, err := DecodePointEnvelope([]byte(bad)); err == nil {
+			t.Errorf("%s envelope accepted", name)
+		}
+	}
+}
+
+// TestSweepClusterByteIdentity is the heart of the distributed design:
+// a sweep whose points are served by a "worker" (modelled as a JSON
+// round trip through the service's point-envelope encoding — exactly
+// what crosses the wire) merges to a grid byte-identical to the local
+// engine's, and a sweep whose remote always fails falls back to local
+// execution with, again, an identical grid.
+func TestSweepClusterByteIdentity(t *testing.T) {
+	ResetTraceCache()
+	t.Cleanup(ResetTraceCache)
+	s := QuickScale()
+	ctx := context.Background()
+
+	for _, w := range []Workload{BarnesHut, Multiprog} {
+		want, err := SweepCtx(ctx, w, s, sim.Options{}, EngineOptions{Parallelism: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantJSON, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var served, progress atomic.Int64
+		remote := func(ctx context.Context, rw Workload, spec PointSpec) (*Point, error) {
+			pt, err := RunPointCtx(ctx, rw, spec.PPC, spec.SCCBytes, s, sim.Options{})
+			if err != nil {
+				return nil, err
+			}
+			// Model the wire: the worker's envelope, decoded as the
+			// coordinator does.
+			raw, err := json.Marshal(map[string]any{"status": "done", "point": pt})
+			if err != nil {
+				return nil, err
+			}
+			served.Add(1)
+			return DecodePointEnvelope(raw)
+		}
+		eng := EngineOptions{Parallelism: 4, Remote: remote,
+			Progress: func(Progress) { progress.Add(1) }}
+		got, err := SweepClusterCtx(ctx, w, s, sim.Options{}, eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotJSON, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotJSON, wantJSON) {
+			t.Fatalf("%s: cluster grid differs from single-node grid", w)
+		}
+		if served.Load() != int64(len(GridSpecs())) {
+			t.Fatalf("%s: %d points served remotely, want %d", w, served.Load(), len(GridSpecs()))
+		}
+		if progress.Load() != int64(len(GridSpecs())) {
+			t.Fatalf("%s: %d progress events, want %d", w, progress.Load(), len(GridSpecs()))
+		}
+
+		// Remote always failing: every point falls back to local
+		// simulation; same grid, no error.
+		down := func(context.Context, Workload, PointSpec) (*Point, error) {
+			return nil, errors.New("worker down")
+		}
+		got, err = SweepClusterCtx(ctx, w, s, sim.Options{}, EngineOptions{Parallelism: 4, Remote: down})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotJSON, err = json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotJSON, wantJSON) {
+			t.Fatalf("%s: fallback grid differs from single-node grid", w)
+		}
+	}
+}
+
+// TestSweepClusterRejectsLyingWorker: a remote that returns a valid
+// point for the wrong configuration is treated as a failure — the point
+// is recomputed locally and the grid stays correct.
+func TestSweepClusterRejectsLyingWorker(t *testing.T) {
+	ResetTraceCache()
+	t.Cleanup(ResetTraceCache)
+	s := QuickScale()
+	ctx := context.Background()
+	want, err := SweepCtx(ctx, BarnesHut, s, sim.Options{}, EngineOptions{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, _ := json.Marshal(want)
+
+	liar := func(ctx context.Context, w Workload, spec PointSpec) (*Point, error) {
+		// Always serve the grid's first point, whatever was asked.
+		first := GridSpecs()[0]
+		return RunPointCtx(ctx, w, first.PPC, first.SCCBytes, s, sim.Options{})
+	}
+	got, err := SweepClusterCtx(ctx, BarnesHut, s, sim.Options{}, EngineOptions{Parallelism: 4, Remote: liar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, _ := json.Marshal(got)
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Fatal("lying worker corrupted the merged grid")
+	}
+}
+
+// TestSweepClusterCancellationPropagates: cancelling the sweep context
+// must surface as an error, not degrade into local fallback execution.
+func TestSweepClusterCancellationPropagates(t *testing.T) {
+	ResetTraceCache()
+	t.Cleanup(ResetTraceCache)
+	ctx, cancel := context.WithCancel(context.Background())
+	remote := func(ctx context.Context, w Workload, spec PointSpec) (*Point, error) {
+		cancel()
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	_, err := SweepClusterCtx(ctx, BarnesHut, QuickScale(), sim.Options{},
+		EngineOptions{Parallelism: 2, Remote: remote})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// FuzzShardMerge hammers the two distrust boundaries of the distributed
+// sweep with hostile bytes: the worker point envelope (malformed,
+// truncated, wrong-status, resultless payloads must be rejected, never
+// panic) and the partial-grid merge (whatever decodes must still pass
+// slot, duplicate and configuration validation before it can land in a
+// grid — and a grid must never assemble from fewer points than the
+// plan).
+func FuzzShardMerge(f *testing.F) {
+	spec := GridSpecs()[0]
+	pt := &Point{Config: expectedConfig(BarnesHut, spec), Result: &sim.Result{Cycles: 9, Refs: 3}}
+	good, _ := json.Marshal(map[string]any{"status": "done", "point": pt})
+	f.Add(good, 1, 64*1024)
+	f.Add([]byte(`{"status":"failed","error":"x"}`), 1, 4096)
+	f.Add([]byte(`{"status":"done","point":{"Config":{"Clusters":4},"Result":{"Cycles":1}}}`), 2, 8192)
+	f.Add(good[:len(good)/2], 8, 512*1024)
+	f.Add([]byte(`[]`), 0, 0)
+	f.Fuzz(func(t *testing.T, raw []byte, ppc, scc int) {
+		asm := NewAssembler(BarnesHut)
+		decoded, err := DecodePointEnvelope(raw)
+		if err != nil {
+			if decoded != nil {
+				t.Fatal("rejected envelope returned a point")
+			}
+			return
+		}
+		if decoded == nil || decoded.Result == nil {
+			t.Fatal("accepted envelope without a result")
+		}
+		spec := PointSpec{PPC: ppc, SCCBytes: scc}
+		// First delivery: merged iff it validates. Second delivery of
+		// the same partial must always be rejected.
+		if err := asm.Put(spec, decoded); err == nil {
+			if cerr := asm.Check(spec, decoded); cerr != nil {
+				t.Fatalf("Put accepted what Check rejects: %v", cerr)
+			}
+			if err := asm.Put(spec, decoded); err == nil {
+				t.Fatal("duplicate partial accepted")
+			}
+			if _, err := asm.Grid(); err == nil && len(asm.Specs()) > 1 {
+				t.Fatal("grid assembled from a single partial")
+			}
+		} else if cerr := asm.Check(spec, decoded); cerr == nil {
+			t.Fatalf("Put rejected what Check accepts: %v", err)
+		}
+	})
+}
+
+var _ = fmt.Sprintf // keep fmt for debugging edits

@@ -125,12 +125,21 @@ type EngineOptions struct {
 	// histogram (explorer.point_ms) — the registry a long-running CLI
 	// exposes over expvar.
 	Metrics *obs.Registry
-	// TraceCache, when non-nil, is a persistent on-disk trace store
-	// consulted before running a workload generator and populated after:
-	// repeated sweeps — across processes — skip generation entirely.
-	// The in-memory cache still fronts it, so a warm process touches
-	// disk once per distinct trace key.
-	TraceCache *trace.DiskCache
+	// TraceCache, when non-nil, is a persistent trace store consulted
+	// before running a workload generator and populated after: repeated
+	// sweeps — across processes — skip generation entirely. The
+	// in-memory cache still fronts it, so a warm process touches the
+	// store once per distinct trace key. Single-node deployments pass a
+	// trace.DiskCache; cluster workers pass a trace.PeerCache so traces
+	// any node in the fleet has generated are fetched, not regenerated.
+	TraceCache trace.Store
+	// Remote, when non-nil, executes design points on other nodes: the
+	// cluster sweep path (SweepClusterCtx) offers every point to Remote
+	// first and falls back to local simulation when the call fails, so
+	// a sweep completes — with identical results — whether the fleet is
+	// healthy, degraded, or absent. Exact backend only; analytic sweeps
+	// ignore it.
+	Remote RemotePointFunc
 	// Logger, when non-nil, receives a debug-level record per completed
 	// design point. The facade stamps it with the request ID, so engine
 	// logs are joinable to the request that ran the sweep.
@@ -449,7 +458,7 @@ func programToProcesses(p *trace.Program) ([]sim.Process, error) {
 // traceGenerated when this call ran the generator — each distinct key
 // resolves exactly once per cache lifetime. dc may be nil (no
 // persistent cache).
-func cachedParallelProgram(w Workload, procs int, s Scale, dc *trace.DiskCache) (prog *trace.Program, src traceSource, err error) {
+func cachedParallelProgram(w Workload, procs int, s Scale, dc trace.Store) (prog *trace.Program, src traceSource, err error) {
 	traceCache.Lock()
 	if len(traceCache.parallel) >= maxCachedTraces {
 		traceCache.parallel = make(map[parallelKey]*cacheEntry)
@@ -481,7 +490,7 @@ func cachedParallelProgram(w Workload, procs int, s Scale, dc *trace.DiskCache) 
 	return e.prog, e.src, e.err
 }
 
-func cachedMultiprogProcesses(refs int, seed int64, dc *trace.DiskCache) (pset []sim.Process, src traceSource, err error) {
+func cachedMultiprogProcesses(refs int, seed int64, dc trace.Store) (pset []sim.Process, src traceSource, err error) {
 	traceCache.Lock()
 	if len(traceCache.multiprog) >= maxCachedTraces {
 		traceCache.multiprog = make(map[multiprogKey]*cacheEntry)
@@ -610,8 +619,13 @@ func assembleGrid(w Workload, points []*Point) *Grid {
 	return g
 }
 
-// SweepCtx dispatches to the concurrent sweep for the workload.
+// SweepCtx dispatches to the concurrent sweep for the workload — the
+// cluster path when a remote executor is configured, the local engine
+// otherwise. Both produce byte-identical grids.
 func SweepCtx(ctx context.Context, w Workload, s Scale, opts sim.Options, eng EngineOptions) (*Grid, error) {
+	if eng.Remote != nil {
+		return SweepClusterCtx(ctx, w, s, opts, eng)
+	}
 	if w == Multiprog {
 		return SweepMultiprogCtx(ctx, s, opts, eng)
 	}
@@ -626,7 +640,7 @@ type PointSpec struct {
 // pointJobFor builds the engine job for one RunPoint-style design point,
 // sharing RunPoint's configuration rules (multiprogramming runs on a
 // single cluster) and the trace cache.
-func pointJobFor(w Workload, spec PointSpec, s Scale, opts sim.Options, tc *traceCounters, dc *trace.DiskCache) pointJob {
+func pointJobFor(w Workload, spec PointSpec, s Scale, opts sim.Options, tc *traceCounters, dc trace.Store) pointJob {
 	cfg := sysmodel.Default(spec.PPC, spec.SCCBytes)
 	if w == Multiprog {
 		cfg.Clusters = 1
@@ -686,12 +700,14 @@ func RunPointCtx(ctx context.Context, w Workload, ppc, sccBytes int, s Scale, op
 }
 
 // RunConfigCtx simulates a parallel workload on an arbitrary
-// configuration through the trace cache.
-func RunConfigCtx(ctx context.Context, w Workload, cfg sysmodel.Config, s Scale, opts sim.Options) (*Point, error) {
+// configuration through the trace cache. dc, when non-nil, is the
+// persistent trace store consulted before generating (and filled
+// after), exactly as in sweeps.
+func RunConfigCtx(ctx context.Context, w Workload, cfg sysmodel.Config, s Scale, opts sim.Options, dc trace.Store) (*Point, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	prog, _, err := cachedParallelProgram(w, cfg.Procs(), s, nil)
+	prog, _, err := cachedParallelProgram(w, cfg.Procs(), s, dc)
 	if err != nil {
 		return nil, err
 	}

@@ -26,7 +26,7 @@ import (
 // suffix-sum curve, so estimating a 10^4-point space costs a few
 // profile builds plus microseconds per point. Multiprogramming points
 // follow the sweep's rules (single cluster, ppc scheduling slots).
-func EstimatePoints(ctx context.Context, w Workload, specs []PointSpec, s Scale, dc *trace.DiskCache) ([]uint64, error) {
+func EstimatePoints(ctx context.Context, w Workload, specs []PointSpec, s Scale, dc trace.Store) ([]uint64, error) {
 	curves := make(map[int]*rdmodel.Curve)
 	out := make([]uint64, len(specs))
 	for i, spec := range specs {
@@ -54,7 +54,7 @@ func EstimatePoints(ctx context.Context, w Workload, specs []PointSpec, s Scale,
 // profileFor resolves the shared reuse-distance profile for one
 // processors-per-cluster value, mirroring the analytic backend's
 // configuration rules.
-func profileFor(w Workload, ppc int, s Scale, dc *trace.DiskCache) (*rdmodel.Profile, error) {
+func profileFor(w Workload, ppc int, s Scale, dc trace.Store) (*rdmodel.Profile, error) {
 	if w == Multiprog {
 		refs := multiprogRefs(s)
 		pset, _, err := cachedMultiprogProcesses(refs, s.Seed, dc)

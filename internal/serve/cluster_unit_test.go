@@ -1,0 +1,256 @@
+// White-box tests of cluster mode's server half: the worker registry
+// (registration, heartbeat expiry, validation), the content-addressed
+// trace endpoint, and the peer trace-cache wiring. The multi-node
+// integration paths live in clustertest.
+
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sccsim/internal/mem"
+	"sccsim/internal/trace"
+)
+
+// fixtureProgram builds a tiny trace program for cache round trips.
+func fixtureProgram(procs int) *trace.Program {
+	phases := make([][]mem.Ref, procs)
+	for i := range phases {
+		phases[i] = []mem.Ref{
+			{Addr: uint32(0x100 * (i + 1)), Kind: mem.Read, Gap: 2},
+			{Addr: uint32(0x2000 + 64*i), Kind: mem.Write},
+		}
+	}
+	return &trace.Program{
+		Name: "serve-fixture", Procs: procs,
+		Phases: []trace.Phase{{Name: "p", Streams: phases}},
+	}
+}
+
+func registerBody(t *testing.T, url, worker string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/cluster/register", "application/json",
+		strings.NewReader(`{"url":"`+worker+`"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func clusterStatus(t *testing.T, url string) ClusterStatus {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st ClusterStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestClusterRegistryLifecycle: registration is an idempotent upsert
+// that doubles as heartbeat; unrenewed workers expire after the TTL
+// and leave the sweep-sharding pool.
+func TestClusterRegistryLifecycle(t *testing.T) {
+	s := New(Options{Cluster: ClusterOptions{HeartbeatTTL: 150 * time.Millisecond}})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	r := registerBody(t, ts.URL, "http://worker-a:1/")
+	defer r.Body.Close()
+	var rr RegisterResponse
+	if err := json.NewDecoder(r.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Status != "ok" || rr.Workers != 1 || rr.TTLMS != 150 {
+		t.Fatalf("register response %+v", rr)
+	}
+	// Same worker again (trailing slash stripped): still one entry.
+	r2 := registerBody(t, ts.URL, "http://worker-a:1")
+	r2.Body.Close()
+	r3 := registerBody(t, ts.URL, "http://worker-b:2")
+	r3.Body.Close()
+	st := clusterStatus(t, ts.URL)
+	if len(st.Workers) != 2 || st.Workers[0].URL != "http://worker-a:1" {
+		t.Fatalf("cluster status %+v, want two workers sorted by URL", st.Workers)
+	}
+	if rem := s.clusterRemote(); rem == nil {
+		t.Fatal("healthy registry produced no Remote")
+	}
+
+	// No heartbeats: both expire and sharding turns off.
+	time.Sleep(200 * time.Millisecond)
+	if st := clusterStatus(t, ts.URL); len(st.Workers) != 0 {
+		t.Fatalf("expired workers still listed: %+v", st.Workers)
+	}
+	if rem := s.clusterRemote(); rem != nil {
+		t.Fatal("expired registry still produced a Remote")
+	}
+}
+
+// TestClusterRegisterValidation: malformed bodies and non-absolute
+// URLs are client errors.
+func TestClusterRegisterValidation(t *testing.T) {
+	s := New(Options{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	for _, body := range []string{
+		`{"url":""}`, `{"url":"worker:80"}`, `{"url":"ftp://x"}`, `{not json`,
+		`{"url":"http://x","extra":1}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/cluster/register", "application/json",
+			strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("register %s: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+// TestTraceEndpoint: GET /v1/trace/{digest} streams the raw cache
+// entry for a digest this node holds and 404s for everything else.
+func TestTraceEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	dc, err := trace.NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := fixtureProgram(2)
+	const key = "scct1-serve-trace-fixture"
+	if err := dc.Store(key, prog); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(Options{TraceCacheDir: dir})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/trace/" + trace.KeyDigest(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	got, err := trace.ReadProgram(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Procs != prog.Procs {
+		t.Fatalf("served trace has %d procs, want %d", got.Procs, prog.Procs)
+	}
+
+	for _, digest := range []string{trace.KeyDigest("never-stored"), "deadbeef", "..%2F..%2Fetc%2Fpasswd"} {
+		resp, err := http.Get(ts.URL + "/v1/trace/" + digest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("digest %q: status %d, want 404", digest, resp.StatusCode)
+		}
+	}
+
+	// A node without a trace cache serves only misses.
+	bare := httptest.NewServer(New(Options{}))
+	defer bare.Close()
+	resp2, err := http.Get(bare.URL + "/v1/trace/" + trace.KeyDigest(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("cacheless node: status %d, want 404", resp2.StatusCode)
+	}
+}
+
+// TestPeerTraceStoreWiring: a worker configured with PeerTraceURL gets
+// a peer-fetching trace store that pulls entries it lacks from the
+// coordinator's trace endpoint and persists them locally.
+func TestPeerTraceStoreWiring(t *testing.T) {
+	coordDir := t.TempDir()
+	cdc, err := trace.NewDiskCache(coordDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := fixtureProgram(4)
+	const key = "scct1-peer-wiring-fixture"
+	if err := cdc.Store(key, prog); err != nil {
+		t.Fatal(err)
+	}
+	coord := httptest.NewServer(New(Options{TraceCacheDir: coordDir}))
+	defer coord.Close()
+
+	worker := New(Options{
+		TraceCacheDir: t.TempDir(),
+		Cluster:       ClusterOptions{PeerTraceURL: coord.URL},
+	})
+	if worker.traceStore == nil {
+		t.Fatal("worker has no trace store")
+	}
+	got, err := worker.traceStore.Load(key)
+	if err != nil || got == nil {
+		t.Fatalf("peer load: %v, %v", got, err)
+	}
+	if got.Procs != prog.Procs {
+		t.Fatalf("fetched trace has %d procs, want %d", got.Procs, prog.Procs)
+	}
+	if worker.reg.Counter("serve.trace_fetch_hits").Value() != 1 {
+		t.Error("peer fetch hit not counted")
+	}
+	// Persisted locally: the worker's own disk cache now serves it.
+	if got, _ := worker.traceDC.Load(key); got == nil {
+		t.Fatal("fetched entry not persisted in the worker's disk cache")
+	}
+}
+
+// TestRegisterWorkerAndHeartbeatLoop: the worker-side helpers register
+// against a live coordinator and keep the registration alive past the
+// TTL until cancelled.
+func TestRegisterWorkerAndHeartbeatLoop(t *testing.T) {
+	s := New(Options{Cluster: ClusterOptions{HeartbeatTTL: 300 * time.Millisecond}})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	ttl, err := RegisterWorker(context.Background(), ts.URL+"/", "http://self:9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ttl != 300*time.Millisecond {
+		t.Fatalf("granted TTL %v, want 300ms", ttl)
+	}
+	if _, err := RegisterWorker(context.Background(), ts.URL, ""); err == nil {
+		t.Fatal("empty self URL accepted")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		HeartbeatLoop(ctx, ts.URL, "http://self:9")
+		close(done)
+	}()
+	// Well past the TTL, the heartbeat keeps the worker healthy.
+	time.Sleep(700 * time.Millisecond)
+	if st := clusterStatus(t, ts.URL); len(st.Workers) != 1 {
+		t.Fatalf("heartbeating worker not healthy: %+v", st.Workers)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("HeartbeatLoop did not stop on cancel")
+	}
+}

@@ -28,6 +28,9 @@ func Routes() []string {
 		"GET /v1/sweep/{id}",
 		"POST /v1/point",
 		"POST /v1/search",
+		"POST /v1/cluster/register",
+		"GET /v1/cluster",
+		"GET /v1/trace/{digest}",
 		"GET /healthz",
 		"GET /metrics",
 		"GET /debug/requests",
@@ -50,6 +53,12 @@ func (s *Server) buildMux() *http.ServeMux {
 			h = http.HandlerFunc(s.handlePoint)
 		case "POST /v1/search":
 			h = http.HandlerFunc(s.handleSearch)
+		case "POST /v1/cluster/register":
+			h = http.HandlerFunc(s.handleClusterRegister)
+		case "GET /v1/cluster":
+			h = http.HandlerFunc(s.handleClusterStatus)
+		case "GET /v1/trace/{digest}":
+			h = http.HandlerFunc(s.handleTrace)
 		case "GET /healthz":
 			h = http.HandlerFunc(s.handleHealthz)
 		case "GET /metrics":
@@ -349,7 +358,7 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 		Scale: &scale, ProcsPerCluster: ppc, SCCBytes: scc,
 		Parallelism:   s.jobParallelism(0),
 		TraceCacheDir: s.opts.TraceCacheDir, Verify: verify,
-		Backend:       string(backend),
+		Backend: string(backend),
 	}
 	if req.Sim != nil {
 		spec.Sim = &sim

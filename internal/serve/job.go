@@ -62,7 +62,7 @@ type job struct {
 	// of the job's identity, digested into the content key.
 	searchSpec sccsim.SearchSpec
 	timeout    time.Duration // per-request cap; 0 means the server default
-	created  time.Time
+	created    time.Time
 	// requestID is the X-Request-ID of the request that created the job;
 	// coalesced requests keep their own IDs in their own log lines but
 	// share this job record. Set once, before the job goroutine starts.

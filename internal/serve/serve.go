@@ -37,6 +37,7 @@ import (
 
 	"sccsim"
 	"sccsim/internal/obs"
+	"sccsim/internal/trace"
 )
 
 // Options configures a Server. The zero value serves with two workers,
@@ -81,6 +82,10 @@ type Options struct {
 	// DebugRequests bounds the GET /debug/requests ring buffer of recent
 	// requests (<= 0: 64).
 	DebugRequests int
+	// Cluster configures coordinator/worker mode: the worker registry's
+	// heartbeat TTL and retry knobs on a coordinator, the peer trace
+	// cache URL on a worker. The zero value is a standalone node.
+	Cluster ClusterOptions
 }
 
 func (o Options) workers() int {
@@ -142,6 +147,19 @@ type Server struct {
 	doneIDs  []string // finished job ids, oldest first, for pruning
 	seq      uint64
 
+	// Worker registry (cluster mode): registrations double as
+	// heartbeats and expire after the cluster TTL. Guarded by its own
+	// mutex — registration traffic must never contend with admission.
+	workersMu sync.Mutex
+	workers   map[string]*workerNode
+
+	// Trace cache stack: traceDC is the node's content-addressed disk
+	// cache (what GET /v1/trace/{digest} serves); traceStore is what
+	// jobs use — the same disk cache, or a peer-fetching wrapper when
+	// ClusterOptions.PeerTraceURL is set. Both nil without a cache dir.
+	traceDC    *trace.DiskCache
+	traceStore trace.Store
+
 	wg sync.WaitGroup // one per admitted job
 
 	// runJob executes one admitted job under its context, storing the
@@ -178,6 +196,7 @@ func New(opts Options) *Server {
 		cache:    newResultCache(opts.cacheEntries()),
 	}
 	s.runJob = s.execute
+	s.buildTraceStore()
 	s.mux = s.buildMux()
 	return s
 }
@@ -362,12 +381,22 @@ func (s *Server) execute(ctx context.Context, j *job) error {
 	if s.logger != nil {
 		opts = append(opts, sccsim.WithLogger(s.logger.With("job", j.id)))
 	}
+	if s.traceStore != nil {
+		// The already-open cache stack (possibly peer-fetching) wins
+		// over the spec's directory form of the same cache.
+		opts = append(opts, sccsim.WithTraceStore(s.traceStore))
+	}
 	switch j.kind {
 	case jobSweep:
 		opts = append(opts,
 			sccsim.WithProgress(j.broadcast),
 			sccsim.WithSweepReport(j.setReport),
 		)
+		if rem := s.clusterRemote(); rem != nil {
+			// Healthy workers registered: shard the sweep across them,
+			// with local simulation as the per-point fallback.
+			opts = append(opts, sccsim.WithCluster(rem))
+		}
 		if s.opts.ManifestDir != "" {
 			f, err := os.Create(filepath.Join(s.opts.ManifestDir, j.id+".json"))
 			if err != nil {

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -59,11 +60,12 @@ func KeyDigest(key string) string {
 	return hex.EncodeToString(sum[:])
 }
 
-// path maps a key to its file. The digest alone guarantees uniqueness;
-// the sanitized prefix exists so `ls` on the cache directory is
-// readable.
+// path maps a key to its file. The layout is content-addressed: the
+// file name ends in the full hex SHA-256 digest of the key (KeyDigest),
+// so any node holding the same key writes the same name and a peer can
+// locate the entry knowing only the digest (see OpenDigest). The
+// sanitized prefix exists so `ls` on the cache directory is readable.
 func (c *DiskCache) path(key string) string {
-	sum := sha256.Sum256([]byte(key))
 	prefix := make([]byte, 0, 40)
 	for i := 0; i < len(key) && len(prefix) < 40; i++ {
 		b := key[i]
@@ -75,7 +77,30 @@ func (c *DiskCache) path(key string) string {
 			prefix = append(prefix, '-')
 		}
 	}
-	return filepath.Join(c.dir, string(prefix)+"-"+hex.EncodeToString(sum[:8])+".scct")
+	return filepath.Join(c.dir, string(prefix)+"-"+KeyDigest(key)+".scct")
+}
+
+// OpenDigest returns a reader over the raw encoded entry whose content
+// digest (KeyDigest of its key) is digest, or fs.ErrNotExist when the
+// cache holds no such entry. It is the serving side of the fleet-shared
+// cache: a peer that knows only the digest — the `/v1/trace/{digest}`
+// endpoint — streams the entry without ever learning the key. The
+// digest must be the full 64-hex-char SHA-256 form; anything else is
+// rejected before touching the filesystem.
+func (c *DiskCache) OpenDigest(digest string) (io.ReadCloser, error) {
+	if len(digest) != 2*sha256.Size {
+		return nil, fmt.Errorf("trace: digest %q: %w", digest, fs.ErrNotExist)
+	}
+	for _, b := range []byte(digest) {
+		if (b < '0' || b > '9') && (b < 'a' || b > 'f') {
+			return nil, fmt.Errorf("trace: digest %q: %w", digest, fs.ErrNotExist)
+		}
+	}
+	matches, err := filepath.Glob(filepath.Join(c.dir, "*-"+digest+".scct"))
+	if err != nil || len(matches) == 0 {
+		return nil, fs.ErrNotExist
+	}
+	return os.Open(matches[0])
 }
 
 // Load returns the cached program for key, or (nil, nil) on a miss. A
@@ -101,7 +126,16 @@ func (c *DiskCache) Load(key string) (*Program, error) {
 }
 
 // Store writes the program under key atomically (temp file + rename).
+// Entries are content-keyed, so two stores of one key always carry
+// identical bytes: when the entry already exists — another goroutine,
+// process, or node sharing the volume won the temp+rename race — the
+// second store is a no-op win, not a rewrite, and a rename that fails
+// only because the winner's entry landed first still reports success.
 func (c *DiskCache) Store(key string, p *Program) error {
+	path := c.path(key)
+	if _, err := os.Stat(path); err == nil {
+		return nil
+	}
 	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
 	if err != nil {
 		return fmt.Errorf("trace: disk cache store: %w", err)
@@ -114,7 +148,10 @@ func (c *DiskCache) Store(key string, p *Program) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("trace: disk cache store: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		if _, serr := os.Stat(path); serr == nil {
+			return nil
+		}
 		return fmt.Errorf("trace: disk cache store: %w", err)
 	}
 	return nil

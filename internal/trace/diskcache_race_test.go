@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestDiskCacheConcurrentStoreLoad hammers one key from parallel
@@ -79,5 +80,74 @@ func TestDiskCacheConcurrentStoreLoad(t *testing.T) {
 	got, err := dc.Load(key)
 	if err != nil || got == nil {
 		t.Fatalf("final Load failed: %v, %v", got, err)
+	}
+}
+
+// TestDiskCacheSharedVolumeCollision models two nodes sharing one cache
+// volume (the fleet deployment): two independent DiskCache handles
+// rooted at the same directory race temp+rename stores of one digest.
+// Both stores must succeed — entries are content-keyed, so whoever
+// loses the rename race holds identical bytes — and the entry must load
+// cleanly afterwards.
+func TestDiskCacheSharedVolumeCollision(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := compileFixture()
+	const key = "scct1-shared-volume-fixture"
+	for round := 0; round < 20; round++ {
+		os.Remove(a.path(key))
+		var wg sync.WaitGroup
+		errs := make(chan error, 2)
+		for _, dc := range []*DiskCache{a, b} {
+			wg.Add(1)
+			go func(dc *DiskCache) {
+				defer wg.Done()
+				if err := dc.Store(key, p); err != nil {
+					errs <- err
+				}
+			}(dc)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatalf("round %d: colliding store failed: %v", round, err)
+		}
+		got, err := a.Load(key)
+		if err != nil || got == nil {
+			t.Fatalf("round %d: entry unreadable after collision: %v, %v", round, got, err)
+		}
+	}
+}
+
+// TestDiskCacheSecondStoreIsNoOp: once an entry exists, a repeat store
+// must not rewrite it — the second writer wins by doing nothing. Pinned
+// by planting a sentinel mtime and checking it survives the store.
+func TestDiskCacheSecondStoreIsNoOp(t *testing.T) {
+	dc := mustCache(t)
+	p := compileFixture()
+	const key = "scct1-noop-fixture"
+	if err := dc.Store(key, p); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := time.Date(2001, 2, 3, 4, 5, 6, 0, time.UTC)
+	if err := os.Chtimes(dc.path(key), sentinel, sentinel); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.Store(key, p); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(dc.path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fi.ModTime().Equal(sentinel) {
+		t.Fatalf("second store rewrote the entry (mtime %v, want sentinel %v)", fi.ModTime(), sentinel)
 	}
 }

@@ -1,0 +1,101 @@
+package trace
+
+import "io"
+
+// Store is the trace-cache contract the sweep engine consults before
+// running a workload generator: Load returns the cached program for a
+// key or (nil, nil) on a miss, Put persists one. A Store is an
+// optimization layer, never a source of truth — implementations must
+// treat corrupt or unreachable entries as misses, and Put failures cost
+// only a later regeneration. DiskCache is the single-node
+// implementation; PeerCache layers fleet-wide sharing on top of it.
+type Store interface {
+	// Load returns the cached program for key, or (nil, nil) on a miss.
+	Load(key string) (*Program, error)
+	// Store persists the program under key.
+	Store(key string, p *Program) error
+}
+
+// FetchFunc retrieves a peer node's encoded cache entry by content
+// digest (KeyDigest of the entry's key), returning a reader over the
+// raw .scct bytes. A miss or an unreachable peer is reported as an
+// error; the caller treats every failure as a cache miss.
+type FetchFunc func(digest string) (io.ReadCloser, error)
+
+// PeerCache is a DiskCache with a fleet behind it: Load consults the
+// local content-addressed store first and, on a miss, fetches the entry
+// from a peer node by digest (the `GET /v1/trace/{digest}` contract),
+// persisting what it gets so the next lookup — and the next process on
+// this node — is local. Every peer failure mode (down, slow, serving
+// garbage) degrades to a miss: the caller falls back to local
+// generation, exactly as if there were no peer. Stores go to the local
+// cache only; peers pull, they are never pushed to.
+type PeerCache struct {
+	local *DiskCache
+	fetch FetchFunc
+
+	// onFetch, when non-nil, observes each peer-fetch attempt's outcome
+	// (hit = the peer supplied a decodable entry). Tests and metrics
+	// hook it; the hot path pays one nil check.
+	onFetch func(hit bool)
+}
+
+// NewPeerCache wraps a local disk cache with a peer-fetch fallback.
+// fetch may be nil, in which case the PeerCache behaves exactly like
+// the local cache.
+func NewPeerCache(local *DiskCache, fetch FetchFunc) *PeerCache {
+	return &PeerCache{local: local, fetch: fetch}
+}
+
+// OnFetch installs an observer called after every peer-fetch attempt
+// with whether the peer supplied a usable entry. Call before first use;
+// the observer must be safe for concurrent use.
+func (p *PeerCache) OnFetch(fn func(hit bool)) { p.onFetch = fn }
+
+// Load returns the program for key from the local cache, then from the
+// peer, then (nil, nil): a peer miss is indistinguishable from a plain
+// cache miss, so callers regenerate exactly as they would single-node.
+func (p *PeerCache) Load(key string) (*Program, error) {
+	if prog, _ := p.local.Load(key); prog != nil {
+		return prog, nil
+	}
+	if p.fetch == nil {
+		return nil, nil
+	}
+	rc, err := p.fetch(KeyDigest(key))
+	if err != nil || rc == nil {
+		p.note(false)
+		return nil, nil
+	}
+	prog, err := ReadProgram(rc)
+	rc.Close()
+	if err != nil {
+		p.note(false)
+		return nil, nil
+	}
+	p.note(true)
+	// Best-effort: a failed store only costs re-fetching next time.
+	_ = p.local.Store(key, prog)
+	return prog, nil
+}
+
+// Store persists the program in the local cache; peers pull entries on
+// demand rather than being pushed to.
+func (p *PeerCache) Store(key string, prog *Program) error {
+	return p.local.Store(key, prog)
+}
+
+// Local returns the underlying disk cache (the store peers fetch from).
+func (p *PeerCache) Local() *DiskCache { return p.local }
+
+func (p *PeerCache) note(hit bool) {
+	if p.onFetch != nil {
+		p.onFetch(hit)
+	}
+}
+
+// Interface conformance: both cache layers satisfy Store.
+var (
+	_ Store = (*DiskCache)(nil)
+	_ Store = (*PeerCache)(nil)
+)

@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"io/fs"
+	"testing"
+)
+
+// fetchFrom builds a FetchFunc backed by another DiskCache — the
+// in-process stand-in for the `GET /v1/trace/{digest}` peer endpoint.
+func fetchFrom(peer *DiskCache) FetchFunc {
+	return func(digest string) (io.ReadCloser, error) {
+		return peer.OpenDigest(digest)
+	}
+}
+
+func TestOpenDigestRoundTrip(t *testing.T) {
+	dc := mustCache(t)
+	p := compileFixture()
+	const key = "scct1-digest-fixture"
+	if err := dc.Store(key, p); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := dc.OpenDigest(KeyDigest(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	got, err := ReadProgram(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != p.Name || got.Procs != p.Procs {
+		t.Fatal("digest-addressed entry differs from stored program")
+	}
+}
+
+func TestOpenDigestRejectsBadDigests(t *testing.T) {
+	dc := mustCache(t)
+	if err := dc.Store("scct1-x", compileFixture()); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{
+		"", "deadbeef", // too short
+		KeyDigest("scct1-x") + "00",     // too long
+		"../../../../etc/passwd",        // traversal
+		"ZZ" + KeyDigest("scct1-x")[2:], // non-hex
+		"*" + KeyDigest("scct1-x")[1:],  // glob metachar
+		KeyDigest("never-stored"),       // well-formed miss
+	} {
+		if _, err := dc.OpenDigest(bad); !errors.Is(err, fs.ErrNotExist) {
+			t.Errorf("OpenDigest(%q) = %v, want fs.ErrNotExist", bad, err)
+		}
+	}
+}
+
+func TestPeerCacheFetchesAndPersists(t *testing.T) {
+	coordinator := mustCache(t)
+	p := compileFixture()
+	const key = "scct1-peer-fixture"
+	if err := coordinator.Store(key, p); err != nil {
+		t.Fatal(err)
+	}
+	local := mustCache(t)
+	fetches := 0
+	pc := NewPeerCache(local, func(digest string) (io.ReadCloser, error) {
+		fetches++
+		return coordinator.OpenDigest(digest)
+	})
+	var hits, misses int
+	pc.OnFetch(func(hit bool) {
+		if hit {
+			hits++
+		} else {
+			misses++
+		}
+	})
+
+	got, err := pc.Load(key)
+	if err != nil || got == nil {
+		t.Fatalf("peer load failed: %v, %v", got, err)
+	}
+	if fetches != 1 || hits != 1 || misses != 0 {
+		t.Fatalf("fetches=%d hits=%d misses=%d, want 1/1/0", fetches, hits, misses)
+	}
+	// The fetched entry is persisted locally: the second load never
+	// touches the peer.
+	if got, _ := pc.Load(key); got == nil {
+		t.Fatal("second load missed")
+	}
+	if fetches != 1 {
+		t.Fatalf("second load refetched from peer (%d fetches)", fetches)
+	}
+	// And the next process on this node sees it too.
+	if got, _ := local.Load(key); got == nil {
+		t.Fatal("fetched entry was not persisted in the local cache")
+	}
+}
+
+func TestPeerCacheDegradesToMiss(t *testing.T) {
+	local := mustCache(t)
+	const key = "scct1-degrade-fixture"
+
+	// Peer down: Load is a miss, never an error.
+	pc := NewPeerCache(local, func(string) (io.ReadCloser, error) {
+		return nil, errors.New("connection refused")
+	})
+	if got, err := pc.Load(key); got != nil || err != nil {
+		t.Fatalf("down peer: got (%v, %v), want (nil, nil)", got, err)
+	}
+
+	// Peer serving garbage: still a miss, and nothing is persisted.
+	pc = NewPeerCache(local, func(string) (io.ReadCloser, error) {
+		return io.NopCloser(bytes.NewReader([]byte("not a trace"))), nil
+	})
+	if got, err := pc.Load(key); got != nil || err != nil {
+		t.Fatalf("garbage peer: got (%v, %v), want (nil, nil)", got, err)
+	}
+	if got, _ := local.Load(key); got != nil {
+		t.Fatal("garbage peer entry was persisted locally")
+	}
+
+	// No peer at all behaves like the plain local cache.
+	pc = NewPeerCache(local, nil)
+	if got, err := pc.Load(key); got != nil || err != nil {
+		t.Fatalf("nil fetch: got (%v, %v), want (nil, nil)", got, err)
+	}
+	if err := pc.Store(key, compileFixture()); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := pc.Load(key); got == nil {
+		t.Fatal("stored entry not loadable through PeerCache")
+	}
+}

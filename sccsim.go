@@ -134,8 +134,14 @@ type expCfg struct {
 	// every simulation the experiment runs (see WithVerify).
 	verify bool
 	// traceCacheDir, when set, roots the persistent on-disk trace cache
-	// (see WithTraceCache).
+	// (see WithTraceCache); traceStore, when set, supplies the cache as
+	// an already-built store and wins over the directory form (see
+	// WithTraceStore).
 	traceCacheDir string
+	traceStore    TraceStore
+	// remote, when set, executes sweep design points on other nodes
+	// (see WithCluster).
+	remote Remote
 
 	// Observability (see manifest.go): all nil by default — the
 	// simulator and engine then skip every instrumentation site.
@@ -233,7 +239,10 @@ func (c expCfg) engine() (explorer.EngineOptions, error) {
 		Report: c.reportFn, Metrics: c.metrics,
 		Backend: c.backend, Logger: c.logger,
 	}
-	if c.traceCacheDir != "" {
+	switch {
+	case c.traceStore != nil:
+		eng.TraceCache = c.traceStore
+	case c.traceCacheDir != "":
 		dc, err := trace.NewDiskCache(c.traceCacheDir)
 		if err != nil {
 			return eng, err
@@ -282,11 +291,25 @@ func Do(ctx context.Context, w Workload, opts ...Opt) (*Point, error) {
 		c.sim.Tracer = newTracer(cfg)
 	}
 	c.sim.Metrics = c.metrics
+	// Single points flow through the same persistent trace store as
+	// sweeps (WithTraceCache/WithTraceStore) — on a cluster worker,
+	// that is what lets a point fetch a trace the fleet already has
+	// instead of regenerating it.
+	eng, err := c.engine()
+	if err != nil {
+		return nil, err
+	}
 	var pt *Point
 	if c.cfg != nil {
-		pt, err = explorer.RunConfigCtx(ctx, w, *c.cfg, c.scale, c.sim)
+		pt, err = explorer.RunConfigCtx(ctx, w, *c.cfg, c.scale, c.sim, eng.TraceCache)
 	} else {
-		pt, err = explorer.RunPointCtx(ctx, w, c.ppc, c.scc, c.scale, c.sim)
+		pts, perr := explorer.RunPointsCtx(ctx, w,
+			[]explorer.PointSpec{{PPC: c.ppc, SCCBytes: c.scc}}, c.scale, c.sim,
+			explorer.EngineOptions{Parallelism: 1, TraceCache: eng.TraceCache, Metrics: c.metrics, Logger: c.logger})
+		if perr != nil {
+			return nil, perr
+		}
+		pt = pts[0]
 	}
 	if err != nil {
 		return nil, err
@@ -360,6 +383,11 @@ func SweepCtx(ctx context.Context, w Workload, opts ...Opt) (*Grid, error) {
 	if c.backend == BackendAnalytic {
 		g, err = explorer.SweepAnalyticCtx(ctx, w, c.scale, eng)
 	} else {
+		if c.remote != nil {
+			// Cluster mode: offer every point to the remote executor,
+			// simulate locally on failure (see WithCluster).
+			eng.Remote = c.remoteFunc()
+		}
 		g, err = explorer.SweepCtx(ctx, w, c.scale, c.sim, eng)
 	}
 	if err != nil {

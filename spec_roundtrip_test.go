@@ -30,7 +30,9 @@ func TestSpecRoundTripEveryField(t *testing.T) {
 		"Parallelism": 3,
 		"TraceCacheDir": "/tmp/scc-trace-cache-test",
 		"Verify": true,
-		"Backend": "exact"
+		"Backend": "exact",
+		"Cluster": {"workers": ["http://worker-a:1"], "retries": 1,
+			"backoff_ms": 5, "timeout_ms": 1000, "cooldown_ms": 100}
 	}`
 	var spec Spec
 	if err := json.Unmarshal([]byte(doc), &spec); err != nil {
@@ -47,6 +49,7 @@ func TestSpecRoundTripEveryField(t *testing.T) {
 		WithParallelism(3),
 		WithTraceCache("/tmp/scc-trace-cache-test"),
 		WithVerify(),
+		WithCluster(NewHTTPCluster(*spec.Cluster)),
 		WithBackend(BackendExact),
 	})
 	if err != nil {
@@ -75,7 +78,8 @@ func TestSpecRoundTripEveryField(t *testing.T) {
 	pWant, err := resolve([]Opt{
 		WithScale(*spec.Scale), WithSimOptions(*spec.Sim),
 		WithPoint(2, 32*1024), WithParallelism(3),
-		WithTraceCache("/tmp/scc-trace-cache-test"), WithVerify(), WithBackend(BackendExact),
+		WithTraceCache("/tmp/scc-trace-cache-test"), WithVerify(),
+		WithCluster(NewHTTPCluster(*spec.Cluster)), WithBackend(BackendExact),
 	})
 	if err != nil {
 		t.Fatal(err)
