@@ -41,11 +41,13 @@ race-obs:
 	$(GO) test -race -short ./internal/obs ./internal/explorer ./internal/serve
 
 # Documentation contract: every exported identifier in the facade and
-# the serve package carries a doc comment, and docs/API.md documents
-# every registered HTTP route (see cmd/docscheck).
+# the serve package carries a doc comment, docs/API.md documents every
+# registered HTTP route, docs/DESIGN-SPACE.md names every Spec field
+# and architecture axis, and relative links in README/docs resolve
+# (see cmd/docscheck).
 docs-check:
 	$(GO) vet ./...
-	$(GO) run ./cmd/docscheck -api docs/API.md . ./internal/serve
+	$(GO) run ./cmd/docscheck -api docs/API.md -design docs/DESIGN-SPACE.md -links README.md,docs . ./internal/serve
 
 # Run the HTTP simulation service locally (see docs/API.md).
 serve:

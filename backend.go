@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"sccsim/internal/explorer"
+	"sccsim/internal/sysmodel"
 )
 
 // Backend names a result-producing strategy. See the constants for the
@@ -64,6 +65,11 @@ func (c *expCfg) validate() error {
 		_, err := explorer.ParseBackend(string(c.backend))
 		return err
 	}
+	if !c.axes.IsZero() {
+		if err := c.axes.Validate(); err != nil {
+			return err
+		}
+	}
 	if c.backend == BackendAnalytic {
 		if c.verify {
 			return fmt.Errorf("sccsim: WithVerify checks simulator coherence invariants and requires the exact backend")
@@ -73,6 +79,16 @@ func (c *expCfg) validate() error {
 		}
 		if c.traceW != nil {
 			return fmt.Errorf("sccsim: WithTraceExport records simulator timelines and requires the exact backend")
+		}
+		// Reject-or-model: associativity is modeled; the remaining axes
+		// are not, and fail here — the serve layer's 400 path — rather
+		// than mid-run.
+		base := sysmodel.Default(1, 64*1024)
+		if c.cfg != nil {
+			base = *c.cfg
+		}
+		if err := explorer.AnalyticSupports(c.axes.Apply(base)); err != nil {
+			return err
 		}
 	}
 	return nil

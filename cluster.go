@@ -59,6 +59,12 @@ type RemotePoint struct {
 	Verify bool
 	// Backend is the resolved execution backend ("exact" or "analytic").
 	Backend string
+	// Axes is the resolved architecture-axis overlay (zero: paper
+	// defaults). Workers that predate the axes fields reject the request
+	// (strict decoding) and the coordinator simulates locally — a
+	// mixed-version fleet degrades to correct-but-local, never to a
+	// wrong-configuration result.
+	Axes Axes
 }
 
 // Remote executes design points on other nodes. RunPoint returns the
@@ -91,6 +97,7 @@ func (c expCfg) remoteFunc() explorer.RemotePointFunc {
 		Scale: c.scale, Sim: c.sim,
 		Verify:  c.sim.Verify != nil,
 		Backend: string(c.backend),
+		Axes:    c.axes,
 	}
 	return func(ctx context.Context, w explorer.Workload, spec explorer.PointSpec) (*explorer.Point, error) {
 		job := rp
@@ -237,6 +244,7 @@ type wirePoint struct {
 	ProcsPerCluster int        `json:"procs_per_cluster,omitempty"`
 	SCCBytes        int        `json:"scc_bytes,omitempty"`
 	Sim             *wireSim   `json:"sim,omitempty"`
+	Axes            *Axes      `json:"axes,omitempty"`
 	TimeoutMS       int64      `json:"timeout_ms,omitempty"`
 }
 
@@ -294,6 +302,10 @@ func (c *HTTPCluster) encode(rp RemotePoint) ([]byte, error) {
 	}
 	if sim != (wireSim{}) {
 		req.Sim = &sim
+	}
+	if !rp.Axes.IsZero() {
+		a := rp.Axes
+		req.Axes = &a
 	}
 	return json.Marshal(req)
 }

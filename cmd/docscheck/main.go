@@ -3,17 +3,21 @@
 // on each exported top-level identifier (consts, vars, funcs, types and
 // their exported methods), every "Deprecated:" notice must point at the
 // replacement ("Deprecated: use X instead" — a deprecation that leaves
-// the reader stranded is a problem), and docs/API.md must mention every
-// HTTP route the serve package registers.
+// the reader stranded is a problem), docs/API.md must mention every
+// HTTP route the serve package registers, the design-space guide must
+// name every sccsim.Spec field and every architecture axis (so a new
+// sweep axis cannot ship undocumented), and relative markdown links
+// must resolve to files that exist.
 //
 // Usage:
 //
-//	docscheck [-api docs/API.md] DIR...
+//	docscheck [-api docs/API.md] [-design docs/DESIGN-SPACE.md] [-links README.md,docs] DIR...
 //
 // Each DIR is parsed as one Go package (test files excluded). Problems
 // are listed one per line on stderr and the exit code is non-zero when
-// any are found, so `make docs-check` and CI fail loudly. It is a
-// purely static check — nothing is executed, only parsed.
+// any are found, so `make docs-check` and CI fail loudly. The source
+// checks are purely static; -design reflects over the library's Spec
+// and Axes types so the field list can never drift from the code.
 package main
 
 import (
@@ -26,8 +30,12 @@ import (
 	"io"
 	"io/fs"
 	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
 	"strings"
 
+	"sccsim"
 	"sccsim/internal/serve"
 )
 
@@ -47,6 +55,8 @@ func cli(args []string) int {
 	fs := flag.NewFlagSet("docscheck", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	apiDoc := fs.String("api", "", "markdown file that must mention every serve route")
+	designDoc := fs.String("design", "", "markdown file that must name every sccsim.Spec field and Axes axis")
+	links := fs.String("links", "", "comma-separated markdown files/directories whose relative links must resolve")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -61,6 +71,22 @@ func cli(args []string) int {
 	}
 	if *apiDoc != "" {
 		ps, err := checkAPIDoc(*apiDoc, serve.Routes())
+		if err != nil {
+			fmt.Fprintf(stderr, "docscheck: %v\n", err)
+			return 2
+		}
+		problems = append(problems, ps...)
+	}
+	if *designDoc != "" {
+		ps, err := checkDesignDoc(*designDoc)
+		if err != nil {
+			fmt.Fprintf(stderr, "docscheck: %v\n", err)
+			return 2
+		}
+		problems = append(problems, ps...)
+	}
+	if *links != "" {
+		ps, err := checkLinks(strings.Split(*links, ","))
 		if err != nil {
 			fmt.Fprintf(stderr, "docscheck: %v\n", err)
 			return 2
@@ -166,6 +192,100 @@ func deprecatedWithoutPointer(docText string) bool {
 		return false
 	}
 	return !strings.Contains(strings.ToLower(docText[idx:]), "use ")
+}
+
+// specAxisNames collects the names the design-space guide must carry:
+// every field of the declarative sccsim.Spec (its JSON names — the Go
+// field names, since Spec carries no tags) and every architecture axis
+// of sccsim.Axes (its wire tags). Reflection keeps the list in
+// lockstep with the code: adding a Spec field or an axis without
+// documenting it fails `make docs-check`.
+func specAxisNames() []string {
+	var names []string
+	collect := func(t reflect.Type) {
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			name := f.Name
+			if tag, _, _ := strings.Cut(f.Tag.Get("json"), ","); tag != "" && tag != "-" {
+				name = tag
+			}
+			names = append(names, name)
+		}
+	}
+	collect(reflect.TypeOf(sccsim.Spec{}))
+	collect(reflect.TypeOf(sccsim.Axes{}))
+	return names
+}
+
+// checkDesignDoc verifies every Spec field and Axes axis name appears
+// in the design-space guide.
+func checkDesignDoc(path string) ([]string, error) {
+	content, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for _, name := range specAxisNames() {
+		if !strings.Contains(string(content), name) {
+			problems = append(problems, fmt.Sprintf("%s: design-space axis/field %q is not documented", path, name))
+		}
+	}
+	return problems, nil
+}
+
+// mdLink matches inline markdown links; the destination is group 1.
+// Reference-style links and autolinks are out of scope — the repo's
+// docs use inline links only.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// checkLinks verifies that every relative link in the given markdown
+// files (directories contribute their *.md entries, non-recursive)
+// resolves to an existing file or directory. External URLs and pure
+// in-page anchors are skipped; a relative target's #fragment is
+// stripped before the existence check.
+func checkLinks(targets []string) ([]string, error) {
+	var files []string
+	for _, t := range targets {
+		t = strings.TrimSpace(t)
+		if t == "" {
+			continue
+		}
+		info, err := os.Stat(t)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			files = append(files, t)
+			continue
+		}
+		md, err := filepath.Glob(filepath.Join(t, "*.md"))
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, md...)
+	}
+	var problems []string
+	for _, f := range files {
+		content, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(content), -1) {
+			dest := m[1]
+			if strings.Contains(dest, "://") || strings.HasPrefix(dest, "#") ||
+				strings.HasPrefix(dest, "mailto:") {
+				continue
+			}
+			dest, _, _ = strings.Cut(dest, "#")
+			if dest == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(filepath.Dir(f), dest)); err != nil {
+				problems = append(problems, fmt.Sprintf("%s: broken relative link %q", f, m[1]))
+			}
+		}
+	}
+	return problems, nil
 }
 
 // checkAPIDoc verifies every route pattern appears verbatim in the API

@@ -185,3 +185,50 @@ const C = 1
 		}
 	}
 }
+
+// TestDesignDocCheck: the design-space guide must name every Spec
+// field and Axes axis; a doc missing one fails with a problem naming
+// it, and the repository's real guide passes.
+func TestDesignDocCheck(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "design.md")
+	if err := os.WriteFile(bad, []byte("Scale Sim Config ProcsPerCluster SCCBytes Axes Parallelism TraceCacheDir Verify Backend Cluster line_bytes assoc repl hierarchy"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, errOut := runCLI(t, "-design", bad)
+	if code != 1 || !strings.Contains(errOut, `"l1_bytes" is not documented`) {
+		t.Errorf("missing axis: exit %d, stderr:\n%s", code, errOut)
+	}
+
+	good := filepath.Join(dir, "good.md")
+	if err := os.WriteFile(good, []byte("Scale Sim Config ProcsPerCluster SCCBytes Axes Parallelism TraceCacheDir Verify Backend Cluster line_bytes assoc repl hierarchy l1_bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, errOut := runCLI(t, "-design", good); code != 0 {
+		t.Errorf("complete doc: exit %d, stderr:\n%s", code, errOut)
+	}
+}
+
+// TestLinkCheck: relative markdown links must resolve; external URLs
+// and in-page anchors are ignored.
+func TestLinkCheck(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "other.md"), []byte("target"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc := filepath.Join(dir, "doc.md")
+	body := "[ok](other.md) [anchor](other.md#sec) [self](#here) [web](https://example.com/x) [gone](missing.md)"
+	if err := os.WriteFile(doc, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, errOut := runCLI(t, "-links", dir)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, `broken relative link "missing.md"`) {
+		t.Errorf("missing.md not reported:\n%s", errOut)
+	}
+	if strings.Contains(errOut, "other.md") || strings.Contains(errOut, "example.com") {
+		t.Errorf("false positive reported:\n%s", errOut)
+	}
+}

@@ -56,6 +56,20 @@
 // -search is measured against. -budget, -margin, -strategy and -space
 // tune the search; -manifest works with -search too.
 //
+// Architecture axes:
+//
+//	sccexplore -csv mp3d -assoc 4                      # 4-way set-associative SCCs
+//	sccexplore -csv mp3d -assoc 4 -repl random         # ... with random replacement
+//	sccexplore -csv barnes-hut -line-bytes 32          # 32-byte cache lines
+//	sccexplore -csv cholesky -hierarchy private        # per-processor private caches
+//	sccexplore -csv cholesky -hierarchy hybrid -l1-bytes 8192  # private L1s over a shared SCC
+//
+// The axis flags overlay every configuration an experiment builds;
+// leaving them at their defaults reproduces the paper's grids bit for
+// bit. The analytic backend models -assoc only and rejects the other
+// non-default axes with an error naming the exact backend. See
+// docs/DESIGN-SPACE.md for the full axis reference.
+//
 // Trace caching: -trace-cache DIR persists every generated workload
 // trace under DIR; later runs (any experiment, any process) load the
 // traces instead of regenerating them.
@@ -129,6 +143,11 @@ func cli(args []string) int {
 	space := fs.String("space", "", `-search SCC size range as MIN:MAX:STEP with K/M suffixes (e.g. "4K:512K:4K"; empty = the paper's sizes)`)
 	backendName := fs.String("backend", "exact", `execution backend: "exact" (cycle simulator) or "analytic" (reuse-distance model)`)
 	crossWorkload := fs.String("crossval", "", "cross-validate the analytic backend against the exact simulator on this workload's full grid and exit (exit 1 on accuracy-bound violation)")
+	lineBytes := fs.Int("line-bytes", 0, "cache line size in bytes, a power of two in 4..1024 (0 = the paper's 16)")
+	assoc := fs.Int("assoc", 0, "SCC associativity (0 = the paper's direct-mapped caches)")
+	repl := fs.String("repl", "", `replacement policy for set-associative caches: "lru" or "random" ("" = lru)`)
+	hierarchy := fs.String("hierarchy", "", `cache organization: "shared" (the paper's SCCs), "private" (per-processor caches with bus coherence) or "hybrid" (private L1s backed by shared SCCs); "" = shared`)
+	l1Bytes := fs.Int("l1-bytes", 0, "hybrid hierarchy's per-processor L1 size in bytes (0 = the default; requires -hierarchy hybrid)")
 	parallel := fs.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS); results are identical for any value")
 	quiet := fs.Bool("quiet", false, "suppress the live progress meter on stderr")
 	verifyRuns := fs.Bool("verify", false, "run every simulation with the coherence invariant checker attached (slower; a violation fails the experiment)")
@@ -164,6 +183,19 @@ func cli(args []string) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "sccexplore: %v\n", err)
 		return 2
+	}
+
+	axes := sccsim.Axes{
+		LineBytes: *lineBytes, Assoc: *assoc, Repl: *repl,
+		Hierarchy: *hierarchy, L1Bytes: *l1Bytes,
+	}
+	if !axes.IsZero() {
+		// Bad axis values are usage errors; catch them before any trace
+		// generation rather than mid-sweep.
+		if err := axes.Validate(); err != nil {
+			fmt.Fprintf(stderr, "sccexplore: %v\n", err)
+			return 2
+		}
 	}
 
 	if *manifestPath != "" && *csvWorkload == "" && *searchWorkload == "" {
@@ -223,6 +255,9 @@ func cli(args []string) int {
 
 	opts := func(label string) []sccsim.Opt {
 		o := []sccsim.Opt{sccsim.WithScale(scale), sccsim.WithParallelism(*parallel), sccsim.WithBackend(backend)}
+		if !axes.IsZero() {
+			o = append(o, sccsim.WithAxes(axes))
+		}
 		if metrics != nil {
 			o = append(o, sccsim.WithMetrics(metrics))
 		}

@@ -1,6 +1,9 @@
 package sccsim_test
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"testing"
 
 	"sccsim"
@@ -63,5 +66,45 @@ func TestGoldenPinnedValues(t *testing.T) {
 	mr := pt.Result.ReadMissRate()
 	if mr < 0.005 || mr > 0.15 {
 		t.Errorf("Barnes 2P/32KB quick read miss rate = %.4f, outside [0.5%%, 15%%]", mr)
+	}
+}
+
+// TestGoldenDefaultAxesByteIdentical pins the widening contract of the
+// architecture axes: a zero Axes overlay — whether passed as an option,
+// through the declarative Spec, or not at all — produces the identical
+// grid, byte for byte. A failure means the axes stopped being a pure
+// overlay and have started perturbing the paper-default configurations.
+func TestGoldenDefaultAxesByteIdentical(t *testing.T) {
+	ctx := context.Background()
+	base, err := sccsim.SweepCtx(ctx, sccsim.MP3D, sccsim.WithScale(sccsim.QuickScale()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := map[string][]sccsim.Opt{
+		"zero WithAxes": {sccsim.WithScale(sccsim.QuickScale()), sccsim.WithAxes(sccsim.Axes{})},
+		"zero Spec.Axes": func() []sccsim.Opt {
+			q := sccsim.QuickScale()
+			return sccsim.Spec{Scale: &q, Axes: &sccsim.Axes{}}.Opts()
+		}(),
+	}
+	for name, opts := range variants {
+		g, err := sccsim.SweepCtx(ctx, sccsim.MP3D, opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := json.Marshal(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: grid differs from the default-axes sweep", name)
+		}
+		if sccsim.GridCSV(g) != sccsim.GridCSV(base) {
+			t.Errorf("%s: CSV rendering differs from the default-axes sweep", name)
+		}
 	}
 }

@@ -2,10 +2,12 @@
 // per-processor instruction caches and the banked Shared Cluster Cache.
 //
 // The model is a set-associative (including direct-mapped) cache of
-// 16-byte lines with true-LRU replacement, write-allocate and write-back
-// semantics. It tracks per-access-kind hit/miss statistics, supports
-// external invalidation (for the inter-cluster coherence protocol), and
-// reports evicted lines so callers can maintain presence information.
+// power-of-two-sized lines (16 B, the paper's choice, by default) with
+// true-LRU or deterministic-random replacement, write-allocate and
+// write-back semantics. It tracks per-access-kind hit/miss statistics,
+// supports external invalidation (for the inter-cluster coherence
+// protocol), and reports evicted lines so callers can maintain presence
+// information.
 package cache
 
 import (
@@ -89,45 +91,93 @@ func (s *Stats) Add(o *Stats) {
 
 // Cache is a set-associative cache tag store.
 type Cache struct {
-	sets    []line // len = nsets*assoc, laid out set-major
-	nsets   uint32
-	assoc   uint32
-	setMask uint32 // nsets-1 when nsets is a power of two
-	pow2    bool   // whether setMask indexing applies
-	clock   uint32 // LRU timestamp source
-	stats   Stats
+	sets      []line // len = nsets*assoc, laid out set-major
+	nsets     uint32
+	assoc     uint32
+	setMask   uint32 // nsets-1 when nsets is a power of two
+	pow2      bool   // whether setMask indexing applies
+	lineShift uint32 // log2 of the line size; tag = addr >> lineShift
+	random    bool   // random (vs true-LRU) replacement
+	rng       uint32 // xorshift32 state, used only by random replacement
+	clock     uint32 // LRU timestamp source
+	stats     Stats
 }
 
-// New builds a cache of size bytes with the given associativity. Size
-// must be a multiple of assoc*LineSize; any resulting set count is
-// accepted. Power-of-two set counts (every configuration in the paper's
-// sweep) index by mask; other counts — reachable through the search
-// API's generalized size axis — index by modulo, which agrees with the
-// mask wherever both apply.
+// rngSeed is the fixed xorshift32 seed for random replacement. A
+// constant seed (any non-zero value works; this is the golden-ratio
+// word) keeps "random" runs bit-reproducible and lets the independent
+// oracle in internal/verify replay the identical victim sequence.
+const rngSeed = 0x9E3779B9
+
+// New builds a cache of size bytes with the given associativity,
+// 16-byte lines and LRU replacement. Size must be a multiple of
+// assoc*LineSize; any resulting set count is accepted. Power-of-two set
+// counts (every configuration in the paper's sweep) index by mask;
+// other counts — reachable through the search API's generalized size
+// axis — index by modulo, which agrees with the mask wherever both
+// apply.
 func New(size, assoc int) (*Cache, error) {
+	return NewWith(size, assoc, sysmodel.LineSize, sysmodel.ReplLRU)
+}
+
+// NewWith is New with the line size (a power of two, 4..1024 bytes) and
+// replacement policy (sysmodel.ReplLRU or sysmodel.ReplRandom; "" means
+// LRU) as explicit axes. Random replacement draws victims from a
+// deterministically seeded xorshift32 stream, advanced only when a miss
+// finds no empty way, so runs remain reproducible.
+func NewWith(size, assoc, lineBytes int, repl string) (*Cache, error) {
 	if assoc < 1 {
 		return nil, fmt.Errorf("cache: associativity %d, want >= 1", assoc)
 	}
-	lines := size / sysmodel.LineSize
-	if lines*sysmodel.LineSize != size || lines < assoc {
+	if lineBytes < 4 || lineBytes > 1024 || lineBytes&(lineBytes-1) != 0 {
+		return nil, fmt.Errorf("cache: line size %d, want a power of two in 4..1024", lineBytes)
+	}
+	var random bool
+	switch repl {
+	case "", sysmodel.ReplLRU:
+	case sysmodel.ReplRandom:
+		random = true
+	default:
+		return nil, fmt.Errorf("cache: replacement %q, want %q or %q", repl, sysmodel.ReplLRU, sysmodel.ReplRandom)
+	}
+	lines := size / lineBytes
+	if lines*lineBytes != size || lines < assoc {
 		return nil, fmt.Errorf("cache: size %d not a multiple of %d lines of %d bytes",
-			size, assoc, sysmodel.LineSize)
+			size, assoc, lineBytes)
 	}
 	nsets := lines / assoc
 	if lines%assoc != 0 {
 		return nil, fmt.Errorf("cache: %d lines not divisible into %d-way sets", lines, assoc)
 	}
+	shift := uint32(0)
+	for lb := lineBytes; lb > 1; lb >>= 1 {
+		shift++
+	}
 	c := &Cache{
-		sets:    make([]line, lines),
-		nsets:   uint32(nsets),
-		assoc:   uint32(assoc),
-		setMask: uint32(nsets - 1),
-		pow2:    nsets&(nsets-1) == 0,
+		sets:      make([]line, lines),
+		nsets:     uint32(nsets),
+		assoc:     uint32(assoc),
+		setMask:   uint32(nsets - 1),
+		pow2:      nsets&(nsets-1) == 0,
+		lineShift: shift,
+		random:    random,
+		rng:       rngSeed,
 	}
 	for i := range c.sets {
 		c.sets[i].tag = tagInvalid
 	}
 	return c, nil
+}
+
+// xorshift32 is Marsaglia's 13/17/5 xorshift step — the documented
+// victim-draw generator for random replacement. The oracle in
+// internal/verify reimplements this exact recurrence (sharing no code)
+// so random-replacement runs still diff bit-for-bit.
+func xorshift32(x uint32) uint32 {
+	x ^= x << 13
+	x ^= x >> 17
+	x ^= x << 5
+	return x
 }
 
 // set maps a line address to its set index: mask for power-of-two set
@@ -157,7 +207,10 @@ func (c *Cache) Sets() int { return int(c.nsets) }
 func (c *Cache) Assoc() int { return int(c.assoc) }
 
 // SizeBytes returns the cache capacity in bytes.
-func (c *Cache) SizeBytes() int { return len(c.sets) * sysmodel.LineSize }
+func (c *Cache) SizeBytes() int { return len(c.sets) << c.lineShift }
+
+// LineBytes returns the cache's line size in bytes.
+func (c *Cache) LineBytes() int { return 1 << c.lineShift }
 
 // Stats returns the accumulated statistics.
 func (c *Cache) Stats() *Stats { return &c.stats }
@@ -185,7 +238,7 @@ func (c *Cache) Access(addr uint32, kind mem.Kind) Result {
 		}
 		return c.MissDM(addr, kind)
 	}
-	tag := addr / sysmodel.LineSize
+	tag := addr >> c.lineShift
 	set := c.set(tag)
 	base := set * c.assoc
 	c.stats.Accesses[kind]++
@@ -216,6 +269,15 @@ func (c *Cache) Access(addr uint32, kind mem.Kind) Result {
 		}
 	}
 
+	// Valid ways always carry lru >= 1, so victimLRU == 0 means an empty
+	// way was found; random replacement draws only on a genuinely full
+	// set, keeping the stream position a pure function of the miss
+	// sequence (what the oracle replays).
+	if c.random && victimLRU != 0 {
+		c.rng = xorshift32(c.rng)
+		victim = int(c.rng % c.assoc)
+	}
+
 	c.stats.Misses[kind]++
 	w := &ways[victim]
 	res := Result{Evicted: EvictedNone}
@@ -244,7 +306,7 @@ func (c *Cache) Access(addr uint32, kind mem.Kind) Result {
 // adds only the miss-side statistics). Callers must ensure Assoc() == 1;
 // Access delegates automatically.
 func (c *Cache) HitDM(addr uint32, kind mem.Kind) bool {
-	tag := addr / sysmodel.LineSize
+	tag := addr >> c.lineShift
 	w := &c.sets[c.set(tag)]
 	c.stats.Accesses[kind]++
 	if w.tag != tag {
@@ -259,7 +321,7 @@ func (c *Cache) HitDM(addr uint32, kind mem.Kind) bool {
 // MissDM completes a direct-mapped access HitDM reported as a miss:
 // eviction accounting and line install. See HitDM for the contract.
 func (c *Cache) MissDM(addr uint32, kind mem.Kind) Result {
-	tag := addr / sysmodel.LineSize
+	tag := addr >> c.lineShift
 	w := &c.sets[c.set(tag)]
 	c.stats.Misses[kind]++
 	res := Result{Evicted: EvictedNone}
@@ -276,13 +338,29 @@ func (c *Cache) MissDM(addr uint32, kind mem.Kind) Result {
 	return res
 }
 
+// FillDM installs addr's line clean in a direct-mapped cache without
+// touching statistics, reporting whether a valid line was displaced.
+// It is the write-through L1 fill primitive: the hybrid hierarchy
+// counts L1 traffic in its own external Stats (the internal counters
+// would double-book), and a write-through cache's evictions are clean
+// by construction, so no eviction notice is needed. Callers must
+// ensure Assoc() == 1.
+func (c *Cache) FillDM(addr uint32) (displaced bool) {
+	tag := addr >> c.lineShift
+	w := &c.sets[c.set(tag)]
+	displaced = w.tag != tagInvalid && w.tag != tag
+	w.tag = tag
+	w.dirty = false
+	return displaced
+}
+
 // MarkDirty sets the dirty bit of the line containing addr if it is
 // present, reporting whether it was. Unlike a write Access it touches no
 // statistics, LRU state, or replacement clock — it exists for state
 // restoration paths (the victim buffer swapping a dirty line back in)
 // that must not masquerade as program references.
 func (c *Cache) MarkDirty(addr uint32) bool {
-	tag := addr / sysmodel.LineSize
+	tag := addr >> c.lineShift
 	base := c.set(tag) * c.assoc
 	ways := c.sets[base : base+c.assoc]
 	for i := range ways {
@@ -296,7 +374,7 @@ func (c *Cache) MarkDirty(addr uint32) bool {
 
 // Probe reports whether addr is present without updating LRU or stats.
 func (c *Cache) Probe(addr uint32) bool {
-	tag := addr / sysmodel.LineSize
+	tag := addr >> c.lineShift
 	base := c.set(tag) * c.assoc
 	for _, w := range c.sets[base : base+c.assoc] {
 		if w.tag == tag {
@@ -310,7 +388,7 @@ func (c *Cache) Probe(addr uint32) bool {
 // whether it was present and whether it was dirty. Used by the
 // inter-cluster invalidation protocol.
 func (c *Cache) Invalidate(addr uint32) (present, dirty bool) {
-	tag := addr / sysmodel.LineSize
+	tag := addr >> c.lineShift
 	base := c.set(tag) * c.assoc
 	ways := c.sets[base : base+c.assoc]
 	for i := range ways {

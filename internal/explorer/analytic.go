@@ -207,6 +207,28 @@ func analyticResult(cfg sysmodel.Config, prof *rdmodel.Profile, pred *rdmodel.Pr
 	return res
 }
 
+// AnalyticSupports reports whether the analytic backend can model a
+// configuration's architecture axes, with an actionable error when it
+// cannot. The reuse-distance profile is measured at the paper's 16-byte
+// line granularity and assumes LRU within a set over a shared SCC, so
+// non-default line sizes, random replacement and the private/hybrid
+// hierarchies are rejected (use the exact backend for those);
+// associativity is modeled (see rdmodel.Predict's binomial set-assoc
+// model) and passes through.
+func AnalyticSupports(cfg sysmodel.Config) error {
+	if lb := cfg.Line(); lb != sysmodel.LineSize {
+		return fmt.Errorf("explorer: analytic backend models %d-byte lines only (got line_bytes=%d); use the exact backend",
+			sysmodel.LineSize, lb)
+	}
+	if r := cfg.ReplPolicy(); r != sysmodel.ReplLRU {
+		return fmt.Errorf("explorer: analytic backend models lru replacement only (got repl=%q); use the exact backend", r)
+	}
+	if h := cfg.HierarchyKind(); h != sysmodel.HierarchyShared {
+		return fmt.Errorf("explorer: analytic backend models the shared hierarchy only (got hierarchy=%q); use the exact backend", h)
+	}
+	return nil
+}
+
 // analyticParallelPoint resolves the trace, profile and prediction for
 // one parallel design point.
 func analyticParallelPoint(w Workload, cfg sysmodel.Config, s Scale, tc *traceCounters, dc trace.Store) (*Point, error) {
@@ -264,6 +286,9 @@ func analyticJobFor(w Workload, cfg sysmodel.Config, s Scale, tc *traceCounters,
 // accepted; the paper's default system model is assumed throughout.
 func SweepAnalyticCtx(ctx context.Context, w Workload, s Scale, eng EngineOptions) (*Grid, error) {
 	eng.Backend = BackendAnalytic
+	if err := AnalyticSupports(eng.Axes.Apply(sysmodel.Default(1, 64*1024))); err != nil {
+		return nil, err
+	}
 	tc := &traceCounters{reg: eng.Metrics}
 	jobs := make([]pointJob, 0, len(sysmodel.SCCSizes)*len(sysmodel.ProcsPerClusterSweep))
 	for _, size := range sysmodel.SCCSizes {
@@ -277,7 +302,7 @@ func SweepAnalyticCtx(ctx context.Context, w Workload, s Scale, eng EngineOption
 			} else {
 				cfg = sysmodel.Default(ppc, size)
 			}
-			jobs = append(jobs, analyticJobFor(w, cfg, s, tc, eng.TraceCache))
+			jobs = append(jobs, analyticJobFor(w, eng.Axes.Apply(cfg), s, tc, eng.TraceCache))
 		}
 	}
 	points, err := runPoints(ctx, w, jobs, eng, tc)
@@ -289,19 +314,24 @@ func SweepAnalyticCtx(ctx context.Context, w Workload, s Scale, eng EngineOption
 
 // RunPointAnalyticCtx predicts one RunPoint-style design point on the
 // analytic backend, sharing RunPoint's configuration rules
-// (multiprogramming runs on a single cluster).
-func RunPointAnalyticCtx(ctx context.Context, w Workload, ppc, sccBytes int, s Scale) (*Point, error) {
+// (multiprogramming runs on a single cluster) and applying the
+// architecture axes on top of the paper's default machine.
+func RunPointAnalyticCtx(ctx context.Context, w Workload, ppc, sccBytes int, axes sysmodel.Axes, s Scale) (*Point, error) {
 	cfg := sysmodel.Default(ppc, sccBytes)
 	if w == Multiprog {
 		cfg.Clusters = 1
 	}
-	return RunConfigAnalyticCtx(ctx, w, cfg, s)
+	return RunConfigAnalyticCtx(ctx, w, axes.Apply(cfg), s)
 }
 
 // RunConfigAnalyticCtx predicts an arbitrary configuration on the
-// analytic backend.
+// analytic backend, rejecting axes the model cannot answer for (see
+// AnalyticSupports).
 func RunConfigAnalyticCtx(ctx context.Context, w Workload, cfg sysmodel.Config, s Scale) (*Point, error) {
 	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := AnalyticSupports(cfg); err != nil {
 		return nil, err
 	}
 	tc := (*traceCounters)(nil)

@@ -131,7 +131,7 @@ func TestRunPointAnalytic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pt, err := RunPointAnalyticCtx(context.Background(), Cholesky, 2, 32*1024, s)
+	pt, err := RunPointAnalyticCtx(context.Background(), Cholesky, 2, 32*1024, sysmodel.Axes{}, s)
 	if err != nil {
 		t.Fatal(err)
 	}

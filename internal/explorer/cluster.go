@@ -40,15 +40,16 @@ func GridSpecs() []PointSpec {
 }
 
 // expectedConfig is the exact configuration a point for spec must carry:
-// the paper's default system, single-cluster for multiprogramming —
-// identical to what the local sweep paths construct, which is what makes
-// a merged grid byte-identical to a single-node one.
-func expectedConfig(w Workload, spec PointSpec) sysmodel.Config {
+// the paper's default system with the sweep's architecture axes applied,
+// single-cluster for multiprogramming — identical to what the local
+// sweep paths construct, which is what makes a merged grid
+// byte-identical to a single-node one.
+func expectedConfig(w Workload, spec PointSpec, axes sysmodel.Axes) sysmodel.Config {
 	cfg := sysmodel.Default(spec.PPC, spec.SCCBytes)
 	if w == Multiprog {
 		cfg.Clusters = 1
 	}
-	return cfg
+	return axes.Apply(cfg)
 }
 
 // Assembler accumulates per-point partial results into a design-space
@@ -60,6 +61,7 @@ func expectedConfig(w Workload, spec PointSpec) sysmodel.Config {
 // from one goroutine.
 type Assembler struct {
 	w      Workload
+	axes   sysmodel.Axes
 	specs  []PointSpec
 	index  map[PointSpec]int
 	points []*Point
@@ -67,15 +69,16 @@ type Assembler struct {
 }
 
 // NewAssembler builds an assembler over the full design-space grid for
-// one workload.
-func NewAssembler(w Workload) *Assembler {
+// one workload, validating every partial result against the sweep's
+// architecture axes (the zero value is the paper's default machine).
+func NewAssembler(w Workload, axes sysmodel.Axes) *Assembler {
 	specs := GridSpecs()
 	idx := make(map[PointSpec]int, len(specs))
 	for i, sp := range specs {
 		idx[sp] = i
 	}
 	return &Assembler{
-		w: w, specs: specs, index: idx,
+		w: w, axes: axes, specs: specs, index: idx,
 		points: make([]*Point, len(specs)),
 	}
 }
@@ -97,7 +100,7 @@ func (a *Assembler) Check(spec PointSpec, pt *Point) error {
 	if pt == nil || pt.Result == nil {
 		return fmt.Errorf("explorer: partial result for %dP/%dB has no simulation result", spec.PPC, spec.SCCBytes)
 	}
-	if want := expectedConfig(a.w, spec); pt.Config != want {
+	if want := expectedConfig(a.w, spec, a.axes); pt.Config != want {
 		return fmt.Errorf("explorer: partial result for %dP/%dB carries config %+v, want %+v",
 			spec.PPC, spec.SCCBytes, pt.Config, want)
 	}
@@ -175,12 +178,12 @@ func SweepClusterCtx(ctx context.Context, w Workload, s Scale, opts sim.Options,
 	if remote == nil {
 		return SweepCtx(ctx, w, s, opts, eng)
 	}
-	asm := NewAssembler(w)
+	asm := NewAssembler(w, eng.Axes)
 	specs := asm.Specs()
 	tc := &traceCounters{reg: eng.Metrics}
 	jobs := make([]pointJob, len(specs))
 	for i, spec := range specs {
-		local := pointJobFor(w, spec, s, opts, tc, eng.TraceCache)
+		local := pointJobFor(w, spec, eng.Axes, s, opts, tc, eng.TraceCache)
 		jobs[i] = pointJob{cfg: local.cfg, run: func(ctx context.Context, tr sim.Tracer) (*Point, error) {
 			pt, err := remote(ctx, w, spec)
 			if err == nil {

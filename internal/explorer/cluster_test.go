@@ -10,11 +10,12 @@ import (
 	"testing"
 
 	"sccsim/internal/sim"
+	"sccsim/internal/sysmodel"
 )
 
 func TestGridSpecsCoverTheGrid(t *testing.T) {
 	specs := GridSpecs()
-	asm := NewAssembler(BarnesHut)
+	asm := NewAssembler(BarnesHut, sysmodel.Axes{})
 	if len(specs) == 0 {
 		t.Fatal("empty shard plan")
 	}
@@ -31,9 +32,9 @@ func TestGridSpecsCoverTheGrid(t *testing.T) {
 }
 
 func TestAssemblerRejectsBadPartials(t *testing.T) {
-	asm := NewAssembler(BarnesHut)
+	asm := NewAssembler(BarnesHut, sysmodel.Axes{})
 	spec := asm.Specs()[0]
-	good := &Point{Config: expectedConfig(BarnesHut, spec), Result: &sim.Result{Cycles: 1}}
+	good := &Point{Config: expectedConfig(BarnesHut, spec, sysmodel.Axes{}), Result: &sim.Result{Cycles: 1}}
 
 	if err := asm.Put(spec, nil); err == nil {
 		t.Error("nil point accepted")
@@ -68,7 +69,7 @@ func TestAssemblerRejectsBadPartials(t *testing.T) {
 
 func TestDecodePointEnvelope(t *testing.T) {
 	spec := PointSpec{PPC: 1, SCCBytes: 64 * 1024}
-	pt := &Point{Config: expectedConfig(BarnesHut, spec), Result: &sim.Result{Cycles: 42, Refs: 7}}
+	pt := &Point{Config: expectedConfig(BarnesHut, spec, sysmodel.Axes{}), Result: &sim.Result{Cycles: 42, Refs: 7}}
 	raw, err := json.Marshal(map[string]any{"status": "done", "point": pt})
 	if err != nil {
 		t.Fatal(err)
@@ -227,7 +228,7 @@ func TestSweepClusterCancellationPropagates(t *testing.T) {
 // plan).
 func FuzzShardMerge(f *testing.F) {
 	spec := GridSpecs()[0]
-	pt := &Point{Config: expectedConfig(BarnesHut, spec), Result: &sim.Result{Cycles: 9, Refs: 3}}
+	pt := &Point{Config: expectedConfig(BarnesHut, spec, sysmodel.Axes{}), Result: &sim.Result{Cycles: 9, Refs: 3}}
 	good, _ := json.Marshal(map[string]any{"status": "done", "point": pt})
 	f.Add(good, 1, 64*1024)
 	f.Add([]byte(`{"status":"failed","error":"x"}`), 1, 4096)
@@ -235,7 +236,7 @@ func FuzzShardMerge(f *testing.F) {
 	f.Add(good[:len(good)/2], 8, 512*1024)
 	f.Add([]byte(`[]`), 0, 0)
 	f.Fuzz(func(t *testing.T, raw []byte, ppc, scc int) {
-		asm := NewAssembler(BarnesHut)
+		asm := NewAssembler(BarnesHut, sysmodel.Axes{})
 		decoded, err := DecodePointEnvelope(raw)
 		if err != nil {
 			if decoded != nil {

@@ -104,6 +104,13 @@ type EngineOptions struct {
 	// Parallelism is the worker-pool size; <= 0 means GOMAXPROCS.
 	// Results are deterministic for every value.
 	Parallelism int
+	// Axes overrides the architecture axes (line size, associativity,
+	// replacement policy, hierarchy) of every design point the engine
+	// builds. The zero value leaves each point's configuration exactly
+	// as the default sweep constructs it, preserving byte-identical
+	// grids. Trace resolution is unaffected: the axes change the machine,
+	// not the workload, so trace-cache keys do not include them.
+	Axes sysmodel.Axes
 	// Backend labels the sweep's result-producing strategy in reports
 	// and progress accounting; empty means BackendExact. The analytic
 	// entry points set it themselves — it is informational, not a
@@ -542,7 +549,7 @@ func SweepParallelCtx(ctx context.Context, w Workload, s Scale, opts sim.Options
 	jobs := make([]pointJob, 0, len(sysmodel.SCCSizes)*len(sysmodel.ProcsPerClusterSweep))
 	for _, size := range sysmodel.SCCSizes {
 		for _, ppc := range sysmodel.ProcsPerClusterSweep {
-			cfg := sysmodel.Default(ppc, size)
+			cfg := eng.Axes.Apply(sysmodel.Default(ppc, size))
 			jobs = append(jobs, pointJob{cfg: cfg, run: func(ctx context.Context, tr sim.Tracer) (*Point, error) {
 				prog, src, err := cachedParallelProgram(w, cfg.Procs(), s, eng.TraceCache)
 				if err != nil {
@@ -577,10 +584,10 @@ func SweepMultiprogCtx(ctx context.Context, s Scale, opts sim.Options, eng Engin
 	jobs := make([]pointJob, 0, len(sysmodel.SCCSizes)*len(sysmodel.ProcsPerClusterSweep))
 	for _, size := range sysmodel.SCCSizes {
 		for _, ppc := range sysmodel.ProcsPerClusterSweep {
-			cfg := sysmodel.Config{
+			cfg := eng.Axes.Apply(sysmodel.Config{
 				Clusters: 1, ProcsPerCluster: ppc, SCCBytes: size,
 				LoadLatency: sysmodel.ImpliedLoadLatency(ppc), Assoc: 1,
-			}
+			})
 			jobs = append(jobs, pointJob{cfg: cfg, run: func(ctx context.Context, tr sim.Tracer) (*Point, error) {
 				procs, src, err := cachedMultiprogProcesses(refs, s.Seed, eng.TraceCache)
 				if err != nil {
@@ -639,12 +646,13 @@ type PointSpec struct {
 
 // pointJobFor builds the engine job for one RunPoint-style design point,
 // sharing RunPoint's configuration rules (multiprogramming runs on a
-// single cluster) and the trace cache.
-func pointJobFor(w Workload, spec PointSpec, s Scale, opts sim.Options, tc *traceCounters, dc trace.Store) pointJob {
+// single cluster), the architecture axes and the trace cache.
+func pointJobFor(w Workload, spec PointSpec, axes sysmodel.Axes, s Scale, opts sim.Options, tc *traceCounters, dc trace.Store) pointJob {
 	cfg := sysmodel.Default(spec.PPC, spec.SCCBytes)
 	if w == Multiprog {
 		cfg.Clusters = 1
 	}
+	cfg = axes.Apply(cfg)
 	return pointJob{cfg: cfg, run: func(ctx context.Context, tr sim.Tracer) (*Point, error) {
 		o := opts
 		if tr != nil {
@@ -685,7 +693,7 @@ func RunPointsCtx(ctx context.Context, w Workload, specs []PointSpec, s Scale, o
 	tc := &traceCounters{reg: eng.Metrics}
 	jobs := make([]pointJob, len(specs))
 	for i, spec := range specs {
-		jobs[i] = pointJobFor(w, spec, s, opts, tc, eng.TraceCache)
+		jobs[i] = pointJobFor(w, spec, eng.Axes, s, opts, tc, eng.TraceCache)
 	}
 	return runPoints(ctx, w, jobs, eng, tc)
 }

@@ -50,11 +50,16 @@ type Prediction struct {
 // at reuse distance d hits iff none of the d intervening distinct lines
 // displaced it, which under uniform index hashing has probability
 // (1-1/C)^d — the statistical conflict-miss model from the
-// reuse-distance literature. Distances at or above the tracker cap are
-// taken as certain misses. For assoc > 1 the model falls back to the
-// fully-associative LRU threshold (miss iff d >= C) — a documented
-// approximation, adequate because the paper's design space is entirely
-// direct-mapped.
+// reuse-distance literature. For an A-way LRU cache the same argument
+// generalises: with S = C/A sets, the access hits iff fewer than A of
+// the d intervening lines landed in its set, i.e. P(hit) = P(X < A)
+// with X ~ Binomial(d, A/C). The distribution is advanced
+// incrementally in d, so the A-way model costs O(cap*A) per cluster
+// and degenerates exactly to the direct-mapped recurrence at A = 1 and
+// to the fully-associative LRU threshold (miss iff d >= C) at S = 1.
+// Distances at or above the tracker cap are taken as certain misses.
+// The model assumes LRU within a set; random replacement is not
+// modeled (callers on the analytic backend reject it).
 //
 // Time model: per phase, each processor issues its stall-free cycles
 // plus sysmodel.MemLatency per predicted read miss (its share of the
@@ -66,6 +71,12 @@ func (p *Profile) Predict(sccBytes, assoc int) (*Prediction, error) {
 	lines := sccBytes / sysmodel.LineSize
 	if lines < 1 {
 		return nil, fmt.Errorf("rdmodel: SCC size %d below one %d-byte line", sccBytes, sysmodel.LineSize)
+	}
+	if assoc < 1 {
+		return nil, fmt.Errorf("rdmodel: associativity %d, want >= 1", assoc)
+	}
+	if assoc > lines {
+		return nil, fmt.Errorf("rdmodel: associativity %d exceeds the %d lines of a %d-byte SCC", assoc, lines, sccBytes)
 	}
 	if lines > p.Cap {
 		// Distances in [cap, lines) were not tracked exactly; clamping
@@ -96,9 +107,28 @@ func (p *Profile) Predict(sccBytes, assoc int) (*Prediction, error) {
 				surv *= decay
 			}
 		} else {
-			for d := lines; d < p.Cap; d++ {
-				c.ReadMisses += float64(h.Read[d])
-				c.WriteMisses += float64(h.Write[d])
+			// A-way LRU: advance P(X_d = k) for k < assoc under one more
+			// Bernoulli(q) trial per distance step; the hit probability at
+			// distance d is the mass below assoc.
+			q := float64(assoc) / float64(lines)
+			pk := make([]float64, assoc)
+			pk[0] = 1
+			for d := 0; d < p.Cap; d++ {
+				var pHit float64
+				for k := 0; k < assoc; k++ {
+					pHit += pk[k]
+				}
+				pMiss := 1 - pHit
+				if h.Read[d] != 0 {
+					c.ReadMisses += pMiss * float64(h.Read[d])
+				}
+				if h.Write[d] != 0 {
+					c.WriteMisses += pMiss * float64(h.Write[d])
+				}
+				for k := assoc - 1; k > 0; k-- {
+					pk[k] = pk[k]*(1-q) + pk[k-1]*q
+				}
+				pk[0] *= 1 - q
 			}
 		}
 		pred.Cluster[i] = c

@@ -182,9 +182,10 @@ func naiveLRU(refs []mem.Ref, lines int) (accesses, misses uint64) {
 	return accesses, misses
 }
 
-// TestPredictLRUThresholdExact: for assoc > 1 the model is a
-// fully-associative LRU threshold, which on a single stream must
-// reproduce a real LRU simulation exactly (for sizes within the cap).
+// TestPredictLRUThresholdExact: in the fully-associative limit (assoc
+// == lines, one set) the binomial set-associative model collapses to
+// the LRU threshold, which on a single stream must reproduce a real
+// LRU simulation exactly (for sizes within the cap).
 func TestPredictLRUThresholdExact(t *testing.T) {
 	prog := syntheticProgram(t, 1, 20_000, 2048)
 	comp, err := trace.Compile(prog)
@@ -196,16 +197,67 @@ func TestPredictLRUThresholdExact(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, lines := range []int{64, 512, 2048} {
-		pred, err := prof.Predict(lines*sysmodel.LineSize, 4)
+		pred, err := prof.Predict(lines*sysmodel.LineSize, lines)
 		if err != nil {
 			t.Fatal(err)
 		}
 		_, misses := naiveLRU(prog.Phases[0].Streams[0], lines)
 		got := pred.Cluster[0].ReadMisses + pred.Cluster[0].WriteMisses
-		if got != float64(misses) {
-			t.Errorf("lines=%d: threshold model predicts %.0f misses, LRU simulation has %d",
+		if math.Abs(got-float64(misses)) > 1e-6 {
+			t.Errorf("lines=%d: fully-associative model predicts %.4f misses, LRU simulation has %d",
 				lines, got, misses)
 		}
+	}
+}
+
+// TestPredictAssocMonotone: for a fixed size, predicted misses must be
+// non-increasing in associativity — a 2-way cache never predicts more
+// misses than direct-mapped, and the fully-associative limit never
+// predicts more than any intermediate way count. (LRU stack distances
+// obey inclusion, and the binomial tail P(X >= A) shrinks with A.)
+func TestPredictAssocMonotone(t *testing.T) {
+	prog := syntheticProgram(t, 1, 20_000, 2048)
+	comp, err := trace.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := BuildProfile(comp, 1, DefaultCap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lines = 512
+	prev := math.Inf(1)
+	for _, assoc := range []int{1, 2, 4, 8, lines} {
+		pred, err := prof.Predict(lines*sysmodel.LineSize, assoc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := pred.Cluster[0].ReadMisses + pred.Cluster[0].WriteMisses
+		if got > prev+1e-9 {
+			t.Errorf("assoc=%d predicts %.2f misses, more than the next-lower associativity's %.2f",
+				assoc, got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestPredictRejectsBadAssoc: associativities below 1 or beyond the
+// line count are configuration errors, not silent clamps.
+func TestPredictRejectsBadAssoc(t *testing.T) {
+	prog := syntheticProgram(t, 1, 1_000, 64)
+	comp, err := trace.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := BuildProfile(comp, 1, DefaultCap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prof.Predict(64*sysmodel.LineSize, 0); err == nil {
+		t.Error("assoc 0 accepted")
+	}
+	if _, err := prof.Predict(64*sysmodel.LineSize, 128); err == nil {
+		t.Error("assoc beyond the line count accepted")
 	}
 }
 

@@ -35,8 +35,9 @@ type SCC struct {
 	// so the per-access hot path pays one bounds check and touches one
 	// cache line instead of two parallel slices. Stats() materializes the
 	// counts into Stats.BankAccesses for external consumers.
-	bank  []bankState
-	stats Stats
+	bank      []bankState
+	lineShift uint32 // log2 of the line size; line index = addr >> lineShift
+	stats     Stats
 
 	// victim is an optional small fully-associative victim buffer that
 	// catches recently conflict-evicted lines (Jouppi-style) — an
@@ -107,26 +108,37 @@ type Stats struct {
 }
 
 // New builds an SCC of size bytes with the given associativity and bank
-// count. banks must be a power of two (the paper uses 4 banks per
-// processor: 4, 8, 16 or 32).
+// count, 16-byte lines and LRU replacement. banks must be a power of
+// two (the paper uses 4 banks per processor: 4, 8, 16 or 32).
 func New(size, assoc, banks int) (*SCC, error) {
+	return NewWith(size, assoc, banks, sysmodel.LineSize, sysmodel.ReplLRU)
+}
+
+// NewWith is New with the line size and replacement policy as explicit
+// axes (see cache.NewWith for their domains).
+func NewWith(size, assoc, banks, lineBytes int, repl string) (*SCC, error) {
 	if banks < 1 || banks&(banks-1) != 0 {
 		return nil, fmt.Errorf("scc: bank count %d is not a positive power of two", banks)
 	}
-	if size/sysmodel.LineSize < banks {
-		return nil, fmt.Errorf("scc: size %d has fewer lines than banks %d", size, banks)
-	}
-	tags, err := cache.New(size, assoc)
+	tags, err := cache.NewWith(size, assoc, lineBytes, repl)
 	if err != nil {
 		return nil, fmt.Errorf("scc: %w", err)
 	}
+	if size/tags.LineBytes() < banks {
+		return nil, fmt.Errorf("scc: size %d has fewer lines than banks %d", size, banks)
+	}
+	shift := uint32(0)
+	for lb := tags.LineBytes(); lb > 1; lb >>= 1 {
+		shift++
+	}
 	return &SCC{
-		tags:     tags,
-		dm:       assoc == 1,
-		banks:    banks,
-		bankMask: uint32(banks - 1),
-		bank:     make([]bankState, banks),
-		stats:    Stats{BankAccesses: make([]uint64, banks)},
+		tags:      tags,
+		dm:        assoc == 1, // replacement is forced when direct-mapped, so repl never disables the fast path
+		banks:     banks,
+		bankMask:  uint32(banks - 1),
+		bank:      make([]bankState, banks),
+		lineShift: shift,
+		stats:     Stats{BankAccesses: make([]uint64, banks)},
 	}, nil
 }
 
@@ -181,7 +193,7 @@ func (s *SCC) ResetStats() {
 
 // BankOf returns the bank servicing addr (line-interleaved).
 func (s *SCC) BankOf(addr uint32) int {
-	return int(sysmodel.LineIndex(addr) & s.bankMask)
+	return int((addr >> s.lineShift) & s.bankMask)
 }
 
 // Result describes the outcome and timing of one SCC access.
@@ -209,7 +221,7 @@ func (r Result) Wait(now uint64) uint64 { return r.Start - now }
 // arbitration step, exported and kept inline-small so the simulator's
 // fused direct-mapped path (see DirectTags) can run it without a call.
 func (s *SCC) BankStart(now uint64, addr uint32) uint64 {
-	b := &s.bank[sysmodel.LineIndex(addr)&s.bankMask]
+	b := &s.bank[(addr>>s.lineShift)&s.bankMask]
 	b.count++
 	start := b.free
 	if start <= now {
@@ -265,7 +277,7 @@ func (s *SCC) Access(now uint64, addr uint32, kind mem.Kind) Result {
 	if s.victim == nil {
 		return res
 	}
-	line := sysmodel.LineIndex(addr)
+	line := addr >> s.lineShift
 	if !cr.Hit {
 		// A victim-buffer hit turns the miss into a hit: the line swaps
 		// back without a bus transaction. (The tag store still counted a
@@ -329,7 +341,7 @@ func (s *SCC) VisitLines(fn func(lineIndex uint32, dirty bool)) {
 func (s *SCC) Invalidate(addr uint32) (present, dirty bool) {
 	present, dirty = s.tags.Invalidate(addr)
 	if s.victim != nil {
-		if found, d := s.victim.take(sysmodel.LineIndex(addr)); found {
+		if found, d := s.victim.take(addr >> s.lineShift); found {
 			present = true
 			dirty = dirty || d
 		}

@@ -378,9 +378,15 @@ func (s *searchRun) runExhaustive(ctx context.Context, feas []*candState) error 
 
 // runAdaptive is the headline pipeline: triage everything, prune the
 // provably dominated, confirm the rest by successive halving with
-// early abandonment.
+// early abandonment. Specs whose axes escape the analytic model's
+// envelope (Spec.skipTriage) bypass the estimate-and-prune stage and
+// halve over every feasible candidate.
 func (s *searchRun) runAdaptive(ctx context.Context, feas []*candState) error {
 	sortByAxis(feas)
+	if s.spec.skipTriage() {
+		s.st.Plausible = len(feas)
+		return s.halve(ctx, "exact", feas)
+	}
 	s.progress(Progress{Phase: "triage", Done: 0, Total: len(feas)})
 	if err := s.estimate(ctx, feas); err != nil {
 		return err
@@ -413,13 +419,18 @@ func (s *searchRun) runRandom(ctx context.Context, feas []*candState) error {
 	}
 	s.st.Sampled = k
 
-	s.progress(Progress{Phase: "triage", Done: 0, Total: k})
-	if err := s.estimate(ctx, sample); err != nil {
-		return err
+	plausible := sample
+	if s.spec.skipTriage() {
+		s.st.Plausible = k
+	} else {
+		s.progress(Progress{Phase: "triage", Done: 0, Total: k})
+		if err := s.estimate(ctx, sample); err != nil {
+			return err
+		}
+		plausible = s.triagePrune(sample)
+		s.st.TriagePruned = len(sample) - len(plausible)
+		s.st.Plausible = len(plausible)
 	}
-	plausible := s.triagePrune(sample)
-	s.st.TriagePruned = len(sample) - len(plausible)
-	s.st.Plausible = len(plausible)
 	if err := s.halve(ctx, "exact", plausible); err != nil {
 		return err
 	}
@@ -442,14 +453,16 @@ func (s *searchRun) runRandom(ctx context.Context, feas []*candState) error {
 		if len(fresh) == 0 {
 			break
 		}
-		var toEst []*candState
-		for _, c := range fresh {
-			if !c.estimated {
-				toEst = append(toEst, c)
+		if !s.spec.skipTriage() {
+			var toEst []*candState
+			for _, c := range fresh {
+				if !c.estimated {
+					toEst = append(toEst, c)
+				}
 			}
-		}
-		if err := s.estimate(ctx, toEst); err != nil {
-			return err
+			if err := s.estimate(ctx, toEst); err != nil {
+				return err
+			}
 		}
 		var viable []*candState
 		for _, c := range fresh {
@@ -673,8 +686,12 @@ func (s *searchRun) exactConstraintsOK(c *candState) bool {
 }
 
 // dominatedByExact reports whether an exact result certainly dominates
-// the (estimated, margin-widened) candidate.
+// the (estimated, margin-widened) candidate. Unestimated candidates
+// are never pruned — without an estimate there is no sound bound.
 func (s *searchRun) dominatedByExact(c *candState) bool {
+	if !c.simmed && !c.estimated {
+		return false
+	}
 	lo, _ := s.boundVecs(c)
 	for _, q := range s.simmed {
 		qv := s.midVec(q)

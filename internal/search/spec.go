@@ -201,6 +201,14 @@ var constraintMetrics = map[string]bool{
 type Spec struct {
 	// Space is the candidate space; its zero value is the paper grid.
 	Space Space `json:"space"`
+	// Axes overlays architecture-axis overrides (line size,
+	// associativity, replacement policy, hierarchy) on every candidate
+	// the search simulates. nil or the zero value keeps the paper's
+	// defaults and byte-identical behavior. Non-default axes disable
+	// the analytic triage stage — the reuse-distance curve and its
+	// calibrated margins model the default axes only — so the pipeline
+	// degrades to budgeted successive halving over exact simulation.
+	Axes *sysmodel.Axes `json:"axes,omitempty"`
 	// Objectives are the frontier axes; empty defaults to
 	// [cycles, area_mm2].
 	Objectives []Objective `json:"objectives,omitempty"`
@@ -234,6 +242,11 @@ type Spec struct {
 func (s Spec) Validate() error {
 	if _, _, err := s.Space.Axes(); err != nil {
 		return err
+	}
+	if s.Axes != nil && !s.Axes.IsZero() {
+		if err := s.Axes.Validate(); err != nil {
+			return err
+		}
 	}
 	seen := map[Objective]bool{}
 	for _, o := range s.Objectives {
@@ -276,6 +289,13 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("search: negative local_rounds %d", s.LocalRounds)
 	}
 	return nil
+}
+
+// skipTriage reports whether the spec's axes put the candidates outside
+// the analytic model's envelope, in which case the pipeline must not
+// trust reuse-distance estimates.
+func (s Spec) skipTriage() bool {
+	return s.Axes != nil && !s.Axes.IsZero()
 }
 
 // objectives returns the spec's objective list with the default

@@ -156,28 +156,30 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	spec := sccsim.Spec{
 		Scale: &scale, Parallelism: s.jobParallelism(req.Parallelism),
 		TraceCacheDir: s.opts.TraceCacheDir, Verify: verify,
-		Backend: string(backend),
+		Backend: string(backend), Axes: req.Axes,
 	}
 	if req.Sim != nil {
 		spec.Sim = &sim
 	}
 	// Contradictory specs — verification or simulator ablations on the
-	// analytic backend — are client errors, not server faults.
+	// analytic backend, or axes it cannot model — are client errors, not
+	// server faults.
 	if err := spec.Validate(); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	key := sweepKey(workload, backend, scale, sim, verify)
+	key := sweepKey(workload, backend, scale, sim, verify, req.Axes)
 	// The same experiment on the other backend — only meaningful for
-	// untuned specs, since tuned or verified runs are exact-only and
+	// untuned specs whose axes the analytic backend can model, since
+	// tuned, verified or analytic-unsupported runs are exact-only and
 	// could never have an analytic twin.
 	twinKey := ""
-	if req.Sim == nil {
+	if req.Sim == nil && axesAnalyticOK(req.Axes) {
 		other := sccsim.BackendAnalytic
 		if backend == sccsim.BackendAnalytic {
 			other = sccsim.BackendExact
 		}
-		twinKey = sweepKey(workload, other, scale, sim, verify)
+		twinKey = sweepKey(workload, other, scale, sim, verify, req.Axes)
 	}
 	asp := tr.StartSpan("admit")
 	adm, aerr := s.admit(key, func(id string) *job {
@@ -358,7 +360,7 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 		Scale: &scale, ProcsPerCluster: ppc, SCCBytes: scc,
 		Parallelism:   s.jobParallelism(0),
 		TraceCacheDir: s.opts.TraceCacheDir, Verify: verify,
-		Backend: string(backend),
+		Backend: string(backend), Axes: req.Axes,
 	}
 	if req.Sim != nil {
 		spec.Sim = &sim
@@ -367,7 +369,7 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	key := pointKey(workload, backend, ppc, scc, scale, sim, verify)
+	key := pointKey(workload, backend, ppc, scc, scale, sim, verify, req.Axes)
 	asp := tr.StartSpan("admit")
 	adm, aerr := s.admit(key, func(id string) *job {
 		nj := newJob(id, key, jobPoint, workload, spec, time.Duration(req.TimeoutMS)*time.Millisecond)

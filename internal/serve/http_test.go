@@ -389,3 +389,59 @@ func TestHealthzAndMetrics(t *testing.T) {
 		}
 	}
 }
+
+// TestPointAxesEndpoint: the axes field reaches the simulation (an
+// axis variant returns different numbers than the default point for
+// the same workload/scale), a zero axes object is byte-equivalent to
+// omitting it, and analytic-unsupported axes are a 400, not a run
+// failure.
+func TestPointAxesEndpoint(t *testing.T) {
+	s := New(Options{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	post := func(body string) (*PointResponse, int) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/point", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var pr PointResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return &pr, resp.StatusCode
+	}
+
+	const point = `"workload":"multiprog","scale_spec":{"multiprog_refs":6000,"seed":21},"procs_per_cluster":2,"scc_bytes":131072`
+	def, code := post(`{` + point + `}`)
+	if code != http.StatusOK || def.Status != "done" {
+		t.Fatalf("default point: status %d / %q", code, def.Status)
+	}
+	zero, code := post(`{` + point + `,"axes":{}}`)
+	if code != http.StatusOK || zero.Point == nil {
+		t.Fatalf("zero-axes point: status %d", code)
+	}
+	if zero.Point.Result.Cycles != def.Point.Result.Cycles {
+		t.Errorf("zero axes changed the result: %d vs %d", zero.Point.Result.Cycles, def.Point.Result.Cycles)
+	}
+	assoc, code := post(`{` + point + `,"axes":{"assoc":4}}`)
+	if code != http.StatusOK || assoc.Point == nil {
+		t.Fatalf("assoc point: status %d", code)
+	}
+	if assoc.Point.Result.Cycles == def.Point.Result.Cycles {
+		t.Errorf("assoc=4 produced the direct-mapped cycle count %d; the axes did not reach the simulator", def.Point.Result.Cycles)
+	}
+
+	_, code = post(`{` + point + `,"backend":"analytic","axes":{"repl":"random"}}`)
+	if code != http.StatusBadRequest {
+		t.Errorf("analytic + random replacement: status %d, want 400", code)
+	}
+	_, code = post(`{` + point + `,"axes":{"assoc":3}}`)
+	if code != http.StatusBadRequest {
+		t.Errorf("non-dividing associativity: status %d, want 400", code)
+	}
+}

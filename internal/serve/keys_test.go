@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"testing"
+
+	"sccsim"
+)
+
+// TestAxesKeyStability pins the content-key contract of the axes
+// fields: requests without axes (or with an explicitly zero overlay)
+// keep the digest they had before the axes existed, while any
+// non-default axis yields a distinct key — so cached default grids
+// survive the schema widening and axis variants never coalesce with
+// them or with each other.
+func TestAxesKeyStability(t *testing.T) {
+	s := sccsim.QuickScale()
+	var o sccsim.Options
+	base := sweepKey(sccsim.MP3D, sccsim.BackendExact, s, o, false, nil)
+	if got := sweepKey(sccsim.MP3D, sccsim.BackendExact, s, o, false, &sccsim.Axes{}); got != base {
+		t.Errorf("zero axes changed the sweep key: %s vs %s", got, base)
+	}
+	variants := []sccsim.Axes{
+		{Assoc: 4},
+		{Assoc: 4, Repl: sccsim.ReplRandom},
+		{LineBytes: 32},
+		{Hierarchy: sccsim.HierarchyPrivate},
+		{Hierarchy: sccsim.HierarchyHybrid, L1Bytes: 8192},
+	}
+	seen := map[string]string{base: "default"}
+	for _, a := range variants {
+		a := a
+		k := sweepKey(sccsim.MP3D, sccsim.BackendExact, s, o, false, &a)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("axes %+v collides with %s", a, prev)
+		}
+		seen[k] = axesKeyPart(&a)
+	}
+	pBase := pointKey(sccsim.MP3D, sccsim.BackendExact, 2, 32*1024, s, o, false, nil)
+	if got := pointKey(sccsim.MP3D, sccsim.BackendExact, 2, 32*1024, s, o, false, &sccsim.Axes{}); got != pBase {
+		t.Errorf("zero axes changed the point key")
+	}
+	if got := pointKey(sccsim.MP3D, sccsim.BackendExact, 2, 32*1024, s, o, false, &sccsim.Axes{Assoc: 2}); got == pBase {
+		t.Errorf("assoc=2 did not change the point key")
+	}
+}
+
+// TestAxesAnalyticOK pins the twin-key gate: only axes the analytic
+// backend can model admit an analytic twin.
+func TestAxesAnalyticOK(t *testing.T) {
+	cases := []struct {
+		a  *sccsim.Axes
+		ok bool
+	}{
+		{nil, true},
+		{&sccsim.Axes{}, true},
+		{&sccsim.Axes{Assoc: 4}, true},
+		{&sccsim.Axes{Repl: sccsim.ReplRandom}, false},
+		{&sccsim.Axes{LineBytes: 32}, false},
+		{&sccsim.Axes{Hierarchy: sccsim.HierarchyPrivate}, false},
+	}
+	for _, tc := range cases {
+		if got := axesAnalyticOK(tc.a); got != tc.ok {
+			t.Errorf("axesAnalyticOK(%+v) = %t, want %t", tc.a, got, tc.ok)
+		}
+	}
+}

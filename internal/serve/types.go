@@ -92,6 +92,12 @@ type SweepRequest struct {
 	// Sim sets simulator options beyond the architecture (ablations,
 	// verification).
 	Sim *SimSpec `json:"sim,omitempty"`
+	// Axes overlays architecture-axis overrides — line_bytes, assoc,
+	// repl, hierarchy, l1_bytes — on every configuration in the grid
+	// (absent or zero: the paper's defaults, byte-identical results and
+	// unchanged content keys). The analytic backend models associativity
+	// only; combining it with other non-default axes is a 400.
+	Axes *sccsim.Axes `json:"axes,omitempty"`
 	// Parallelism bounds the engine worker pool for this job
 	// (0: the server's default). Results are identical for any value,
 	// so it is excluded from the coalescing key.
@@ -129,6 +135,9 @@ type PointRequest struct {
 	SCCBytes        int `json:"scc_bytes,omitempty"`
 	// Sim sets simulator options beyond the architecture.
 	Sim *SimSpec `json:"sim,omitempty"`
+	// Axes overlays architecture-axis overrides on the point's
+	// configuration (see SweepRequest.Axes for semantics).
+	Axes *sccsim.Axes `json:"axes,omitempty"`
 	// TimeoutMS caps this job's execution in milliseconds (0: server
 	// default).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -212,6 +221,18 @@ func resolveBackend(name string) (sccsim.Backend, error) {
 	return sccsim.ParseBackend(name)
 }
 
+// axesAnalyticOK reports whether the analytic backend could run an
+// experiment with this axis overlay — associativity is modeled, the
+// other non-default axes are exact-only. Delegates to the library's
+// own validation so the answer cannot drift from what a real analytic
+// request would be told.
+func axesAnalyticOK(a *sccsim.Axes) bool {
+	if a == nil || a.IsZero() {
+		return true
+	}
+	return sccsim.Spec{Backend: string(sccsim.BackendAnalytic), Axes: a}.Validate() == nil
+}
+
 // scaleKeyPart canonicalizes a resolved scale for the content key.
 func scaleKeyPart(s sccsim.Scale) string {
 	return fmt.Sprintf("seed%d-bb%d-bs%d-mp%d-ms%d-mr%d-cw%d-ch%d",
@@ -226,12 +247,24 @@ func simKeyPart(o sccsim.Options, verify bool) string {
 		o.MemBankOccupancy, o.VictimEntries, o.WarmupRefs, o.LegacyReplay, verify)
 }
 
+// axesKeyPart canonicalizes the architecture-axis overlay for the
+// content key. Default axes contribute nothing, so every pre-axes
+// request keeps the digest it always had; any non-default axis makes
+// the key distinct from the default grid's.
+func axesKeyPart(a *sccsim.Axes) string {
+	if a == nil || a.IsZero() {
+		return ""
+	}
+	return fmt.Sprintf("-ax-lb%d-as%d-r%s-h%s-l1%d",
+		a.LineBytes, a.Assoc, a.Repl, a.Hierarchy, a.L1Bytes)
+}
+
 // sweepKey builds the sweep content digest: the same SHA-256 keying
 // scheme the trace disk cache uses (trace.KeyDigest), over everything
 // that determines the grid's content — including the backend, since
 // the two backends compute different numbers for the same experiment.
-func sweepKey(w sccsim.Workload, b sccsim.Backend, s sccsim.Scale, o sccsim.Options, verify bool) string {
-	return trace.KeyDigest(fmt.Sprintf("sweep-%s-%s-%s-%s", w, b, scaleKeyPart(s), simKeyPart(o, verify)))
+func sweepKey(w sccsim.Workload, b sccsim.Backend, s sccsim.Scale, o sccsim.Options, verify bool, axes *sccsim.Axes) string {
+	return trace.KeyDigest(fmt.Sprintf("sweep-%s-%s-%s-%s%s", w, b, scaleKeyPart(s), simKeyPart(o, verify), axesKeyPart(axes)))
 }
 
 // searchKey builds the search content digest: the workload, the
@@ -250,8 +283,8 @@ func searchKey(w sccsim.Workload, s sccsim.Scale, spec sccsim.SearchSpec) (strin
 }
 
 // pointKey builds the single-point content digest.
-func pointKey(w sccsim.Workload, b sccsim.Backend, ppc, scc int, s sccsim.Scale, o sccsim.Options, verify bool) string {
-	return trace.KeyDigest(fmt.Sprintf("point-%s-%s-p%d-c%d-%s-%s", w, b, ppc, scc, scaleKeyPart(s), simKeyPart(o, verify)))
+func pointKey(w sccsim.Workload, b sccsim.Backend, ppc, scc int, s sccsim.Scale, o sccsim.Options, verify bool, axes *sccsim.Axes) string {
+	return trace.KeyDigest(fmt.Sprintf("point-%s-%s-p%d-c%d-%s-%s%s", w, b, ppc, scc, scaleKeyPart(s), simKeyPart(o, verify), axesKeyPart(axes)))
 }
 
 // SweepResponse is the terminal body of a sweep request: the full

@@ -35,6 +35,9 @@ func RunMultiprog(cfg sysmodel.Config, opts Options, processes []Process, quantu
 	if quantum == 0 {
 		return nil, fmt.Errorf("sim: zero scheduler quantum")
 	}
+	if h := cfg.HierarchyKind(); h != sysmodel.HierarchyShared {
+		return nil, fmt.Errorf("sim: hierarchy %q is not supported for multiprogramming workloads; use the default shared hierarchy", h)
+	}
 	nproc := cfg.Procs()
 	s, err := newSystem(cfg, opts, nproc)
 	if err != nil {
@@ -46,13 +49,14 @@ func RunMultiprog(cfg sysmodel.Config, opts Options, processes []Process, quantu
 		// count the non-idle references the verifier expects); one linear
 		// pass over the streams is negligible against the run.
 		var maxLine uint32
+		shift := cfg.LineShift()
 		for i := range processes {
 			for _, r := range processes[i].Refs {
 				if r.Kind == mem.Idle {
 					continue
 				}
 				expRefs++
-				if li := sysmodel.LineIndex(r.Addr); li > maxLine {
+				if li := r.Addr >> shift; li > maxLine {
 					maxLine = li
 				}
 			}

@@ -9,6 +9,7 @@ import (
 	"sccsim/internal/snoop"
 	"sccsim/internal/sysmodel"
 	"sccsim/internal/trace"
+	"sccsim/internal/verify"
 )
 
 // Private-cache cluster organization — the paper's alternative design
@@ -47,17 +48,11 @@ func RunPrivate(cfg sysmodel.Config, opts Options, prog *trace.Program) (*Result
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if opts.Verify != nil {
-		// The invariant checker audits the shared-SCC organization; the
-		// private-cache machine is assembled ad hoc here and is not wired
-		// for it. Refuse rather than silently skip verification.
-		return nil, fmt.Errorf("sim: Options.Verify is not supported by the private-cache organization")
-	}
 	if procs > 32 {
 		return nil, fmt.Errorf("sim: private-cache mode supports at most 32 caches, config has %d", procs)
 	}
 	perProc := cfg.SCCBytes / cfg.ProcsPerCluster
-	if perProc < sysmodel.LineSize*cfg.Assoc {
+	if perProc < cfg.Line()*cfg.Assoc {
 		return nil, fmt.Errorf("sim: %d B per private cache is too small", perProc)
 	}
 
@@ -65,7 +60,7 @@ func RunPrivate(cfg sysmodel.Config, opts Options, prog *trace.Program) (*Result
 	invs := make([]snoop.Invalidator, procs)
 	groups := make([]int, procs)
 	for p := 0; p < procs; p++ {
-		c, err := cache.New(perProc, cfg.Assoc)
+		c, err := cache.NewWith(perProc, cfg.Assoc, cfg.Line(), cfg.ReplPolicy())
 		if err != nil {
 			return nil, fmt.Errorf("sim: private cache: %w", err)
 		}
@@ -74,13 +69,29 @@ func RunPrivate(cfg sysmodel.Config, opts Options, prog *trace.Program) (*Result
 		groups[p] = p / cfg.ProcsPerCluster
 	}
 	bus := snoop.New(invs)
+	bus.SetLineBytes(cfg.Line())
 	bus.Occupancy = opts.BusOccupancy
 	bus.MemBanks = opts.MemBanks
 	bus.MemBankOccupancy = opts.MemBankOccupancy
 	bus.GroupOf = groups
 	bus.IntraLatency = IntraClusterLatency
 	if comp != nil {
-		bus.ReserveLines(comp.MaxLineIndex() + 1)
+		bus.ReserveLines(reserveLines(comp.MaxLineIndex(), cfg.Line()))
+	}
+
+	// The invariant checker audits the same laws as the shared machine,
+	// with each private cache standing in as a "cluster" (the bus indexes
+	// presence per cache). The bank-occupancy law is skipped: private
+	// caches have no banks, so Final.Bank stays nil.
+	var ck *verify.Checker
+	if opts.Verify != nil {
+		cls := make([]verify.Cluster, procs)
+		for p := range caches {
+			cls[p] = caches[p]
+		}
+		ck = verify.NewChecker(opts.Verify, bus, cls, false)
+		ck.SetLineBytes(cfg.Line())
+		bus.Verifier = ck
 	}
 
 	res := &Result{
@@ -102,6 +113,9 @@ func RunPrivate(cfg sysmodel.Config, opts Options, prog *trace.Program) (*Result
 	locks := newLockTable()
 
 	memAccess := func(p int, now uint64, addr uint32, kind mem.Kind) uint64 {
+		if ck != nil {
+			ck.OnAccess(p)
+		}
 		cr := caches[p].Access(addr, kind)
 		if cr.Evicted != cache.EvictedNone {
 			bus.Evicted(now, p, cr.Evicted, cr.EvictedDirty)
@@ -174,5 +188,23 @@ func RunPrivate(cfg sysmodel.Config, opts Options, prog *trace.Program) (*Result
 		res.SCCBank[p] = &scc.Stats{BankAccesses: []uint64{caches[p].Stats().TotalAccesses()}}
 	}
 	res.Snoop = bus.Stats()
+	if ck != nil {
+		var exp uint64
+		if comp != nil {
+			exp = comp.Refs()
+		} else {
+			exp = countRefs(phases)
+		}
+		err := ck.FinishRun(verify.Final{
+			Cycles:           res.Cycles,
+			Refs:             res.Refs,
+			ExpectedRefs:     exp,
+			Cache:            res.SCC,
+			BankAccessCycles: sysmodel.BankAccessCycles,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sim: verification failed: %w", err)
+		}
+	}
 	return res, nil
 }

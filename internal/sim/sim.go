@@ -141,9 +141,14 @@ type Result struct {
 	// PhaseCycles[i] is the duration of phase i.
 	PhaseCycles []uint64
 	// SCC[i] is cluster i's cache statistics; SCCBank[i] its contention
-	// statistics.
+	// statistics. For the private hierarchy both are per processor: SCC[p]
+	// is processor p's private cache and SCCBank[p] a degenerate
+	// single-bank record of its accesses.
 	SCC     []*cache.Stats
 	SCCBank []*scc.Stats
+	// L1 is the per-processor L1 statistics of the hybrid hierarchy; nil
+	// (and omitted from JSON) for every other organization.
+	L1 []*cache.Stats `json:",omitempty"`
 	// Snoop is the coherence-bus statistics.
 	Snoop *snoop.Stats
 	// Switches is the number of context switches (multiprogramming only).
@@ -230,6 +235,12 @@ type system struct {
 	// fused direct-mapped access path (scc.DirectTags), nil otherwise.
 	fastTags []*cache.Cache
 
+	// onSCCEvict, when non-nil, observes every line evicted from a
+	// cluster's SCC before the bus is notified — the hybrid hierarchy's
+	// inclusion seam (back-invalidating the cluster's L1 copies). nil
+	// (the default) costs the hot path one branch per eviction.
+	onSCCEvict func(cluster int, lineIndex uint32)
+
 	// Instrumentation (all nil when disabled; every use is behind a
 	// nil check so the uninstrumented hot path pays only the branch).
 	tr           Tracer
@@ -247,7 +258,7 @@ func newSystem(cfg sysmodel.Config, opts Options, procs int) (*system, error) {
 	invs := make([]snoop.Invalidator, cfg.Clusters)
 	s.sccs = make([]*scc.SCC, cfg.Clusters)
 	for i := range s.sccs {
-		sc, err := scc.New(cfg.SCCBytes, cfg.Assoc, cfg.Banks())
+		sc, err := scc.NewWith(cfg.SCCBytes, cfg.Assoc, cfg.Banks(), cfg.Line(), cfg.ReplPolicy())
 		if err != nil {
 			return nil, err
 		}
@@ -258,6 +269,7 @@ func newSystem(cfg sysmodel.Config, opts Options, procs int) (*system, error) {
 		invs[i] = sc
 	}
 	s.bus = snoop.New(invs)
+	s.bus.SetLineBytes(cfg.Line())
 	s.bus.Occupancy = opts.BusOccupancy
 	s.bus.MemBanks = opts.MemBanks
 	s.bus.MemBankOccupancy = opts.MemBankOccupancy
@@ -279,6 +291,7 @@ func newSystem(cfg sysmodel.Config, opts Options, procs int) (*system, error) {
 			cls[i] = sc
 		}
 		s.ck = verify.NewChecker(opts.Verify, s.bus, cls, opts.VictimEntries > 0)
+		s.ck.SetLineBytes(cfg.Line())
 		s.bus.Verifier = s.ck
 	}
 
@@ -467,6 +480,9 @@ func (s *system) missFrom(p, c int, t uint64, addr uint32, kind mem.Kind,
 	evicted uint32, evictedDirty bool) uint64 {
 
 	if evicted != cache.EvictedNone {
+		if s.onSCCEvict != nil {
+			s.onSCCEvict(c, evicted)
+		}
 		s.bus.Evicted(t, c, evicted, evictedDirty)
 	}
 	// Fetch over the bus. The refill's own bank cycle is not modeled as
@@ -786,6 +802,14 @@ func programPhases(prog *trace.Program, opts Options) ([][][]mem.Ref, *trace.Com
 // the program (trace.Compile) is itself immutable and shared the same
 // way.
 func Run(cfg sysmodel.Config, opts Options, prog *trace.Program) (*Result, error) {
+	// The hierarchy axis selects the machine: the paper's shared SCC
+	// (below), per-processor private caches, or the two-level hybrid.
+	switch cfg.HierarchyKind() {
+	case sysmodel.HierarchyPrivate:
+		return RunPrivate(cfg, opts, prog)
+	case sysmodel.HierarchyHybrid:
+		return RunHybrid(cfg, opts, prog)
+	}
 	procs := cfg.Procs()
 	if prog.Procs != procs {
 		return nil, fmt.Errorf("sim: program %q generated for %d processors, config has %d",
@@ -800,7 +824,7 @@ func Run(cfg sysmodel.Config, opts Options, prog *trace.Program) (*Result, error
 		return nil, err
 	}
 	if comp != nil {
-		s.bus.ReserveLines(comp.MaxLineIndex() + 1)
+		s.bus.ReserveLines(reserveLines(comp.MaxLineIndex(), cfg.Line()))
 	}
 	clock := replay(phases, procs, s.res, s.tr, opts.WarmupRefs, s.warmupReset, s.access)
 	s.finish(clock)
@@ -825,6 +849,20 @@ func (s *system) flushMetrics() {
 	s.histBankWait.Flush()
 	s.histReadMiss.Flush()
 	s.histWBStall.Flush()
+}
+
+// reserveLines converts a maximum line index measured at the paper's
+// 16-byte granularity (what trace.Compile records) to the flat-table
+// line count needed at the configured line size, rounding up so the
+// whole footprint stays direct-indexed. Sizing is a pure optimization
+// (the paged fallback keeps out-of-bound lines correct), but at the
+// default line size the count is exactly the historical maxLine+1.
+func reserveLines(maxLine16 uint32, lineBytes int) uint32 {
+	n := ((uint64(maxLine16)+1)*sysmodel.LineSize + uint64(lineBytes) - 1) / uint64(lineBytes)
+	if n > snoop.MaxFlatLines {
+		n = snoop.MaxFlatLines
+	}
+	return uint32(n)
 }
 
 // countRefs counts the non-idle references of a stream table — the
@@ -889,6 +927,9 @@ func (r *Result) VerifyStats() verify.RunStats {
 	}
 	if r.Snoop != nil {
 		rs.Bus = *r.Snoop
+	}
+	for _, ls := range r.L1 {
+		rs.L1 = append(rs.L1, *ls)
 	}
 	return rs
 }

@@ -121,11 +121,23 @@ func TestVerifyTraceConcatenation(t *testing.T) {
 	}
 }
 
-func TestRunPrivateRejectsVerify(t *testing.T) {
-	p := prog(1, []mem.Ref{rd(0x100, 0)})
-	_, err := RunPrivate(cfg1(4096), Options{Verify: &verify.Options{}}, p)
-	if err == nil || !strings.Contains(err.Error(), "not supported") {
-		t.Fatalf("RunPrivate accepted Options.Verify: %v", err)
+// TestRunPrivateVerifyTransparent pins the private-hierarchy analogue of
+// the nil-disabled contract: the checker attaches to the per-processor
+// caches and a clean run is unchanged by it.
+func TestRunPrivateVerifyTransparent(t *testing.T) {
+	p := sharingProg()
+	cfg := cfg2(4096)
+	cfg.Hierarchy = sysmodel.HierarchyPrivate
+	plain, err := RunPrivate(cfg, Options{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked, err := RunPrivate(cfg, Options{Verify: &verify.Options{}}, p)
+	if err != nil {
+		t.Fatalf("verified private run failed on clean traffic: %v", err)
+	}
+	if !reflect.DeepEqual(plain, checked) {
+		t.Fatal("enabling Options.Verify changed the private-hierarchy result")
 	}
 }
 

@@ -136,6 +136,11 @@ type Bus struct {
 	MemBanks         int
 	MemBankOccupancy int
 	memBankFree      []uint64
+
+	// lineShift is log2 of the line size the connected caches use; line
+	// index = addr >> lineShift. New defaults it to the paper's 16-byte
+	// lines; SetLineBytes overrides it for the line-size sweep axis.
+	lineShift uint32
 }
 
 // New creates a bus connecting the given SCCs. The slice index is the
@@ -144,11 +149,31 @@ func New(sccs []Invalidator) *Bus {
 	if len(sccs) == 0 || len(sccs) > 32 {
 		panic(fmt.Sprintf("snoop: %d clusters, want 1..32", len(sccs)))
 	}
-	return &Bus{sccs: sccs, presence: newPresenceTable()}
+	b := &Bus{sccs: sccs, presence: newPresenceTable()}
+	for lb := sysmodel.LineSize; lb > 1; lb >>= 1 {
+		b.lineShift++
+	}
+	return b
+}
+
+// SetLineBytes tells the bus the line size (a power of two) its caches
+// use, so presence is tracked at the same line granularity. Call before
+// simulation starts; the default is the paper's 16-byte line.
+func (b *Bus) SetLineBytes(lineBytes int) {
+	b.lineShift = 0
+	for lb := lineBytes; lb > 1; lb >>= 1 {
+		b.lineShift++
+	}
 }
 
 // Clusters returns the number of clusters on the bus.
 func (b *Bus) Clusters() int { return len(b.sccs) }
+
+// SetInvalidator replaces cluster i's invalidator. The hybrid hierarchy
+// uses this to wrap the SCC so an inter-cluster invalidation also kills
+// the cluster's L1 copies (multi-level inclusion). Call before
+// simulation starts.
+func (b *Bus) SetInvalidator(i int, inv Invalidator) { b.sccs[i] = inv }
 
 // MaxFlatLines bounds the direct-indexed presence table at 1<<22 lines
 // (a 16 MiB table covering 128 MiB of address space). Footprints beyond
@@ -194,7 +219,7 @@ func (b *Bus) acquire(now uint64) uint64 {
 func (b *Bus) Fetch(now uint64, cluster int, addr uint32, kind mem.Kind) uint64 {
 	start := b.acquire(now)
 	b.stats.Fetches++
-	li := sysmodel.LineIndex(addr)
+	li := addr >> b.lineShift
 	mask := b.presence.get(li)
 	self := uint32(1) << uint(cluster)
 	if mask&^self != 0 {
@@ -250,7 +275,7 @@ func (b *Bus) Fetch(now uint64, cluster int, addr uint32, kind mem.Kind) uint64 
 // at once (the paper does not charge the writer for invalidation latency;
 // the cost shows up as the victims' later misses).
 func (b *Bus) WriteShared(now uint64, cluster int, addr uint32) bool {
-	li := sysmodel.LineIndex(addr)
+	li := addr >> b.lineShift
 	mask := b.presence.get(li)
 	self := uint32(1) << uint(cluster)
 	if mask&^self == 0 {
@@ -277,7 +302,7 @@ func (b *Bus) WriteShared(now uint64, cluster int, addr uint32) bool {
 // exactly what WriteShared would have done: no state change, no
 // statistics). Lines outside the flat table conservatively report true.
 func (b *Bus) MaybeShared(addr uint32, cluster int) bool {
-	li := sysmodel.LineIndex(addr)
+	li := addr >> b.lineShift
 	flat := b.presence.flat
 	if li < uint32(len(flat)) {
 		return flat[li]&^(uint32(1)<<uint(cluster)) != 0
@@ -320,7 +345,7 @@ func (b *Bus) Evicted(now uint64, cluster int, lineIndex uint32, dirty bool) {
 		b.acquire(now)
 		b.stats.WriteBacks++
 		if b.Hook != nil {
-			b.Hook(TxnWriteBack, now, 0, cluster, lineIndex*sysmodel.LineSize)
+			b.Hook(TxnWriteBack, now, 0, cluster, lineIndex<<b.lineShift)
 		}
 	}
 	if b.Verifier != nil {
@@ -331,7 +356,7 @@ func (b *Bus) Evicted(now uint64, cluster int, lineIndex uint32, dirty bool) {
 // Present reports which clusters currently hold the line containing addr,
 // as a bitmask. Exposed for tests and invariant checks.
 func (b *Bus) Present(addr uint32) uint32 {
-	return b.presence.get(sysmodel.LineIndex(addr))
+	return b.presence.get(addr >> b.lineShift)
 }
 
 // VisitPresence calls fn for every line with a nonzero presence mask —
@@ -377,7 +402,7 @@ func (b *Bus) PresenceConsistency() error {
 // a corrupted presence table that the checker must catch); the simulator
 // never calls it.
 func (b *Bus) SetPresence(addr uint32, mask uint32) {
-	b.presence.set(sysmodel.LineIndex(addr), mask)
+	b.presence.set(addr>>b.lineShift, mask)
 }
 
 // presenceTable maps line index -> cluster bitmask. Two representations:

@@ -76,10 +76,14 @@ type RunStats struct {
 	BarrierWait []uint64
 	LockStall   []uint64
 	PhaseCycles []uint64
-	// Cache[i] / Bank[i] are cluster i's tag-store and contention stats.
+	// Cache[i] / Bank[i] are cluster i's tag-store and contention stats
+	// (per-processor, not per-cluster, in the private hierarchy).
 	Cache []cache.Stats
 	Bank  []scc.Stats
 	Bus   snoop.Stats
+	// L1[p] is processor p's private L1 statistics (hybrid hierarchy
+	// only; nil otherwise).
+	L1 []cache.Stats
 }
 
 // DiffRunStats compares an oracle run against a real run field by field
@@ -137,6 +141,15 @@ func DiffRunStats(oracle, real *RunStats) []string {
 	if oracle.Bus != real.Bus {
 		add("bus stats: oracle %+v, real %+v", oracle.Bus, real.Bus)
 	}
+	if len(oracle.L1) != len(real.L1) {
+		add("L1 stats: oracle has %d processors, real %d", len(oracle.L1), len(real.L1))
+	} else {
+		for i := range oracle.L1 {
+			if !reflect.DeepEqual(oracle.L1[i], real.L1[i]) {
+				add("processor %d L1 stats: oracle %+v, real %+v", i, oracle.L1[i], real.L1[i])
+			}
+		}
+	}
 	return d
 }
 
@@ -148,28 +161,59 @@ type oway struct {
 	dirty bool
 }
 
+// oracleRngSeed and oracleXorshift reimplement (sharing no code) the
+// documented deterministic victim-draw stream for random replacement:
+// Marsaglia's 13/17/5 xorshift32 seeded with the golden-ratio word,
+// advanced only when a miss finds no empty way.
+const oracleRngSeed = 0x9E3779B9
+
+func oracleXorshift(x uint32) uint32 {
+	x ^= x << 13
+	x ^= x >> 17
+	x ^= x << 5
+	return x
+}
+
 // oracleCache is the naive cache model: a map of lazily-created sets,
 // true-LRU via a per-cache access clock, write-allocate, write-back.
 // Victim choice matches the documented policy: first empty way, else
-// the least recently used way.
+// the least recently used way (or, under random replacement, a
+// deterministic xorshift32 draw over the way positions).
 type oracleCache struct {
-	nsets uint32
-	assoc int
-	sets  map[uint32][]oway
-	clock uint64
-	stats cache.Stats
+	nsets  uint32
+	assoc  int
+	line   uint32
+	random bool
+	rng    uint32
+	sets   map[uint32][]oway
+	clock  uint64
+	stats  cache.Stats
 }
 
-func newOracleCache(size, assoc int) (*oracleCache, error) {
+func newOracleCache(size, assoc, lineBytes int, repl string) (*oracleCache, error) {
 	if assoc < 1 {
 		return nil, fmt.Errorf("verify: oracle cache: associativity %d, want >= 1", assoc)
 	}
-	lines := size / sysmodel.LineSize
-	if lines*sysmodel.LineSize != size || lines < assoc {
+	if lineBytes < 4 || lineBytes > 1024 || lineBytes&(lineBytes-1) != 0 {
+		return nil, fmt.Errorf("verify: oracle cache: line size %d, want a power of two in 4..1024", lineBytes)
+	}
+	var random bool
+	switch repl {
+	case "", sysmodel.ReplLRU:
+	case sysmodel.ReplRandom:
+		random = true
+	default:
+		return nil, fmt.Errorf("verify: oracle cache: replacement %q", repl)
+	}
+	lines := size / lineBytes
+	if lines*lineBytes != size || lines < assoc {
 		return nil, fmt.Errorf("verify: oracle cache: size %d not a whole number of %d-way line sets", size, assoc)
 	}
 	nsets := lines / assoc
-	return &oracleCache{nsets: uint32(nsets), assoc: assoc, sets: make(map[uint32][]oway)}, nil
+	return &oracleCache{
+		nsets: uint32(nsets), assoc: assoc, line: uint32(lineBytes),
+		random: random, rng: oracleRngSeed, sets: make(map[uint32][]oway),
+	}, nil
 }
 
 func (c *oracleCache) set(tag uint32) []oway {
@@ -184,7 +228,7 @@ func (c *oracleCache) set(tag uint32) []oway {
 
 // access performs one reference, returning hit or the displaced line.
 func (c *oracleCache) access(addr uint32, kind mem.Kind) (hit bool, evicted uint32, evictedDirty, evictedValid bool) {
-	tag := addr / sysmodel.LineSize
+	tag := addr / c.line
 	ways := c.set(tag)
 	c.stats.Accesses[kind]++
 	c.clock++
@@ -212,6 +256,13 @@ func (c *oracleCache) access(addr uint32, kind mem.Kind) (hit bool, evicted uint
 				victim = i
 			}
 		}
+		// Random replacement draws only on a genuinely full set, and
+		// only when replacement is a choice (direct-mapped caches have a
+		// forced victim and never touch the stream).
+		if c.random && c.assoc > 1 {
+			c.rng = oracleXorshift(c.rng)
+			victim = int(c.rng % uint32(c.assoc))
+		}
 		c.stats.Evictions++
 		evicted, evictedDirty, evictedValid = ways[victim].tag, ways[victim].dirty, true
 		if evictedDirty {
@@ -224,7 +275,7 @@ func (c *oracleCache) access(addr uint32, kind mem.Kind) (hit bool, evicted uint
 
 // invalidate removes addr's line if present (inter-cluster coherence).
 func (c *oracleCache) invalidate(addr uint32) (present, dirty bool) {
-	tag := addr / sysmodel.LineSize
+	tag := addr / c.line
 	ways, ok := c.sets[tag%c.nsets]
 	if !ok {
 		return false, false
@@ -243,42 +294,106 @@ func (c *oracleCache) invalidate(addr uint32) (present, dirty bool) {
 	return false, false
 }
 
-// osys is the assembled oracle machine for one run.
+// oracleIntraClusterLatency is the documented cache-to-cache transfer
+// latency of the private organization's intra-cluster bus
+// (sim.IntraClusterLatency), restated rather than imported.
+const oracleIntraClusterLatency = 20
+
+// ol1 is the naive model of one hybrid-hierarchy private L1: a
+// direct-mapped, write-through, no-write-allocate tag store whose lines
+// are clean by construction, held as a map from set index to resident
+// line address. Statistics live outside (RunStats.L1), mirroring the
+// documented external accounting.
+type ol1 struct {
+	tags  map[uint32]uint32
+	nsets uint32
+	line  uint32
+}
+
+func newOl1(size, lineBytes int) *ol1 {
+	return &ol1{
+		tags:  make(map[uint32]uint32),
+		nsets: uint32(size / lineBytes),
+		line:  uint32(lineBytes),
+	}
+}
+
+func (c *ol1) probe(addr uint32) bool {
+	tag := addr / c.line
+	t, ok := c.tags[tag%c.nsets]
+	return ok && t == tag
+}
+
+// fill installs addr's line, reporting whether a different line was
+// displaced (silently — write-through lines are clean).
+func (c *ol1) fill(addr uint32) (displaced bool) {
+	tag := addr / c.line
+	set := tag % c.nsets
+	t, ok := c.tags[set]
+	c.tags[set] = tag
+	return ok && t != tag
+}
+
+func (c *ol1) invalidate(addr uint32) (present bool) {
+	tag := addr / c.line
+	set := tag % c.nsets
+	if t, ok := c.tags[set]; ok && t == tag {
+		delete(c.tags, set)
+		return true
+	}
+	return false
+}
+
+// osys is the assembled oracle machine for one run. The hierarchy
+// decides the shape: shared keeps one cache per cluster, private one
+// per processor (mem = memAccessPrivate), hybrid adds per-processor L1s
+// in front of the per-cluster caches (mem = memAccessHybrid).
 type osys struct {
 	banks    int
 	wbDepth  int
+	line     uint32
 	caches   []*oracleCache
 	presence map[uint32]uint32
 	bus      snoop.Stats
+	// mem is the hierarchy's reference path; access goes through it.
+	mem func(p int, now uint64, addr uint32, kind mem.Kind) uint64
 	// Per-cluster bank state, map-keyed by bank number.
 	bankFree  []map[uint32]uint64
 	bankCount []map[uint32]uint64
 	bankConf  []uint64
 	bankWait  []uint64
-	// wb[c] is cluster c's in-flight buffered-write completion times.
+	// wb[i] holds in-flight buffered-write completion times: one buffer
+	// per cluster (shared/hybrid) or per processor (private).
 	wb      [][]uint64
 	locks   map[uint32]int
 	cluster []int
-	st      *RunStats
+	// private: group[i] is cache i's cluster (intra-cluster fetch test).
+	private bool
+	group   []int
+	// hybrid: per-processor L1s, external stats, and the inclusion
+	// hooks the shared-path code invokes.
+	l1           []*ol1
+	l1St         []cache.Stats
+	onEvict      func(c int, evictedLine uint32)
+	onInvalidate func(c int, addr uint32)
+	ppc          int
+	st           *RunStats
 }
+
+// li maps a byte address to its line index at the configured line size.
+func (s *osys) li(addr uint32) uint32 { return addr / s.line }
 
 func newOsys(cfg sysmodel.Config, procs int, o OracleOptions) (*osys, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	banks := cfg.Banks()
-	if banks < 1 || banks&(banks-1) != 0 {
-		return nil, fmt.Errorf("verify: oracle: bank count %d is not a positive power of two", banks)
-	}
-	if cfg.SCCBytes/sysmodel.LineSize < banks {
-		return nil, fmt.Errorf("verify: oracle: %d B has fewer lines than %d banks", cfg.SCCBytes, banks)
-	}
 	s := &osys{
-		banks:    banks,
 		wbDepth:  o.wbDepth(),
+		line:     uint32(cfg.Line()),
 		presence: make(map[uint32]uint32),
 		locks:    make(map[uint32]int),
 		cluster:  make([]int, procs),
+		ppc:      cfg.ProcsPerCluster,
 		st: &RunStats{
 			ProcFinish:  make([]uint64, procs),
 			ReadStall:   make([]uint64, procs),
@@ -288,8 +403,40 @@ func newOsys(cfg sysmodel.Config, procs int, o OracleOptions) (*osys, error) {
 			LockStall:   make([]uint64, procs),
 		},
 	}
+
+	if cfg.HierarchyKind() == sysmodel.HierarchyPrivate {
+		// Private organization: one cache per processor, no banks, a
+		// per-processor write buffer, and intra-cluster fetches.
+		if procs > 32 {
+			return nil, fmt.Errorf("verify: oracle: private hierarchy supports at most 32 caches, config has %d", procs)
+		}
+		s.private = true
+		s.group = make([]int, procs)
+		perProc := cfg.SCCBytes / cfg.ProcsPerCluster
+		for p := 0; p < procs; p++ {
+			c, err := newOracleCache(perProc, cfg.Assoc, cfg.Line(), cfg.ReplPolicy())
+			if err != nil {
+				return nil, err
+			}
+			s.caches = append(s.caches, c)
+			s.cluster[p] = p
+			s.group[p] = p / cfg.ProcsPerCluster
+		}
+		s.wb = make([][]uint64, procs)
+		s.mem = s.memAccessPrivate
+		return s, nil
+	}
+
+	banks := cfg.Banks()
+	if banks < 1 || banks&(banks-1) != 0 {
+		return nil, fmt.Errorf("verify: oracle: bank count %d is not a positive power of two", banks)
+	}
+	if cfg.SCCBytes/cfg.Line() < banks {
+		return nil, fmt.Errorf("verify: oracle: %d B has fewer lines than %d banks", cfg.SCCBytes, banks)
+	}
+	s.banks = banks
 	for i := 0; i < cfg.Clusters; i++ {
-		c, err := newOracleCache(cfg.SCCBytes, cfg.Assoc)
+		c, err := newOracleCache(cfg.SCCBytes, cfg.Assoc, cfg.Line(), cfg.ReplPolicy())
 		if err != nil {
 			return nil, err
 		}
@@ -303,12 +450,40 @@ func newOsys(cfg sysmodel.Config, procs int, o OracleOptions) (*osys, error) {
 	for p := 0; p < procs; p++ {
 		s.cluster[p] = p / cfg.ProcsPerCluster
 	}
+	s.mem = s.memAccess
+
+	if cfg.HierarchyKind() == sysmodel.HierarchyHybrid {
+		s.l1 = make([]*ol1, procs)
+		s.l1St = make([]cache.Stats, procs)
+		for p := range s.l1 {
+			s.l1[p] = newOl1(cfg.L1Size(), cfg.Line())
+		}
+		// Inclusion: a line leaving a cluster's cache is back-invalidated
+		// out of that cluster's L1s, whether it left by eviction ...
+		s.onEvict = func(c int, evictedLine uint32) {
+			addr := evictedLine * s.line
+			for p := c * s.ppc; p < (c+1)*s.ppc; p++ {
+				if s.l1[p].invalidate(addr) {
+					s.l1St[p].Invalidations++
+				}
+			}
+		}
+		// ... or by inter-cluster invalidation.
+		s.onInvalidate = func(c int, addr uint32) {
+			for p := c * s.ppc; p < (c+1)*s.ppc; p++ {
+				if s.l1[p].invalidate(addr) {
+					s.l1St[p].Invalidations++
+				}
+			}
+		}
+		s.mem = s.memAccessHybrid
+	}
 	return s, nil
 }
 
 // bankStart arbitrates addr's line-interleaved bank at time now.
 func (s *osys) bankStart(p, c int, addr uint32, now uint64) uint64 {
-	b := sysmodel.LineIndex(addr) % uint32(s.banks)
+	b := s.li(addr) % uint32(s.banks)
 	s.bankCount[c][b]++
 	start := now
 	if free := s.bankFree[c][b]; free > now {
@@ -333,6 +508,9 @@ func (s *osys) invalidateOthers(li, addr uint32, c int, mask uint32) {
 			continue
 		}
 		present, dirty := s.caches[i].invalidate(addr)
+		if s.onInvalidate != nil {
+			s.onInvalidate(i, addr)
+		}
 		if present {
 			s.bus.Invalidations++
 			if dirty {
@@ -345,7 +523,7 @@ func (s *osys) invalidateOthers(li, addr uint32, c int, mask uint32) {
 // fetch services a miss: 100-cycle line transfer plus coherence actions.
 func (s *osys) fetch(c int, addr uint32, kind mem.Kind) uint64 {
 	s.bus.Fetches++
-	li := sysmodel.LineIndex(addr)
+	li := s.li(addr)
 	mask := s.presence[li]
 	self := uint32(1) << uint(c)
 	if mask&^self != 0 {
@@ -384,7 +562,7 @@ func (s *osys) memAccess(p int, now uint64, addr uint32, kind mem.Kind) uint64 {
 	hit, evicted, evictedDirty, evictedValid := s.caches[c].access(addr, kind)
 	if hit {
 		if kind == mem.Write {
-			li := sysmodel.LineIndex(addr)
+			li := s.li(addr)
 			mask := s.presence[li]
 			if mask&^(uint32(1)<<uint(c)) != 0 {
 				s.invalidateOthers(li, addr, c, mask)
@@ -394,6 +572,9 @@ func (s *osys) memAccess(p int, now uint64, addr uint32, kind mem.Kind) uint64 {
 		return start
 	}
 	if evictedValid {
+		if s.onEvict != nil {
+			s.onEvict(c, evicted)
+		}
 		s.presence[evicted] &^= uint32(1) << uint(c)
 		if evictedDirty {
 			s.bus.WriteBacks++
@@ -407,27 +588,116 @@ func (s *osys) memAccess(p int, now uint64, addr uint32, kind mem.Kind) uint64 {
 	return s.bufferWrite(p, c, start, ready)
 }
 
+// memAccessPrivate is the private organization's reference path: one
+// cache per processor, no banks, a write-invalidate bus over all caches,
+// and misses served over the fast intra-cluster bus when a same-cluster
+// cache holds the line.
+func (s *osys) memAccessPrivate(p int, now uint64, addr uint32, kind mem.Kind) uint64 {
+	hit, evicted, evictedDirty, evictedValid := s.caches[p].access(addr, kind)
+	self := uint32(1) << uint(p)
+	if evictedValid {
+		s.presence[evicted] &^= self
+		if evictedDirty {
+			s.bus.WriteBacks++
+		}
+	}
+	li := s.li(addr)
+	if hit {
+		if kind == mem.Write {
+			mask := s.presence[li]
+			if mask&^self != 0 {
+				s.invalidateOthers(li, addr, p, mask)
+				s.presence[li] = self
+			}
+		}
+		return now
+	}
+	// Fetch: from a same-cluster cache over the intra-cluster bus if one
+	// holds the line (scan holders lowest-id-first), else 100 cycles.
+	s.bus.Fetches++
+	mask := s.presence[li]
+	if mask&^self != 0 {
+		s.bus.FetchesFromSCC++
+	}
+	latency := uint64(sysmodel.MemLatency)
+	others := mask &^ self
+	for c := 0; others != 0; c++ {
+		bit := uint32(1) << uint(c)
+		if others&bit != 0 {
+			others &^= bit
+			if s.group[c] == s.group[p] {
+				latency = oracleIntraClusterLatency
+				s.bus.IntraClusterFetches++
+				break
+			}
+		}
+	}
+	if kind == mem.Write {
+		s.invalidateOthers(li, addr, p, mask)
+		s.presence[li] = self
+	} else {
+		s.presence[li] = mask | self
+	}
+	ready := now + latency
+	if kind == mem.Read {
+		s.st.ReadStall[p] += ready - now
+		return ready
+	}
+	return s.bufferWrite(p, p, now, ready)
+}
+
+// memAccessHybrid puts a per-processor write-through L1 in front of the
+// shared-cluster path: read hits complete at once, read misses fill the
+// L1 after the shared path services them, and every write goes through
+// (invalidating same-cluster sibling copies at issue).
+func (s *osys) memAccessHybrid(p int, now uint64, addr uint32, kind mem.Kind) uint64 {
+	st := &s.l1St[p]
+	if kind == mem.Write {
+		st.Accesses[mem.Write]++
+		if !s.l1[p].probe(addr) {
+			st.Misses[mem.Write]++
+		}
+		c := s.cluster[p]
+		for q := c * s.ppc; q < (c+1)*s.ppc; q++ {
+			if q != p && s.l1[q].invalidate(addr) {
+				s.l1St[q].Invalidations++
+			}
+		}
+		return s.memAccess(p, now, addr, mem.Write)
+	}
+	st.Accesses[kind]++
+	if s.l1[p].probe(addr) {
+		return now
+	}
+	st.Misses[kind]++
+	t := s.memAccess(p, now, addr, kind)
+	if s.l1[p].fill(addr) {
+		st.Evictions++
+	}
+	return t
+}
+
 // access performs one reference, handling the lock kinds' documented
 // test-and-test-and-set semantics. retry means a spin iteration: the
 // caller must re-issue the same reference at the returned time.
 func (s *osys) access(p int, now uint64, r mem.Ref) (uint64, bool) {
 	switch r.Kind {
 	case mem.Lock:
-		t := s.memAccess(p, now, r.Addr, mem.Read)
+		t := s.mem(p, now, r.Addr, mem.Read)
 		if holder, held := s.locks[r.Addr]; held && holder != p {
 			s.st.LockSpins++
 			s.st.LockStall[p] += oracleSpinInterval
 			return t + oracleSpinInterval, true
 		}
-		t = s.memAccess(p, t, r.Addr, mem.Write)
+		t = s.mem(p, t, r.Addr, mem.Write)
 		s.locks[r.Addr] = p
 		return t, false
 	case mem.Unlock:
-		t := s.memAccess(p, now, r.Addr, mem.Write)
+		t := s.mem(p, now, r.Addr, mem.Write)
 		delete(s.locks, r.Addr)
 		return t, false
 	default:
-		return s.memAccess(p, now, r.Addr, r.Kind), false
+		return s.mem(p, now, r.Addr, r.Kind), false
 	}
 }
 
@@ -441,6 +711,14 @@ func (s *osys) finish(clock []uint64) *RunStats {
 	}
 	for c, oc := range s.caches {
 		s.st.Cache = append(s.st.Cache, oc.stats)
+		if s.private {
+			// Private caches have no banks; the simulator reports one
+			// pseudo-bank carrying the cache's total access count.
+			s.st.Bank = append(s.st.Bank, scc.Stats{
+				BankAccesses: []uint64{oc.stats.TotalAccesses()},
+			})
+			continue
+		}
 		bs := scc.Stats{
 			BankConflicts:  s.bankConf[c],
 			BankWaitCycles: s.bankWait[c],
@@ -452,6 +730,7 @@ func (s *osys) finish(clock []uint64) *RunStats {
 		s.st.Bank = append(s.st.Bank, bs)
 	}
 	s.st.Bus = s.bus
+	s.st.L1 = s.l1St
 	return s.st
 }
 
@@ -545,6 +824,9 @@ func RunOracleMultiprog(cfg sysmodel.Config, processes []Process, quantum uint64
 	}
 	if quantum == 0 {
 		return nil, fmt.Errorf("verify: oracle: zero scheduler quantum")
+	}
+	if cfg.HierarchyKind() != sysmodel.HierarchyShared {
+		return nil, fmt.Errorf("verify: oracle: hierarchy %q is not supported for multiprogramming workloads", cfg.HierarchyKind())
 	}
 	nproc := cfg.Procs()
 	s, err := newOsys(cfg, nproc, o)

@@ -96,6 +96,12 @@ type Checker struct {
 	// accounted exactly once as a hit or a miss.
 	accesses []uint64
 
+	// lineShift is log2 of the caches' line size, used to convert the
+	// line indices the bus reports back to byte addresses for probes.
+	// NewChecker defaults it to the paper's 16-byte line; SetLineBytes
+	// overrides it for the line-size sweep axis.
+	lineShift uint32
+
 	violations []string
 	dropped    int
 }
@@ -105,12 +111,24 @@ type Checker struct {
 // victimSlack declares that clusters have victim buffers (see the field
 // comment). The caller is responsible for setting bus.Verifier.
 func NewChecker(o *Options, bus *snoop.Bus, clusters []Cluster, victimSlack bool) *Checker {
-	return &Checker{
+	c := &Checker{
 		opts:        o,
 		bus:         bus,
 		clusters:    clusters,
 		victimSlack: victimSlack,
 		accesses:    make([]uint64, len(clusters)),
+	}
+	c.SetLineBytes(sysmodel.LineSize)
+	return c
+}
+
+// SetLineBytes tells the checker the line size (a power of two) the
+// audited caches use; call before the run starts when the line-size
+// axis deviates from the paper's 16 bytes.
+func (c *Checker) SetLineBytes(lineBytes int) {
+	c.lineShift = 0
+	for lb := lineBytes; lb > 1; lb >>= 1 {
+		c.lineShift++
 	}
 }
 
@@ -194,7 +212,7 @@ func (c *Checker) checkOthersNotResident(now uint64, cluster int, addr uint32, w
 // AfterEvicted implements snoop.Verifier: an eviction notice means the
 // line left the cache and the presence bit must be clear.
 func (c *Checker) AfterEvicted(now uint64, cluster int, lineIndex uint32, dirty bool) {
-	addr := lineIndex * sysmodel.LineSize
+	addr := lineIndex << c.lineShift
 	if mask := c.bus.Present(addr); mask&(uint32(1)<<uint(cluster)) != 0 {
 		c.violate("evict@%d: cluster %d evicted line %d but its presence bit is still set (mask %#x)",
 			now, cluster, lineIndex, mask)
@@ -221,7 +239,7 @@ func (c *Checker) Audit() {
 	for i, cl := range c.clusters {
 		bit := uint32(1) << uint(i)
 		cl.VisitLines(func(li uint32, dirty bool) {
-			if c.bus.Present(li*sysmodel.LineSize)&bit == 0 {
+			if c.bus.Present(li<<c.lineShift)&bit == 0 {
 				c.violate("audit: cluster %d holds line %d but its presence bit is clear", i, li)
 			}
 		})
@@ -235,7 +253,7 @@ func (c *Checker) Audit() {
 		if c.victimSlack {
 			return
 		}
-		addr := li * sysmodel.LineSize
+		addr := li << c.lineShift
 		for i, cl := range c.clusters {
 			if mask&(uint32(1)<<uint(i)) != 0 && !cl.Probe(addr) {
 				c.violate("audit: line %d presence mask %#x claims cluster %d holds it but the line is absent",

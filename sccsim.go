@@ -104,6 +104,33 @@ func DefaultConfig(procsPerCluster, sccBytes int) Config {
 	return sysmodel.Default(procsPerCluster, sccBytes)
 }
 
+// Axes bundles the architecture axes that widen the paper's design
+// space beyond (size, processors): cache line size, associativity,
+// replacement policy, and the shared/private/hybrid hierarchy. The zero
+// value means the paper's defaults, and applying it changes nothing —
+// sweeps without axes reproduce the historical grids byte for byte.
+type Axes = sysmodel.Axes
+
+// Replacement policies for the Axes.Repl / Config.Repl axis.
+const (
+	ReplLRU    = sysmodel.ReplLRU
+	ReplRandom = sysmodel.ReplRandom
+)
+
+// Cache hierarchies for the Axes.Hierarchy / Config.Hierarchy axis:
+// the paper's shared cluster cache, the private per-processor
+// alternative (Section 2.1), and the hybrid (private L1s backed by the
+// shared SCC).
+const (
+	HierarchyShared  = sysmodel.HierarchyShared
+	HierarchyPrivate = sysmodel.HierarchyPrivate
+	HierarchyHybrid  = sysmodel.HierarchyHybrid
+)
+
+// DefaultL1Bytes is the hybrid hierarchy's default per-processor L1
+// size.
+const DefaultL1Bytes = sysmodel.DefaultL1Bytes
+
 // SCCSizes is the paper's cache-size sweep (4 KB - 512 KB).
 var SCCSizes = sysmodel.SCCSizes
 
@@ -124,6 +151,10 @@ type expCfg struct {
 	simSet      bool
 	backend     Backend
 	cfg         *Config
+	// axes overlays architecture-axis overrides (line size,
+	// associativity, replacement, hierarchy) on every configuration the
+	// experiment builds; the zero value changes nothing (see WithAxes).
+	axes        sysmodel.Axes
 	ppc, scc    int
 	parallelism int
 	progress    func(Progress)
@@ -180,6 +211,16 @@ func WithConfig(cfg Config) Opt { return func(c *expCfg) { c.cfg = &cfg } }
 func WithPoint(procsPerCluster, sccBytes int) Opt {
 	return func(c *expCfg) { c.ppc, c.scc = procsPerCluster, sccBytes }
 }
+
+// WithAxes overlays architecture-axis overrides — line size,
+// associativity, replacement policy, hierarchy, hybrid L1 size — onto
+// every design point the experiment builds, composing with WithPoint,
+// WithConfig and sweeps alike. The zero Axes changes nothing, so
+// default experiments stay byte-identical to the paper's grids. The
+// analytic backend models associativity but rejects non-default line
+// sizes, random replacement and non-shared hierarchies with an
+// actionable error at experiment start.
+func WithAxes(a Axes) Opt { return func(c *expCfg) { c.axes = a } }
 
 // WithParallelism bounds the sweep engine's worker pool (default:
 // GOMAXPROCS). Results are deterministic — byte-identical rendered
@@ -238,6 +279,7 @@ func (c expCfg) engine() (explorer.EngineOptions, error) {
 		Parallelism: c.parallelism, Progress: c.progress,
 		Report: c.reportFn, Metrics: c.metrics,
 		Backend: c.backend, Logger: c.logger,
+		Axes: c.axes,
 	}
 	switch {
 	case c.traceStore != nil:
@@ -272,9 +314,9 @@ func Do(ctx context.Context, w Workload, opts ...Opt) (*Point, error) {
 	}
 	if c.backend == BackendAnalytic {
 		if c.cfg != nil {
-			return explorer.RunConfigAnalyticCtx(ctx, w, *c.cfg, c.scale)
+			return explorer.RunConfigAnalyticCtx(ctx, w, c.axes.Apply(*c.cfg), c.scale)
 		}
-		return explorer.RunPointAnalyticCtx(ctx, w, c.ppc, c.scc, c.scale)
+		return explorer.RunPointAnalyticCtx(ctx, w, c.ppc, c.scc, c.axes, c.scale)
 	}
 	var ts *obs.TraceSet
 	if c.traceW != nil {
@@ -288,7 +330,7 @@ func Do(ctx context.Context, w Workload, opts ...Opt) (*Point, error) {
 		} else if w == Multiprog {
 			cfg.Clusters = 1
 		}
-		c.sim.Tracer = newTracer(cfg)
+		c.sim.Tracer = newTracer(c.axes.Apply(cfg))
 	}
 	c.sim.Metrics = c.metrics
 	// Single points flow through the same persistent trace store as
@@ -301,11 +343,11 @@ func Do(ctx context.Context, w Workload, opts ...Opt) (*Point, error) {
 	}
 	var pt *Point
 	if c.cfg != nil {
-		pt, err = explorer.RunConfigCtx(ctx, w, *c.cfg, c.scale, c.sim, eng.TraceCache)
+		pt, err = explorer.RunConfigCtx(ctx, w, c.axes.Apply(*c.cfg), c.scale, c.sim, eng.TraceCache)
 	} else {
 		pts, perr := explorer.RunPointsCtx(ctx, w,
 			[]explorer.PointSpec{{PPC: c.ppc, SCCBytes: c.scc}}, c.scale, c.sim,
-			explorer.EngineOptions{Parallelism: 1, TraceCache: eng.TraceCache, Metrics: c.metrics, Logger: c.logger})
+			explorer.EngineOptions{Parallelism: 1, TraceCache: eng.TraceCache, Metrics: c.metrics, Logger: c.logger, Axes: c.axes})
 		if perr != nil {
 			return nil, perr
 		}

@@ -182,6 +182,19 @@ func SearchCtx(ctx context.Context, w Workload, spec SearchSpec, opts ...Opt) (r
 	if c.cfg != nil {
 		return nil, fmt.Errorf("sccsim: WithConfig pins a single design point; the search explores a space — use SearchSpec.Space")
 	}
+	// Architecture axes: the spec's axes win over WithAxes; either way
+	// both the runner (which decides whether analytic triage is sound)
+	// and the exact evaluator (which builds the configurations) see the
+	// same resolved axes.
+	if spec.Axes != nil && !spec.Axes.IsZero() {
+		c.axes = *spec.Axes
+		if err := c.axes.Validate(); err != nil {
+			return nil, err
+		}
+	} else if !c.axes.IsZero() {
+		a := c.axes
+		spec.Axes = &a
+	}
 	c.sim.Metrics = c.metrics
 	eng, err := c.engine()
 	if err != nil {

@@ -28,6 +28,12 @@ type Spec struct {
 	// per cluster, 64 KB).
 	ProcsPerCluster int
 	SCCBytes        int
+	// Axes overlays architecture-axis overrides — line size,
+	// associativity, replacement policy, hierarchy, hybrid L1 size — on
+	// every configuration the experiment builds (nil or zero: the
+	// paper's defaults, byte-identical grids). The analytic backend
+	// models associativity only; other non-default axes fail Validate.
+	Axes *Axes
 	// Parallelism bounds the sweep engine's worker pool (0: GOMAXPROCS).
 	Parallelism int
 	// TraceCacheDir roots the persistent on-disk trace cache ("" : none).
@@ -78,6 +84,9 @@ func (s Spec) Opts() []Opt {
 			scc = 64 * 1024
 		}
 		o = append(o, WithPoint(ppc, scc))
+	}
+	if s.Axes != nil && !s.Axes.IsZero() {
+		o = append(o, WithAxes(*s.Axes))
 	}
 	if s.Parallelism != 0 {
 		o = append(o, WithParallelism(s.Parallelism))

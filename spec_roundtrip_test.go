@@ -27,6 +27,7 @@ func TestSpecRoundTripEveryField(t *testing.T) {
 		"Config": {"Clusters": 2, "ProcsPerCluster": 4, "SCCBytes": 65536, "LoadLatency": 3, "Assoc": 2},
 		"ProcsPerCluster": 2,
 		"SCCBytes": 32768,
+		"Axes": {"assoc": 2, "repl": "random"},
 		"Parallelism": 3,
 		"TraceCacheDir": "/tmp/scc-trace-cache-test",
 		"Verify": true,
@@ -46,6 +47,7 @@ func TestSpecRoundTripEveryField(t *testing.T) {
 		WithScale(*spec.Scale),
 		WithSimOptions(*spec.Sim),
 		WithConfig(*spec.Config),
+		WithAxes(Axes{Assoc: 2, Repl: ReplRandom}),
 		WithParallelism(3),
 		WithTraceCache("/tmp/scc-trace-cache-test"),
 		WithVerify(),
@@ -77,7 +79,8 @@ func TestSpecRoundTripEveryField(t *testing.T) {
 	}
 	pWant, err := resolve([]Opt{
 		WithScale(*spec.Scale), WithSimOptions(*spec.Sim),
-		WithPoint(2, 32*1024), WithParallelism(3),
+		WithPoint(2, 32*1024), WithAxes(Axes{Assoc: 2, Repl: ReplRandom}),
+		WithParallelism(3),
 		WithTraceCache("/tmp/scc-trace-cache-test"), WithVerify(),
 		WithCluster(NewHTTPCluster(*spec.Cluster)), WithBackend(BackendExact),
 	})
@@ -130,6 +133,12 @@ func TestSpecValidate(t *testing.T) {
 		{"verify on analytic", Spec{Backend: "analytic", Verify: true}, "exact backend"},
 		{"sim options on analytic", Spec{Backend: "analytic", Sim: &Options{}}, "exact backend"},
 		{"verify on exact", Spec{Backend: "exact", Verify: true}, ""},
+		{"assoc on analytic", Spec{Backend: "analytic", Axes: &Axes{Assoc: 4}}, ""},
+		{"random repl on analytic", Spec{Backend: "analytic", Axes: &Axes{Repl: ReplRandom}}, "exact backend"},
+		{"hierarchy on analytic", Spec{Backend: "analytic", Axes: &Axes{Hierarchy: HierarchyHybrid}}, "exact backend"},
+		{"line bytes on analytic", Spec{Backend: "analytic", Axes: &Axes{LineBytes: 32}}, "exact backend"},
+		{"bad axes", Spec{Axes: &Axes{Assoc: 3}}, "divisible"},
+		{"hierarchy on exact", Spec{Axes: &Axes{Hierarchy: HierarchyPrivate}}, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
